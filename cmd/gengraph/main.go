@@ -1,0 +1,90 @@
+// Command gengraph generates synthetic graphs — the Table 1 dataset
+// analogs or parametric generator output — as edge-list or binary files.
+//
+// Usage:
+//
+//	gengraph -dataset TW -scale 0.5 -o twitter.edges
+//	gengraph -gen ba -n 100000 -m 5 -seed 7 -o ba.bin -format binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qbs/internal/datasets"
+	"qbs/internal/graph"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "dataset analog key (DO,DB,YT,WK,SK,BA,LJ,OR,TW,FR,UK,CW)")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+		gen     = flag.String("gen", "", "parametric generator: er|ba|ws|grid")
+		n       = flag.Int("n", 10000, "vertex count (parametric generators)")
+		m       = flag.Int("m", 3, "edges per vertex (ba), edge count (er), ring degree (ws), columns (grid)")
+		beta    = flag.Float64("beta", 0.2, "rewiring probability (ws)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output path (default stdout, edge-list only)")
+		format  = flag.String("format", "edges", "output format: edges|binary")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch {
+	case *dataset != "":
+		spec, err := datasets.ByKey(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		g = spec.Generate(*scale)
+	case *gen != "":
+		switch *gen {
+		case "er":
+			g = graph.ErdosRenyi(*n, *m, *seed)
+		case "ba":
+			g = graph.BarabasiAlbert(*n, *m, *seed)
+		case "ws":
+			g = graph.WattsStrogatz(*n, *m, *beta, *seed)
+		case "grid":
+			g = graph.Grid(*n, *m)
+		default:
+			fatal(fmt.Errorf("unknown generator %q", *gen))
+		}
+		lc, _ := g.LargestComponent()
+		g = lc
+	default:
+		fatal(fmt.Errorf("one of -dataset or -gen is required"))
+	}
+
+	st := graph.ComputeStats(g)
+	fmt.Fprintf(os.Stderr, "generated: |V|=%d |E|=%d maxdeg=%d avgdeg=%.2f\n",
+		st.NumVertices, st.NumEdges, st.MaxDegree, st.AvgDegree)
+
+	switch *format {
+	case "edges":
+		if *out == "" {
+			if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := graph.WriteEdgeListFile(*out, g); err != nil {
+			fatal(err)
+		}
+	case "binary":
+		if *out == "" {
+			fatal(fmt.Errorf("-format binary requires -o"))
+		}
+		if err := graph.WriteBinaryFile(*out, g); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

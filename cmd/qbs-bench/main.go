@@ -1,0 +1,103 @@
+// Command qbs-bench regenerates the paper's evaluation: every table and
+// figure of §6 plus the ablations, over the synthetic dataset analogs.
+//
+// Usage:
+//
+//	qbs-bench -exp table2 -scale 0.2 -queries 1000
+//	qbs-bench -exp all -datasets DO,DB,YT -out results.md
+//
+// Experiments: table1, table2, table3, fig7, fig8, fig9, fig10, fig11,
+// ablation-traversal, ablation-parallel, ablation-landmarks, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"qbs/internal/bench"
+	"qbs/internal/datasets"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
+		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = DESIGN.md sizes)")
+		queries   = flag.Int("queries", 1000, "number of sampled query pairs per dataset")
+		landmarks = flag.Int("landmarks", 20, "number of landmarks |R| for single-point experiments")
+		keys      = flag.String("datasets", "", "comma-separated dataset keys (default: all 12)")
+		seed      = flag.Int64("seed", 2021, "workload sampling seed")
+		pplBudget = flag.Duration("ppl-budget", 60*time.Second, "PPL/ParentPPL construction time budget (DNF beyond)")
+		outPath   = flag.String("out", "", "write markdown to this file as well as stdout")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := bench.Config{
+		Scale:           *scale,
+		NumQueries:      *queries,
+		NumLandmarks:    *landmarks,
+		Seed:            *seed,
+		PPLBudget:       *pplBudget,
+		ParentPPLBudget: *pplBudget,
+		Out:             out,
+	}
+	if *keys != "" {
+		for _, k := range strings.Split(*keys, ",") {
+			k = strings.TrimSpace(k)
+			if _, err := datasets.ByKey(k); err != nil {
+				fatal(err)
+			}
+			cfg.Datasets = append(cfg.Datasets, k)
+		}
+	}
+	h := bench.New(cfg)
+
+	fmt.Fprintf(out, "# QbS evaluation (scale=%.2f, queries=%d, |R|=%d)\n",
+		*scale, *queries, *landmarks)
+	start := time.Now()
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		t0 := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() error { _, err := h.Table1(); return err })
+	run("table2", func() error { _, err := h.Table2(); return err })
+	run("table3", func() error { _, err := h.Table3(); return err })
+	run("fig7", func() error { _, err := h.Fig7(); return err })
+	run("fig8", func() error { _, err := h.Fig8(nil); return err })
+	run("fig9", func() error { _, err := h.Fig9(nil); return err })
+	run("fig10", func() error { _, err := h.Fig10(nil); return err })
+	run("fig11", func() error { _, err := h.Fig11(nil); return err })
+	run("ablation-traversal", func() error { _, err := h.AblationTraversal(); return err })
+	run("ablation-scale", func() error { _, err := h.AblationScale(nil); return err })
+	run("ablation-directed", func() error { _, err := h.AblationDirected(); return err })
+	run("ablation-parallel", func() error { _, err := h.AblationParallel(nil); return err })
+	run("ablation-landmarks", func() error { _, err := h.AblationLandmarks(); return err })
+
+	fmt.Fprintf(os.Stderr, "total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qbs-bench:", err)
+	os.Exit(1)
+}

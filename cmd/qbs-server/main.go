@@ -1,0 +1,102 @@
+// Command qbs-server serves shortest-path-graph queries over HTTP.
+//
+// Usage:
+//
+//	qbs-server -graph web.edges -landmarks 20 -addr :8080
+//	qbs-server -dataset YT -scale 0.5 -index yt.qbsi   # build once, reuse
+//
+// Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz — see
+// internal/server for the JSON schemas.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"qbs"
+	"qbs/internal/datasets"
+	"qbs/internal/graph"
+	"qbs/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file to load")
+		binPath   = flag.String("bin", "", "binary graph file to load")
+		dataset   = flag.String("dataset", "", "dataset analog key instead of a file")
+		scale     = flag.Float64("scale", 0.25, "dataset scale factor")
+		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
+		indexPath = flag.String("index", "", "index file: loaded if present, saved after building otherwise")
+		addr      = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+
+	var index *qbs.Index
+	if *indexPath != "" {
+		if _, statErr := os.Stat(*indexPath); statErr == nil {
+			start := time.Now()
+			index, err = qbs.LoadIndexFile(g, *indexPath)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("index: loaded %s in %s\n", *indexPath, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if index == nil {
+		start := time.Now()
+		index, err = qbs.BuildIndex(g, qbs.Options{NumLandmarks: *landmarks})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index: built in %s (%d landmarks)\n",
+			time.Since(start).Round(time.Millisecond), len(index.Landmarks()))
+		if *indexPath != "" {
+			if err := index.SaveFile(*indexPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("index: saved to %s\n", *indexPath)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(index),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("serving on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func loadGraph(path, bin, dataset string, scale float64) (*qbs.Graph, error) {
+	switch {
+	case path != "":
+		g, _, err := qbs.LoadEdgeListFile(path)
+		return g, err
+	case bin != "":
+		return graph.ReadBinaryFile(bin)
+	case dataset != "":
+		spec, err := datasets.ByKey(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(scale), nil
+	default:
+		return nil, fmt.Errorf("one of -graph, -bin or -dataset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qbs-server:", err)
+	os.Exit(1)
+}

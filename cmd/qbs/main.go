@@ -1,0 +1,134 @@
+// Command qbs is the interactive front end of the library: it loads or
+// generates a graph, builds the QbS index, and answers shortest-path-
+// graph queries from the command line.
+//
+// Usage:
+//
+//	qbs -graph web.edges -landmarks 20 -query 14,907 -query 3,77
+//	qbs -dataset TW -scale 0.1 -random 5         # 5 random queries
+//	qbs -graph web.edges -stats                  # index statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"qbs"
+	"qbs/internal/datasets"
+	"qbs/internal/graph"
+)
+
+type queryList []string
+
+func (q *queryList) String() string     { return strings.Join(*q, ";") }
+func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file to load")
+		binPath   = flag.String("bin", "", "binary graph file to load")
+		dataset   = flag.String("dataset", "", "dataset analog key instead of a file")
+		scale     = flag.Float64("scale", 0.25, "dataset scale factor")
+		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
+		strategy  = flag.String("strategy", "degree", "landmark strategy: degree|random|coverage")
+		random    = flag.Int("random", 0, "answer this many random queries")
+		seed      = flag.Int64("seed", 1, "seed for -random and -strategy random")
+		stats     = flag.Bool("stats", false, "print index statistics")
+		verbose   = flag.Bool("v", false, "print the full edge set of each answer")
+	)
+	var queries queryList
+	flag.Var(&queries, "query", "query pair \"u,v\" (repeatable)")
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: |V|=%d |E|=%d avg deg %.2f\n", g.NumVertices(), g.NumEdges(), g.AvgDegree())
+
+	start := time.Now()
+	ix, err := qbs.BuildIndex(g, qbs.Options{
+		NumLandmarks: *landmarks,
+		Strategy:     qbs.Strategy(*strategy),
+		Seed:         *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("index: built in %s\n", time.Since(start).Round(time.Microsecond))
+
+	if *stats {
+		st := ix.Stats()
+		fmt.Printf("  landmarks:      %d\n", st.NumLandmarks)
+		fmt.Printf("  labelling time: %s (parallelism %d)\n", st.LabellingTime.Round(time.Microsecond), st.Parallelism)
+		fmt.Printf("  meta/Δ time:    %s\n", st.MetaTime.Round(time.Microsecond))
+		fmt.Printf("  label entries:  %d\n", st.LabelEntries)
+		fmt.Printf("  meta edges:     %d\n", st.MetaEdges)
+		fmt.Printf("  size(L):        %d bytes\n", ix.SizeLabelsBytes())
+		fmt.Printf("  size(Δ):        %d bytes\n", ix.SizeDeltaBytes())
+	}
+
+	var pairs [][2]qbs.V
+	for _, q := range queries {
+		parts := strings.SplitN(q, ",", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -query %q, want \"u,v\"", q))
+		}
+		u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= g.NumVertices() || v >= g.NumVertices() {
+			fatal(fmt.Errorf("bad -query %q for graph with %d vertices", q, g.NumVertices()))
+		}
+		pairs = append(pairs, [2]qbs.V{qbs.V(u), qbs.V(v)})
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	for i := 0; i < *random; i++ {
+		pairs = append(pairs, [2]qbs.V{qbs.V(rng.Intn(g.NumVertices())), qbs.V(rng.Intn(g.NumVertices()))})
+	}
+
+	for _, p := range pairs {
+		t0 := time.Now()
+		spg, st := ix.QueryWithStats(p[0], p[1])
+		el := time.Since(t0)
+		if spg.Dist == qbs.InfDist {
+			fmt.Printf("SPG(%d,%d): disconnected (%s)\n", p[0], p[1], el.Round(time.Nanosecond))
+			continue
+		}
+		fmt.Printf("SPG(%d,%d): dist=%d vertices=%d edges=%d d⊤=%d [%s]\n",
+			p[0], p[1], spg.Dist, len(spg.Vertices()), spg.NumEdges(), st.DTop,
+			el.Round(time.Nanosecond))
+		if *verbose {
+			for _, e := range spg.Edges() {
+				fmt.Printf("  %d - %d\n", e.U, e.W)
+			}
+		}
+	}
+}
+
+func loadGraph(path, bin, dataset string, scale float64) (*qbs.Graph, error) {
+	switch {
+	case path != "":
+		g, _, err := qbs.LoadEdgeListFile(path)
+		return g, err
+	case bin != "":
+		return graph.ReadBinaryFile(bin)
+	case dataset != "":
+		spec, err := datasets.ByKey(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(scale), nil
+	default:
+		return nil, fmt.Errorf("one of -graph, -bin or -dataset is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qbs:", err)
+	os.Exit(1)
+}

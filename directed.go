@@ -1,0 +1,101 @@
+package qbs
+
+import (
+	"sync"
+
+	"qbs/internal/bfs"
+	"qbs/internal/dcore"
+	"qbs/internal/graph"
+)
+
+// Directed API: the paper's §2 extension to directed graphs, answering
+// SPG(u → v) — the union of all shortest *directed* paths. See
+// internal/dcore for the construction.
+
+type (
+	// Arc is a directed edge From → To.
+	Arc = graph.Arc
+	// DiGraph is an immutable directed graph (dual CSR).
+	DiGraph = graph.DiGraph
+	// DiBuilder accumulates arcs and produces a DiGraph.
+	DiBuilder = graph.DiBuilder
+	// DiSPG is a directed shortest path graph.
+	DiSPG = graph.DiSPG
+)
+
+// NewDiBuilder creates a directed-graph builder over n vertices.
+func NewDiBuilder(n int) *DiBuilder { return graph.NewDiBuilder(n) }
+
+// DiFromArcs builds a digraph from an arc list.
+func DiFromArcs(n int, arcs []Arc) (*DiGraph, error) { return graph.DiFromArcs(n, arcs) }
+
+// AsDirected converts an undirected graph to a digraph with both arc
+// directions.
+func AsDirected(g *Graph) *DiGraph { return graph.AsDirected(g) }
+
+// DiOptions configures BuildDiIndex.
+type DiOptions struct {
+	// NumLandmarks is |R| (default 20). Landmarks are the top vertices
+	// by total (in+out) degree unless overridden.
+	NumLandmarks int
+	// Landmarks overrides selection.
+	Landmarks []V
+	// Parallelism bounds labelling workers (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DiIndex is an immutable directed QbS index; safe for concurrent
+// queries.
+type DiIndex struct {
+	core *dcore.Index
+	pool sync.Pool
+}
+
+// BuildDiIndex constructs a directed QbS index over g.
+func BuildDiIndex(g *DiGraph, opts DiOptions) (*DiIndex, error) {
+	cix, err := dcore.Build(g, dcore.Options{
+		NumLandmarks: opts.NumLandmarks,
+		Landmarks:    opts.Landmarks,
+		Parallelism:  opts.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &DiIndex{core: cix}
+	ix.pool.New = func() any { return dcore.NewSearcher(cix) }
+	return ix, nil
+}
+
+// MustBuildDiIndex is BuildDiIndex that panics on error.
+func MustBuildDiIndex(g *DiGraph, opts DiOptions) *DiIndex {
+	ix, err := BuildDiIndex(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Query answers the directed SPG(u → v).
+func (ix *DiIndex) Query(u, v V) *DiSPG {
+	sr := ix.pool.Get().(*dcore.Searcher)
+	defer ix.pool.Put(sr)
+	return sr.Query(u, v)
+}
+
+// Landmarks returns the landmark vertices in rank order.
+func (ix *DiIndex) Landmarks() []V { return ix.core.Landmarks() }
+
+// Graph returns the indexed digraph.
+func (ix *DiIndex) Graph() *DiGraph { return ix.core.Graph() }
+
+// DiBiBFS answers the directed SPG(u → v) by bidirectional BFS — the
+// index-free baseline.
+func DiBiBFS(g *DiGraph, u, v V) *DiSPG {
+	s := bfs.NewDiBidirectional(g)
+	spg, _ := s.Query(u, v)
+	return spg
+}
+
+// OracleDiSPG computes the directed SPG by two full BFS sweeps
+// (reference implementation for testing).
+func OracleDiSPG(g *DiGraph, u, v V) *DiSPG { return bfs.OracleDiSPG(g, u, v) }

@@ -1,0 +1,96 @@
+package qbs_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qbs"
+	"qbs/internal/graph"
+)
+
+func TestDirectedPublicAPI(t *testing.T) {
+	b := qbs.NewDiBuilder(5)
+	b.AddArc(0, 1)
+	b.AddArc(1, 4)
+	b.AddArc(0, 2)
+	b.AddArc(2, 4)
+	b.AddArc(4, 3) // continues past the target
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := qbs.BuildDiIndex(g, qbs.DiOptions{NumLandmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spg := ix.Query(0, 4)
+	if spg.Dist != 2 || spg.NumArcs() != 4 {
+		t.Fatalf("directed diamond: %v", spg)
+	}
+	// Reverse direction is unreachable.
+	if rev := ix.Query(4, 0); rev.Dist != qbs.InfDist {
+		t.Fatalf("reverse must be unreachable: %v", rev)
+	}
+}
+
+func TestDirectedIndexMatchesOracleAndBaseline(t *testing.T) {
+	g := graph.DirectedScaleFree(400, 3, 41)
+	ix := qbs.MustBuildDiIndex(g, qbs.DiOptions{NumLandmarks: 16})
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 120; i++ {
+		u := qbs.V(rng.Intn(g.NumVertices()))
+		v := qbs.V(rng.Intn(g.NumVertices()))
+		want := qbs.OracleDiSPG(g, u, v)
+		if got := ix.Query(u, v); !got.Equal(want) {
+			t.Fatalf("DiIndex(%d,%d) != oracle", u, v)
+		}
+		if got := qbs.DiBiBFS(g, u, v); !got.Equal(want) {
+			t.Fatalf("DiBiBFS(%d,%d) != oracle", u, v)
+		}
+	}
+}
+
+func TestDirectedConcurrentQueries(t *testing.T) {
+	g := graph.DirectedErdosRenyi(300, 1500, 8)
+	ix := qbs.MustBuildDiIndex(g, qbs.DiOptions{NumLandmarks: 10})
+	type pair struct{ u, v qbs.V }
+	rng := rand.New(rand.NewSource(3))
+	pairs := make([]pair, 64)
+	want := make([]*qbs.DiSPG, len(pairs))
+	for i := range pairs {
+		pairs[i] = pair{qbs.V(rng.Intn(300)), qbs.V(rng.Intn(300))}
+		want[i] = qbs.OracleDiSPG(g, pairs[i].u, pairs[i].v)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan int, len(pairs))
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(pairs); i += 8 {
+				if !ix.Query(pairs[i].u, pairs[i].v).Equal(want[i]) {
+					errs <- i
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for i := range errs {
+		t.Fatalf("concurrent directed query %d mismatched", i)
+	}
+}
+
+func TestAsDirectedRoundTrip(t *testing.T) {
+	ug := graph.Cycle(9)
+	dg := qbs.AsDirected(ug)
+	if dg.NumArcs() != 2*ug.NumEdges() {
+		t.Fatalf("arcs = %d, want %d", dg.NumArcs(), 2*ug.NumEdges())
+	}
+	ix := qbs.MustBuildDiIndex(dg, qbs.DiOptions{NumLandmarks: 3})
+	spg := ix.Query(0, 4)
+	if spg.Dist != 4 {
+		t.Fatalf("cycle distance = %d", spg.Dist)
+	}
+}

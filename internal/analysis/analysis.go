@@ -1,0 +1,356 @@
+// Package analysis provides the shortest-path-graph analysis toolkit
+// behind the paper's motivating applications (§1): path enumeration and
+// counting, common links (vertices shared by all shortest paths),
+// interdiction sets (critical vertices and edges whose removal destroys
+// all shortest paths), and shortest-path rerouting sequences.
+//
+// All functions operate on an SPG plus a distance oracle for its
+// vertices (any func(V) int32 giving the distance from the SPG source;
+// an Index.Distance closure works). The SPG is first converted into its
+// distance-layered DAG, the shared representation of this package.
+package analysis
+
+import (
+	"sort"
+
+	"qbs/internal/graph"
+)
+
+// DAG is a shortest path graph oriented by distance from the source:
+// every SPG edge appears once, pointing from the endpoint closer to the
+// source toward the endpoint closer to the target. Paths from Source to
+// Target in the DAG are exactly the shortest paths of the SPG.
+type DAG struct {
+	Source, Target graph.V
+	Dist           int32
+	// Next[v] lists the out-neighbours of v (toward Target), sorted.
+	Next map[graph.V][]graph.V
+	// Prev[v] lists the in-neighbours of v (toward Source), sorted.
+	Prev map[graph.V][]graph.V
+	// Depth[v] is the distance of v from Source.
+	Depth map[graph.V]int32
+	// Vertices in ascending depth order (ties by id).
+	Vertices []graph.V
+}
+
+// BuildDAG layers an SPG by distance from its source. distFromSource
+// must return d_G(Source, v) for every vertex of the SPG (e.g. an index
+// distance closure). Returns nil for trivial or disconnected SPGs.
+func BuildDAG(spg *graph.SPG, distFromSource func(graph.V) int32) *DAG {
+	if spg.Dist == graph.InfDist || spg.Source == spg.Target {
+		return nil
+	}
+	d := &DAG{
+		Source: spg.Source,
+		Target: spg.Target,
+		Dist:   spg.Dist,
+		Next:   make(map[graph.V][]graph.V),
+		Prev:   make(map[graph.V][]graph.V),
+		Depth:  make(map[graph.V]int32),
+	}
+	for _, v := range spg.Vertices() {
+		d.Depth[v] = distFromSource(v)
+		d.Vertices = append(d.Vertices, v)
+	}
+	sort.Slice(d.Vertices, func(i, j int) bool {
+		di, dj := d.Depth[d.Vertices[i]], d.Depth[d.Vertices[j]]
+		if di != dj {
+			return di < dj
+		}
+		return d.Vertices[i] < d.Vertices[j]
+	})
+	for _, e := range spg.Edges() {
+		u, w := e.U, e.W
+		switch {
+		case d.Depth[u]+1 == d.Depth[w]:
+			d.Next[u] = append(d.Next[u], w)
+			d.Prev[w] = append(d.Prev[w], u)
+		case d.Depth[w]+1 == d.Depth[u]:
+			d.Next[w] = append(d.Next[w], u)
+			d.Prev[u] = append(d.Prev[u], w)
+		}
+	}
+	for _, m := range []map[graph.V][]graph.V{d.Next, d.Prev} {
+		for _, ns := range m {
+			sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		}
+	}
+	return d
+}
+
+// CountPaths returns the number of distinct shortest paths, computed by
+// DP over the DAG. Returns 0 for nil DAGs.
+func (d *DAG) CountPaths() int64 {
+	if d == nil {
+		return 0
+	}
+	from := d.pathsFromSource()
+	return from[d.Target]
+}
+
+// pathsFromSource counts paths Source→v for every DAG vertex.
+func (d *DAG) pathsFromSource() map[graph.V]int64 {
+	counts := map[graph.V]int64{d.Source: 1}
+	for _, v := range d.Vertices { // ascending depth: topological order
+		c := counts[v]
+		if c == 0 {
+			continue
+		}
+		for _, w := range d.Next[v] {
+			counts[w] += c
+		}
+	}
+	return counts
+}
+
+// pathsToTarget counts paths v→Target for every DAG vertex.
+func (d *DAG) pathsToTarget() map[graph.V]int64 {
+	counts := map[graph.V]int64{d.Target: 1}
+	for i := len(d.Vertices) - 1; i >= 0; i-- { // descending depth
+		v := d.Vertices[i]
+		c := counts[v]
+		if c == 0 {
+			continue
+		}
+		for _, w := range d.Prev[v] {
+			counts[w] += c
+		}
+	}
+	return counts
+}
+
+// EnumeratePaths lists up to limit shortest paths in lexicographic
+// order of their vertex sequences (limit ≤ 0 = unlimited; beware of
+// exponential path counts).
+func (d *DAG) EnumeratePaths(limit int) [][]graph.V {
+	if d == nil {
+		return nil
+	}
+	var out [][]graph.V
+	var dfs func(v graph.V, path []graph.V) bool
+	dfs = func(v graph.V, path []graph.V) bool {
+		if limit > 0 && len(out) >= limit {
+			return false
+		}
+		if v == d.Target {
+			out = append(out, append([]graph.V(nil), path...))
+			return limit <= 0 || len(out) < limit
+		}
+		for _, w := range d.Next[v] {
+			if !dfs(w, append(path, w)) {
+				return false
+			}
+		}
+		return true
+	}
+	dfs(d.Source, []graph.V{d.Source})
+	return out
+}
+
+// CommonLinks returns the interior vertices that lie on every shortest
+// path (the Shortest Path Common Links problem): v is common iff
+// paths(Source→v) × paths(v→Target) equals the total path count.
+func (d *DAG) CommonLinks() []graph.V {
+	if d == nil {
+		return nil
+	}
+	from := d.pathsFromSource()
+	to := d.pathsToTarget()
+	total := from[d.Target]
+	if total == 0 {
+		return nil
+	}
+	var out []graph.V
+	for _, v := range d.Vertices {
+		if v == d.Source || v == d.Target {
+			continue
+		}
+		if from[v]*to[v] == total {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PathBetweenness returns, for every interior vertex, the fraction of
+// shortest paths passing through it — the pair-restricted betweenness
+// the SPG makes cheap to compute exactly.
+func (d *DAG) PathBetweenness() map[graph.V]float64 {
+	if d == nil {
+		return nil
+	}
+	from := d.pathsFromSource()
+	to := d.pathsToTarget()
+	total := from[d.Target]
+	out := make(map[graph.V]float64)
+	if total == 0 {
+		return out
+	}
+	for _, v := range d.Vertices {
+		if v == d.Source || v == d.Target {
+			continue
+		}
+		out[v] = float64(from[v]*to[v]) / float64(total)
+	}
+	return out
+}
+
+// CriticalVertices solves vertex interdiction on the SPG: the interior
+// vertices whose removal disconnects Source from Target within the SPG
+// (destroying every shortest path). Equivalent to CommonLinks — a
+// vertex blocks all paths iff all paths pass through it — but computed
+// independently by reachability, which tests exploit as a
+// cross-check.
+func (d *DAG) CriticalVertices() []graph.V {
+	if d == nil {
+		return nil
+	}
+	var out []graph.V
+	for _, v := range d.Vertices {
+		if v == d.Source || v == d.Target {
+			continue
+		}
+		if !d.reachableAvoiding(v, graph.Edge{U: -1, W: -1}) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// CriticalEdges solves edge interdiction on the SPG: the edges whose
+// removal destroys every shortest path.
+func (d *DAG) CriticalEdges() []graph.Edge {
+	if d == nil {
+		return nil
+	}
+	var out []graph.Edge
+	for _, v := range d.Vertices {
+		for _, w := range d.Next[v] {
+			e := graph.Edge{U: v, W: w}.Normalize()
+			if !d.reachableAvoiding(-1, e) {
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].W < out[j].W
+	})
+	return out
+}
+
+// reachableAvoiding BFSes Source→Target over the DAG skipping a banned
+// vertex and/or banned edge.
+func (d *DAG) reachableAvoiding(banned graph.V, bannedEdge graph.Edge) bool {
+	if d.Source == banned || d.Target == banned {
+		return false
+	}
+	seen := map[graph.V]bool{d.Source: true}
+	queue := []graph.V{d.Source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == d.Target {
+			return true
+		}
+		for _, w := range d.Next[v] {
+			if w == banned || seen[w] {
+				continue
+			}
+			if e := (graph.Edge{U: v, W: w}.Normalize()); e == bannedEdge {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return false
+}
+
+// Reroute finds a shortest rerouting sequence between two shortest
+// paths: a chain of shortest paths each differing from the previous in
+// exactly one vertex (the Shortest Path Rerouting problem). Both input
+// paths must be paths of the DAG. Returns nil when no sequence exists.
+// maxPaths bounds the enumerated path universe (≤ 0 = 4096).
+func (d *DAG) Reroute(from, to []graph.V, maxPaths int) [][]graph.V {
+	if d == nil {
+		return nil
+	}
+	if maxPaths <= 0 {
+		maxPaths = 4096
+	}
+	paths := d.EnumeratePaths(maxPaths)
+	src, dst := -1, -1
+	for i, p := range paths {
+		if equalPath(p, from) {
+			src = i
+		}
+		if equalPath(p, to) {
+			dst = i
+		}
+	}
+	if src < 0 || dst < 0 {
+		return nil
+	}
+	prev := make([]int, len(paths))
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[src] = -1
+	queue := []int{src}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == dst {
+			var seq [][]graph.V
+			for at := dst; at != -1; at = prev[at] {
+				seq = append(seq, paths[at])
+			}
+			reverse(seq)
+			return seq
+		}
+		for y := range paths {
+			if prev[y] == -2 && differByOneVertex(paths[x], paths[y]) {
+				prev[y] = x
+				queue = append(queue, y)
+			}
+		}
+	}
+	return nil
+}
+
+func equalPath(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func differByOneVertex(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+			if diff > 1 {
+				return false
+			}
+		}
+	}
+	return diff == 1
+}
+
+func reverse(s [][]graph.V) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"qbs/internal/bfs"
+	"qbs/internal/graph"
+)
+
+// dagFor builds the DAG of the oracle SPG for a pair.
+func dagFor(g *graph.Graph, u, v graph.V) *DAG {
+	spg := bfs.OracleSPG(g, u, v)
+	dist := bfs.Distances(g, u)
+	return BuildDAG(spg, func(x graph.V) int32 { return dist[x] })
+}
+
+// diamond is two parallel 2-hop routes plus a long detour:
+// 0-1-3, 0-2-3 and 0-4-5-3.
+func diamond() *graph.Graph {
+	return graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 3}, {U: 0, W: 2}, {U: 2, W: 3},
+		{U: 0, W: 4}, {U: 4, W: 5}, {U: 5, W: 3},
+	})
+}
+
+func TestBuildDAGLayers(t *testing.T) {
+	d := dagFor(diamond(), 0, 3)
+	if d == nil || d.Dist != 2 {
+		t.Fatalf("dag: %+v", d)
+	}
+	if len(d.Vertices) != 4 {
+		t.Fatalf("vertices: %v", d.Vertices)
+	}
+	if got := d.Next[0]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Next[0] = %v", got)
+	}
+	if got := d.Prev[3]; len(got) != 2 {
+		t.Fatalf("Prev[3] = %v", got)
+	}
+}
+
+func TestBuildDAGTrivial(t *testing.T) {
+	g := diamond()
+	spg := bfs.OracleSPG(g, 0, 0)
+	if BuildDAG(spg, func(graph.V) int32 { return 0 }) != nil {
+		t.Fatal("trivial SPG must give nil DAG")
+	}
+}
+
+func TestCountPaths(t *testing.T) {
+	if n := dagFor(diamond(), 0, 3).CountPaths(); n != 2 {
+		t.Fatalf("diamond paths = %d, want 2", n)
+	}
+	// 4-cycle opposite corners: 2 paths.
+	if n := dagFor(graph.Cycle(4), 0, 2).CountPaths(); n != 2 {
+		t.Fatalf("cycle paths = %d, want 2", n)
+	}
+	// Grid corner to corner: binomial(4,2)=6 monotone paths on 3x3.
+	if n := dagFor(graph.Grid(3, 3), 0, 8).CountPaths(); n != 6 {
+		t.Fatalf("grid paths = %d, want 6", n)
+	}
+}
+
+func TestCountPathsMatchesEnumeration(t *testing.T) {
+	g, _ := graph.ErdosRenyi(80, 200, 7).LargestComponent()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 60; i++ {
+		u := graph.V(rng.Intn(g.NumVertices()))
+		v := graph.V(rng.Intn(g.NumVertices()))
+		if u == v {
+			continue
+		}
+		d := dagFor(g, u, v)
+		if d == nil {
+			continue
+		}
+		paths := d.EnumeratePaths(0)
+		if int64(len(paths)) != d.CountPaths() {
+			t.Fatalf("pair (%d,%d): %d enumerated vs %d counted", u, v, len(paths), d.CountPaths())
+		}
+		for _, p := range paths {
+			if int32(len(p)-1) != d.Dist {
+				t.Fatalf("path %v has wrong length", p)
+			}
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("path %v has wrong endpoints", p)
+			}
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	d := dagFor(graph.Grid(4, 4), 0, 15)
+	if got := d.EnumeratePaths(3); len(got) != 3 {
+		t.Fatalf("limit ignored: %d", len(got))
+	}
+}
+
+func TestCommonLinksEqualsCriticalVertices(t *testing.T) {
+	// The two independent computations (path counting vs reachability)
+	// must agree everywhere.
+	g, _ := graph.BarabasiAlbert(150, 2, 9).LargestComponent()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 80; i++ {
+		u := graph.V(rng.Intn(g.NumVertices()))
+		v := graph.V(rng.Intn(g.NumVertices()))
+		if u == v {
+			continue
+		}
+		d := dagFor(g, u, v)
+		if d == nil {
+			continue
+		}
+		a, b := d.CommonLinks(), d.CriticalVertices()
+		if len(a) != len(b) {
+			t.Fatalf("pair (%d,%d): common links %v vs critical %v", u, v, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("pair (%d,%d): %v vs %v", u, v, a, b)
+			}
+		}
+	}
+}
+
+func TestCommonLinksChain(t *testing.T) {
+	// On a path graph every interior vertex is a common link.
+	d := dagFor(graph.Path(5), 0, 4)
+	links := d.CommonLinks()
+	if len(links) != 3 || links[0] != 1 || links[2] != 3 {
+		t.Fatalf("links = %v", links)
+	}
+	edges := d.CriticalEdges()
+	if len(edges) != 4 {
+		t.Fatalf("critical edges = %v", edges)
+	}
+}
+
+func TestNoCriticalOnDisjointRoutes(t *testing.T) {
+	d := dagFor(diamond(), 0, 3)
+	if links := d.CommonLinks(); len(links) != 0 {
+		t.Fatalf("diamond should have no common links: %v", links)
+	}
+	if edges := d.CriticalEdges(); len(edges) != 0 {
+		t.Fatalf("diamond should have no critical edges: %v", edges)
+	}
+}
+
+func TestPathBetweenness(t *testing.T) {
+	d := dagFor(diamond(), 0, 3)
+	pb := d.PathBetweenness()
+	if pb[1] != 0.5 || pb[2] != 0.5 {
+		t.Fatalf("betweenness = %v", pb)
+	}
+	chain := dagFor(graph.Path(4), 0, 3)
+	pb = chain.PathBetweenness()
+	if pb[1] != 1 || pb[2] != 1 {
+		t.Fatalf("chain betweenness = %v", pb)
+	}
+}
+
+func TestRerouteAdjacentPaths(t *testing.T) {
+	d := dagFor(diamond(), 0, 3)
+	paths := d.EnumeratePaths(0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	seq := d.Reroute(paths[0], paths[1], 0)
+	if len(seq) != 2 {
+		t.Fatalf("adjacent paths need a 1-step sequence, got %v", seq)
+	}
+}
+
+func TestRerouteMultiStep(t *testing.T) {
+	// Grid 2x3 corner-to-corner: paths 0-1-2-5, 0-1-4-5, 0-3-4-5 form a
+	// chain of single-vertex swaps.
+	g := graph.Grid(2, 3)
+	d := dagFor(g, 0, 5)
+	paths := d.EnumeratePaths(0)
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+	seq := d.Reroute(paths[0], paths[2], 0)
+	if len(seq) != 3 {
+		t.Fatalf("want 2-swap sequence, got %v", seq)
+	}
+	for i := 1; i < len(seq); i++ {
+		if !differByOneVertex(seq[i-1], seq[i]) {
+			t.Fatalf("step %d differs in more than one vertex", i)
+		}
+	}
+}
+
+func TestRerouteImpossible(t *testing.T) {
+	// Two vertex-disjoint length-3 routes: intermediate swaps would need
+	// paths that do not exist.
+	g := graph.MustFromEdges(8, []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 7},
+		{U: 0, W: 3}, {U: 3, W: 4}, {U: 4, W: 7},
+	})
+	d := dagFor(g, 0, 7)
+	paths := d.EnumeratePaths(0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if seq := d.Reroute(paths[0], paths[1], 0); seq != nil {
+		t.Fatalf("expected no sequence, got %v", seq)
+	}
+}
+
+func TestRerouteUnknownPath(t *testing.T) {
+	d := dagFor(diamond(), 0, 3)
+	bogus := []graph.V{0, 5, 3}
+	if seq := d.Reroute(bogus, d.EnumeratePaths(1)[0], 0); seq != nil {
+		t.Fatal("bogus path must not reroute")
+	}
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyHarness() *Harness {
+	return New(Config{
+		Scale:        0.02,
+		NumQueries:   40,
+		NumLandmarks: 8,
+		Datasets:     []string{"DO", "FR"},
+		PPLBudget:    30 * time.Second,
+	})
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	h := tinyHarness()
+	h.cfg.Out = &buf
+	rows, err := h.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Key != "DO" || rows[1].Key != "FR" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Vertices <= 0 || r.Edges <= 0 || r.AvgDistance <= 0 {
+			t.Fatalf("empty stats: %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatal("markdown not rendered")
+	}
+}
+
+func TestTable2And3(t *testing.T) {
+	h := tinyHarness()
+	rows2, err := h.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows2 {
+		if r.BuildQbSP <= 0 || r.BuildQbS <= 0 || r.QueryQbS <= 0 || r.QueryBiBFS <= 0 {
+			t.Fatalf("missing timings: %+v", r)
+		}
+		if r.PPLFailure == "" && r.QueryPPL <= 0 {
+			t.Fatalf("PPL finished but no query time: %+v", r)
+		}
+	}
+	rows3, err := h.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows3 {
+		if r.QbSLabels <= 0 {
+			t.Fatalf("size(L) empty: %+v", r)
+		}
+		if r.PPLFailure == "" && r.ParentFailure == "" && r.ParentBytes <= r.PPLBytes {
+			t.Fatalf("ParentPPL should exceed PPL: %+v", r)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	h := tinyHarness()
+	f7, err := h.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f7 {
+		if r.Distribution.Mean <= 0 {
+			t.Fatalf("fig7 empty: %+v", r)
+		}
+	}
+	sweep := []int{4, 8}
+	f8, err := h.Fig8(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8) != len(sweep)*2 {
+		t.Fatalf("fig8 cells: %d", len(f8))
+	}
+	for _, c := range f8 {
+		if c.FractionAll < 0 || c.FractionAll+c.FractionSome > 1.0001 {
+			t.Fatalf("fig8 fractions out of range: %+v", c)
+		}
+	}
+	f9, err := h.Fig9(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// size(L) must grow linearly in |R|.
+	for i := 0; i+1 < len(f9); i += 2 {
+		if f9[i].Key == f9[i+1].Key && f9[i+1].LabelBytes != 2*f9[i].LabelBytes {
+			t.Fatalf("size(L) not linear in R: %+v %+v", f9[i], f9[i+1])
+		}
+	}
+	if _, err := h.Fig10(sweep); err != nil {
+		t.Fatal(err)
+	}
+	f11, err := h.Fig11(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range f11 {
+		if c.Query <= 0 {
+			t.Fatalf("fig11 empty: %+v", c)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	h := tinyHarness()
+	tr, err := h.AblationTraversal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tr {
+		if r.ArcsBiBFS <= 0 || r.ArcsQbS <= 0 {
+			t.Fatalf("traversal row empty: %+v", r)
+		}
+	}
+	pr, err := h.AblationParallel([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range pr {
+		if len(r.Times) != 2 || r.Times[0] <= 0 {
+			t.Fatalf("parallel row: %+v", r)
+		}
+	}
+	sr, err := h.AblationLandmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr) != 2*4 {
+		t.Fatalf("strategy rows: %d", len(sr))
+	}
+}
+
+func TestAblationDirected(t *testing.T) {
+	h := New(Config{Scale: 0.02, NumQueries: 30, NumLandmarks: 8, Datasets: []string{"WK", "TW"}})
+	rows, err := h.AblationDirected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Build <= 0 || r.Query <= 0 || r.BiBFS <= 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+	}
+}

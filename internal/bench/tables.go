@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"qbs/internal/bfs"
+	"qbs/internal/core"
+	"qbs/internal/datasets"
+	"qbs/internal/ppl"
+	"qbs/internal/workload"
+)
+
+// Table 1 — dataset statistics.
+
+// Table1Row is one dataset's statistics alongside the published values.
+type Table1Row struct {
+	Key, Name, Kind string
+	Directed        bool
+	Vertices        int
+	Edges           int
+	MaxDegree       int
+	AvgDegree       float64
+	AvgDistance     float64
+	SizeBytes       int64
+	PaperAvgDegree  float64
+	PaperAvgDist    float64
+}
+
+// Table1 reproduces the dataset statistics table over the analogs.
+func (h *Harness) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	t := &table{
+		title:  "Table 1 — dataset analogs",
+		header: []string{"Dataset", "Type", "|V|", "|E|", "max deg", "avg deg", "avg dist", "|G|", "paper avg deg", "paper avg dist"},
+	}
+	for _, key := range h.sortedKeys() {
+		g, err := h.Graph(key)
+		if err != nil {
+			return nil, err
+		}
+		spec, _ := datasets.ByKey(key)
+		paper := datasets.Paper[key]
+		row := Table1Row{
+			Key: key, Name: spec.Name, Kind: spec.Kind, Directed: spec.Directed,
+			Vertices: g.NumVertices(), Edges: g.NumEdges(),
+			MaxDegree: g.MaxDegree(), AvgDegree: g.AvgDegree(),
+			AvgDistance:    workload.ApproxAvgDistance(g, 24, h.cfg.Seed),
+			SizeBytes:      g.SizeBytes(),
+			PaperAvgDegree: paper.AvgDeg, PaperAvgDist: paper.AvgDist,
+		}
+		rows = append(rows, row)
+		t.add(fmt.Sprintf("%s (%s)", spec.Name, key), spec.Kind,
+			fmtCount(row.Vertices), fmtCount(row.Edges), fmtCount(row.MaxDegree),
+			fmt.Sprintf("%.2f", row.AvgDegree), fmt.Sprintf("%.2f", row.AvgDistance),
+			fmtBytes(row.SizeBytes),
+			fmt.Sprintf("%.2f", paper.AvgDeg), fmt.Sprintf("%.2f", paper.AvgDist))
+	}
+	t.render(h.cfg.Out)
+	return rows, nil
+}
+
+// Table 2 — construction time and average query time.
+
+// Table2Row reports per-dataset construction and query timings. A nil
+// duration pointer means the method did not complete: Failure* records
+// whether it was DNF (time budget) or OOE (size budget).
+type Table2Row struct {
+	Key string
+
+	BuildQbSP time.Duration // parallel labelling (QbS-P)
+	BuildQbS  time.Duration // sequential labelling (QbS)
+
+	BuildPPL        time.Duration
+	PPLFailure      string // "", "DNF" or "OOE"
+	BuildParent     time.Duration
+	ParentFailure   string
+	QueryQbS        time.Duration // mean per query
+	QueryPPL        time.Duration
+	QueryParent     time.Duration
+	QueryBiBFS      time.Duration
+	SpeedupVsBiBFS  float64
+	QueriesMeasured int
+}
+
+// Table2 reproduces the construction-time and query-time comparison.
+func (h *Harness) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	t := &table{
+		title: "Table 2 — construction time and average query time",
+		header: []string{"Dataset", "QbS-P build", "QbS build", "PPL build", "ParentPPL build",
+			"QbS query", "PPL query", "ParentPPL query", "Bi-BFS query", "QbS speedup vs Bi-BFS"},
+	}
+	for _, key := range h.sortedKeys() {
+		g, err := h.Graph(key)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Key: key}
+
+		// QbS-P: parallel labelling construction.
+		ixP, err := core.Build(g, core.Options{NumLandmarks: h.cfg.NumLandmarks})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", key, err)
+		}
+		row.BuildQbSP = ixP.Stats().TotalTime
+
+		// QbS: sequential labelling construction.
+		ixS, err := core.Build(g, core.Options{NumLandmarks: h.cfg.NumLandmarks, Parallelism: 1})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", key, err)
+		}
+		row.BuildQbS = ixS.Stats().TotalTime
+
+		// PPL / ParentPPL under the paper-style budgets.
+		pplIx, err := ppl.Build(g, ppl.Options{
+			MaxTime: h.cfg.PPLBudget, MaxLabelBytes: h.cfg.LabelByteBudget,
+		})
+		switch err {
+		case nil:
+			row.BuildPPL = pplIx.BuildTime()
+		case ppl.ErrTimeBudget:
+			row.PPLFailure = "DNF"
+		case ppl.ErrSizeBudget:
+			row.PPLFailure = "OOE"
+		default:
+			return nil, err
+		}
+		parentIx, err := ppl.Build(g, ppl.Options{
+			WithParents: true, MaxTime: h.cfg.ParentPPLBudget, MaxLabelBytes: h.cfg.LabelByteBudget,
+		})
+		switch err {
+		case nil:
+			row.BuildParent = parentIx.BuildTime()
+		case ppl.ErrTimeBudget:
+			row.ParentFailure = "DNF"
+		case ppl.ErrSizeBudget:
+			row.ParentFailure = "OOE"
+		default:
+			return nil, err
+		}
+
+		// Query timings over the shared workload.
+		pairs := workload.SamplePairs(g, h.cfg.NumQueries, h.cfg.Seed)
+		row.QueriesMeasured = len(pairs)
+
+		sr := core.NewSearcher(ixP)
+		start := time.Now()
+		for _, p := range pairs {
+			sr.Query(p.U, p.V)
+		}
+		row.QueryQbS = time.Since(start) / time.Duration(len(pairs))
+
+		if pplIx != nil && row.PPLFailure == "" {
+			start = time.Now()
+			for _, p := range pairs {
+				pplIx.Query(p.U, p.V)
+			}
+			row.QueryPPL = time.Since(start) / time.Duration(len(pairs))
+		}
+		if parentIx != nil && row.ParentFailure == "" {
+			start = time.Now()
+			for _, p := range pairs {
+				parentIx.Query(p.U, p.V)
+			}
+			row.QueryParent = time.Since(start) / time.Duration(len(pairs))
+		}
+
+		bib := bfs.NewBidirectional(g)
+		start = time.Now()
+		for _, p := range pairs {
+			bib.Query(p.U, p.V)
+		}
+		row.QueryBiBFS = time.Since(start) / time.Duration(len(pairs))
+		if row.QueryQbS > 0 {
+			row.SpeedupVsBiBFS = float64(row.QueryBiBFS) / float64(row.QueryQbS)
+		}
+		rows = append(rows, row)
+
+		orDash := func(d time.Duration, failure string) string {
+			if failure != "" {
+				return failure
+			}
+			if d == 0 {
+				return "-"
+			}
+			return fmtDuration(d)
+		}
+		t.add(key, fmtDuration(row.BuildQbSP), fmtDuration(row.BuildQbS),
+			orDash(row.BuildPPL, row.PPLFailure), orDash(row.BuildParent, row.ParentFailure),
+			fmtDuration(row.QueryQbS), orDash(row.QueryPPL, row.PPLFailure),
+			orDash(row.QueryParent, row.ParentFailure), fmtDuration(row.QueryBiBFS),
+			fmt.Sprintf("%.1fx", row.SpeedupVsBiBFS))
+	}
+	t.render(h.cfg.Out)
+	return rows, nil
+}
+
+// Table 3 — labelling sizes.
+
+// Table3Row reports the size accounting of each method's labelling.
+type Table3Row struct {
+	Key           string
+	QbSLabels     int64 // size(L)
+	QbSDelta      int64 // size(Δ)
+	QbSMeta       int64 // meta-graph matrices
+	PPLBytes      int64
+	PPLFailure    string
+	ParentBytes   int64
+	ParentFailure string
+	GraphBytes    int64
+}
+
+// Table3 reproduces the labelling-size comparison.
+func (h *Harness) Table3() ([]Table3Row, error) {
+	var rows []Table3Row
+	t := &table{
+		title:  "Table 3 — labelling sizes",
+		header: []string{"Dataset", "QbS size(L)", "QbS size(Δ)", "PPL", "ParentPPL", "|G|"},
+	}
+	for _, key := range h.sortedKeys() {
+		g, err := h.Graph(key)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := core.Build(g, core.Options{NumLandmarks: h.cfg.NumLandmarks})
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{
+			Key:        key,
+			QbSLabels:  ix.SizeLabelsBytes(),
+			QbSDelta:   ix.SizeDeltaBytes(),
+			QbSMeta:    ix.SizeMetaBytes(),
+			GraphBytes: g.SizeBytes(),
+		}
+		if p, err := ppl.Build(g, ppl.Options{MaxTime: h.cfg.PPLBudget, MaxLabelBytes: h.cfg.LabelByteBudget}); err == nil {
+			row.PPLBytes = p.SizeBytes()
+		} else if err == ppl.ErrTimeBudget {
+			row.PPLFailure = "DNF"
+		} else if err == ppl.ErrSizeBudget {
+			row.PPLFailure = "OOE"
+		} else {
+			return nil, err
+		}
+		if p, err := ppl.Build(g, ppl.Options{WithParents: true, MaxTime: h.cfg.ParentPPLBudget, MaxLabelBytes: h.cfg.LabelByteBudget}); err == nil {
+			row.ParentBytes = p.SizeBytes()
+		} else if err == ppl.ErrTimeBudget {
+			row.ParentFailure = "DNF"
+		} else if err == ppl.ErrSizeBudget {
+			row.ParentFailure = "OOE"
+		} else {
+			return nil, err
+		}
+		rows = append(rows, row)
+
+		orDash := func(b int64, failure string) string {
+			if failure != "" {
+				return failure
+			}
+			if b == 0 {
+				return "-"
+			}
+			return fmtBytes(b)
+		}
+		t.add(key, fmtBytes(row.QbSLabels), fmtBytes(row.QbSDelta),
+			orDash(row.PPLBytes, row.PPLFailure), orDash(row.ParentBytes, row.ParentFailure),
+			fmtBytes(row.GraphBytes))
+	}
+	t.render(h.cfg.Out)
+	return rows, nil
+}

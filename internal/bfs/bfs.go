@@ -1,0 +1,134 @@
+// Package bfs provides the breadth-first-search kernels shared by the
+// QbS index and the baselines: single-source distance BFS, a reusable
+// epoch-stamped workspace that avoids per-query O(|V|) clearing, the
+// bidirectional-BFS shortest-path-graph baseline from the paper (Bi-BFS,
+// §6.1), and a brute-force shortest-path-graph oracle used as ground
+// truth in tests.
+package bfs
+
+import (
+	"math"
+
+	"qbs/internal/graph"
+)
+
+// Infinity marks an unreached vertex in distance arrays.
+const Infinity = int32(math.MaxInt32)
+
+// Distances runs a full BFS from source and returns the distance array
+// (Infinity for unreachable vertices). It allocates; query paths use
+// Workspace instead.
+func Distances(g *graph.Graph, source graph.V) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[source] = 0
+	queue := make([]graph.V, 1, n)
+	queue[0] = source
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] == Infinity {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns d_G(u, v), or Infinity if disconnected. It early-exits
+// once v is reached.
+func Distance(g *graph.Graph, u, v graph.V) int32 {
+	if u == v {
+		return 0
+	}
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[u] = 0
+	queue := make([]graph.V, 1, 1024)
+	queue[0] = u
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		dx := dist[x]
+		for _, w := range g.Neighbors(x) {
+			if dist[w] == Infinity {
+				if w == v {
+					return dx + 1
+				}
+				dist[w] = dx + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return Infinity
+}
+
+// Eccentricity returns the maximum finite distance from v.
+func Eccentricity(g *graph.Graph, v graph.V) int32 {
+	dist := Distances(g, v)
+	var ecc int32
+	for _, d := range dist {
+		if d != Infinity && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Workspace holds reusable per-query BFS state for a fixed graph size.
+// Distance entries are valid only when their epoch stamp matches the
+// current epoch, so resetting between queries is O(1). A Workspace is
+// not safe for concurrent use; create one per goroutine.
+type Workspace struct {
+	n     int
+	epoch uint32
+	stamp []uint32
+	dist  []int32
+	queue []graph.V
+}
+
+// NewWorkspace creates a workspace for graphs with n vertices.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		n:     n,
+		stamp: make([]uint32, n),
+		dist:  make([]int32, n),
+		queue: make([]graph.V, 0, 1024),
+	}
+}
+
+// Reset invalidates all distances in O(1).
+func (ws *Workspace) Reset() {
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: do the rare full clear
+		for i := range ws.stamp {
+			ws.stamp[i] = 0
+		}
+		ws.epoch = 1
+	}
+	ws.queue = ws.queue[:0]
+}
+
+// Dist returns the distance of v in the current epoch, or Infinity.
+func (ws *Workspace) Dist(v graph.V) int32 {
+	if ws.stamp[v] == ws.epoch {
+		return ws.dist[v]
+	}
+	return Infinity
+}
+
+// SetDist stamps v with distance d in the current epoch.
+func (ws *Workspace) SetDist(v graph.V, d int32) {
+	ws.stamp[v] = ws.epoch
+	ws.dist[v] = d
+}
+
+// Seen reports whether v has been assigned a distance this epoch.
+func (ws *Workspace) Seen(v graph.V) bool { return ws.stamp[v] == ws.epoch }

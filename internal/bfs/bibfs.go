@@ -1,0 +1,200 @@
+package bfs
+
+import "qbs/internal/graph"
+
+// Bidirectional BFS baseline (the paper's search-based baseline Bi-BFS,
+// §6.1): a forward search from u and a backward search from v expand
+// alternately, always growing the smaller visited set, until the
+// frontiers meet; a reverse search then extracts the union of all
+// shortest paths.
+//
+// Because searches expand whole levels and the meeting check runs after
+// every level, the first non-empty intersection appears exactly when
+// d_u + d_v = d_G(u, v), and the meeting vertices with
+// depth_u(w) + depth_v(w) = d are precisely the shortest-path vertices at
+// the meeting cut.
+
+// SearchStats reports work counters for a query, used by the §6.5
+// traversal ablation (edges traversed by Bi-BFS vs QbS).
+type SearchStats struct {
+	ArcsScanned     int64 // adjacency entries examined
+	VerticesVisited int64 // vertices assigned a depth
+}
+
+// BiBFS answers SPG(u, v) with a bidirectional BFS over the full graph.
+// It allocates fresh state per call; use a Bidirectional searcher for
+// repeated queries.
+func BiBFS(g *graph.Graph, u, v graph.V) *graph.SPG {
+	s := NewBidirectional(g)
+	spg, _ := s.Query(u, v)
+	return spg
+}
+
+// Bidirectional is a reusable bidirectional-BFS searcher over a fixed
+// graph. Not safe for concurrent use.
+type Bidirectional struct {
+	g        *graph.Graph
+	fwd, bwd *Workspace
+	// frontier storage, reused across queries
+	frontFwd, frontBwd []graph.V
+	nextBuf            []graph.V
+	meet               []graph.V
+	ext                *Extractor
+}
+
+// NewBidirectional creates a searcher for g.
+func NewBidirectional(g *graph.Graph) *Bidirectional {
+	n := g.NumVertices()
+	return &Bidirectional{
+		g:   g,
+		fwd: NewWorkspace(n),
+		bwd: NewWorkspace(n),
+		ext: NewExtractor(n),
+	}
+}
+
+// Query computes SPG(u, v) and work counters.
+func (b *Bidirectional) Query(u, v graph.V) (*graph.SPG, SearchStats) {
+	var stats SearchStats
+	spg := graph.NewSPG(u, v)
+	if u == v {
+		spg.Dist = 0
+		return spg, stats
+	}
+	g := b.g
+	b.fwd.Reset()
+	b.bwd.Reset()
+	b.fwd.SetDist(u, 0)
+	b.bwd.SetDist(v, 0)
+	stats.VerticesVisited = 2
+	fs := append(b.frontFwd[:0], u)
+	bs := append(b.frontBwd[:0], v)
+	var du, dv int32
+	sizeFwd, sizeBwd := 1, 1 // visited-set sizes drive side selection
+	meet := b.meet[:0]
+
+	for len(fs) > 0 && len(bs) > 0 {
+		// Expand the side with the smaller visited set.
+		if sizeFwd <= sizeBwd {
+			fs = b.expand(fs, b.fwd, du, &stats)
+			du++
+			sizeFwd += len(fs)
+			meet = b.collectMeeting(fs, b.bwd, meet)
+		} else {
+			bs = b.expand(bs, b.bwd, dv, &stats)
+			dv++
+			sizeBwd += len(bs)
+			meet = b.collectMeeting(bs, b.fwd, meet)
+		}
+		if len(meet) > 0 {
+			break
+		}
+	}
+	b.frontFwd, b.frontBwd, b.meet = fs, bs, meet
+	if len(meet) == 0 {
+		return spg, stats // disconnected
+	}
+	d := du + dv
+	spg.Dist = d
+	// Keep only true meeting vertices on shortest paths.
+	cut := meet[:0]
+	for _, w := range meet {
+		if b.fwd.Dist(w)+b.bwd.Dist(w) == d {
+			cut = append(cut, w)
+		}
+	}
+	stats.ArcsScanned += b.ext.Extract(g, spg, cut, b.fwd)
+	stats.ArcsScanned += b.ext.Extract(g, spg, cut, b.bwd)
+	return spg, stats
+}
+
+// expand grows one BFS level: every vertex in frontier has depth d; its
+// unseen neighbours get depth d+1 and form the next frontier.
+func (b *Bidirectional) expand(frontier []graph.V, ws *Workspace, d int32, stats *SearchStats) []graph.V {
+	next := b.nextBuf[:0]
+	for _, x := range frontier {
+		for _, y := range b.g.Neighbors(x) {
+			stats.ArcsScanned++
+			if !ws.Seen(y) {
+				ws.SetDist(y, d+1)
+				stats.VerticesVisited++
+				next = append(next, y)
+			}
+		}
+	}
+	b.nextBuf = frontier[:0] // recycle the old frontier's backing array
+	return next
+}
+
+// collectMeeting appends frontier vertices already seen by the other
+// side's workspace.
+func (b *Bidirectional) collectMeeting(frontier []graph.V, other *Workspace, meet []graph.V) []graph.V {
+	for _, w := range frontier {
+		if other.Seen(w) {
+			meet = append(meet, w)
+		}
+	}
+	return meet
+}
+
+// Extractor performs the paper's reverse search with reusable buffers:
+// starting from the meeting vertices, walk depth levels downward in ws
+// (depth decreases by exactly 1 per step), adding every DAG edge to the
+// SPG.
+//
+// It is shared by the Bi-BFS baseline and the QbS guided search (where
+// ws holds depths over the sparsified graph G⁻ — landmarks carry a
+// negative sentinel depth and are skipped automatically).
+type Extractor struct {
+	mark      *Workspace
+	cur, next []graph.V
+}
+
+// NewExtractor creates an extractor for graphs with n vertices.
+func NewExtractor(n int) *Extractor {
+	return &Extractor{mark: NewWorkspace(n)}
+}
+
+// Extract runs the reverse search from the given vertices and returns
+// the number of adjacency entries scanned (for traversal ablations).
+func (e *Extractor) Extract(g *graph.Graph, spg *graph.SPG, from []graph.V, ws *Workspace) int64 {
+	e.mark.Reset()
+	var arcs int64
+	cur := e.cur[:0]
+	for _, w := range from {
+		if !e.mark.Seen(w) {
+			e.mark.SetDist(w, 0)
+			cur = append(cur, w)
+		}
+	}
+	next := e.next[:0]
+	for len(cur) > 0 {
+		next = next[:0]
+		for _, x := range cur {
+			dx := ws.Dist(x)
+			if dx <= 0 {
+				continue
+			}
+			for _, y := range g.Neighbors(x) {
+				arcs++
+				if ws.Seen(y) && ws.Dist(y) == dx-1 {
+					spg.AddEdge(x, y)
+					if !e.mark.Seen(y) {
+						e.mark.SetDist(y, 0)
+						next = append(next, y)
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	e.cur, e.next = cur[:0], next[:0]
+	return arcs
+}
+
+// ExtractPaths is the one-shot form of Extractor.Extract; mark is used
+// as the dedup scratch set.
+func ExtractPaths(g *graph.Graph, spg *graph.SPG, from []graph.V, ws *Workspace, mark *Workspace) int64 {
+	e := &Extractor{mark: mark}
+	return e.Extract(g, spg, from, ws)
+}

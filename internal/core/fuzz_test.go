@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"qbs/internal/bfs"
+	"qbs/internal/graph"
+)
+
+// FuzzQueryMatchesOracle interprets the payload as an edge stream over a
+// small vertex set plus a query pair and landmark count; the QbS answer
+// must always match the brute-force oracle.
+func FuzzQueryMatchesOracle(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 2, 2, 3, 3, 0}, uint8(0), uint8(3), uint8(2))
+	f.Add([]byte{0, 1}, uint8(0), uint8(1), uint8(1))
+	f.Add([]byte{}, uint8(0), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, uRaw, vRaw, kRaw uint8) {
+		const n = 24
+		b := graph.NewBuilder(n)
+		for i := 0; i+1 < len(data) && i < 200; i += 2 {
+			b.AddEdge(graph.V(data[i]%n), graph.V(data[i+1]%n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + int(kRaw)%8
+		ix, err := Build(g, Options{NumLandmarks: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := graph.V(uRaw % n)
+		v := graph.V(vRaw % n)
+		got := NewSearcher(ix).Query(u, v)
+		want := bfs.OracleSPG(g, u, v)
+		if !got.Equal(want) {
+			t.Fatalf("SPG(%d,%d): got %v want %v (landmarks %v)", u, v, got, want, ix.Landmarks())
+		}
+	})
+}
+
+// FuzzIndexLoad feeds arbitrary bytes to the index reader. The format
+// validates structure (magic, counts, landmark ranges) but deliberately
+// not label semantics — files are trusted state, like any database
+// snapshot — so the property is: never panic, neither in Load nor in a
+// query over whatever Load accepted. A pristine snapshot must round-trip
+// to exact answers (covered by TestIndexRoundTrip).
+func FuzzIndexLoad(f *testing.F) {
+	g := graph.Cycle(12)
+	ix := MustBuild(g, Options{NumLandmarks: 3})
+	var buf bytes.Buffer
+	_ = ix.Write(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("QBSI"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(g, bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		sr := NewSearcher(loaded)
+		spg := sr.Query(0, 6)
+		if spg.Dist != graph.InfDist && spg.Dist < 0 {
+			t.Fatalf("negative distance %d", spg.Dist)
+		}
+	})
+}

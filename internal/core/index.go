@@ -1,0 +1,263 @@
+// Package core implements Query-by-Sketch (QbS), the primary
+// contribution of the paper: a labelling scheme built from a small set of
+// landmarks (Algorithm 2), a fast per-query sketch (Algorithm 3) and a
+// sketch-guided search (Algorithm 4) that together answer
+// shortest-path-graph queries SPG(u, v) exactly.
+//
+// The Index is immutable after Build and safe for concurrent queries when
+// each goroutine uses its own Searcher.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"qbs/internal/graph"
+)
+
+// NoEntry marks an absent label entry. Following the paper (§6.1), each
+// vertex stores |R| bytes, one distance byte per landmark; distances must
+// therefore stay below 255, which holds for the small-diameter complex
+// networks the method targets. Build fails with ErrDiameterTooLarge
+// otherwise.
+const NoEntry = uint8(255)
+
+// ErrDiameterTooLarge is returned by Build when some label distance
+// exceeds the 8-bit representation limit of the labelling.
+var ErrDiameterTooLarge = errors.New("core: graph distance exceeds 254, cannot encode labels in 8 bits")
+
+// DefaultNumLandmarks is the paper's default landmark count (|R| = 20).
+const DefaultNumLandmarks = 20
+
+// Options configures Build.
+type Options struct {
+	// NumLandmarks is |R|. Defaults to DefaultNumLandmarks; capped at the
+	// vertex count and at 254 (landmark indices must fit alongside the
+	// byte-encoded distances).
+	NumLandmarks int
+	// Strategy selects landmarks. Defaults to ByDegree (the paper's
+	// choice: highest-degree vertices).
+	Strategy LandmarkStrategy
+	// Landmarks overrides selection with an explicit set (used by tests
+	// and the landmark-strategy ablation). Ignored when nil.
+	Landmarks []graph.V
+	// Parallelism is the number of labelling BFS workers. 0 means
+	// GOMAXPROCS (the paper's QbS-P); 1 reproduces sequential QbS.
+	Parallelism int
+	// Seed feeds randomized strategies (Random landmark selection).
+	Seed int64
+	// SkipDelta skips precomputing Δ (shortest path graphs between
+	// adjacent landmarks). Distance and sketch queries still work; full
+	// SPG queries require Δ and will rebuild it lazily. Used to measure
+	// labelling-only construction cost.
+	SkipDelta bool
+}
+
+func (o Options) withDefaults(g *graph.Graph) Options {
+	if o.NumLandmarks <= 0 {
+		o.NumLandmarks = DefaultNumLandmarks
+	}
+	if o.NumLandmarks > g.NumVertices() {
+		o.NumLandmarks = g.NumVertices()
+	}
+	if o.NumLandmarks > 254 {
+		o.NumLandmarks = 254
+	}
+	if o.Strategy == nil {
+		o.Strategy = ByDegree
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// metaEdge is an edge of the meta-graph M: landmarks a < b (as indices
+// into the landmark slice) whose shortest paths avoid other landmarks.
+type metaEdge struct {
+	a, b   int
+	weight int32 // σ(a, b) = d_G(a, b)
+}
+
+// Index is the QbS labelling scheme L = (M, L) plus the precomputed
+// landmark-pair structures of §5.2: APSP over the meta-graph and Δ, the
+// shortest path graphs between meta-adjacent landmarks.
+type Index struct {
+	g *graph.Graph
+
+	landmarks []graph.V // landmark vertex ids, index = landmark rank
+	landIdx   []int16   // per vertex: rank, or -1
+	numLand   int
+
+	labels []uint8 // dense |V|×|R| matrix; labels[v*|R|+i] = δ or NoEntry
+
+	sigma   []uint8 // |R|×|R| meta-edge weights; NoEntry = no edge
+	distM   []int32 // |R|×|R| APSP over M; graph.InfDist = unreachable
+	meta    []metaEdge
+	metaID  []int32   // |R|×|R| -> index into meta, or -1
+	metaSPG [][]int32 // |R|×|R| -> meta-edge ids on shortest meta-paths (nil = compute on the fly)
+
+	delta [][]graph.Edge // per meta-edge: SPG edge list in G
+
+	build BuildStats
+}
+
+// BuildStats reports construction cost and size accounting (Tables 2, 3).
+type BuildStats struct {
+	LabellingTime time.Duration // Algorithm 2 (all landmark BFSes)
+	MetaTime      time.Duration // APSP + Δ recovery
+	TotalTime     time.Duration
+	Parallelism   int
+	NumLandmarks  int
+	LabelEntries  int64 // number of non-empty label entries
+	MetaEdges     int
+	DeltaEdges    int64
+}
+
+// SizeLabelsBytes is the paper's size(L): |R| bytes per vertex.
+func (ix *Index) SizeLabelsBytes() int64 {
+	return int64(ix.g.NumVertices()) * int64(ix.numLand)
+}
+
+// SizeDeltaBytes is the paper's size(Δ): 8 bytes per precomputed
+// landmark-pair shortest-path edge.
+func (ix *Index) SizeDeltaBytes() int64 { return ix.build.DeltaEdges * 8 }
+
+// SizeMetaBytes is the meta-graph footprint (σ and APSP matrices).
+func (ix *Index) SizeMetaBytes() int64 {
+	return int64(len(ix.sigma)) + int64(len(ix.distM))*4
+}
+
+// Stats returns construction statistics.
+func (ix *Index) Stats() BuildStats { return ix.build }
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Landmarks returns the landmark vertex ids (rank order). The slice
+// aliases internal storage and must not be modified.
+func (ix *Index) Landmarks() []graph.V { return ix.landmarks }
+
+// IsLandmark reports whether v is a landmark.
+func (ix *Index) IsLandmark(v graph.V) bool { return ix.landIdx[v] >= 0 }
+
+// NumLandmarks returns |R|.
+func (ix *Index) NumLandmarks() int { return ix.numLand }
+
+// Label returns the label entries of v as parallel slices of landmark
+// ranks and distances, freshly allocated. Landmarks have empty labels.
+func (ix *Index) Label(v graph.V) (ranks []int, dists []int32) {
+	base := int(v) * ix.numLand
+	for i := 0; i < ix.numLand; i++ {
+		if d := ix.labels[base+i]; d != NoEntry {
+			ranks = append(ranks, i)
+			dists = append(dists, int32(d))
+		}
+	}
+	return ranks, dists
+}
+
+// LabelEntry returns the labelled distance from v to landmark rank i, or
+// (0, false) when the entry is absent.
+func (ix *Index) LabelEntry(v graph.V, i int) (int32, bool) {
+	d := ix.labels[int(v)*ix.numLand+i]
+	if d == NoEntry {
+		return 0, false
+	}
+	return int32(d), true
+}
+
+// MetaDist returns d_M between landmark ranks i and j (graph.InfDist when
+// unreachable).
+func (ix *Index) MetaDist(i, j int) int32 { return ix.distM[i*ix.numLand+j] }
+
+// MetaEdgeWeight returns σ(i, j) and whether the meta-edge exists.
+func (ix *Index) MetaEdgeWeight(i, j int) (int32, bool) {
+	s := ix.sigma[i*ix.numLand+j]
+	if s == NoEntry {
+		return 0, false
+	}
+	return int32(s), true
+}
+
+// MetaEdges returns the meta-graph edge list as (rankA, rankB, weight)
+// triples with rankA < rankB.
+func (ix *Index) MetaEdges() [][3]int32 {
+	out := make([][3]int32, len(ix.meta))
+	for k, e := range ix.meta {
+		out[k] = [3]int32{int32(e.a), int32(e.b), e.weight}
+	}
+	return out
+}
+
+// Delta returns the precomputed shortest-path-graph edges between the
+// endpoints of meta-edge k (as returned by MetaEdges). The slice aliases
+// internal storage.
+func (ix *Index) Delta(k int) []graph.Edge { return ix.delta[k] }
+
+// Build constructs the QbS index over g. The graph is retained by
+// reference and must not be mutated afterwards.
+func Build(g *graph.Graph, opts Options) (*Index, error) {
+	opts = opts.withDefaults(g)
+	start := time.Now()
+
+	landmarks := opts.Landmarks
+	if landmarks == nil {
+		landmarks = opts.Strategy(g, opts.NumLandmarks, opts.Seed)
+	}
+	if len(landmarks) > 254 {
+		return nil, fmt.Errorf("core: %d landmarks exceed the 254 maximum", len(landmarks))
+	}
+	seen := make(map[graph.V]bool, len(landmarks))
+	for _, r := range landmarks {
+		if r < 0 || int(r) >= g.NumVertices() {
+			return nil, fmt.Errorf("core: landmark %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("core: duplicate landmark %d", r)
+		}
+		seen[r] = true
+	}
+
+	ix := &Index{
+		g:         g,
+		landmarks: landmarks,
+		numLand:   len(landmarks),
+		landIdx:   make([]int16, g.NumVertices()),
+	}
+	for i := range ix.landIdx {
+		ix.landIdx[i] = -1
+	}
+	for i, r := range landmarks {
+		ix.landIdx[r] = int16(i)
+	}
+
+	labStart := time.Now()
+	if err := ix.buildLabelling(opts.Parallelism); err != nil {
+		return nil, err
+	}
+	ix.build.LabellingTime = time.Since(labStart)
+
+	metaStart := time.Now()
+	ix.buildAPSP()
+	if !opts.SkipDelta {
+		ix.buildDelta()
+	}
+	ix.build.MetaTime = time.Since(metaStart)
+
+	ix.build.TotalTime = time.Since(start)
+	ix.build.Parallelism = opts.Parallelism
+	ix.build.NumLandmarks = ix.numLand
+	return ix, nil
+}
+
+// MustBuild is Build that panics on error (tests, examples).
+func MustBuild(g *graph.Graph, opts Options) *Index {
+	ix, err := Build(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}

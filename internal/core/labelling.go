@@ -1,0 +1,217 @@
+package core
+
+import (
+	"sync"
+
+	"qbs/internal/graph"
+)
+
+// Labelling construction (Algorithm 2 of the paper).
+//
+// One BFS per landmark r maintains two frontiers per level:
+//
+//   - QL — vertices reached by some shortest path from r that avoids all
+//     other landmarks ("to be labelled"),
+//   - QN — vertices whose every shortest path from r passes through
+//     another landmark ("not to be labelled").
+//
+// At each level the QL frontier expands first: a newly discovered
+// non-landmark joins QL and receives the label (r, depth); a newly
+// discovered landmark v joins QN and contributes the meta-edge (r, v)
+// with σ = depth. Vertices discovered only from QN join QN unlabelled.
+// Processing QL before QN at each level is what makes membership match
+// Definition 4.2 exactly: a vertex has an avoiding shortest path iff one
+// of its depth-1 predecessors is in QL.
+//
+// The scheme is deterministic w.r.t. the landmark set (Lemma 5.2), so the
+// per-landmark BFSes run in parallel without coordination: each worker
+// writes only its own column of the label matrix and its own meta-edge
+// list (QbS-P, §5.3).
+
+// labelWorkspace holds per-worker BFS state.
+type labelWorkspace struct {
+	depth   []int32 // -1 = unvisited
+	curL    []graph.V
+	curN    []graph.V
+	nextL   []graph.V
+	nextN   []graph.V
+	visited []graph.V // for O(touched) reset between landmarks
+}
+
+func newLabelWorkspace(n int) *labelWorkspace {
+	ws := &labelWorkspace{depth: make([]int32, n)}
+	for i := range ws.depth {
+		ws.depth[i] = -1
+	}
+	return ws
+}
+
+func (ws *labelWorkspace) reset() {
+	for _, v := range ws.visited {
+		ws.depth[v] = -1
+	}
+	ws.visited = ws.visited[:0]
+	ws.curL, ws.curN = ws.curL[:0], ws.curN[:0]
+	ws.nextL, ws.nextN = ws.nextL[:0], ws.nextN[:0]
+}
+
+// landmarkBFS labels column ri of the matrix and returns the meta-edges
+// (ri, other) discovered, with overflow reported via the bool.
+func (ix *Index) landmarkBFS(ri int, ws *labelWorkspace) ([]metaEdge, bool) {
+	g := ix.g
+	R := ix.numLand
+	root := ix.landmarks[ri]
+	ws.reset()
+	ws.depth[root] = 0
+	ws.visited = append(ws.visited, root)
+	ws.curL = append(ws.curL, root)
+	var metas []metaEdge
+
+	depth := int32(0)
+	for len(ws.curL) > 0 || len(ws.curN) > 0 {
+		next := depth + 1
+		if next > 254 {
+			return nil, false
+		}
+		ws.nextL, ws.nextN = ws.nextL[:0], ws.nextN[:0]
+		// Labelled frontier first: its discoveries are on avoiding paths.
+		for _, u := range ws.curL {
+			for _, v := range g.Neighbors(u) {
+				if ws.depth[v] >= 0 {
+					continue
+				}
+				ws.depth[v] = next
+				ws.visited = append(ws.visited, v)
+				if rj := ix.landIdx[v]; rj >= 0 {
+					ws.nextN = append(ws.nextN, v)
+					a, b := ri, int(rj)
+					if a > b {
+						a, b = b, a
+					}
+					metas = append(metas, metaEdge{a: a, b: b, weight: next})
+				} else {
+					ws.nextL = append(ws.nextL, v)
+					ix.labels[int(v)*R+ri] = uint8(next)
+				}
+			}
+		}
+		// Non-labelled frontier: discoveries inherit "through a landmark".
+		for _, u := range ws.curN {
+			for _, v := range g.Neighbors(u) {
+				if ws.depth[v] >= 0 {
+					continue
+				}
+				ws.depth[v] = next
+				ws.visited = append(ws.visited, v)
+				ws.nextN = append(ws.nextN, v)
+			}
+		}
+		ws.curL, ws.nextL = ws.nextL, ws.curL
+		ws.curN, ws.nextN = ws.nextN, ws.curN
+		depth = next
+	}
+	return metas, true
+}
+
+// buildLabelling runs Algorithm 2 from every landmark, with the given
+// number of parallel workers, then merges the per-landmark meta-edges.
+func (ix *Index) buildLabelling(parallelism int) error {
+	n := ix.g.NumVertices()
+	R := ix.numLand
+	ix.labels = make([]uint8, n*R)
+	for i := range ix.labels {
+		ix.labels[i] = NoEntry
+	}
+	if R == 0 {
+		ix.finishMeta(nil)
+		return nil
+	}
+
+	perLandmark := make([][]metaEdge, R)
+	overflow := false
+
+	if parallelism > R {
+		parallelism = R
+	}
+	if parallelism <= 1 {
+		ws := newLabelWorkspace(n)
+		for ri := 0; ri < R; ri++ {
+			metas, ok := ix.landmarkBFS(ri, ws)
+			if !ok {
+				return ErrDiameterTooLarge
+			}
+			perLandmark[ri] = metas
+		}
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		work := make(chan int)
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := newLabelWorkspace(n)
+				for ri := range work {
+					metas, ok := ix.landmarkBFS(ri, ws)
+					if !ok {
+						mu.Lock()
+						overflow = true
+						mu.Unlock()
+						continue
+					}
+					perLandmark[ri] = metas
+				}
+			}()
+		}
+		for ri := 0; ri < R; ri++ {
+			work <- ri
+		}
+		close(work)
+		wg.Wait()
+		if overflow {
+			return ErrDiameterTooLarge
+		}
+	}
+
+	var all []metaEdge
+	for _, metas := range perLandmark {
+		all = append(all, metas...)
+	}
+	ix.finishMeta(all)
+
+	var entries int64
+	for _, d := range ix.labels {
+		if d != NoEntry {
+			entries++
+		}
+	}
+	ix.build.LabelEntries = entries
+	return nil
+}
+
+// finishMeta deduplicates meta-edges (each is discovered from both
+// endpoints) and freezes σ, the edge list, and the (a,b) → edge index.
+func (ix *Index) finishMeta(all []metaEdge) {
+	R := ix.numLand
+	ix.sigma = make([]uint8, R*R)
+	for i := range ix.sigma {
+		ix.sigma[i] = NoEntry
+	}
+	ix.metaID = make([]int32, R*R)
+	for i := range ix.metaID {
+		ix.metaID[i] = -1
+	}
+	ix.meta = ix.meta[:0]
+	for _, e := range all {
+		at := e.a*R + e.b
+		if ix.sigma[at] == NoEntry {
+			ix.sigma[at] = uint8(e.weight)
+			ix.sigma[e.b*R+e.a] = uint8(e.weight)
+			id := int32(len(ix.meta))
+			ix.meta = append(ix.meta, e)
+			ix.metaID[at] = id
+			ix.metaID[e.b*R+e.a] = id
+		}
+	}
+	ix.build.MetaEdges = len(ix.meta)
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"qbs/internal/bfs"
+	"qbs/internal/graph"
+)
+
+// Tests for the labelling phase (Algorithm 2) and index construction
+// plumbing.
+
+func TestBuildRejectsBadLandmarks(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Build(g, Options{Landmarks: []graph.V{99}}); err == nil {
+		t.Fatal("out-of-range landmark accepted")
+	}
+	if _, err := Build(g, Options{Landmarks: []graph.V{-1}}); err == nil {
+		t.Fatal("negative landmark accepted")
+	}
+	if _, err := Build(g, Options{Landmarks: []graph.V{1, 1}}); err == nil {
+		t.Fatal("duplicate landmark accepted")
+	}
+}
+
+func TestBuildCapsLandmarksAtVertexCount(t *testing.T) {
+	g := graph.Path(5)
+	ix := MustBuild(g, Options{NumLandmarks: 50})
+	if ix.NumLandmarks() != 5 {
+		t.Fatalf("landmarks = %d, want 5", ix.NumLandmarks())
+	}
+}
+
+func TestLandmarksHaveNoLabels(t *testing.T) {
+	g := connected(graph.ErdosRenyi(100, 250, 3))
+	ix := MustBuild(g, Options{NumLandmarks: 10})
+	for _, r := range ix.Landmarks() {
+		ranks, _ := ix.Label(r)
+		if len(ranks) != 0 {
+			t.Fatalf("landmark %d has %d label entries", r, len(ranks))
+		}
+	}
+}
+
+func TestLabelDistancesAreExact(t *testing.T) {
+	g := connected(graph.BarabasiAlbert(200, 3, 5))
+	ix := MustBuild(g, Options{NumLandmarks: 8})
+	for i, r := range ix.Landmarks() {
+		dist := bfs.Distances(g, r)
+		for v := 0; v < g.NumVertices(); v++ {
+			if d, ok := ix.LabelEntry(graph.V(v), i); ok && d != dist[v] {
+				t.Fatalf("label (%d → %d) = %d, true distance %d", v, r, d, dist[v])
+			}
+		}
+	}
+}
+
+func TestMetaEdgeWeightsSymmetricAndExact(t *testing.T) {
+	g := connected(graph.WattsStrogatz(150, 4, 0.2, 9))
+	ix := MustBuild(g, Options{NumLandmarks: 10})
+	k := ix.NumLandmarks()
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			wij, okij := ix.MetaEdgeWeight(i, j)
+			wji, okji := ix.MetaEdgeWeight(j, i)
+			if okij != okji || (okij && wij != wji) {
+				t.Fatalf("meta edge (%d,%d) asymmetric", i, j)
+			}
+			if okij {
+				want := bfs.Distance(g, ix.Landmarks()[i], ix.Landmarks()[j])
+				if wij != want {
+					t.Fatalf("σ(%d,%d)=%d want %d", i, j, wij, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLabelEntriesBoundedByLandmarks(t *testing.T) {
+	// Each vertex stores at most |R| entries by construction; the stats
+	// counter must agree with a direct scan.
+	g := connected(graph.ErdosRenyi(120, 300, 11))
+	ix := MustBuild(g, Options{NumLandmarks: 6})
+	var count int64
+	for v := 0; v < g.NumVertices(); v++ {
+		ranks, _ := ix.Label(graph.V(v))
+		if len(ranks) > 6 {
+			t.Fatalf("vertex %d has %d entries", v, len(ranks))
+		}
+		count += int64(len(ranks))
+	}
+	if count != ix.Stats().LabelEntries {
+		t.Fatalf("entry count %d != stats %d", count, ix.Stats().LabelEntries)
+	}
+}
+
+func TestSkipDeltaLazyBuild(t *testing.T) {
+	g := connected(graph.BarabasiAlbert(150, 3, 13))
+	ix := MustBuild(g, Options{NumLandmarks: 8, SkipDelta: true})
+	if ix.delta != nil {
+		t.Fatal("SkipDelta did not skip")
+	}
+	// NewSearcher triggers EnsureDelta; queries must then be exact.
+	sr := NewSearcher(ix)
+	if ix.delta == nil {
+		t.Fatal("EnsureDelta did not run")
+	}
+	for _, p := range samplePairs(g, 40, 3) {
+		if !sr.Query(p[0], p[1]).Equal(bfs.OracleSPG(g, p[0], p[1])) {
+			t.Fatalf("lazy-delta query wrong for %v", p)
+		}
+	}
+}
+
+func TestParallelismMoreWorkersThanLandmarks(t *testing.T) {
+	g := connected(graph.ErdosRenyi(100, 240, 15))
+	ix := MustBuild(g, Options{NumLandmarks: 3, Parallelism: 16})
+	seq := MustBuild(g, Options{NumLandmarks: 3, Parallelism: 1})
+	for i := range ix.labels {
+		if ix.labels[i] != seq.labels[i] {
+			t.Fatal("worker oversubscription changed the labelling")
+		}
+	}
+}
+
+func TestSingleVertexGraph(t *testing.T) {
+	g := graph.NewBuilder(1).MustBuild()
+	ix := MustBuild(g, Options{NumLandmarks: 1})
+	sr := NewSearcher(ix)
+	spg := sr.Query(0, 0)
+	if spg.Dist != 0 || spg.NumEdges() != 0 {
+		t.Fatal("trivial single-vertex query")
+	}
+}
+
+func TestTwoVertexGraph(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, W: 1}})
+	for k := 1; k <= 2; k++ {
+		ix := MustBuild(g, Options{NumLandmarks: k})
+		sr := NewSearcher(ix)
+		spg := sr.Query(0, 1)
+		if spg.Dist != 1 || spg.NumEdges() != 1 {
+			t.Fatalf("k=%d: dist=%d edges=%d", k, spg.Dist, spg.NumEdges())
+		}
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.MustBuild() // 3, 4, 5 isolated
+	ix := MustBuild(g, Options{NumLandmarks: 2})
+	sr := NewSearcher(ix)
+	if spg := sr.Query(0, 4); spg.Dist != graph.InfDist || spg.NumEdges() != 0 {
+		t.Fatal("isolated vertex query must be empty")
+	}
+	if spg := sr.Query(3, 5); spg.Dist != graph.InfDist {
+		t.Fatal("two isolated vertices must be disconnected")
+	}
+}
+
+func TestLandmarkStrategies(t *testing.T) {
+	g := connected(graph.BarabasiAlbert(300, 3, 21))
+	for name, s := range map[string]LandmarkStrategy{
+		"degree": ByDegree, "random": Random, "coverage": ByCoverage, "betweenness": ByApproxBetweenness,
+	} {
+		lands := s(g, 12, 7)
+		if len(lands) != 12 {
+			t.Fatalf("%s: %d landmarks", name, len(lands))
+		}
+		seen := map[graph.V]bool{}
+		for _, r := range lands {
+			if seen[r] {
+				t.Fatalf("%s: duplicate landmark %d", name, r)
+			}
+			seen[r] = true
+		}
+		// Determinism for the given seed.
+		again := s(g, 12, 7)
+		for i := range lands {
+			if lands[i] != again[i] {
+				t.Fatalf("%s: non-deterministic", name)
+			}
+		}
+	}
+}
+
+func TestByDegreePicksHubs(t *testing.T) {
+	g := graph.Star(50)
+	if lands := ByDegree(g, 1, 0); lands[0] != 0 {
+		t.Fatalf("degree strategy missed the hub: %v", lands)
+	}
+}
+
+func TestByCoverageSpreadsLandmarks(t *testing.T) {
+	// Two separate stars: coverage must pick both centres before any
+	// spoke; plain degree would too, but coverage must not pick two
+	// vertices from the same star's centre region.
+	b := graph.NewBuilder(22)
+	for i := 1; i <= 10; i++ {
+		b.AddEdge(0, graph.V(i))
+	}
+	for i := 12; i <= 21; i++ {
+		b.AddEdge(11, graph.V(i))
+	}
+	b.AddEdge(10, 12) // weak bridge
+	g := b.MustBuild()
+	lands := ByCoverage(g, 2, 0)
+	got := map[graph.V]bool{lands[0]: true, lands[1]: true}
+	if !got[0] || !got[11] {
+		t.Fatalf("coverage picked %v, want the two star centres", lands)
+	}
+}

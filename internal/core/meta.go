@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sort"
+
+	"qbs/internal/graph"
+)
+
+// Meta-graph precomputation (§5.2): all-pairs shortest paths over the
+// meta-graph M, and Δ — for each meta-edge (a, b), the shortest path
+// graph between a and b in G, recovered from the labelling alone.
+// These drop per-query sketch cost to O(|R|²) and let the recover search
+// expand landmark-to-landmark segments without touching G.
+
+// buildAPSP runs Floyd–Warshall over σ. |R| ≤ 254, so O(|R|³) is trivial.
+func (ix *Index) buildAPSP() {
+	R := ix.numLand
+	ix.distM = make([]int32, R*R)
+	for i := 0; i < R; i++ {
+		for j := 0; j < R; j++ {
+			switch {
+			case i == j:
+				ix.distM[i*R+j] = 0
+			case ix.sigma[i*R+j] != NoEntry:
+				ix.distM[i*R+j] = int32(ix.sigma[i*R+j])
+			default:
+				ix.distM[i*R+j] = graph.InfDist
+			}
+		}
+	}
+	for k := 0; k < R; k++ {
+		for i := 0; i < R; i++ {
+			dik := ix.distM[i*R+k]
+			if dik == graph.InfDist {
+				continue
+			}
+			for j := 0; j < R; j++ {
+				if dkj := ix.distM[k*R+j]; dkj != graph.InfDist && dik+dkj < ix.distM[i*R+j] {
+					ix.distM[i*R+j] = dik + dkj
+				}
+			}
+		}
+	}
+	ix.buildMetaSPG()
+}
+
+// buildMetaSPG precomputes, for every landmark pair (i, j), the list of
+// meta-edges on shortest i–j meta-paths. This is the §5.2 trick that
+// drops per-query sketch expansion from O(|R|⁴) to table lookups. The
+// precomputation is capped (degenerate metric meta-graphs could make the
+// lists quadratic); past the cap the query path falls back to an
+// on-the-fly scan.
+func (ix *Index) buildMetaSPG() {
+	const maxStored = 4 << 20 // ids; ~16 MB worst case
+	R := ix.numLand
+	ix.metaSPG = make([][]int32, R*R)
+	stored := 0
+	for i := 0; i < R; i++ {
+		for j := i + 1; j < R; j++ {
+			if ix.distM[i*R+j] == graph.InfDist {
+				continue
+			}
+			var ids []int32
+			for k := range ix.meta {
+				if ix.onMetaShortestPath(i, j, k) {
+					ids = append(ids, int32(k))
+				}
+			}
+			ix.metaSPG[i*R+j] = ids
+			ix.metaSPG[j*R+i] = ids
+			stored += len(ids)
+			if stored > maxStored {
+				ix.metaSPG = nil
+				return
+			}
+		}
+	}
+}
+
+// metaSPGEdges returns the meta-edge ids on shortest i–j meta-paths,
+// using the precomputed table when available.
+func (ix *Index) metaSPGEdges(i, j int, buf []int32) []int32 {
+	if ix.metaSPG != nil {
+		return ix.metaSPG[i*ix.numLand+j]
+	}
+	buf = buf[:0]
+	for k := range ix.meta {
+		if ix.onMetaShortestPath(i, j, k) {
+			buf = append(buf, int32(k))
+		}
+	}
+	return buf
+}
+
+// onMetaShortestPath reports whether meta-edge k lies on some shortest
+// path between landmark ranks i and j in M.
+func (ix *Index) onMetaShortestPath(i, j, k int) bool {
+	R := ix.numLand
+	e := ix.meta[k]
+	d := ix.distM[i*R+j]
+	if d == graph.InfDist {
+		return false
+	}
+	da, db := ix.distM[i*R+e.a], ix.distM[e.b*R+j]
+	if da != graph.InfDist && db != graph.InfDist && da+e.weight+db == d {
+		return true
+	}
+	da, db = ix.distM[i*R+e.b], ix.distM[e.a*R+j]
+	return da != graph.InfDist && db != graph.InfDist && da+e.weight+db == d
+}
+
+// buildDelta recovers, for every meta-edge (a, b), the SPG between a and
+// b in G. A non-landmark vertex w lies on a shortest a–b path that avoids
+// other landmarks iff both label entries exist and δ_wa + δ_wb = σ(a, b);
+// an edge (w, w') of such a path connects consecutive levels. Endpoint
+// edges attach level-1 (resp. level σ−1) vertices to a (resp. b). The
+// whole recovery costs one pass over label entries plus neighbour scans
+// of candidate vertices — no BFS over G.
+func (ix *Index) buildDelta() {
+	g := ix.g
+	R := ix.numLand
+	n := g.NumVertices()
+	ix.delta = make([][]graph.Edge, len(ix.meta))
+
+	// σ = 1 meta-edges are just the direct edge.
+	for k, e := range ix.meta {
+		if e.weight == 1 {
+			ix.delta[k] = []graph.Edge{graph.Edge{U: ix.landmarks[e.a], W: ix.landmarks[e.b]}.Normalize()}
+		}
+	}
+
+	// Pass 1: collect candidates per meta-edge.
+	cands := make([][]graph.V, len(ix.meta))
+	var ranks []int
+	for v := 0; v < n; v++ {
+		base := v * R
+		ranks = ranks[:0]
+		for i := 0; i < R; i++ {
+			if ix.labels[base+i] != NoEntry {
+				ranks = append(ranks, i)
+			}
+		}
+		for x := 0; x < len(ranks); x++ {
+			for y := x + 1; y < len(ranks); y++ {
+				a, b := ranks[x], ranks[y]
+				id := ix.metaID[a*R+b]
+				if id < 0 {
+					continue
+				}
+				da, db := int32(ix.labels[base+a]), int32(ix.labels[base+b])
+				if da+db == ix.meta[id].weight {
+					cands[id] = append(cands[id], graph.V(v))
+				}
+			}
+		}
+	}
+
+	// Pass 2: per meta-edge, stamp candidate levels and emit edges.
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	var deltaEdges int64
+	for k, e := range ix.meta {
+		if e.weight == 1 {
+			deltaEdges++
+			continue
+		}
+		va, vb := ix.landmarks[e.a], ix.landmarks[e.b]
+		for _, w := range cands[k] {
+			level[w] = int32(ix.labels[int(w)*R+e.a])
+		}
+		edges := ix.delta[k]
+		for _, w := range cands[k] {
+			lw := level[w]
+			if lw == 1 {
+				edges = append(edges, graph.Edge{U: va, W: w}.Normalize())
+			}
+			if lw == e.weight-1 {
+				edges = append(edges, graph.Edge{U: w, W: vb}.Normalize())
+			}
+			for _, x := range g.Neighbors(w) {
+				if level[x] == lw+1 {
+					edges = append(edges, graph.Edge{U: w, W: x}.Normalize())
+				}
+			}
+		}
+		for _, w := range cands[k] {
+			level[w] = -1
+		}
+		ix.delta[k] = dedupEdgeList(edges)
+		deltaEdges += int64(len(ix.delta[k]))
+	}
+	ix.build.DeltaEdges = deltaEdges
+}
+
+// EnsureDelta builds Δ if construction skipped it (Options.SkipDelta).
+func (ix *Index) EnsureDelta() {
+	if ix.delta == nil {
+		ix.buildDelta()
+	}
+}
+
+func dedupEdgeList(edges []graph.Edge) []graph.Edge {
+	if len(edges) < 2 {
+		return edges
+	}
+	sortEdges(edges)
+	out := edges[:1]
+	for _, e := range edges[1:] {
+		if e != out[len(out)-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sortEdges(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].W < edges[j].W
+	})
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qbs/internal/bfs"
+	"qbs/internal/graph"
+)
+
+// testGraphs returns a diverse set of fixtures: structured graphs and
+// seeded random graphs across the generator families.
+func testGraphs(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	gs := map[string]*graph.Graph{
+		"path10":      graph.Path(10),
+		"cycle9":      graph.Cycle(9),
+		"star20":      graph.Star(20),
+		"complete8":   graph.Complete(8),
+		"grid6x7":     graph.Grid(6, 7),
+		"paperFig4":   paperFigure4Graph(),
+		"paperFig3":   paperFigure3Graph(),
+		"er200":       connected(graph.ErdosRenyi(200, 400, 1)),
+		"er300sparse": connected(graph.ErdosRenyi(300, 360, 2)),
+		"ba200":       connected(graph.BarabasiAlbert(200, 3, 3)),
+		"ba400dense":  connected(graph.BarabasiAlbert(400, 8, 4)),
+		"ws150":       connected(graph.WattsStrogatz(150, 6, 0.2, 5)),
+		"twoCliques":  twoCliquesBridge(),
+		"disconnected": graph.MustFromEdges(10, []graph.Edge{
+			{U: 0, W: 1}, {U: 1, W: 2}, {U: 3, W: 4}, {U: 4, W: 5}, {U: 5, W: 3},
+			{U: 6, W: 7}, {U: 7, W: 8}, {U: 8, W: 9},
+		}),
+	}
+	return gs
+}
+
+func connected(g *graph.Graph) *graph.Graph {
+	lc, _ := g.LargestComponent()
+	return lc
+}
+
+// paperFigure4Graph reproduces the 14-vertex running example of Figures
+// 2/4/5/6 (1-indexed in the paper; 0-indexed here as paper id − 1).
+func paperFigure4Graph() *graph.Graph {
+	edges := [][2]int{
+		{1, 3}, {1, 2}, {2, 3}, // 2-4, 2-3, 3-4 in paper ids
+		{0, 3}, {0, 4}, {0, 5}, {0, 13},
+		{3, 5}, {4, 5},
+		{1, 6}, {6, 7}, {1, 8},
+		{7, 8}, {8, 9}, {7, 10}, {9, 10}, {9, 11},
+		{2, 11}, {2, 12}, {12, 13}, {10, 11}, {4, 13},
+		{1, 13}, {6, 8},
+	}
+	b := graph.NewBuilder(14)
+	for _, e := range edges {
+		b.AddEdge(graph.V(e[0]), graph.V(e[1]))
+	}
+	return b.MustBuild()
+}
+
+// paperFigure3Graph is the 7-vertex example of Figure 3 (paper ids 1..7
+// mapped to 0..6).
+func paperFigure3Graph() *graph.Graph {
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {1, 3}, {2, 3}, {1, 4}, {1, 5}, {4, 5}, {4, 6},
+	}
+	b := graph.NewBuilder(7)
+	for _, e := range edges {
+		b.AddEdge(graph.V(e[0]), graph.V(e[1]))
+	}
+	return b.MustBuild()
+}
+
+func twoCliquesBridge() *graph.Graph {
+	b := graph.NewBuilder(12)
+	for u := 0; u < 5; u++ {
+		for w := u + 1; w < 5; w++ {
+			b.AddEdge(graph.V(u), graph.V(w))
+		}
+	}
+	for u := 6; u < 12; u++ {
+		for w := u + 1; w < 12; w++ {
+			b.AddEdge(graph.V(u), graph.V(w))
+		}
+	}
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	return b.MustBuild()
+}
+
+func samplePairs(g *graph.Graph, count int, seed int64) [][2]graph.V {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	pairs := make([][2]graph.V, 0, count)
+	for i := 0; i < count; i++ {
+		pairs = append(pairs, [2]graph.V{graph.V(rng.Intn(n)), graph.V(rng.Intn(n))})
+	}
+	return pairs
+}
+
+// checkQueries verifies SPG answers from the searcher against both the
+// oracle and the independent SPG.Verify predicate.
+func checkQueries(t *testing.T, g *graph.Graph, ix *Index, pairs [][2]graph.V) {
+	t.Helper()
+	sr := NewSearcher(ix)
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		got, st := sr.QueryWithStats(u, v)
+		want := bfs.OracleSPG(g, u, v)
+		if !got.Equal(want) {
+			t.Fatalf("SPG(%d,%d): got %v\nwant %v\nstats %+v", u, v, got, want, st)
+		}
+		distU := bfs.Distances(g, u)
+		distV := bfs.Distances(g, v)
+		toInf := func(d []int32) []int32 { return d }
+		if err := got.Verify(g, toInf(distU), toInf(distV)); err != nil {
+			t.Fatalf("SPG(%d,%d): verify: %v", u, v, err)
+		}
+		if st.DTop < st.Dist {
+			t.Fatalf("SPG(%d,%d): d⊤=%d < dist=%d violates Corollary 4.6", u, v, st.DTop, st.Dist)
+		}
+	}
+}
+
+func TestQueryMatchesOracle(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, k := range []int{1, 2, 4, 8, 20} {
+			if k > g.NumVertices() {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/R=%d", name, k), func(t *testing.T) {
+				ix, err := Build(g, Options{NumLandmarks: k, Parallelism: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var pairs [][2]graph.V
+				if g.NumVertices() <= 20 {
+					for u := 0; u < g.NumVertices(); u++ {
+						for v := u; v < g.NumVertices(); v++ {
+							pairs = append(pairs, [2]graph.V{graph.V(u), graph.V(v)})
+						}
+					}
+				} else {
+					pairs = samplePairs(g, 120, int64(k)*7+1)
+				}
+				checkQueries(t, g, ix, pairs)
+			})
+		}
+	}
+}
+
+func TestQueryLandmarkEndpoints(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			k := 5
+			if k > g.NumVertices() {
+				k = g.NumVertices()
+			}
+			ix := MustBuild(g, Options{NumLandmarks: k})
+			var pairs [][2]graph.V
+			rng := rand.New(rand.NewSource(11))
+			for _, r := range ix.Landmarks() {
+				// landmark ↔ random vertex, and landmark ↔ landmark
+				pairs = append(pairs, [2]graph.V{r, graph.V(rng.Intn(g.NumVertices()))})
+				pairs = append(pairs, [2]graph.V{graph.V(rng.Intn(g.NumVertices())), r})
+				pairs = append(pairs, [2]graph.V{r, ix.Landmarks()[rng.Intn(k)]})
+				pairs = append(pairs, [2]graph.V{r, r})
+			}
+			checkQueries(t, g, ix, pairs)
+		})
+	}
+}
+
+func TestQueryAllLandmarkCounts(t *testing.T) {
+	// Sweep |R| from 0 effectively 1 up to |V| on a small graph:
+	// every vertex a landmark is a degenerate but valid configuration.
+	g := paperFigure4Graph()
+	for k := 1; k <= g.NumVertices(); k++ {
+		ix := MustBuild(g, Options{NumLandmarks: k})
+		var pairs [][2]graph.V
+		for u := 0; u < g.NumVertices(); u++ {
+			for v := u; v < g.NumVertices(); v++ {
+				pairs = append(pairs, [2]graph.V{graph.V(u), graph.V(v)})
+			}
+		}
+		checkQueries(t, g, ix, pairs)
+	}
+}
+
+func TestLabellingMatchesDefinition(t *testing.T) {
+	// Definition 4.2: (r, δ) ∈ L(u) iff δ = d_G(u, r) and some shortest
+	// u–r path avoids all other landmarks — equivalently, the distance
+	// from r to u in G[V \ (R \ {r})] equals d_G(u, r).
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			k := 4
+			if k > g.NumVertices() {
+				k = g.NumVertices()
+			}
+			ix := MustBuild(g, Options{NumLandmarks: k})
+			for i, r := range ix.Landmarks() {
+				full := bfs.Distances(g, r)
+				avoid := avoidanceDistances(g, ix, r)
+				for v := 0; v < g.NumVertices(); v++ {
+					d, ok := ix.LabelEntry(graph.V(v), i)
+					if ix.IsLandmark(graph.V(v)) {
+						if ok {
+							t.Fatalf("landmark %d must not carry labels, has (%d,%d)", v, i, d)
+						}
+						continue
+					}
+					shouldHave := full[v] != bfs.Infinity && avoid[v] == full[v]
+					if ok != shouldHave {
+						t.Fatalf("vertex %d landmark %d: label presence = %v, want %v (d=%d avoid=%d)",
+							v, r, ok, shouldHave, full[v], avoid[v])
+					}
+					if ok && d != full[v] {
+						t.Fatalf("vertex %d landmark %d: label dist %d, want %d", v, r, d, full[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// avoidanceDistances computes distances from r in the graph with all
+// other landmarks removed.
+func avoidanceDistances(g *graph.Graph, ix *Index, r graph.V) []int32 {
+	sub := g.InducedSubgraph(func(v graph.V) bool {
+		return v == r || !ix.IsLandmark(v)
+	})
+	return bfs.Distances(sub, r)
+}
+
+func TestMetaGraphMatchesDefinition(t *testing.T) {
+	// Definition 4.1: (r, r') ∈ E_R iff some shortest r–r' path avoids
+	// other landmarks; σ(r, r') = d_G(r, r').
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			k := 5
+			if k > g.NumVertices() {
+				k = g.NumVertices()
+			}
+			ix := MustBuild(g, Options{NumLandmarks: k})
+			lands := ix.Landmarks()
+			for i := 0; i < k; i++ {
+				full := bfs.Distances(g, lands[i])
+				sub := g.InducedSubgraph(func(v graph.V) bool {
+					return v == lands[i] || !ix.IsLandmark(v)
+				})
+				for j := 0; j < k; j++ {
+					if i == j {
+						continue
+					}
+					// allow r' itself in the avoidance graph
+					sub2 := g.InducedSubgraph(func(v graph.V) bool {
+						return v == lands[i] || v == lands[j] || !ix.IsLandmark(v)
+					})
+					_ = sub
+					avoid := bfs.Distances(sub2, lands[i])
+					w, exists := ix.MetaEdgeWeight(i, j)
+					shouldExist := full[lands[j]] != bfs.Infinity && avoid[lands[j]] == full[lands[j]]
+					if exists != shouldExist {
+						t.Fatalf("meta edge (%d,%d): exists=%v want %v", lands[i], lands[j], exists, shouldExist)
+					}
+					if exists && w != full[lands[j]] {
+						t.Fatalf("meta edge (%d,%d): σ=%d want %d", lands[i], lands[j], w, full[lands[j]])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMetaDistEqualsGraphDist(t *testing.T) {
+	// d_M(r, r') = d_G(r, r') for all landmark pairs: shortest paths
+	// between landmarks decompose into meta-edges.
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			k := 6
+			if k > g.NumVertices() {
+				k = g.NumVertices()
+			}
+			ix := MustBuild(g, Options{NumLandmarks: k})
+			lands := ix.Landmarks()
+			for i := 0; i < k; i++ {
+				dist := bfs.Distances(g, lands[i])
+				for j := 0; j < k; j++ {
+					want := dist[lands[j]]
+					got := ix.MetaDist(i, j)
+					if want == bfs.Infinity {
+						if got != graph.InfDist {
+							t.Fatalf("d_M(%d,%d)=%d want inf", lands[i], lands[j], got)
+						}
+						continue
+					}
+					if got != want {
+						t.Fatalf("d_M(%d,%d)=%d want %d", lands[i], lands[j], got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSketchUpperBoundTight(t *testing.T) {
+	// d⊤ equals the length of the shortest u–v path through at least one
+	// landmark: min over r of d(u,r) + d(r,v).
+	g := connected(graph.ErdosRenyi(150, 300, 9))
+	ix := MustBuild(g, Options{NumLandmarks: 8})
+	landDist := make([][]int32, ix.NumLandmarks())
+	for i, r := range ix.Landmarks() {
+		landDist[i] = bfs.Distances(g, r)
+	}
+	for _, p := range samplePairs(g, 200, 17) {
+		u, v := p[0], p[1]
+		if u == v {
+			continue
+		}
+		want := graph.InfDist
+		for i := range landDist {
+			du, dv := landDist[i][u], landDist[i][v]
+			if du != bfs.Infinity && dv != bfs.Infinity && du+dv < want {
+				want = du + dv
+			}
+		}
+		sk := ix.Sketch(u, v)
+		if sk.DTop != want {
+			t.Fatalf("d⊤(%d,%d)=%d want %d", u, v, sk.DTop, want)
+		}
+	}
+}
+
+func TestDeterministicParallelLabelling(t *testing.T) {
+	// Lemma 5.2: the labelling scheme is unique for a landmark set, so
+	// sequential and parallel construction agree bit-for-bit.
+	g := connected(graph.BarabasiAlbert(500, 4, 21))
+	seq := MustBuild(g, Options{NumLandmarks: 16, Parallelism: 1})
+	par := MustBuild(g, Options{NumLandmarks: 16, Parallelism: 8})
+	if len(seq.labels) != len(par.labels) {
+		t.Fatal("label matrix size mismatch")
+	}
+	for i := range seq.labels {
+		if seq.labels[i] != par.labels[i] {
+			t.Fatalf("label matrix differs at %d: %d vs %d", i, seq.labels[i], par.labels[i])
+		}
+	}
+	for i := range seq.sigma {
+		if seq.sigma[i] != par.sigma[i] {
+			t.Fatalf("meta σ differs at %d", i)
+		}
+	}
+	if seq.build.LabelEntries != par.build.LabelEntries {
+		t.Fatal("label entry count mismatch")
+	}
+}
+
+func TestLandmarkOrderInvariance(t *testing.T) {
+	// The scheme depends only on the landmark SET (Lemma 5.2).
+	g := connected(graph.ErdosRenyi(200, 500, 33))
+	lands := ByDegree(g, 10, 0)
+	shuffled := make([]graph.V, len(lands))
+	copy(shuffled, lands)
+	rng := rand.New(rand.NewSource(5))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	a := MustBuild(g, Options{Landmarks: lands})
+	bIx := MustBuild(g, Options{Landmarks: shuffled})
+	sa := NewSearcher(a)
+	sb := NewSearcher(bIx)
+	for _, p := range samplePairs(g, 80, 99) {
+		ga, gb := sa.Query(p[0], p[1]), sb.Query(p[0], p[1])
+		if !ga.Equal(gb) {
+			t.Fatalf("SPG(%d,%d) differs between landmark orders", p[0], p[1])
+		}
+	}
+}
+
+func TestDeltaEdgesAreLandmarkShortestPaths(t *testing.T) {
+	// Δ(a,b) must equal the SPG between a and b restricted to paths that
+	// avoid other landmarks.
+	g := connected(graph.ErdosRenyi(120, 260, 41))
+	ix := MustBuild(g, Options{NumLandmarks: 6})
+	for k, me := range ix.MetaEdges() {
+		a, b := ix.Landmarks()[me[0]], ix.Landmarks()[me[1]]
+		sub := g.InducedSubgraph(func(v graph.V) bool {
+			return v == a || v == b || !ix.IsLandmark(v)
+		})
+		want := bfs.OracleSPG(sub, a, b)
+		if int32(want.Dist) != me[2] {
+			t.Fatalf("meta edge %d-%d: avoidance dist %d != σ %d", a, b, want.Dist, me[2])
+		}
+		got := graph.NewSPG(a, b)
+		got.Dist = want.Dist
+		for _, e := range ix.Delta(k) {
+			got.AddEdge(e.U, e.W)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("Δ(%d,%d): got %v want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestCoverageClassification(t *testing.T) {
+	// On a star graph with the centre as the only landmark, every
+	// non-adjacent pair's shortest paths all pass through the landmark.
+	g := graph.Star(12)
+	ix := MustBuild(g, Options{NumLandmarks: 1})
+	sr := NewSearcher(ix)
+	_, st := sr.QueryWithStats(1, 2)
+	if st.Coverage != CoverageAll {
+		t.Fatalf("star spoke pair: coverage = %v, want CoverageAll", st.Coverage)
+	}
+	// On a cycle with one landmark, the pair "across" the landmark has
+	// one path through it and one around: CoverageSome or CoverageNone
+	// depending on parity; check a pair adjacent around the far side has
+	// no landmark path of equal length.
+	c := graph.Cycle(8)
+	ixc := MustBuild(c, Options{Landmarks: []graph.V{0}})
+	src := NewSearcher(ixc)
+	_, st = src.QueryWithStats(3, 5)
+	if st.Coverage != CoverageNone {
+		t.Fatalf("cycle far pair: coverage = %v, want CoverageNone", st.Coverage)
+	}
+	_, st = src.QueryWithStats(7, 1) // both adjacent to landmark 0: path 7-0-1 and no shorter
+	if st.Dist != 2 || st.Coverage != CoverageAll {
+		t.Fatalf("cycle near pair: dist=%d coverage=%v, want 2/CoverageAll", st.Dist, st.Coverage)
+	}
+}
+
+func TestDisconnectedPairs(t *testing.T) {
+	g := testGraphs(t)["disconnected"]
+	ix := MustBuild(g, Options{NumLandmarks: 3})
+	sr := NewSearcher(ix)
+	spg, st := sr.QueryWithStats(0, 9)
+	if st.Dist != graph.InfDist || spg.NumEdges() != 0 {
+		t.Fatalf("disconnected pair: dist=%d edges=%d", st.Dist, spg.NumEdges())
+	}
+	if spg.Dist != graph.InfDist {
+		t.Fatal("SPG dist must be InfDist")
+	}
+}
+
+func TestDiameterOverflow(t *testing.T) {
+	g := graph.Path(300)
+	_, err := Build(g, Options{NumLandmarks: 1, Landmarks: []graph.V{0}})
+	if err != ErrDiameterTooLarge {
+		t.Fatalf("got err=%v, want ErrDiameterTooLarge", err)
+	}
+}
+
+func TestQuickRandomGraphsPropertyBased(t *testing.T) {
+	// Property: for any random graph and pair, QbS equals the oracle.
+	check := func(seed int64, nRaw, mRaw, kRaw uint8) bool {
+		n := 10 + int(nRaw)%80
+		m := n + int(mRaw)%(3*n)
+		k := 1 + int(kRaw)%10
+		g := connected(graph.ErdosRenyi(n, m, seed))
+		if k > g.NumVertices() {
+			k = g.NumVertices()
+		}
+		ix, err := Build(g, Options{NumLandmarks: k})
+		if err != nil {
+			return false
+		}
+		sr := NewSearcher(ix)
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for i := 0; i < 12; i++ {
+			u := graph.V(rng.Intn(g.NumVertices()))
+			v := graph.V(rng.Intn(g.NumVertices()))
+			if !sr.Query(u, v).Equal(bfs.OracleSPG(g, u, v)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearcherReuseAcrossQueries(t *testing.T) {
+	// A single searcher must produce correct answers across many mixed
+	// queries (workspace epoch reuse).
+	g := connected(graph.BarabasiAlbert(300, 3, 77))
+	ix := MustBuild(g, Options{NumLandmarks: 10})
+	sr := NewSearcher(ix)
+	for _, p := range samplePairs(g, 300, 123) {
+		got := sr.Query(p[0], p[1])
+		want := bfs.OracleSPG(g, p[0], p[1])
+		if !got.Equal(want) {
+			t.Fatalf("SPG(%d,%d) mismatch on reused searcher", p[0], p[1])
+		}
+	}
+}
+
+func TestDistanceMethod(t *testing.T) {
+	g := connected(graph.ErdosRenyi(200, 420, 55))
+	ix := MustBuild(g, Options{NumLandmarks: 8})
+	sr := NewSearcher(ix)
+	for _, p := range samplePairs(g, 200, 7) {
+		want := bfs.Distance(g, p[0], p[1])
+		if want == bfs.Infinity {
+			want = graph.InfDist
+		}
+		if got := sr.Distance(p[0], p[1]); got != want {
+			t.Fatalf("Distance(%d,%d)=%d want %d", p[0], p[1], got, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"qbs/internal/graph"
+)
+
+// Index serialization. The on-disk format stores the minimal
+// reconstruction state — landmarks, the label matrix, and the meta-graph
+// edges — and recomputes the derived structures (APSP, meta-SPG table,
+// Δ) on load; they derive deterministically from the stored state and
+// the graph (Lemma 5.2), and recomputation is much cheaper than the
+// landmark BFSes. The graph itself is not embedded: Load takes the same
+// graph the index was built over and validates vertex/arc counts.
+
+const indexMagic = "QBSI"
+const indexVersion = 1
+
+// Write serialises the index.
+func (ix *Index) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return err
+	}
+	hdr := []int64{
+		indexVersion,
+		int64(ix.g.NumVertices()),
+		int64(ix.g.NumArcs()),
+		int64(ix.numLand),
+		int64(len(ix.meta)),
+	}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ix.landmarks); err != nil {
+		return err
+	}
+	if _, err := bw.Write(ix.labels); err != nil {
+		return err
+	}
+	for _, e := range ix.meta {
+		rec := [3]int32{int32(e.a), int32(e.b), e.weight}
+		if err := binary.Write(bw, binary.LittleEndian, rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load deserialises an index previously written with Write, binding it
+// to g (which must be the graph the index was built over).
+func Load(g *graph.Graph, r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %q", magic)
+	}
+	var version, nV, nArcs, nLand, nMeta int64
+	for _, p := range []*int64{&version, &nV, &nArcs, &nLand, &nMeta} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", version)
+	}
+	if int(nV) != g.NumVertices() || int(nArcs) != g.NumArcs() {
+		return nil, fmt.Errorf("core: index was built over a graph with |V|=%d arcs=%d, got |V|=%d arcs=%d",
+			nV, nArcs, g.NumVertices(), g.NumArcs())
+	}
+	if nLand < 0 || nLand > 254 || nMeta < 0 || nMeta > nLand*nLand {
+		return nil, fmt.Errorf("core: corrupt index header")
+	}
+	ix := &Index{
+		g:         g,
+		numLand:   int(nLand),
+		landmarks: make([]graph.V, nLand),
+		landIdx:   make([]int16, g.NumVertices()),
+	}
+	if err := binary.Read(br, binary.LittleEndian, ix.landmarks); err != nil {
+		return nil, err
+	}
+	for i := range ix.landIdx {
+		ix.landIdx[i] = -1
+	}
+	for i, r := range ix.landmarks {
+		if r < 0 || int(r) >= g.NumVertices() {
+			return nil, fmt.Errorf("core: corrupt landmark %d", r)
+		}
+		ix.landIdx[r] = int16(i)
+	}
+	ix.labels = make([]uint8, int(nV)*int(nLand))
+	if _, err := io.ReadFull(br, ix.labels); err != nil {
+		return nil, err
+	}
+	metas := make([]metaEdge, nMeta)
+	for i := range metas {
+		var rec [3]int32
+		if err := binary.Read(br, binary.LittleEndian, rec[:]); err != nil {
+			return nil, err
+		}
+		if rec[0] < 0 || rec[1] <= rec[0] || int(rec[1]) >= ix.numLand || rec[2] <= 0 || rec[2] > 254 {
+			return nil, fmt.Errorf("core: corrupt meta edge %v", rec)
+		}
+		metas[i] = metaEdge{a: int(rec[0]), b: int(rec[1]), weight: rec[2]}
+	}
+	ix.finishMeta(metas)
+	if len(ix.meta) != int(nMeta) {
+		return nil, fmt.Errorf("core: duplicate meta edges in index file")
+	}
+
+	// Derived structures.
+	ix.buildAPSP()
+	ix.buildDelta()
+	var entries int64
+	for _, d := range ix.labels {
+		if d != NoEntry {
+			entries++
+		}
+	}
+	ix.build.LabelEntries = entries
+	ix.build.NumLandmarks = ix.numLand
+	ix.build.MetaEdges = len(ix.meta)
+	return ix, nil
+}
+
+// SaveFile writes the index to a file path.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from a file path.
+func LoadFile(g *graph.Graph, path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(g, f)
+}

@@ -1,0 +1,432 @@
+// Package dcore is the directed extension of Query-by-Sketch the paper
+// claims in §2 ("our work can be easily extended to directed ...
+// graphs"), made concrete: answering SPG(u → v) — the union of all
+// shortest *directed* u→v paths — on a directed graph.
+//
+// Every structure of the undirected core gains a direction:
+//
+//   - each landmark r keeps two labellings: LabelFrom(v) = d(r→v) and
+//     LabelTo(v) = d(v→r), each restricted to shortest paths avoiding
+//     other landmarks (one forward BFS over out-arcs and one backward
+//     BFS over in-arcs per landmark);
+//   - the meta-graph is a weighted digraph: σ(a→b) = d_G(a→b) when some
+//     shortest a→b path avoids other landmarks;
+//   - the sketch bound is d⊤ = min δ(u→r) + d_M(r→r') + δ(r'→v);
+//   - the guided search runs a forward BFS from u and a backward BFS
+//     from v over the landmark-sparsified digraph, with directed reverse
+//     and recover stages.
+//
+// Correctness mirrors the undirected proofs: shortest directed walks of
+// length d(u,v) are simple, prefixes up to the first landmark witness
+// LabelTo entries of u, suffixes after the last landmark witness
+// LabelFrom entries of v, and landmark-to-landmark segments decompose
+// into meta-arcs.
+package dcore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"qbs/internal/graph"
+)
+
+// NoEntry marks an absent label entry (distances stored in one byte, as
+// in the undirected index).
+const NoEntry = uint8(255)
+
+// ErrDiameterTooLarge mirrors core.ErrDiameterTooLarge.
+var ErrDiameterTooLarge = errors.New("dcore: graph distance exceeds 254, cannot encode labels in 8 bits")
+
+// Options configures Build.
+type Options struct {
+	// NumLandmarks is |R| (default 20, capped at 254 and |V|).
+	NumLandmarks int
+	// Landmarks overrides selection (default: top total-degree).
+	Landmarks []graph.V
+	// Parallelism bounds labelling workers (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+type metaArc struct {
+	a, b   int // landmark ranks, a → b
+	weight int32
+}
+
+// Index is the directed QbS index.
+type Index struct {
+	g *graph.DiGraph
+
+	landmarks []graph.V
+	landIdx   []int16
+	numLand   int
+
+	labelFrom []uint8 // |V|×|R|: δ(r → v) over avoiding paths
+	labelTo   []uint8 // |V|×|R|: δ(v → r) over avoiding paths
+
+	sigma  []uint8 // |R|×|R| directed meta-arc weights (row = from)
+	distM  []int32 // |R|×|R| directed APSP
+	meta   []metaArc
+	metaID []int32
+	delta  [][]graph.Arc
+
+	buildTime time.Duration
+}
+
+// Graph returns the indexed digraph.
+func (ix *Index) Graph() *graph.DiGraph { return ix.g }
+
+// Landmarks returns the landmark vertices in rank order.
+func (ix *Index) Landmarks() []graph.V { return ix.landmarks }
+
+// IsLandmark reports whether v is a landmark.
+func (ix *Index) IsLandmark(v graph.V) bool { return ix.landIdx[v] >= 0 }
+
+// BuildTime returns construction wall time.
+func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+
+// SizeLabelsBytes accounts 2·|R| bytes per vertex (two directed
+// labellings).
+func (ix *Index) SizeLabelsBytes() int64 {
+	return 2 * int64(ix.g.NumVertices()) * int64(ix.numLand)
+}
+
+// Build constructs the directed index.
+func Build(g *graph.DiGraph, opts Options) (*Index, error) {
+	start := time.Now()
+	k := opts.NumLandmarks
+	if k <= 0 {
+		k = 20
+	}
+	if k > g.NumVertices() {
+		k = g.NumVertices()
+	}
+	if k > 254 {
+		k = 254
+	}
+	landmarks := opts.Landmarks
+	if landmarks == nil {
+		landmarks = g.TotalDegreeOrder()[:k]
+	}
+	if len(landmarks) > 254 {
+		return nil, fmt.Errorf("dcore: %d landmarks exceed the 254 maximum", len(landmarks))
+	}
+	ix := &Index{
+		g:         g,
+		landmarks: landmarks,
+		numLand:   len(landmarks),
+		landIdx:   make([]int16, g.NumVertices()),
+	}
+	for i := range ix.landIdx {
+		ix.landIdx[i] = -1
+	}
+	for i, r := range landmarks {
+		if r < 0 || int(r) >= g.NumVertices() {
+			return nil, fmt.Errorf("dcore: landmark %d out of range", r)
+		}
+		if ix.landIdx[r] >= 0 {
+			return nil, fmt.Errorf("dcore: duplicate landmark %d", r)
+		}
+		ix.landIdx[r] = int16(i)
+	}
+	if err := ix.buildLabelling(opts.Parallelism); err != nil {
+		return nil, err
+	}
+	ix.buildAPSP()
+	ix.buildDelta()
+	ix.buildTime = time.Since(start)
+	return ix, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(g *graph.DiGraph, opts Options) *Index {
+	ix, err := Build(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+type diLabelWS struct {
+	depth   []int32
+	visited []graph.V
+	curL    []graph.V
+	curN    []graph.V
+	nextL   []graph.V
+	nextN   []graph.V
+}
+
+func newDiLabelWS(n int) *diLabelWS {
+	ws := &diLabelWS{depth: make([]int32, n)}
+	for i := range ws.depth {
+		ws.depth[i] = -1
+	}
+	return ws
+}
+
+func (ws *diLabelWS) reset() {
+	for _, v := range ws.visited {
+		ws.depth[v] = -1
+	}
+	ws.visited = ws.visited[:0]
+	ws.curL, ws.curN, ws.nextL, ws.nextN = ws.curL[:0], ws.curN[:0], ws.nextL[:0], ws.nextN[:0]
+}
+
+// landmarkBFS runs one avoiding BFS from landmark rank ri. forward=true
+// walks out-arcs filling labelFrom and discovering meta-arcs ri→other;
+// forward=false walks in-arcs filling labelTo (meta-arcs are only
+// collected on the forward pass to avoid duplication).
+func (ix *Index) landmarkBFS(ri int, forward bool, ws *diLabelWS) ([]metaArc, bool) {
+	g := ix.g
+	R := ix.numLand
+	root := ix.landmarks[ri]
+	ws.reset()
+	ws.depth[root] = 0
+	ws.visited = append(ws.visited, root)
+	ws.curL = append(ws.curL, root)
+	var metas []metaArc
+	labels := ix.labelFrom
+	if !forward {
+		labels = ix.labelTo
+	}
+	neighbors := g.Out
+	if !forward {
+		neighbors = g.In
+	}
+	depth := int32(0)
+	for len(ws.curL) > 0 || len(ws.curN) > 0 {
+		next := depth + 1
+		if next > 254 {
+			return nil, false
+		}
+		ws.nextL, ws.nextN = ws.nextL[:0], ws.nextN[:0]
+		for _, u := range ws.curL {
+			for _, v := range neighbors(u) {
+				if ws.depth[v] >= 0 {
+					continue
+				}
+				ws.depth[v] = next
+				ws.visited = append(ws.visited, v)
+				if rj := ix.landIdx[v]; rj >= 0 {
+					ws.nextN = append(ws.nextN, v)
+					if forward {
+						metas = append(metas, metaArc{a: ri, b: int(rj), weight: next})
+					}
+				} else {
+					ws.nextL = append(ws.nextL, v)
+					labels[int(v)*R+ri] = uint8(next)
+				}
+			}
+		}
+		for _, u := range ws.curN {
+			for _, v := range neighbors(u) {
+				if ws.depth[v] < 0 {
+					ws.depth[v] = next
+					ws.visited = append(ws.visited, v)
+					ws.nextN = append(ws.nextN, v)
+				}
+			}
+		}
+		ws.curL, ws.nextL = ws.nextL, ws.curL
+		ws.curN, ws.nextN = ws.nextN, ws.curN
+		depth = next
+	}
+	return metas, true
+}
+
+func (ix *Index) buildLabelling(parallelism int) error {
+	n := ix.g.NumVertices()
+	R := ix.numLand
+	ix.labelFrom = make([]uint8, n*R)
+	ix.labelTo = make([]uint8, n*R)
+	for i := range ix.labelFrom {
+		ix.labelFrom[i] = NoEntry
+		ix.labelTo[i] = NoEntry
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > R {
+		parallelism = R
+	}
+	perLandmark := make([][]metaArc, R)
+	overflow := false
+	if parallelism <= 1 {
+		ws := newDiLabelWS(n)
+		for ri := 0; ri < R; ri++ {
+			metas, ok := ix.landmarkBFS(ri, true, ws)
+			if !ok {
+				return ErrDiameterTooLarge
+			}
+			if _, ok := ix.landmarkBFS(ri, false, ws); !ok {
+				return ErrDiameterTooLarge
+			}
+			perLandmark[ri] = metas
+		}
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		work := make(chan int)
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := newDiLabelWS(n)
+				for ri := range work {
+					metas, ok := ix.landmarkBFS(ri, true, ws)
+					if ok {
+						_, ok = ix.landmarkBFS(ri, false, ws)
+					}
+					if !ok {
+						mu.Lock()
+						overflow = true
+						mu.Unlock()
+						continue
+					}
+					perLandmark[ri] = metas
+				}
+			}()
+		}
+		for ri := 0; ri < R; ri++ {
+			work <- ri
+		}
+		close(work)
+		wg.Wait()
+		if overflow {
+			return ErrDiameterTooLarge
+		}
+	}
+	var all []metaArc
+	for _, m := range perLandmark {
+		all = append(all, m...)
+	}
+	ix.sigma = make([]uint8, R*R)
+	ix.metaID = make([]int32, R*R)
+	for i := range ix.sigma {
+		ix.sigma[i] = NoEntry
+		ix.metaID[i] = -1
+	}
+	for _, m := range all {
+		at := m.a*R + m.b
+		if ix.sigma[at] == NoEntry {
+			ix.sigma[at] = uint8(m.weight)
+			ix.metaID[at] = int32(len(ix.meta))
+			ix.meta = append(ix.meta, m)
+		}
+	}
+	return nil
+}
+
+func (ix *Index) buildAPSP() {
+	R := ix.numLand
+	ix.distM = make([]int32, R*R)
+	for i := 0; i < R; i++ {
+		for j := 0; j < R; j++ {
+			switch {
+			case i == j:
+				ix.distM[i*R+j] = 0
+			case ix.sigma[i*R+j] != NoEntry:
+				ix.distM[i*R+j] = int32(ix.sigma[i*R+j])
+			default:
+				ix.distM[i*R+j] = graph.InfDist
+			}
+		}
+	}
+	for k := 0; k < R; k++ {
+		for i := 0; i < R; i++ {
+			dik := ix.distM[i*R+k]
+			if dik == graph.InfDist {
+				continue
+			}
+			for j := 0; j < R; j++ {
+				if dkj := ix.distM[k*R+j]; dkj != graph.InfDist && dik+dkj < ix.distM[i*R+j] {
+					ix.distM[i*R+j] = dik + dkj
+				}
+			}
+		}
+	}
+}
+
+// onMetaShortestPath reports whether directed meta-arc k lies on a
+// shortest i→j meta-path.
+func (ix *Index) onMetaShortestPath(i, j, k int) bool {
+	R := ix.numLand
+	m := ix.meta[k]
+	d := ix.distM[i*R+j]
+	if d == graph.InfDist {
+		return false
+	}
+	da, db := ix.distM[i*R+m.a], ix.distM[m.b*R+j]
+	return da != graph.InfDist && db != graph.InfDist && da+m.weight+db == d
+}
+
+// buildDelta recovers the directed SPG of every meta-arc from the two
+// labellings: w lies on an avoiding shortest a→b path iff
+// labelFrom[w][a] + labelTo[w][b] = σ(a→b); arcs connect consecutive
+// labelFrom levels.
+func (ix *Index) buildDelta() {
+	g := ix.g
+	R := ix.numLand
+	n := g.NumVertices()
+	ix.delta = make([][]graph.Arc, len(ix.meta))
+	for k, m := range ix.meta {
+		if m.weight == 1 {
+			ix.delta[k] = []graph.Arc{{From: ix.landmarks[m.a], To: ix.landmarks[m.b]}}
+		}
+	}
+	cands := make([][]graph.V, len(ix.meta))
+	for v := 0; v < n; v++ {
+		base := v * R
+		for a := 0; a < R; a++ {
+			la := ix.labelFrom[base+a]
+			if la == NoEntry {
+				continue
+			}
+			row := a * R
+			for b := 0; b < R; b++ {
+				lb := ix.labelTo[base+b]
+				if lb == NoEntry {
+					continue
+				}
+				id := ix.metaID[row+b]
+				if id >= 0 && int32(la)+int32(lb) == ix.meta[id].weight {
+					cands[id] = append(cands[id], graph.V(v))
+				}
+			}
+		}
+	}
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	for k, m := range ix.meta {
+		if m.weight == 1 {
+			continue
+		}
+		va, vb := ix.landmarks[m.a], ix.landmarks[m.b]
+		for _, w := range cands[k] {
+			level[w] = int32(ix.labelFrom[int(w)*R+m.a])
+		}
+		arcs := ix.delta[k]
+		for _, w := range cands[k] {
+			lw := level[w]
+			if lw == 1 {
+				arcs = append(arcs, graph.Arc{From: va, To: w})
+			}
+			if lw == m.weight-1 {
+				arcs = append(arcs, graph.Arc{From: w, To: vb})
+			}
+			for _, x := range g.Out(w) {
+				if level[x] == lw+1 {
+					arcs = append(arcs, graph.Arc{From: w, To: x})
+				}
+			}
+		}
+		for _, w := range cands[k] {
+			level[w] = -1
+		}
+		ix.delta[k] = arcs
+	}
+}

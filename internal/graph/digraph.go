@@ -1,0 +1,303 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// DiGraph is an immutable unweighted directed graph in dual-CSR form:
+// both out-adjacency and in-adjacency are materialised, since the
+// directed QbS query walks forward from the source and backward from the
+// target. The paper treats its datasets as undirected but notes the
+// method "can be easily extended to directed graphs" (§2); package dcore
+// is that extension, and this is its substrate.
+type DiGraph struct {
+	outOff []int64
+	out    []V
+	inOff  []int64
+	in     []V
+}
+
+// Arc is a directed edge From → To.
+type Arc struct {
+	From, To V
+}
+
+// NumVertices returns |V|.
+func (g *DiGraph) NumVertices() int {
+	if len(g.outOff) == 0 {
+		return 0
+	}
+	return len(g.outOff) - 1
+}
+
+// NumArcs returns the number of directed arcs.
+func (g *DiGraph) NumArcs() int { return len(g.out) }
+
+// OutDegree returns the number of out-neighbours of v.
+func (g *DiGraph) OutDegree(v V) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the number of in-neighbours of v.
+func (g *DiGraph) InDegree(v V) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Out returns the sorted out-neighbours of v (do not modify).
+func (g *DiGraph) Out(v V) []V { return g.out[g.outOff[v]:g.outOff[v+1]] }
+
+// In returns the sorted in-neighbours of v (do not modify).
+func (g *DiGraph) In(v V) []V { return g.in[g.inOff[v]:g.inOff[v+1]] }
+
+// HasArc reports whether the arc u→w exists.
+func (g *DiGraph) HasArc(u, w V) bool {
+	ns := g.Out(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= w })
+	return i < len(ns) && ns[i] == w
+}
+
+// Arcs returns all arcs sorted by (From, To).
+func (g *DiGraph) Arcs() []Arc {
+	arcs := make([]Arc, 0, g.NumArcs())
+	for u := V(0); u < V(g.NumVertices()); u++ {
+		for _, w := range g.Out(u) {
+			arcs = append(arcs, Arc{u, w})
+		}
+	}
+	return arcs
+}
+
+// TotalDegreeOrder returns vertices by descending in+out degree (ties by
+// id) — the landmark order for directed QbS.
+func (g *DiGraph) TotalDegreeOrder() []V {
+	n := g.NumVertices()
+	vs := make([]V, n)
+	for i := range vs {
+		vs[i] = V(i)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		di := g.OutDegree(vs[i]) + g.InDegree(vs[i])
+		dj := g.OutDegree(vs[j]) + g.InDegree(vs[j])
+		if di != dj {
+			return di > dj
+		}
+		return vs[i] < vs[j]
+	})
+	return vs
+}
+
+// Validate checks the dual-CSR invariants.
+func (g *DiGraph) Validate() error {
+	n := g.NumVertices()
+	if len(g.inOff) != len(g.outOff) {
+		return fmt.Errorf("digraph: offset arrays disagree")
+	}
+	if len(g.out) != len(g.in) {
+		return fmt.Errorf("digraph: arc arrays disagree (%d out, %d in)", len(g.out), len(g.in))
+	}
+	for v := 0; v < n; v++ {
+		for _, m := range []struct {
+			off []int64
+			adj []V
+		}{{g.outOff, g.out}, {g.inOff, g.in}} {
+			if m.off[v] > m.off[v+1] || m.off[v] < 0 || m.off[v+1] > int64(len(m.adj)) {
+				return fmt.Errorf("digraph: bad offsets at %d", v)
+			}
+		}
+		ns := g.Out(V(v))
+		for i, w := range ns {
+			if w < 0 || int(w) >= n || w == V(v) {
+				return fmt.Errorf("digraph: bad out-neighbour %d of %d", w, v)
+			}
+			if i > 0 && ns[i-1] >= w {
+				return fmt.Errorf("digraph: out list of %d unsorted", v)
+			}
+		}
+	}
+	// Every out-arc must appear as an in-arc.
+	for u := V(0); u < V(n); u++ {
+		for _, w := range g.Out(u) {
+			ins := g.In(w)
+			i := sort.Search(len(ins), func(i int) bool { return ins[i] >= u })
+			if i >= len(ins) || ins[i] != u {
+				return fmt.Errorf("digraph: arc %d->%d missing from in-adjacency", u, w)
+			}
+		}
+	}
+	return nil
+}
+
+// DiBuilder accumulates arcs and produces an immutable DiGraph.
+// Duplicates and self-loops are removed.
+type DiBuilder struct {
+	n    int
+	arcs []Arc
+}
+
+// NewDiBuilder creates a builder over n vertices.
+func NewDiBuilder(n int) *DiBuilder {
+	if n < 0 {
+		panic("digraph: negative vertex count")
+	}
+	return &DiBuilder{n: n}
+}
+
+// AddArc records the arc u→w; self-loops are ignored.
+func (b *DiBuilder) AddArc(u, w V) {
+	if u != w {
+		b.arcs = append(b.arcs, Arc{u, w})
+	}
+}
+
+// Build produces the immutable dual-CSR digraph.
+func (b *DiBuilder) Build() (*DiGraph, error) {
+	for _, a := range b.arcs {
+		if a.From < 0 || int(a.From) >= b.n || a.To < 0 || int(a.To) >= b.n {
+			return nil, fmt.Errorf("digraph: arc %d->%d out of range [0,%d)", a.From, a.To, b.n)
+		}
+	}
+	arcs := make([]Arc, len(b.arcs))
+	copy(arcs, b.arcs)
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].From != arcs[j].From {
+			return arcs[i].From < arcs[j].From
+		}
+		return arcs[i].To < arcs[j].To
+	})
+	dedup := arcs[:0]
+	for i, a := range arcs {
+		if i == 0 || a != arcs[i-1] {
+			dedup = append(dedup, a)
+		}
+	}
+	arcs = dedup
+
+	g := &DiGraph{
+		outOff: make([]int64, b.n+1),
+		inOff:  make([]int64, b.n+1),
+		out:    make([]V, len(arcs)),
+		in:     make([]V, len(arcs)),
+	}
+	for _, a := range arcs {
+		g.outOff[a.From+1]++
+		g.inOff[a.To+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		g.outOff[i] += g.outOff[i-1]
+		g.inOff[i] += g.inOff[i-1]
+	}
+	outCur := make([]int64, b.n)
+	inCur := make([]int64, b.n)
+	copy(outCur, g.outOff[:b.n])
+	copy(inCur, g.inOff[:b.n])
+	for _, a := range arcs {
+		g.out[outCur[a.From]] = a.To
+		outCur[a.From]++
+		g.in[inCur[a.To]] = a.From
+		inCur[a.To]++
+	}
+	for v := 0; v < b.n; v++ {
+		ins := g.in[g.inOff[v]:g.inOff[v+1]]
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *DiBuilder) MustBuild() *DiGraph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// DiFromArcs builds a digraph from an arc list.
+func DiFromArcs(n int, arcs []Arc) (*DiGraph, error) {
+	b := NewDiBuilder(n)
+	for _, a := range arcs {
+		b.AddArc(a.From, a.To)
+	}
+	return b.Build()
+}
+
+// MustDiFromArcs is DiFromArcs that panics on error.
+func MustDiFromArcs(n int, arcs []Arc) *DiGraph {
+	g, err := DiFromArcs(n, arcs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// AsDirected converts an undirected graph into a digraph with both arc
+// directions, so directed algorithms can be sanity-checked against their
+// undirected counterparts.
+func AsDirected(g *Graph) *DiGraph {
+	b := NewDiBuilder(g.NumVertices())
+	for u := V(0); u < V(g.NumVertices()); u++ {
+		for _, w := range g.Neighbors(u) {
+			b.AddArc(u, w)
+		}
+	}
+	return b.MustBuild()
+}
+
+// DirectedErdosRenyi samples m distinct directed arcs uniformly.
+func DirectedErdosRenyi(n, m int, seed int64) *DiGraph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewDiBuilder(n)
+	seen := make(map[Arc]struct{}, m)
+	for len(seen) < m && len(seen) < n*(n-1) {
+		a := Arc{V(rng.Intn(n)), V(rng.Intn(n))}
+		if a.From == a.To {
+			continue
+		}
+		if _, ok := seen[a]; ok {
+			continue
+		}
+		seen[a] = struct{}{}
+		b.AddArc(a.From, a.To)
+	}
+	return b.MustBuild()
+}
+
+// DirectedScaleFree grows a digraph by preferential attachment: each new
+// vertex adds m out-arcs to targets weighted by in-degree and m in-arcs
+// from sources weighted by out-degree, yielding hubby in/out degree
+// distributions like web graphs.
+func DirectedScaleFree(n, m int, seed int64) *DiGraph {
+	if m < 1 {
+		m = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewDiBuilder(n)
+	var inRep, outRep []V
+	seedSize := m + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for u := 0; u < seedSize; u++ {
+		w := (u + 1) % seedSize
+		if u != w {
+			b.AddArc(V(u), V(w))
+			outRep = append(outRep, V(u))
+			inRep = append(inRep, V(w))
+		}
+	}
+	for v := seedSize; v < n; v++ {
+		for i := 0; i < m; i++ {
+			t := inRep[rng.Intn(len(inRep))]
+			if t != V(v) {
+				b.AddArc(V(v), t)
+				outRep = append(outRep, V(v))
+				inRep = append(inRep, t)
+			}
+			s := outRep[rng.Intn(len(outRep))]
+			if s != V(v) {
+				b.AddArc(s, V(v))
+				outRep = append(outRep, s)
+				inRep = append(inRep, V(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}

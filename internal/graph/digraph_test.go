@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiBuilderDedupSelfLoops(t *testing.T) {
+	b := NewDiBuilder(4)
+	b.AddArc(0, 1)
+	b.AddArc(0, 1) // duplicate
+	b.AddArc(1, 0) // reverse is distinct in a digraph
+	b.AddArc(2, 2) // self-loop dropped
+	b.AddArc(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 3 {
+		t.Fatalf("arcs = %d, want 3", g.NumArcs())
+	}
+	if !g.HasArc(0, 1) || !g.HasArc(1, 0) || g.HasArc(3, 2) {
+		t.Fatal("arc membership wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiBuilderOutOfRange(t *testing.T) {
+	b := NewDiBuilder(2)
+	b.AddArc(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("out-of-range arc accepted")
+	}
+}
+
+func TestDiDegrees(t *testing.T) {
+	g := MustDiFromArcs(4, []Arc{{From: 0, To: 1}, {From: 0, To: 2}, {From: 3, To: 0}})
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees of 0: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if g.OutDegree(1) != 0 || g.InDegree(1) != 1 {
+		t.Fatal("degrees of 1")
+	}
+}
+
+func TestTotalDegreeOrder(t *testing.T) {
+	g := MustDiFromArcs(4, []Arc{
+		{From: 0, To: 1}, {From: 0, To: 2}, {From: 0, To: 3},
+		{From: 1, To: 0}, {From: 2, To: 0},
+	})
+	order := g.TotalDegreeOrder()
+	if order[0] != 0 {
+		t.Fatalf("order = %v, hub must be first", order)
+	}
+}
+
+func TestAsDirectedSymmetry(t *testing.T) {
+	ug := Grid(3, 3)
+	dg := AsDirected(ug)
+	if dg.NumArcs() != ug.NumArcs() {
+		t.Fatalf("arcs = %d, want %d", dg.NumArcs(), ug.NumArcs())
+	}
+	for u := V(0); u < 9; u++ {
+		for _, w := range ug.Neighbors(u) {
+			if !dg.HasArc(u, w) || !dg.HasArc(w, u) {
+				t.Fatalf("missing symmetric arcs %d<->%d", u, w)
+			}
+		}
+	}
+	if err := dg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedGeneratorsDeterministicAndValid(t *testing.T) {
+	a := DirectedErdosRenyi(200, 800, 3)
+	b := DirectedErdosRenyi(200, 800, 3)
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatal("DER nondeterministic")
+	}
+	aa, bb := a.Arcs(), b.Arcs()
+	for i := range aa {
+		if aa[i] != bb[i] {
+			t.Fatal("DER arcs differ")
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sf := DirectedScaleFree(500, 3, 7)
+	if err := sf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sf2 := DirectedScaleFree(500, 3, 7)
+	if sf.NumArcs() != sf2.NumArcs() {
+		t.Fatal("DSF nondeterministic")
+	}
+	// Scale-free: hubs must emerge.
+	maxIn := 0
+	for v := V(0); v < 500; v++ {
+		if d := sf.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 15 {
+		t.Fatalf("scale-free digraph lacks in-hubs: max in-degree %d", maxIn)
+	}
+}
+
+func TestDiBuilderQuickProperty(t *testing.T) {
+	check := func(data []byte) bool {
+		const n = 20
+		b := NewDiBuilder(n)
+		want := map[Arc]struct{}{}
+		for i := 0; i+1 < len(data) && i < 400; i += 2 {
+			u, w := V(data[i]%n), V(data[i+1]%n)
+			b.AddArc(u, w)
+			if u != w {
+				want[Arc{u, w}] = struct{}{}
+			}
+		}
+		g, err := b.Build()
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		if g.NumArcs() != len(want) {
+			return false
+		}
+		for _, a := range g.Arcs() {
+			if _, ok := want[a]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiSPGEqualOrdered(t *testing.T) {
+	a := NewDiSPG(0, 3)
+	a.Dist = 2
+	a.AddArc(0, 1)
+	a.AddArc(1, 3)
+	a.AddArc(1, 3) // dup
+	b := NewDiSPG(0, 3)
+	b.Dist = 2
+	b.AddArc(1, 3)
+	b.AddArc(0, 1)
+	if !a.Equal(b) {
+		t.Fatal("same arc sets must be equal")
+	}
+	c := NewDiSPG(3, 0) // reversed pair is NOT equal for directed
+	c.Dist = 2
+	c.AddArc(0, 1)
+	c.AddArc(1, 3)
+	if a.Equal(c) {
+		t.Fatal("directed SPGs with swapped endpoints must differ")
+	}
+	if a.NumArcs() != 2 {
+		t.Fatalf("NumArcs = %d", a.NumArcs())
+	}
+	vs := a.Vertices()
+	if len(vs) != 3 || vs[0] != 0 || vs[2] != 3 {
+		t.Fatalf("vertices = %v", vs)
+	}
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiSPG is a directed shortest path graph: exactly the union of all
+// shortest directed Source→Target paths. The directed analogue of SPG.
+type DiSPG struct {
+	Source, Target V
+	Dist           int32
+
+	arcs      []Arc
+	canonical bool
+}
+
+// NewDiSPG creates an empty directed shortest path graph.
+func NewDiSPG(u, v V) *DiSPG {
+	return &DiSPG{Source: u, Target: v, Dist: InfDist, canonical: true}
+}
+
+// AddArc records an arc of some shortest path (duplicates allowed).
+func (s *DiSPG) AddArc(from, to V) {
+	s.arcs = append(s.arcs, Arc{from, to})
+	s.canonical = false
+}
+
+// Canonicalize sorts and deduplicates the arc set.
+func (s *DiSPG) Canonicalize() {
+	if s.canonical {
+		return
+	}
+	sort.Slice(s.arcs, func(i, j int) bool {
+		if s.arcs[i].From != s.arcs[j].From {
+			return s.arcs[i].From < s.arcs[j].From
+		}
+		return s.arcs[i].To < s.arcs[j].To
+	})
+	out := s.arcs[:0]
+	for i, a := range s.arcs {
+		if i == 0 || a != s.arcs[i-1] {
+			out = append(out, a)
+		}
+	}
+	s.arcs = out
+	s.canonical = true
+}
+
+// Arcs returns the canonical sorted arc set (do not modify).
+func (s *DiSPG) Arcs() []Arc {
+	s.Canonicalize()
+	return s.arcs
+}
+
+// NumArcs returns the number of distinct arcs.
+func (s *DiSPG) NumArcs() int {
+	s.Canonicalize()
+	return len(s.arcs)
+}
+
+// Vertices returns the sorted vertex set covered by the arcs.
+func (s *DiSPG) Vertices() []V {
+	s.Canonicalize()
+	if len(s.arcs) == 0 {
+		if s.Source == s.Target {
+			return []V{s.Source}
+		}
+		return nil
+	}
+	set := map[V]struct{}{}
+	for _, a := range s.arcs {
+		set[a.From] = struct{}{}
+		set[a.To] = struct{}{}
+	}
+	out := make([]V, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two directed SPGs describe the same answer.
+// Unlike the undirected case, the pair is ordered.
+func (s *DiSPG) Equal(t *DiSPG) bool {
+	if s.Dist != t.Dist || s.Source != t.Source || s.Target != t.Target {
+		return false
+	}
+	a, b := s.Arcs(), t.Arcs()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify checks the defining property against the parent digraph g:
+// arc x→y belongs to the answer iff d(u,x) + 1 + d(y,v) = d(u,v).
+// distFromU is the forward distance array from Source; distToV the
+// backward distance array to Target.
+func (s *DiSPG) Verify(g *DiGraph, distFromU, distToV []int32) error {
+	if s.Source == s.Target {
+		if s.Dist != 0 || s.NumArcs() != 0 {
+			return fmt.Errorf("dispg: trivial pair must be empty with dist 0")
+		}
+		return nil
+	}
+	want := distFromU[s.Target]
+	if s.Dist != want {
+		return fmt.Errorf("dispg: dist = %d, want %d", s.Dist, want)
+	}
+	if s.Dist == InfDist {
+		if s.NumArcs() != 0 {
+			return fmt.Errorf("dispg: disconnected pair must be empty")
+		}
+		return nil
+	}
+	onShortest := func(a Arc) bool {
+		return distFromU[a.From] != InfDist && distToV[a.To] != InfDist &&
+			distFromU[a.From]+1+distToV[a.To] == s.Dist
+	}
+	for _, a := range s.Arcs() {
+		if !g.HasArc(a.From, a.To) {
+			return fmt.Errorf("dispg: arc %d->%d not in graph", a.From, a.To)
+		}
+		if !onShortest(a) {
+			return fmt.Errorf("dispg: arc %d->%d not on any shortest path", a.From, a.To)
+		}
+	}
+	count := 0
+	for u := V(0); u < V(g.NumVertices()); u++ {
+		for _, w := range g.Out(u) {
+			if onShortest(Arc{u, w}) {
+				count++
+			}
+		}
+	}
+	if got := s.NumArcs(); got != count {
+		return fmt.Errorf("dispg: has %d arcs, want %d", got, count)
+	}
+	return nil
+}
+
+// String renders a compact description.
+func (s *DiSPG) String() string {
+	var b strings.Builder
+	if s.Dist == InfDist {
+		fmt.Fprintf(&b, "DiSPG(%d,%d) dist=inf {}", s.Source, s.Target)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "DiSPG(%d,%d) dist=%d {", s.Source, s.Target, s.Dist)
+	for i, a := range s.Arcs() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d>%d", a.From, a.To)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList feeds arbitrary bytes to the text parser: it must
+// never panic, and anything it accepts must round-trip to a valid graph.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n% other\n10 20\n20 10\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("1\n"))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("9223372036854775807 1\n"))
+	f.Add([]byte("-3 4\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, orig, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph invalid: %v", err)
+		}
+		if len(orig) != g.NumVertices() {
+			t.Fatalf("id mapping length %d != |V| %d", len(orig), g.NumVertices())
+		}
+	})
+}
+
+// FuzzReadBinary feeds arbitrary bytes to the binary reader: it must
+// reject or return a valid graph, never panic.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteBinary(&buf, Cycle(5))
+	f.Add(buf.Bytes())
+	f.Add([]byte("QBSG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted binary graph invalid: %v", err)
+		}
+	})
+}
+
+// FuzzBuilder interprets the fuzz payload as an edge stream over a small
+// vertex set: Build must produce a valid CSR for any input.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{5, 5, 5, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 16
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(data); i += 2 {
+			b.AddEdge(V(data[i]%n), V(data[i+1]%n))
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("in-range edges rejected: %v", err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,466 @@
+// Package graph provides the static graph substrate used throughout the
+// Query-by-Sketch (QbS) reproduction: a compressed sparse row (CSR)
+// representation of an unweighted, undirected graph, an incremental
+// builder, text and binary I/O, synthetic network generators, and basic
+// structural statistics.
+//
+// All algorithms in this repository (the QbS index, the PPL/ParentPPL
+// baselines and the search baselines) operate on the immutable Graph type
+// defined here. Vertices are dense int32 identifiers in [0, NumVertices).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// V is the vertex identifier type. Vertices are dense integers in
+// [0, NumVertices). int32 keeps adjacency arrays compact, which matters
+// for the cache behaviour of BFS-heavy workloads.
+type V = int32
+
+// Edge is an undirected edge between two vertices. Normalised edges have
+// U <= W.
+type Edge struct {
+	U, W V
+}
+
+// Normalize returns the edge with endpoints ordered so that U <= W.
+func (e Edge) Normalize() Edge {
+	if e.U > e.W {
+		return Edge{e.W, e.U}
+	}
+	return e
+}
+
+// Graph is an immutable unweighted, undirected graph in CSR form.
+// Each undirected edge {u, w} is stored as two arcs (u→w and w→u).
+//
+// The zero value is an empty graph. Construct graphs with a Builder,
+// one of the generators, or a reader.
+type Graph struct {
+	offsets []int64 // len = n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []V     // concatenated, per-vertex sorted neighbour lists
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns |E|, the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// NumArcs returns the number of stored arcs (2·|E| for undirected graphs).
+func (g *Graph) NumArcs() int { return len(g.adj) }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v V) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbour list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v V) []V {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, w} exists. It binary
+// searches the smaller of the two adjacency lists.
+func (g *Graph) HasEdge(u, w V) bool {
+	if u == w {
+		return false
+	}
+	if g.Degree(u) > g.Degree(w) {
+		u, w = w, u
+	}
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= w })
+	return i < len(ns) && ns[i] == w
+}
+
+// Edges returns all undirected edges, normalised (U <= W) and sorted.
+// It allocates a fresh slice of length NumEdges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := V(0); u < V(g.NumVertices()); u++ {
+		for _, w := range g.Neighbors(u) {
+			if u < w {
+				out = append(out, Edge{u, w})
+			}
+		}
+	}
+	return out
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(V(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree (2|E| / |V|), or 0 for an
+// empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	return float64(g.NumArcs()) / float64(g.NumVertices())
+}
+
+// SizeBytes reports the in-memory footprint of the adjacency structure
+// using the paper's accounting for Table 1: each arc appears in an
+// adjacency list and is charged 8 bytes.
+func (g *Graph) SizeBytes() int64 { return int64(g.NumArcs()) * 8 }
+
+// VerticesByDegree returns all vertices sorted by descending degree,
+// breaking ties by ascending vertex id (making the order deterministic).
+func (g *Graph) VerticesByDegree() []V {
+	n := g.NumVertices()
+	vs := make([]V, n)
+	for i := range vs {
+		vs[i] = V(i)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		di, dj := g.Degree(vs[i]), g.Degree(vs[j])
+		if di != dj {
+			return di > dj
+		}
+		return vs[i] < vs[j]
+	})
+	return vs
+}
+
+// TopDegreeVertices returns the k highest-degree vertices (deterministic
+// tie-break by id). If k exceeds |V|, all vertices are returned.
+func (g *Graph) TopDegreeVertices(k int) []V {
+	vs := g.VerticesByDegree()
+	if k > len(vs) {
+		k = len(vs)
+	}
+	return vs[:k]
+}
+
+// Validate checks internal invariants of the CSR structure: offsets are
+// monotone, neighbour lists are sorted, free of self-loops and duplicates,
+// and every arc has a reverse arc. It is used by tests and the binary
+// reader.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.offsets) == 0 {
+		if len(g.adj) != 0 {
+			return fmt.Errorf("graph: adjacency without offsets")
+		}
+		return nil
+	}
+	if g.offsets[0] != 0 || g.offsets[n] != int64(len(g.adj)) {
+		return fmt.Errorf("graph: offset endpoints invalid")
+	}
+	// Validate the whole offset array before any adjacency slicing: a
+	// corrupt file must not cause out-of-range slice panics below.
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		if g.offsets[v] < 0 || g.offsets[v+1] > int64(len(g.adj)) {
+			return fmt.Errorf("graph: offsets out of range at vertex %d", v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(V(v))
+		for i, w := range ns {
+			if w < 0 || int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, w)
+			}
+			if w == V(v) {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > 0 && ns[i-1] >= w {
+				return fmt.Errorf("graph: unsorted or duplicate neighbour %d of vertex %d", w, v)
+			}
+			if !g.HasEdge(w, V(v)) {
+				return fmt.Errorf("graph: missing reverse arc %d->%d", w, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges, reversed duplicates and self-loops are removed. Directed inputs
+// are symmetrised, matching the paper's treatment of all datasets as
+// undirected (the |E_un| column of Table 1).
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder creates a builder for a graph with n vertices. Vertices are
+// implicit: every id in [0, n) is a vertex even if isolated.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, w}. Self-loops are ignored.
+// Endpoints outside [0, n) cause Build to fail.
+func (b *Builder) AddEdge(u, w V) {
+	if u == w {
+		return
+	}
+	b.edges = append(b.edges, Edge{u, w}.Normalize())
+}
+
+// NumPendingEdges returns the number of edges recorded so far, before
+// deduplication.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the immutable CSR graph, deduplicating edges. The
+// builder remains usable afterwards (Build may be called again after
+// further AddEdge calls).
+func (b *Builder) Build() (*Graph, error) {
+	for _, e := range b.edges {
+		if e.U < 0 || int(e.W) >= b.n {
+			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", e.U, e.W, b.n)
+		}
+	}
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].W < edges[j].W
+	})
+	edges = dedupEdges(edges)
+
+	deg := make([]int64, b.n+1)
+	for _, e := range edges {
+		deg[e.U+1]++
+		deg[e.W+1]++
+	}
+	offsets := make([]int64, b.n+1)
+	for i := 1; i <= b.n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]V, offsets[b.n])
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range edges {
+		adj[cursor[e.U]] = e.W
+		cursor[e.U]++
+		adj[cursor[e.W]] = e.U
+		cursor[e.W]++
+	}
+	g := &Graph{offsets: offsets, adj: adj}
+	// Input edges were sorted by (U,W); per-vertex lists of the U side are
+	// emitted in order, but the W side may interleave, so sort each list.
+	for v := 0; v < b.n; v++ {
+		ns := adj[offsets[v]:offsets[v+1]]
+		if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i] < ns[j] }) {
+			sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and
+// generators whose inputs are in-range by construction.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func dedupEdges(sorted []Edge) []Edge {
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i == 0 || e != sorted[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.W)
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges that panics on error.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// InducedSubgraph returns the subgraph induced by keep (vertices with
+// keep[v] true), preserving original vertex ids (vertices not kept become
+// isolated). This is the explicit form of the paper's sparsified graph
+// G[V\R]; the QbS query path uses an implicit representation instead, but
+// the explicit form is useful for tests and the ablation benchmarks.
+func (g *Graph) InducedSubgraph(keep func(V) bool) *Graph {
+	b := NewBuilder(g.NumVertices())
+	for u := V(0); u < V(g.NumVertices()); u++ {
+		if !keep(u) {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			if u < w && keep(w) {
+				b.AddEdge(u, w)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// ConnectedComponents labels each vertex with a component id in
+// [0, count) and returns the labels and the component count. Component
+// ids are assigned in order of the smallest vertex they contain.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]V, 0, 1024)
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], V(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(u) {
+				if labels[w] < 0 {
+					labels[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the subgraph restricted to the largest
+// connected component with vertices re-numbered densely, together with
+// the mapping from new ids to original ids. Generators use it to deliver
+// connected graphs, mirroring the paper's assumption of connectivity.
+func (g *Graph) LargestComponent() (*Graph, []V) {
+	labels, count := g.ConnectedComponents()
+	if count <= 1 {
+		ids := make([]V, g.NumVertices())
+		for i := range ids {
+			ids[i] = V(i)
+		}
+		return g, ids
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	remap := make([]V, g.NumVertices())
+	orig := make([]V, 0, sizes[best])
+	for v := range remap {
+		if labels[v] == int32(best) {
+			remap[v] = V(len(orig))
+			orig = append(orig, V(v))
+		} else {
+			remap[v] = -1
+		}
+	}
+	b := NewBuilder(sizes[best])
+	for _, u := range orig {
+		for _, w := range g.Neighbors(u) {
+			if remap[w] >= 0 && remap[u] < remap[w] {
+				b.AddEdge(remap[u], remap[w])
+			}
+		}
+	}
+	return b.MustBuild(), orig
+}
+
+// Stats summarises a graph for reporting (Table 1 columns).
+type Stats struct {
+	NumVertices int
+	NumEdges    int
+	MaxDegree   int
+	AvgDegree   float64
+	SizeBytes   int64
+}
+
+// ComputeStats gathers the structural statistics of g.
+func ComputeStats(g *Graph) Stats {
+	return Stats{
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+		MaxDegree:   g.MaxDegree(),
+		AvgDegree:   g.AvgDegree(),
+		SizeBytes:   g.SizeBytes(),
+	}
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d,
+// up to the maximum degree.
+func (g *Graph) DegreeHistogram() []int {
+	h := make([]int, g.MaxDegree()+1)
+	for v := 0; v < g.NumVertices(); v++ {
+		h[g.Degree(V(v))]++
+	}
+	return h
+}
+
+// GiniDegree returns the Gini coefficient of the degree distribution, a
+// scale-free measure of degree skew in [0, 1). Dataset analogs use it to
+// verify hub-dominated vs flat-degree structure (the distinction the
+// paper draws between e.g. Twitter and Friendster in §6.3).
+func GiniDegree(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	degs := make([]float64, n)
+	for v := 0; v < n; v++ {
+		degs[v] = float64(g.Degree(V(v)))
+	}
+	sort.Float64s(degs)
+	var cum, total float64
+	for i, d := range degs {
+		cum += d * float64(i+1)
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	gini := (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+	return math.Max(0, gini)
+}

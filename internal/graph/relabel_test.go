@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRelabelIsIsomorphism(t *testing.T) {
+	g := ErdosRenyi(200, 500, 5)
+	for _, f := range []func(*Graph) (*Graph, []V, []V){RelabelByDegree, RelabelByBFS} {
+		rl, perm, orig := f(g)
+		if rl.NumVertices() != g.NumVertices() || rl.NumEdges() != g.NumEdges() {
+			t.Fatal("relabeling changed graph size")
+		}
+		for v := V(0); v < V(g.NumVertices()); v++ {
+			if orig[perm[v]] != v {
+				t.Fatal("perm and orig are not inverses")
+			}
+		}
+		// Every original edge maps to a relabeled edge and vice versa.
+		for _, e := range g.Edges() {
+			if !rl.HasEdge(perm[e.U], perm[e.W]) {
+				t.Fatalf("edge %v lost", e)
+			}
+		}
+		if err := rl.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRelabelByDegreeOrdersHubsFirst(t *testing.T) {
+	g := Star(20)
+	rl, perm, _ := RelabelByDegree(g)
+	if perm[0] != 0 {
+		t.Fatalf("hub must become vertex 0, got %d", perm[0])
+	}
+	if rl.Degree(0) != 19 {
+		t.Fatal("vertex 0 of the relabeled graph must be the hub")
+	}
+}
+
+func TestRelabelByBFSContiguity(t *testing.T) {
+	g := Path(10)
+	rl, _, _ := RelabelByBFS(g)
+	// BFS from an endpoint of a path visits in order: neighbours must
+	// stay within distance ≤ 2 in the new numbering.
+	for v := V(0); v < 10; v++ {
+		for _, w := range rl.Neighbors(v) {
+			d := int(v) - int(w)
+			if d < 0 {
+				d = -d
+			}
+			if d > 2 {
+				t.Fatalf("BFS relabeling scattered neighbours: %d-%d", v, w)
+			}
+		}
+	}
+}
+
+func TestRelabelRejectsBadPermutation(t *testing.T) {
+	g := Path(4)
+	if _, err := Relabel(g, []V{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := Relabel(g, []V{0, 1, 1, 2}); err == nil {
+		t.Fatal("duplicate permutation accepted")
+	}
+	if _, err := Relabel(g, []V{0, 1, 2, 9}); err == nil {
+		t.Fatal("out-of-range permutation accepted")
+	}
+}
+
+func TestRelabelPreservesDistances(t *testing.T) {
+	g := BarabasiAlbert(300, 3, 9)
+	rl, perm, _ := RelabelByDegree(g)
+	rng := rand.New(rand.NewSource(4))
+	// Distances are isomorphism-invariant; spot-check via simple BFS.
+	for i := 0; i < 30; i++ {
+		u := V(rng.Intn(g.NumVertices()))
+		v := V(rng.Intn(g.NumVertices()))
+		if bfsDist(g, u, v) != bfsDist(rl, perm[u], perm[v]) {
+			t.Fatalf("distance changed under relabeling for (%d,%d)", u, v)
+		}
+	}
+}
+
+func bfsDist(g *Graph, u, v V) int32 {
+	if u == v {
+		return 0
+	}
+	dist := make([]int32, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []V{u}
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		for _, w := range g.Neighbors(x) {
+			if dist[w] < 0 {
+				dist[w] = dist[x] + 1
+				if w == v {
+					return dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// InfDist marks an infinite distance (disconnected query pair).
+const InfDist = int32(math.MaxInt32)
+
+// SPG is a shortest path graph: the answer to a query SPG(u, v), holding
+// exactly the union of all shortest paths between Source and Target
+// (Definition 2.2 of the paper). Edges are accumulated by the query
+// algorithms (possibly with duplicates) and canonicalised on demand.
+//
+// Dist is the shortest path distance, or InfDist when Source and Target
+// are disconnected (in which case the SPG is empty). A query with
+// Source == Target yields Dist 0 and an empty SPG.
+type SPG struct {
+	Source, Target V
+	Dist           int32
+
+	edges     []Edge
+	canonical bool
+}
+
+// NewSPG creates an empty shortest path graph for the pair (u, v).
+func NewSPG(u, v V) *SPG {
+	return &SPG{Source: u, Target: v, Dist: InfDist, canonical: true}
+}
+
+// AddEdge records an edge of some shortest path. Duplicates are fine;
+// they are removed on canonicalisation.
+func (s *SPG) AddEdge(u, w V) {
+	s.edges = append(s.edges, Edge{u, w}.Normalize())
+	s.canonical = false
+}
+
+// Canonicalize sorts the edge set and removes duplicates. All read
+// accessors call it implicitly.
+func (s *SPG) Canonicalize() {
+	if s.canonical {
+		return
+	}
+	sort.Slice(s.edges, func(i, j int) bool {
+		if s.edges[i].U != s.edges[j].U {
+			return s.edges[i].U < s.edges[j].U
+		}
+		return s.edges[i].W < s.edges[j].W
+	})
+	s.edges = dedupEdges(s.edges)
+	s.canonical = true
+}
+
+// Edges returns the canonical sorted edge set. The slice aliases internal
+// storage and must not be modified.
+func (s *SPG) Edges() []Edge {
+	s.Canonicalize()
+	return s.edges
+}
+
+// NumEdges returns the number of distinct edges.
+func (s *SPG) NumEdges() int {
+	s.Canonicalize()
+	return len(s.edges)
+}
+
+// Vertices returns the sorted set of vertices covered by the edge set.
+// For the trivial query u == v it returns just {u}.
+func (s *SPG) Vertices() []V {
+	s.Canonicalize()
+	if len(s.edges) == 0 {
+		if s.Source == s.Target {
+			return []V{s.Source}
+		}
+		return nil
+	}
+	set := make(map[V]struct{}, len(s.edges))
+	for _, e := range s.edges {
+		set[e.U] = struct{}{}
+		set[e.W] = struct{}{}
+	}
+	out := make([]V, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Equal reports whether two SPGs describe the same answer: same pair
+// (order-insensitive), same distance and same edge set.
+func (s *SPG) Equal(t *SPG) bool {
+	if s.Dist != t.Dist {
+		return false
+	}
+	samePair := (s.Source == t.Source && s.Target == t.Target) ||
+		(s.Source == t.Target && s.Target == t.Source)
+	if !samePair {
+		return false
+	}
+	a, b := s.Edges(), t.Edges()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CountShortestPaths counts the number of distinct shortest paths the
+// SPG encodes, by dynamic programming over the DAG induced by distance
+// levels from Source. distFromSource must give the distance of every SPG
+// vertex from Source within the SPG's parent graph. Used by examples and
+// tests (e.g. verifying Figure 1-style multiplicity).
+func (s *SPG) CountShortestPaths(distFromSource func(V) int32) int64 {
+	if s.Source == s.Target {
+		return 1
+	}
+	if s.Dist == InfDist {
+		return 0
+	}
+	adj := make(map[V][]V)
+	for _, e := range s.Edges() {
+		du, dw := distFromSource(e.U), distFromSource(e.W)
+		switch {
+		case du+1 == dw:
+			adj[e.U] = append(adj[e.U], e.W)
+		case dw+1 == du:
+			adj[e.W] = append(adj[e.W], e.U)
+		}
+	}
+	memo := make(map[V]int64)
+	var count func(v V) int64
+	count = func(v V) int64 {
+		if v == s.Target {
+			return 1
+		}
+		if c, ok := memo[v]; ok {
+			return c
+		}
+		var c int64
+		for _, w := range adj[v] {
+			c += count(w)
+		}
+		memo[v] = c
+		return c
+	}
+	return count(s.Source)
+}
+
+// Verify checks the defining property of a shortest path graph against
+// its parent graph g: every edge lies on at least one shortest
+// Source–Target path, and every shortest-path edge is present. distU and
+// distV are full distance arrays from Source and Target in g. It returns
+// a descriptive error on the first violation; tests use it as an
+// independent check alongside oracle equality.
+func (s *SPG) Verify(g *Graph, distU, distV []int32) error {
+	d := s.Dist
+	if s.Source == s.Target {
+		if d != 0 || s.NumEdges() != 0 {
+			return fmt.Errorf("spg: trivial pair must have dist 0 and no edges")
+		}
+		return nil
+	}
+	trueDist := distU[s.Target]
+	if d != trueDist {
+		return fmt.Errorf("spg: dist = %d, want %d", d, trueDist)
+	}
+	if d == InfDist {
+		if s.NumEdges() != 0 {
+			return fmt.Errorf("spg: disconnected pair must have empty SPG")
+		}
+		return nil
+	}
+	onShortest := func(e Edge) bool {
+		if distU[e.U] == InfDist || distV[e.W] == InfDist {
+			return false
+		}
+		return distU[e.U]+1+distV[e.W] == d || distU[e.W]+1+distV[e.U] == d
+	}
+	for _, e := range s.Edges() {
+		if !g.HasEdge(e.U, e.W) {
+			return fmt.Errorf("spg: edge {%d,%d} not in graph", e.U, e.W)
+		}
+		if !onShortest(e) {
+			return fmt.Errorf("spg: edge {%d,%d} not on any shortest path", e.U, e.W)
+		}
+	}
+	want := 0
+	for u := V(0); u < V(g.NumVertices()); u++ {
+		for _, w := range g.Neighbors(u) {
+			if u < w && onShortest(Edge{u, w}) {
+				want++
+			}
+		}
+	}
+	if got := s.NumEdges(); got != want {
+		return fmt.Errorf("spg: has %d edges, want %d", got, want)
+	}
+	return nil
+}
+
+// String renders a compact human-readable description.
+func (s *SPG) String() string {
+	var b strings.Builder
+	if s.Dist == InfDist {
+		fmt.Fprintf(&b, "SPG(%d,%d) dist=inf {}", s.Source, s.Target)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "SPG(%d,%d) dist=%d {", s.Source, s.Target, s.Dist)
+	for i, e := range s.Edges() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%d-%d", e.U, e.W)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package pll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"qbs/internal/bfs"
+	"qbs/internal/graph"
+	"qbs/internal/ppl"
+)
+
+func connected(g *graph.Graph) *graph.Graph {
+	lc, _ := g.LargestComponent()
+	return lc
+}
+
+func TestDistanceMatchesBFS(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":  graph.Path(12),
+		"cycle": graph.Cycle(11),
+		"star":  graph.Star(20),
+		"grid":  graph.Grid(6, 6),
+		"er":    connected(graph.ErdosRenyi(200, 450, 1)),
+		"ba":    connected(graph.BarabasiAlbert(200, 3, 2)),
+		"disconnected": graph.MustFromEdges(6, []graph.Edge{
+			{U: 0, W: 1}, {U: 2, W: 3}, {U: 4, W: 5},
+		}),
+	}
+	for name, g := range graphs {
+		ix := MustBuild(g, Options{})
+		rng := rand.New(rand.NewSource(3))
+		n := g.NumVertices()
+		for i := 0; i < 200; i++ {
+			u := graph.V(rng.Intn(n))
+			v := graph.V(rng.Intn(n))
+			want := bfs.Distance(g, u, v)
+			if want == bfs.Infinity {
+				want = graph.InfDist
+			}
+			if got := ix.Distance(u, v); got != want {
+				t.Fatalf("%s: d(%d,%d)=%d want %d", name, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPLLPrunesMoreThanPPL(t *testing.T) {
+	// Distance cover needs one witness per pair; path cover needs one
+	// per path. PLL labels must therefore be no larger than PPL's.
+	for seed := int64(0); seed < 4; seed++ {
+		g := connected(graph.BarabasiAlbert(250, 3, seed))
+		a := MustBuild(g, Options{})
+		b := ppl.MustBuild(g, ppl.Options{})
+		if a.NumEntries() > b.NumEntries() {
+			t.Fatalf("seed %d: PLL %d entries > PPL %d", seed, a.NumEntries(), b.NumEntries())
+		}
+	}
+}
+
+func TestHubLabelsSmall(t *testing.T) {
+	// On a star, PLL needs O(1) entries per vertex: the centre covers
+	// everything.
+	g := graph.Star(100)
+	ix := MustBuild(g, Options{})
+	for v := graph.V(0); v < 100; v++ {
+		if ix.LabelSize(v) > 2 {
+			t.Fatalf("vertex %d has %d entries", v, ix.LabelSize(v))
+		}
+	}
+	if ix.NumEntries() >= 300 {
+		t.Fatalf("star labelling too large: %d", ix.NumEntries())
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	g := connected(graph.ErdosRenyi(500, 1500, 9))
+	if _, err := Build(g, Options{MaxTime: time.Nanosecond}); err != ErrTimeBudget {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	g := graph.Cycle(10)
+	ix := MustBuild(g, Options{})
+	if ix.SizeBytes() != ix.NumEntries()*5 {
+		t.Fatal("size accounting")
+	}
+	if ix.BuildTime() <= 0 {
+		t.Fatal("build time not recorded")
+	}
+}
+
+func TestQuickDistanceProperty(t *testing.T) {
+	check := func(seed int64, nRaw, mRaw uint8) bool {
+		n := 5 + int(nRaw)%70
+		m := int(mRaw) % (3 * n)
+		g := graph.ErdosRenyi(n, m, seed)
+		ix := MustBuild(g, Options{})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 10; i++ {
+			u := graph.V(rng.Intn(n))
+			v := graph.V(rng.Intn(n))
+			want := bfs.Distance(g, u, v)
+			if want == bfs.Infinity {
+				want = graph.InfDist
+			}
+			if ix.Distance(u, v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

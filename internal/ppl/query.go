@@ -1,0 +1,167 @@
+package ppl
+
+import (
+	"qbs/internal/graph"
+)
+
+// Query answering (§3.2). PPL reconstructs the shortest path graph by
+// recursively splitting each pair at the common landmarks witnessing the
+// distance: SPG(u, v) = ⋃_{r ∈ V_uv} SPG(u, r) ∪ SPG(v, r). The
+// recursion memoises processed pairs, but labels of a vertex are still
+// consulted repeatedly and edges can be rediscovered along different
+// splits — the redundancy the paper identifies as PPL's weakness
+// (Example 3.4).
+//
+// ParentPPL walks the parent sets stored with each label entry instead,
+// falling back to the landmark split when an entry was pruned.
+
+// pairKey canonicalises an unordered vertex pair for memoisation.
+func pairKey(u, v graph.V) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// Query answers SPG(u, v) from a PPL or ParentPPL index.
+func (ix *Index) Query(u, v graph.V) *graph.SPG {
+	spg := graph.NewSPG(u, v)
+	if u == v {
+		spg.Dist = 0
+		return spg
+	}
+	d := ix.Distance(u, v)
+	spg.Dist = d
+	if d == graph.InfDist {
+		return spg
+	}
+	type task struct {
+		u, v graph.V
+		d    int32
+	}
+	done := make(map[uint64]bool)
+	stack := []task{{u, v, d}}
+	done[pairKey(u, v)] = true
+	push := func(a, b graph.V, dd int32) {
+		k := pairKey(a, b)
+		if !done[k] {
+			done[k] = true
+			stack = append(stack, task{a, b, dd})
+		}
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.d == 1 {
+			spg.AddEdge(t.u, t.v)
+			continue
+		}
+		if ix.withParents {
+			ix.expandWithParents(spg, t.u, t.v, t.d, push)
+			continue
+		}
+		for _, m := range ix.commonMinimizers(t.u, t.v, t.d) {
+			push(t.u, m.r, m.du)
+			push(t.v, m.r, m.dv)
+		}
+	}
+	return spg
+}
+
+// expandWithParents handles one pair using stored parent sets: if either
+// side's label carries an entry for the other side as a landmark, walk
+// its parents; otherwise split at common minimizing landmarks as PPL
+// does. Walking emits the first edge of every shortest path from the
+// labelled vertex and recurses on the remainder.
+func (ix *Index) expandWithParents(spg *graph.SPG, u, v graph.V, d int32, push func(graph.V, graph.V, int32)) {
+	// Prefer walking toward the higher-ranked (higher-degree) endpoint,
+	// which is the more likely BFS root.
+	if e := ix.findEntry(u, v); e != nil && len(e.parents) > 0 {
+		for _, w := range e.parents {
+			spg.AddEdge(u, w)
+			if d > 1 && w != v {
+				push(w, v, d-1)
+			}
+		}
+		return
+	}
+	if e := ix.findEntry(v, u); e != nil && len(e.parents) > 0 {
+		for _, w := range e.parents {
+			spg.AddEdge(v, w)
+			if d > 1 && w != u {
+				push(w, u, d-1)
+			}
+		}
+		return
+	}
+	for _, m := range ix.commonMinimizers(u, v, d) {
+		push(u, m.r, m.du)
+		push(v, m.r, m.dv)
+	}
+}
+
+// findEntry returns u's label entry whose landmark is the vertex t, or
+// nil (binary search over the rank-sorted label).
+func (ix *Index) findEntry(u, t graph.V) *entry {
+	rank := ix.rankOf[t]
+	es := ix.labels[u]
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if es[mid].rank < rank {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(es) && es[lo].rank == rank {
+		return &es[lo]
+	}
+	return nil
+}
+
+// VerifyPathCover checks the 2-hop path cover property (Definition 3.2)
+// by brute force: for every pair at distance ≥ 2, every shortest path
+// must contain an interior vertex that is a common label landmark
+// witnessing the distance. Exponential in path multiplicity; tests use
+// it on small graphs only. Returns the first violating pair.
+func (ix *Index) VerifyPathCover(distFn func(a, b graph.V) int32) (bad [2]graph.V, ok bool) {
+	g := ix.g
+	n := g.NumVertices()
+	for u := graph.V(0); u < graph.V(n); u++ {
+		for v := u + 1; v < graph.V(n); v++ {
+			d := distFn(u, v)
+			if d < 2 || d == graph.InfDist {
+				continue
+			}
+			if !ix.coversAllPaths(u, v, d, distFn) {
+				return [2]graph.V{u, v}, false
+			}
+		}
+	}
+	return bad, true
+}
+
+// coversAllPaths enumerates all shortest u–v paths (DFS over the
+// distance DAG) and checks each contains an interior common minimizer.
+func (ix *Index) coversAllPaths(u, v graph.V, d int32, distFn func(a, b graph.V) int32) bool {
+	mins := map[graph.V]bool{}
+	for _, m := range ix.commonMinimizers(u, v, d) {
+		mins[m.r] = true
+	}
+	var dfs func(x graph.V, depth int32, seenMin bool) bool
+	dfs = func(x graph.V, depth int32, seenMin bool) bool {
+		if x == v {
+			return seenMin
+		}
+		for _, w := range ix.g.Neighbors(x) {
+			if distFn(u, w) == depth+1 && distFn(w, v) == d-depth-1 {
+				if !dfs(w, depth+1, seenMin || (w != v && mins[w])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return dfs(u, 0, false)
+}

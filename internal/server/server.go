@@ -1,0 +1,267 @@
+// Package server exposes a QbS index over HTTP with a small JSON API —
+// the deployment shape a production user of the library would run:
+// build (or load) the index once, then serve shortest-path-graph
+// queries at microsecond latency.
+//
+// Endpoints:
+//
+//	GET /spg?u=<id>&v=<id>        the shortest path graph of the pair
+//	GET /distance?u=<id>&v=<id>   just the distance
+//	GET /sketch?u=<id>&v=<id>     the query sketch (d⊤, minimizing pairs)
+//	GET /paths?u=<id>&v=<id>&limit=<n>  enumerated shortest paths
+//	GET /stats                    index and graph statistics
+//	GET /healthz                  liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"qbs"
+	"qbs/internal/analysis"
+)
+
+// Server handles the HTTP API over one immutable index.
+type Server struct {
+	index *qbs.Index
+	mux   *http.ServeMux
+}
+
+// New creates a server for the given index.
+func New(index *qbs.Index) *Server {
+	s := &Server{index: index, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /spg", s.handleSPG)
+	s.mux.HandleFunc("GET /distance", s.handleDistance)
+	s.mux.HandleFunc("GET /sketch", s.handleSketch)
+	s.mux.HandleFunc("GET /paths", s.handlePaths)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) pair(w http.ResponseWriter, r *http.Request) (u, v qbs.V, ok bool) {
+	parse := func(name string) (qbs.V, bool) {
+		raw := r.URL.Query().Get(name)
+		id, err := strconv.Atoi(raw)
+		if err != nil || id < 0 || id >= s.index.Graph().NumVertices() {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("parameter %q must be a vertex id in [0,%d), got %q",
+					name, s.index.Graph().NumVertices(), raw),
+			})
+			return 0, false
+		}
+		return qbs.V(id), true
+	}
+	u, ok = parse("u")
+	if !ok {
+		return
+	}
+	v, ok = parse("v")
+	return
+}
+
+// SPGResponse is the JSON body of /spg.
+type SPGResponse struct {
+	Source       int32      `json:"source"`
+	Target       int32      `json:"target"`
+	Distance     *int32     `json:"distance"` // null when disconnected
+	Vertices     []int32    `json:"vertices"`
+	Edges        [][2]int32 `json:"edges"`
+	NumPaths     int64      `json:"num_shortest_paths"`
+	DTop         *int32     `json:"d_top"`
+	ArcsScanned  int64      `json:"arcs_scanned"`
+	Coverage     string     `json:"coverage"`
+	Disconnected bool       `json:"disconnected"`
+}
+
+func coverageName(c qbs.QueryStats) string {
+	switch c.Coverage {
+	case qbs.CoverageAll:
+		return "all"
+	case qbs.CoverageSome:
+		return "some"
+	case qbs.CoverageNone:
+		return "none"
+	default:
+		return "trivial"
+	}
+}
+
+func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	spg, st := s.index.QueryWithStats(u, v)
+	resp := SPGResponse{
+		Source:      u,
+		Target:      v,
+		ArcsScanned: st.ArcsScanned,
+		Coverage:    coverageName(st),
+	}
+	if spg.Dist == qbs.InfDist {
+		resp.Disconnected = true
+	} else {
+		d := spg.Dist
+		resp.Distance = &d
+		if st.DTop != qbs.InfDist {
+			dt := st.DTop
+			resp.DTop = &dt
+		}
+		resp.Vertices = spg.Vertices()
+		for _, e := range spg.Edges() {
+			resp.Edges = append(resp.Edges, [2]int32{e.U, e.W})
+		}
+		if dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.index.Distance(u, x) }); dag != nil {
+			resp.NumPaths = dag.CountPaths()
+		} else if u == v {
+			resp.NumPaths = 1
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DistanceResponse is the JSON body of /distance.
+type DistanceResponse struct {
+	Source       int32  `json:"source"`
+	Target       int32  `json:"target"`
+	Distance     *int32 `json:"distance"`
+	Disconnected bool   `json:"disconnected"`
+}
+
+func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	d := s.index.Distance(u, v)
+	resp := DistanceResponse{Source: u, Target: v}
+	if d == qbs.InfDist {
+		resp.Disconnected = true
+	} else {
+		resp.Distance = &d
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SketchResponse is the JSON body of /sketch.
+type SketchResponse struct {
+	Source    int32      `json:"source"`
+	Target    int32      `json:"target"`
+	DTop      *int32     `json:"d_top"`
+	Pairs     [][2]int32 `json:"minimizing_landmark_pairs"` // landmark vertex ids
+	Landmarks []int32    `json:"landmarks"`
+}
+
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	sk := s.index.Sketch(u, v)
+	resp := SketchResponse{Source: u, Target: v, Landmarks: s.index.Landmarks()}
+	if sk.DTop != qbs.InfDist {
+		dt := sk.DTop
+		resp.DTop = &dt
+		for _, p := range sk.Pairs {
+			resp.Pairs = append(resp.Pairs, [2]int32{
+				s.index.Landmarks()[p.R], s.index.Landmarks()[p.RPrime],
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// PathsResponse is the JSON body of /paths.
+type PathsResponse struct {
+	Source    int32     `json:"source"`
+	Target    int32     `json:"target"`
+	Distance  *int32    `json:"distance"`
+	NumPaths  int64     `json:"num_shortest_paths"`
+	Paths     [][]int32 `json:"paths"`
+	Truncated bool      `json:"truncated"`
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	limit := 16
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 1024 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "limit must be in [1,1024]"})
+			return
+		}
+		limit = n
+	}
+	spg := s.index.Query(u, v)
+	resp := PathsResponse{Source: u, Target: v}
+	if spg.Dist != qbs.InfDist && u != v {
+		d := spg.Dist
+		resp.Distance = &d
+		dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.index.Distance(u, x) })
+		if dag != nil {
+			resp.NumPaths = dag.CountPaths()
+			for _, p := range dag.EnumeratePaths(limit) {
+				resp.Paths = append(resp.Paths, p)
+			}
+			resp.Truncated = resp.NumPaths > int64(len(resp.Paths))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the JSON body of /stats.
+type StatsResponse struct {
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	AvgDegree      float64 `json:"avg_degree"`
+	NumLandmarks   int     `json:"num_landmarks"`
+	Landmarks      []int32 `json:"landmarks"`
+	LabelEntries   int64   `json:"label_entries"`
+	MetaEdges      int     `json:"meta_edges"`
+	SizeLabels     int64   `json:"size_labels_bytes"`
+	SizeDelta      int64   `json:"size_delta_bytes"`
+	LabellingMS    float64 `json:"labelling_ms"`
+	ConstructionMS float64 `json:"construction_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.index.Graph()
+	st := s.index.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		AvgDegree:      g.AvgDegree(),
+		NumLandmarks:   st.NumLandmarks,
+		Landmarks:      s.index.Landmarks(),
+		LabelEntries:   st.LabelEntries,
+		MetaEdges:      st.MetaEdges,
+		SizeLabels:     s.index.SizeLabelsBytes(),
+		SizeDelta:      s.index.SizeDeltaBytes(),
+		LabellingMS:    float64(st.LabellingTime.Microseconds()) / 1000,
+		ConstructionMS: float64(st.TotalTime.Microseconds()) / 1000,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}

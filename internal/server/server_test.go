@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"qbs"
+	"qbs/internal/graph"
+)
+
+// testServer builds a server over the diamond-with-detour fixture:
+// 0-1-3, 0-2-3 (two shortest 0–3 paths) and 0-4-5-3 (a longer detour),
+// plus isolated vertex 6.
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	g := graph.MustFromEdges(7, []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 3}, {U: 0, W: 2}, {U: 2, W: 3},
+		{U: 0, W: 4}, {U: 4, W: 5}, {U: 5, W: 3},
+	})
+	ix, err := qbs.BuildIndex(g, qbs.Options{NumLandmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ix)
+}
+
+func get(t *testing.T, s *Server, path string, out any) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	resp := rec.Result()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp
+}
+
+func TestSPGEndpoint(t *testing.T) {
+	s := testServer(t)
+	var resp SPGResponse
+	if r := get(t, s, "/spg?u=0&v=3", &resp); r.StatusCode != 200 {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if resp.Distance == nil || *resp.Distance != 2 {
+		t.Fatalf("distance = %v", resp.Distance)
+	}
+	if len(resp.Edges) != 4 {
+		t.Fatalf("edges = %v", resp.Edges)
+	}
+	if resp.NumPaths != 2 {
+		t.Fatalf("num paths = %d", resp.NumPaths)
+	}
+	if resp.Coverage == "" {
+		t.Fatal("coverage missing")
+	}
+}
+
+func TestSPGDisconnected(t *testing.T) {
+	s := testServer(t)
+	var resp SPGResponse
+	get(t, s, "/spg?u=0&v=6", &resp)
+	if !resp.Disconnected || resp.Distance != nil || len(resp.Edges) != 0 {
+		t.Fatalf("disconnected response: %+v", resp)
+	}
+}
+
+func TestSPGBadParams(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{"/spg", "/spg?u=0", "/spg?u=0&v=99", "/spg?u=x&v=1", "/spg?u=-1&v=1"} {
+		if r := get(t, s, path, nil); r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, r.StatusCode)
+		}
+	}
+}
+
+func TestDistanceEndpoint(t *testing.T) {
+	s := testServer(t)
+	var resp DistanceResponse
+	get(t, s, "/distance?u=4&v=3", &resp)
+	if resp.Distance == nil || *resp.Distance != 2 {
+		t.Fatalf("distance = %v", resp.Distance)
+	}
+	get(t, s, "/distance?u=6&v=0", &resp)
+	if !resp.Disconnected {
+		t.Fatal("expected disconnected")
+	}
+}
+
+func TestSketchEndpoint(t *testing.T) {
+	s := testServer(t)
+	var resp SketchResponse
+	get(t, s, "/sketch?u=1&v=2", &resp)
+	if resp.DTop == nil {
+		t.Fatal("d_top missing")
+	}
+	if len(resp.Landmarks) != 2 {
+		t.Fatalf("landmarks = %v", resp.Landmarks)
+	}
+}
+
+func TestPathsEndpoint(t *testing.T) {
+	s := testServer(t)
+	var resp PathsResponse
+	get(t, s, "/paths?u=0&v=3", &resp)
+	if resp.NumPaths != 2 || len(resp.Paths) != 2 || resp.Truncated {
+		t.Fatalf("paths response: %+v", resp)
+	}
+	get(t, s, "/paths?u=0&v=3&limit=1", &resp)
+	if len(resp.Paths) != 1 || !resp.Truncated {
+		t.Fatalf("limit response: %+v", resp)
+	}
+	if r := get(t, s, "/paths?u=0&v=3&limit=0", nil); r.StatusCode != 400 {
+		t.Fatal("limit=0 accepted")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := testServer(t)
+	var resp StatsResponse
+	get(t, s, "/stats", &resp)
+	if resp.Vertices != 7 || resp.NumLandmarks != 2 || resp.LabelEntries <= 0 {
+		t.Fatalf("stats: %+v", resp)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	if r := get(t, s, "/healthz", nil); r.StatusCode != 200 {
+		t.Fatalf("healthz status %d", r.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := testServer(t)
+	req := httptest.NewRequest("POST", "/spg?u=0&v=3", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Result().StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", rec.Result().StatusCode)
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"qbs/internal/graph"
+)
+
+func TestSamplePairsDeterministicDistinct(t *testing.T) {
+	g := graph.Cycle(50)
+	a := SamplePairs(g, 100, 7)
+	b := SamplePairs(g, 100, 7)
+	if len(a) != 100 {
+		t.Fatalf("got %d pairs", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not deterministic")
+		}
+		if a[i].U == a[i].V {
+			t.Fatal("self pair sampled")
+		}
+	}
+	c := SamplePairs(g, 100, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestSamplePairsTinyGraph(t *testing.T) {
+	if got := SamplePairs(graph.Path(1), 10, 1); len(got) != 0 {
+		t.Fatal("single-vertex graph must yield no pairs")
+	}
+}
+
+func TestSampleConnectedPairs(t *testing.T) {
+	g := graph.MustFromEdges(6, []graph.Edge{{U: 0, W: 1}, {U: 1, W: 2}, {U: 3, W: 4}, {U: 4, W: 5}})
+	labels, _ := g.ConnectedComponents()
+	for _, p := range SampleConnectedPairs(g, 50, 3) {
+		if labels[p.U] != labels[p.V] {
+			t.Fatalf("pair %v crosses components", p)
+		}
+	}
+}
+
+func TestMeasureDistancesOnPath(t *testing.T) {
+	g := graph.Path(5)
+	pairs := []Pair{{0, 4}, {0, 1}, {1, 3}, {0, 4}}
+	dd := MeasureDistances(g, pairs)
+	if dd.Max != 4 {
+		t.Fatalf("max = %d", dd.Max)
+	}
+	if dd.Counts[4] != 2 || dd.Counts[1] != 1 || dd.Counts[2] != 1 {
+		t.Fatalf("counts = %v", dd.Counts)
+	}
+	if dd.Fraction[4] != 0.5 {
+		t.Fatalf("fraction[4] = %f", dd.Fraction[4])
+	}
+	wantMean := (4.0 + 1 + 2 + 4) / 4
+	if dd.Mean != wantMean {
+		t.Fatalf("mean = %f want %f", dd.Mean, wantMean)
+	}
+}
+
+func TestMeasureDistancesUnreachable(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, W: 1}, {U: 2, W: 3}})
+	dd := MeasureDistances(g, []Pair{{0, 2}, {0, 1}})
+	if dd.Unreachable != 1 {
+		t.Fatalf("unreachable = %d", dd.Unreachable)
+	}
+}
+
+func TestApproxAvgDistance(t *testing.T) {
+	// Exact on a complete graph: every pair at distance 1.
+	g := graph.Complete(20)
+	if got := ApproxAvgDistance(g, 20, 1); got != 1 {
+		t.Fatalf("avg dist on K20 = %f", got)
+	}
+	// Path graph: average distance from all sources = (n+1)/3 for large n.
+	p := graph.Path(100)
+	got := ApproxAvgDistance(p, 100, 1)
+	if got < 30 || got > 37 {
+		t.Fatalf("path avg dist = %f", got)
+	}
+}

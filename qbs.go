@@ -1,0 +1,281 @@
+// Package qbs is a Go implementation of Query-by-Sketch (QbS), the
+// shortest-path-graph query engine of
+//
+//	Ye Wang, Qing Wang, Henning Koehler, Yu Lin.
+//	"Query-by-Sketch: Scaling Shortest Path Graph Queries on Very Large
+//	Networks." SIGMOD 2021.
+//
+// A shortest path graph SPG(u, v) is the subgraph containing exactly all
+// shortest paths between u and v. QbS answers such queries with three
+// phases: an offline labelling built from a small set of landmarks, a
+// per-query sketch computed from the labelling, and a sketch-guided
+// bidirectional search on the landmark-sparsified graph.
+//
+// # Quick start
+//
+//	g := qbs.NewBuilder(5)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(0, 3)
+//	g.AddEdge(3, 2)
+//	g.AddEdge(2, 4)
+//	graph := g.MustBuild()
+//
+//	index, err := qbs.BuildIndex(graph, qbs.Options{NumLandmarks: 2})
+//	if err != nil { ... }
+//	spg := index.Query(0, 4)        // all shortest 0–4 paths
+//	fmt.Println(spg.Dist, spg.Edges())
+//
+// Index queries are safe for concurrent use; the index itself is
+// immutable after BuildIndex.
+package qbs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qbs/internal/bfs"
+	"qbs/internal/core"
+	"qbs/internal/graph"
+)
+
+// Re-exported graph types. The library operates on immutable undirected
+// unweighted graphs in CSR form with dense int32 vertex ids.
+type (
+	// V is a vertex identifier in [0, NumVertices).
+	V = graph.V
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Graph is an immutable undirected graph.
+	Graph = graph.Graph
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// SPG is a shortest path graph: the answer to a query.
+	SPG = graph.SPG
+)
+
+// InfDist marks an infinite distance (disconnected pair).
+const InfDist = graph.InfDist
+
+// NewBuilder creates a graph builder over n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// LoadEdgeListFile reads a whitespace-separated edge list (SNAP/KONECT
+// style, '#'/'%' comments), symmetrising directed inputs. It returns the
+// graph and the original ids of the densified vertices.
+func LoadEdgeListFile(path string) (*Graph, []int64, error) {
+	return graph.ReadEdgeListFile(path)
+}
+
+// Strategy selects how landmarks are chosen.
+type Strategy string
+
+const (
+	// StrategyDegree picks the highest-degree vertices (paper default).
+	StrategyDegree Strategy = "degree"
+	// StrategyRandom picks uniform random vertices.
+	StrategyRandom Strategy = "random"
+	// StrategyCoverage greedily maximises 2-hop neighbourhood coverage.
+	StrategyCoverage Strategy = "coverage"
+	// StrategyBetweenness ranks vertices by sampled shortest-path
+	// betweenness (Brandes on a source sample).
+	StrategyBetweenness Strategy = "betweenness"
+)
+
+func (s Strategy) fn() core.LandmarkStrategy {
+	switch s {
+	case StrategyRandom:
+		return core.Random
+	case StrategyCoverage:
+		return core.ByCoverage
+	case StrategyBetweenness:
+		return core.ByApproxBetweenness
+	default:
+		return core.ByDegree
+	}
+}
+
+// Options configures BuildIndex.
+type Options struct {
+	// NumLandmarks is |R| (default 20, the paper's setting).
+	NumLandmarks int
+	// Strategy selects landmarks (default StrategyDegree).
+	Strategy Strategy
+	// Landmarks overrides selection with an explicit set.
+	Landmarks []V
+	// Parallelism bounds labelling workers (0 = GOMAXPROCS; 1 =
+	// sequential, the paper's QbS vs QbS-P distinction).
+	Parallelism int
+	// Seed feeds randomized strategies.
+	Seed int64
+}
+
+// IndexStats reports construction cost and size accounting.
+type IndexStats = core.BuildStats
+
+// QueryStats reports per-query internals (distances, bound, coverage
+// classification, traversal counters).
+type QueryStats = core.QueryStats
+
+// Sketch is the per-query summary structure (Definition 4.5).
+type Sketch = core.Sketch
+
+// Index is an immutable QbS index over a graph. All methods are safe for
+// concurrent use.
+type Index struct {
+	core *core.Index
+	pool sync.Pool
+}
+
+// BuildIndex constructs a QbS index: landmark selection, the labelling
+// scheme of Algorithm 2 (parallel across landmarks), meta-graph APSP and
+// the landmark-pair shortest path graphs Δ.
+func BuildIndex(g *Graph, opts Options) (*Index, error) {
+	cix, err := core.Build(g, core.Options{
+		NumLandmarks: opts.NumLandmarks,
+		Strategy:     opts.Strategy.fn(),
+		Landmarks:    opts.Landmarks,
+		Parallelism:  opts.Parallelism,
+		Seed:         opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{core: cix}
+	ix.pool.New = func() any { return core.NewSearcher(cix) }
+	return ix, nil
+}
+
+// MustBuildIndex is BuildIndex that panics on error.
+func MustBuildIndex(g *Graph, opts Options) *Index {
+	ix, err := BuildIndex(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// Query answers SPG(u, v): the subgraph of exactly all shortest u–v
+// paths, with Dist set to d_G(u, v) (InfDist when disconnected).
+func (ix *Index) Query(u, v V) *SPG {
+	sr := ix.pool.Get().(*core.Searcher)
+	defer ix.pool.Put(sr)
+	return sr.Query(u, v)
+}
+
+// QueryWithStats answers SPG(u, v) and reports query internals.
+func (ix *Index) QueryWithStats(u, v V) (*SPG, QueryStats) {
+	sr := ix.pool.Get().(*core.Searcher)
+	defer ix.pool.Put(sr)
+	return sr.QueryWithStats(u, v)
+}
+
+// Distance returns d_G(u, v) using the sketch-guided search without path
+// extraction.
+func (ix *Index) Distance(u, v V) int32 {
+	sr := ix.pool.Get().(*core.Searcher)
+	defer ix.pool.Put(sr)
+	return sr.Distance(u, v)
+}
+
+// Sketch computes the query sketch S_uv (for introspection; Query
+// computes it internally).
+func (ix *Index) Sketch(u, v V) *Sketch { return ix.core.Sketch(u, v) }
+
+// Pair is one query pair for QueryBatch.
+type Pair struct{ U, V V }
+
+// QueryBatch answers many queries concurrently with up to parallelism
+// workers (0 = GOMAXPROCS, capped at the batch size). Results align
+// with the input slice. Each worker draws a searcher from the index's
+// pool, so repeated batches reuse workspaces.
+func (ix *Index) QueryBatch(pairs []Pair, parallelism int) []*SPG {
+	out := make([]*SPG, len(pairs))
+	if len(pairs) == 0 {
+		return out
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(pairs) {
+		parallelism = len(pairs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sr := ix.pool.Get().(*core.Searcher)
+			defer ix.pool.Put(sr)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				out[i] = sr.Query(pairs[i].U, pairs[i].V)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Landmarks returns the landmark vertices in rank order.
+func (ix *Index) Landmarks() []V { return ix.core.Landmarks() }
+
+// IsLandmark reports whether v is a landmark.
+func (ix *Index) IsLandmark(v V) bool { return ix.core.IsLandmark(v) }
+
+// Stats returns construction statistics.
+func (ix *Index) Stats() IndexStats { return ix.core.Stats() }
+
+// SizeLabelsBytes is the paper's size(L) accounting: |R| bytes/vertex.
+func (ix *Index) SizeLabelsBytes() int64 { return ix.core.SizeLabelsBytes() }
+
+// SizeDeltaBytes is the paper's size(Δ): 8 bytes per precomputed
+// landmark-pair shortest-path edge.
+func (ix *Index) SizeDeltaBytes() int64 { return ix.core.SizeDeltaBytes() }
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *Graph { return ix.core.Graph() }
+
+// Coverage classification constants for QueryStats.Coverage (Figure 8).
+const (
+	CoverageNone    = core.CoverageNone
+	CoverageSome    = core.CoverageSome
+	CoverageAll     = core.CoverageAll
+	CoverageTrivial = core.CoverageTrivial
+)
+
+// SaveFile writes the index to disk. The graph is not embedded; LoadIndexFile
+// must be given the same graph.
+func (ix *Index) SaveFile(path string) error { return ix.core.SaveFile(path) }
+
+// LoadIndexFile reads an index previously saved with SaveFile, binding it
+// to g (validated against the vertex and arc counts recorded at save
+// time).
+func LoadIndexFile(g *Graph, path string) (*Index, error) {
+	cix, err := core.LoadFile(g, path)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{core: cix}
+	ix.pool.New = func() any { return core.NewSearcher(cix) }
+	return ix, nil
+}
+
+// BiBFS answers SPG(u, v) by plain bidirectional BFS over the full graph
+// — the paper's search-based baseline, requiring no index. For repeated
+// queries prefer an Index; for one-off queries BiBFS avoids construction
+// cost entirely.
+func BiBFS(g *Graph, u, v V) *SPG { return bfs.BiBFS(g, u, v) }
+
+// OracleSPG computes SPG(u, v) by two full BFS sweeps — the simple
+// reference implementation (slow, allocation-heavy; used for testing and
+// verification).
+func OracleSPG(g *Graph, u, v V) *SPG { return bfs.OracleSPG(g, u, v) }

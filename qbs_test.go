@@ -1,0 +1,174 @@
+package qbs_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"qbs"
+	"qbs/internal/datasets"
+	"qbs/internal/graph"
+	"qbs/internal/workload"
+)
+
+func testGraph() *qbs.Graph {
+	g := graph.BarabasiAlbert(400, 3, 42)
+	lc, _ := g.LargestComponent()
+	return lc
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := qbs.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(3, 2)
+	b.AddEdge(2, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := qbs.BuildIndex(g, qbs.Options{NumLandmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spg := ix.Query(0, 4)
+	if spg.Dist != 3 {
+		t.Fatalf("dist = %d, want 3", spg.Dist)
+	}
+	// Two shortest paths: 0-1-2-4 and 0-3-2-4 → 5 distinct edges.
+	if spg.NumEdges() != 5 {
+		t.Fatalf("edges = %d, want 5", spg.NumEdges())
+	}
+}
+
+func TestIndexMatchesOracleAndBiBFS(t *testing.T) {
+	g := testGraph()
+	ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 16})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		u := qbs.V(rng.Intn(g.NumVertices()))
+		v := qbs.V(rng.Intn(g.NumVertices()))
+		want := qbs.OracleSPG(g, u, v)
+		if got := ix.Query(u, v); !got.Equal(want) {
+			t.Fatalf("Query(%d,%d) != oracle", u, v)
+		}
+		if got := qbs.BiBFS(g, u, v); !got.Equal(want) {
+			t.Fatalf("BiBFS(%d,%d) != oracle", u, v)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := testGraph()
+	ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 12})
+	pairs := workload.SamplePairs(g, 64, 9)
+	want := make([]*qbs.SPG, len(pairs))
+	for i, p := range pairs {
+		want[i] = qbs.OracleSPG(g, p.U, p.V)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, len(pairs))
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(pairs); i += 8 {
+				if got := ix.Query(pairs[i].U, pairs[i].V); !got.Equal(want[i]) {
+					errs <- got.String()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatalf("concurrent query mismatch: %s", e)
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	g := testGraph()
+	for _, s := range []qbs.Strategy{qbs.StrategyDegree, qbs.StrategyRandom, qbs.StrategyCoverage, qbs.StrategyBetweenness} {
+		ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 8, Strategy: s, Seed: 4})
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 40; i++ {
+			u := qbs.V(rng.Intn(g.NumVertices()))
+			v := qbs.V(rng.Intn(g.NumVertices()))
+			if !ix.Query(u, v).Equal(qbs.OracleSPG(g, u, v)) {
+				t.Fatalf("strategy %s: wrong answer for (%d,%d)", s, u, v)
+			}
+		}
+		if len(ix.Landmarks()) != 8 {
+			t.Fatalf("strategy %s: %d landmarks", s, len(ix.Landmarks()))
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	g := testGraph()
+	ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 10})
+	st := ix.Stats()
+	if st.NumLandmarks != 10 || st.LabelEntries <= 0 || st.TotalTime <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if ix.SizeLabelsBytes() != int64(g.NumVertices())*10 {
+		t.Fatal("size(L) accounting")
+	}
+	if ix.SizeDeltaBytes() < 0 {
+		t.Fatal("size(Δ) negative")
+	}
+}
+
+func TestDatasetAnalogsSmallScale(t *testing.T) {
+	// Exercise every Table 1 analog end-to-end at a tiny scale.
+	for _, spec := range datasets.All() {
+		spec := spec
+		t.Run(spec.Key, func(t *testing.T) {
+			t.Parallel()
+			g := spec.Generate(0.02)
+			ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 8})
+			for _, p := range workload.SamplePairs(g, 15, 5) {
+				if !ix.Query(p.U, p.V).Equal(qbs.OracleSPG(g, p.U, p.V)) {
+					t.Fatalf("%s: wrong SPG(%d,%d)", spec.Key, p.U, p.V)
+				}
+			}
+		})
+	}
+}
+
+func TestSketchExposed(t *testing.T) {
+	g := testGraph()
+	ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 6})
+	sk := ix.Sketch(1, 2)
+	if sk.DTop < ix.Distance(1, 2) {
+		t.Fatal("sketch bound below true distance")
+	}
+	if len(sk.Pairs) == 0 && sk.DTop != qbs.InfDist {
+		t.Fatal("finite bound without minimizing pairs")
+	}
+}
+
+func TestQueryBatch(t *testing.T) {
+	g := testGraph()
+	ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 10})
+	var pairs []qbs.Pair
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, qbs.Pair{U: qbs.V(rng.Intn(g.NumVertices())), V: qbs.V(rng.Intn(g.NumVertices()))})
+	}
+	for _, par := range []int{0, 1, 4} {
+		got := ix.QueryBatch(pairs, par)
+		if len(got) != len(pairs) {
+			t.Fatalf("parallelism %d: %d results", par, len(got))
+		}
+		for i, p := range pairs {
+			if !got[i].Equal(qbs.OracleSPG(g, p.U, p.V)) {
+				t.Fatalf("parallelism %d: batch result %d wrong", par, i)
+			}
+		}
+	}
+	if res := ix.QueryBatch(nil, 4); len(res) != 0 {
+		t.Fatal("empty batch must return empty results")
+	}
+}
