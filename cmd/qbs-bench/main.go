@@ -7,7 +7,8 @@
 //	qbs-bench -exp all -datasets DO,DB,YT -out results.md
 //
 // Experiments: table1, table2, table3, fig7, fig8, fig9, fig10, fig11,
-// ablation-traversal, ablation-parallel, ablation-landmarks, all.
+// dynamic (incremental updates vs rebuild), ablation-traversal,
+// ablation-parallel, ablation-landmarks, all.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = DESIGN.md sizes)")
 		queries   = flag.Int("queries", 1000, "number of sampled query pairs per dataset")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R| for single-point experiments")
@@ -88,6 +89,7 @@ func main() {
 	run("fig9", func() error { _, err := h.Fig9(nil); return err })
 	run("fig10", func() error { _, err := h.Fig10(nil); return err })
 	run("fig11", func() error { _, err := h.Fig11(nil); return err })
+	run("dynamic", func() error { _, err := h.DynamicUpdates(nil); return err })
 	run("ablation-traversal", func() error { _, err := h.AblationTraversal(); return err })
 	run("ablation-scale", func() error { _, err := h.AblationScale(nil); return err })
 	run("ablation-directed", func() error { _, err := h.AblationDirected(); return err })

@@ -4,16 +4,26 @@
 //
 //	qbs-server -graph web.edges -landmarks 20 -addr :8080
 //	qbs-server -dataset YT -scale 0.5 -index yt.qbsi   # build once, reuse
+//	qbs-server -dataset YT -mutable                    # accept edge writes
 //
-// Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz — see
-// internal/server for the JSON schemas.
+// Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz, and in
+// -mutable mode POST /edges, DELETE /edges, /epoch — see internal/server
+// for the JSON schemas.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, drains in-flight requests (bounded by -drain) and, in
+// mutable mode, waits for any background index compaction to settle.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"qbs"
@@ -29,8 +39,10 @@ func main() {
 		dataset   = flag.String("dataset", "", "dataset analog key instead of a file")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
-		indexPath = flag.String("index", "", "index file: loaded if present, saved after building otherwise")
+		indexPath = flag.String("index", "", "index file: loaded if present, saved after building otherwise (immutable mode only)")
 		addr      = flag.String("addr", ":8080", "listen address")
+		mutable   = flag.Bool("mutable", false, "serve a live-mutable index accepting edge writes")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -40,42 +52,94 @@ func main() {
 	}
 	fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
 
-	var index *qbs.Index
-	if *indexPath != "" {
-		if _, statErr := os.Stat(*indexPath); statErr == nil {
-			start := time.Now()
-			index, err = qbs.LoadIndexFile(g, *indexPath)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("index: loaded %s in %s\n", *indexPath, time.Since(start).Round(time.Millisecond))
+	var handler http.Handler
+	var dyn *qbs.DynamicIndex
+	if *mutable {
+		if *indexPath != "" {
+			fmt.Fprintln(os.Stderr, "qbs-server: -index is ignored in -mutable mode (snapshots are not persisted)")
 		}
-	}
-	if index == nil {
 		start := time.Now()
-		index, err = qbs.BuildIndex(g, qbs.Options{NumLandmarks: *landmarks})
+		dyn, err = qbs.BuildDynamicIndex(g, qbs.DynamicOptions{
+			Index: qbs.Options{NumLandmarks: *landmarks},
+		})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("index: built in %s (%d landmarks)\n",
-			time.Since(start).Round(time.Millisecond), len(index.Landmarks()))
-		if *indexPath != "" {
-			if err := index.SaveFile(*indexPath); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("index: saved to %s\n", *indexPath)
+		fmt.Printf("dynamic index: built in %s (%d landmarks, mutable)\n",
+			time.Since(start).Round(time.Millisecond), len(dyn.Landmarks()))
+		handler = server.NewMutable(dyn)
+	} else {
+		index, err := buildOrLoadIndex(g, *indexPath, *landmarks)
+		if err != nil {
+			fatal(err)
 		}
+		handler = server.New(index)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(index),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	fmt.Printf("serving on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("serving on %s\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "qbs-server: drain incomplete:", err)
+		}
+		if dyn != nil {
+			dyn.WaitCompaction()
+		}
+		fmt.Println("bye")
 	}
+}
+
+func buildOrLoadIndex(g *qbs.Graph, indexPath string, landmarks int) (*qbs.Index, error) {
+	if indexPath != "" {
+		if _, statErr := os.Stat(indexPath); statErr == nil {
+			start := time.Now()
+			index, err := qbs.LoadIndexFile(g, indexPath)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("index: loaded %s in %s\n", indexPath, time.Since(start).Round(time.Millisecond))
+			return index, nil
+		}
+	}
+	start := time.Now()
+	index, err := qbs.BuildIndex(g, qbs.Options{NumLandmarks: landmarks})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("index: built in %s (%d landmarks)\n",
+		time.Since(start).Round(time.Millisecond), len(index.Landmarks()))
+	if indexPath != "" {
+		if err := index.SaveFile(indexPath); err != nil {
+			return nil, err
+		}
+		fmt.Printf("index: saved to %s\n", indexPath)
+	}
+	return index, nil
 }
 
 func loadGraph(path, bin, dataset string, scale float64) (*qbs.Graph, error) {

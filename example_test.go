@@ -97,3 +97,33 @@ func ExampleIndex_QueryBatch() {
 	// 3
 	// 2
 }
+
+func ExampleBuildDynamicIndex() {
+	g := diamondGraph()
+	di, err := qbs.BuildDynamicIndex(g, qbs.DynamicOptions{
+		Index: qbs.Options{NumLandmarks: 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distance:", di.Query(0, 4).Dist)
+
+	// Insert a shortcut: the index repairs itself incrementally and the
+	// next query sees the new snapshot.
+	if _, err := di.AddEdge(0, 4); err != nil {
+		panic(err)
+	}
+	fmt.Println("after insert:", di.Query(0, 4).Dist)
+
+	// Remove it again: deletion repair restores the old answers.
+	if _, err := di.RemoveEdge(0, 4); err != nil {
+		panic(err)
+	}
+	fmt.Println("after delete:", di.Query(0, 4).Dist)
+	fmt.Println("epoch:", di.Epoch())
+	// Output:
+	// distance: 3
+	// after insert: 1
+	// after delete: 3
+	// epoch: 2
+}

@@ -1,0 +1,3 @@
+module qbs
+
+go 1.22

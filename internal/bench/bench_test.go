@@ -158,3 +158,36 @@ func TestAblationDirected(t *testing.T) {
 		}
 	}
 }
+
+func TestDynamicUpdates(t *testing.T) {
+	var buf bytes.Buffer
+	h := tinyHarness()
+	h.cfg.Out = &buf
+	h.cfg.NumQueries = 400
+	rows, err := h.DynamicUpdates([]float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	r := rows[0]
+	if r.Inserts == 0 || r.Deletes == 0 || r.Queries == 0 {
+		t.Fatalf("empty stream: %+v", r)
+	}
+	// The acceptance bar: incremental insertion repair must beat a full
+	// rebuild by at least an order of magnitude. Skipped under the race
+	// detector, whose uneven slowdown makes wall-clock ratios on a tiny
+	// harness meaningless; the real demonstration is `qbs-bench -exp
+	// dynamic` at mid-size (~45-60x).
+	if raceEnabled {
+		t.Skip("wall-clock ratio not meaningful under -race")
+	}
+	if r.InsertSpeedup < 10 {
+		t.Fatalf("insert speedup %.1f× < 10× (avg insert %v, rebuild %v)",
+			r.InsertSpeedup, r.AvgInsert, r.Rebuild)
+	}
+	if !strings.Contains(buf.String(), "Dynamic updates") {
+		t.Fatal("markdown not rendered")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is active (see
+// race_on.go); timing-sensitive assertions are skipped under it.
+const raceEnabled = false

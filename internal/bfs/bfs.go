@@ -18,7 +18,7 @@ const Infinity = int32(math.MaxInt32)
 // Distances runs a full BFS from source and returns the distance array
 // (Infinity for unreachable vertices). It allocates; query paths use
 // Workspace instead.
-func Distances(g *graph.Graph, source graph.V) []int32 {
+func Distances(g graph.Adjacency, source graph.V) []int32 {
 	n := g.NumVertices()
 	dist := make([]int32, n)
 	for i := range dist {
@@ -42,7 +42,7 @@ func Distances(g *graph.Graph, source graph.V) []int32 {
 
 // Distance returns d_G(u, v), or Infinity if disconnected. It early-exits
 // once v is reached.
-func Distance(g *graph.Graph, u, v graph.V) int32 {
+func Distance(g graph.Adjacency, u, v graph.V) int32 {
 	if u == v {
 		return 0
 	}
@@ -71,7 +71,7 @@ func Distance(g *graph.Graph, u, v graph.V) int32 {
 }
 
 // Eccentricity returns the maximum finite distance from v.
-func Eccentricity(g *graph.Graph, v graph.V) int32 {
+func Eccentricity(g graph.Adjacency, v graph.V) int32 {
 	dist := Distances(g, v)
 	var ecc int32
 	for _, d := range dist {

@@ -24,7 +24,7 @@ type SearchStats struct {
 // BiBFS answers SPG(u, v) with a bidirectional BFS over the full graph.
 // It allocates fresh state per call; use a Bidirectional searcher for
 // repeated queries.
-func BiBFS(g *graph.Graph, u, v graph.V) *graph.SPG {
+func BiBFS(g graph.Adjacency, u, v graph.V) *graph.SPG {
 	s := NewBidirectional(g)
 	spg, _ := s.Query(u, v)
 	return spg
@@ -33,7 +33,7 @@ func BiBFS(g *graph.Graph, u, v graph.V) *graph.SPG {
 // Bidirectional is a reusable bidirectional-BFS searcher over a fixed
 // graph. Not safe for concurrent use.
 type Bidirectional struct {
-	g        *graph.Graph
+	g        graph.Adjacency
 	fwd, bwd *Workspace
 	// frontier storage, reused across queries
 	frontFwd, frontBwd []graph.V
@@ -43,7 +43,7 @@ type Bidirectional struct {
 }
 
 // NewBidirectional creates a searcher for g.
-func NewBidirectional(g *graph.Graph) *Bidirectional {
+func NewBidirectional(g graph.Adjacency) *Bidirectional {
 	n := g.NumVertices()
 	return &Bidirectional{
 		g:   g,
@@ -157,7 +157,7 @@ func NewExtractor(n int) *Extractor {
 
 // Extract runs the reverse search from the given vertices and returns
 // the number of adjacency entries scanned (for traversal ablations).
-func (e *Extractor) Extract(g *graph.Graph, spg *graph.SPG, from []graph.V, ws *Workspace) int64 {
+func (e *Extractor) Extract(g graph.Adjacency, spg *graph.SPG, from []graph.V, ws *Workspace) int64 {
 	e.mark.Reset()
 	var arcs int64
 	cur := e.cur[:0]
@@ -194,7 +194,7 @@ func (e *Extractor) Extract(g *graph.Graph, spg *graph.SPG, from []graph.V, ws *
 
 // ExtractPaths is the one-shot form of Extractor.Extract; mark is used
 // as the dedup scratch set.
-func ExtractPaths(g *graph.Graph, spg *graph.SPG, from []graph.V, ws *Workspace, mark *Workspace) int64 {
+func ExtractPaths(g graph.Adjacency, spg *graph.SPG, from []graph.V, ws *Workspace, mark *Workspace) int64 {
 	e := &Extractor{mark: mark}
 	return e.Extract(g, spg, from, ws)
 }

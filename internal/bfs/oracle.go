@@ -8,7 +8,7 @@ import "qbs/internal/graph"
 // This is the ground-truth implementation every query algorithm in the
 // repository is tested against. O(|V| + |E|) per query but with full
 // scans and allocations — not for production use.
-func OracleSPG(g *graph.Graph, u, v graph.V) *graph.SPG {
+func OracleSPG(g graph.Adjacency, u, v graph.V) *graph.SPG {
 	s := graph.NewSPG(u, v)
 	if u == v {
 		s.Dist = 0

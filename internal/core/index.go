@@ -5,7 +5,9 @@
 // shortest-path-graph queries SPG(u, v) exactly.
 //
 // The Index is immutable after Build and safe for concurrent queries when
-// each goroutine uses its own Searcher.
+// each goroutine uses its own Searcher. The dynamic-update subsystem
+// (internal/dynamic) assembles Index snapshots from incrementally
+// maintained parts via AssembleDynamic instead of Build.
 package core
 
 import (
@@ -23,6 +25,9 @@ import (
 // networks the method targets. Build fails with ErrDiameterTooLarge
 // otherwise.
 const NoEntry = uint8(255)
+
+// MaxLabelDist is the largest distance representable in a label byte.
+const MaxLabelDist = int32(254)
 
 // ErrDiameterTooLarge is returned by Build when some label distance
 // exceeds the 8-bit representation limit of the labelling.
@@ -55,16 +60,25 @@ type Options struct {
 	SkipDelta bool
 }
 
+// ClampLandmarks returns the effective landmark count for a requested
+// |R| over an n-vertex graph: the default when unset, capped at n and at
+// the 254 representation limit. Shared by Build and the dynamic index so
+// the two entry points can never disagree.
+func ClampLandmarks(requested, n int) int {
+	if requested <= 0 {
+		requested = DefaultNumLandmarks
+	}
+	if requested > n {
+		requested = n
+	}
+	if requested > 254 {
+		requested = 254
+	}
+	return requested
+}
+
 func (o Options) withDefaults(g *graph.Graph) Options {
-	if o.NumLandmarks <= 0 {
-		o.NumLandmarks = DefaultNumLandmarks
-	}
-	if o.NumLandmarks > g.NumVertices() {
-		o.NumLandmarks = g.NumVertices()
-	}
-	if o.NumLandmarks > 254 {
-		o.NumLandmarks = 254
-	}
+	o.NumLandmarks = ClampLandmarks(o.NumLandmarks, g.NumVertices())
 	if o.Strategy == nil {
 		o.Strategy = ByDegree
 	}
@@ -85,19 +99,20 @@ type metaEdge struct {
 // landmark-pair structures of §5.2: APSP over the meta-graph and Δ, the
 // shortest path graphs between meta-adjacent landmarks.
 type Index struct {
-	g *graph.Graph
+	g *graph.Graph // nil for dynamically assembled indexes
+	a graph.Adjacency
 
 	landmarks []graph.V // landmark vertex ids, index = landmark rank
 	landIdx   []int16   // per vertex: rank, or -1
 	numLand   int
 
-	labels []uint8 // dense |V|×|R| matrix; labels[v*|R|+i] = δ or NoEntry
+	// labels is the label matrix stored column-major: labels[i][v] is the
+	// labelled distance from vertex v to landmark rank i, or NoEntry.
+	// Column storage lets the dynamic subsystem share unchanged columns
+	// between snapshots (copy-on-write per landmark).
+	labels [][]uint8
 
-	sigma   []uint8 // |R|×|R| meta-edge weights; NoEntry = no edge
-	distM   []int32 // |R|×|R| APSP over M; graph.InfDist = unreachable
-	meta    []metaEdge
-	metaID  []int32   // |R|×|R| -> index into meta, or -1
-	metaSPG [][]int32 // |R|×|R| -> meta-edge ids on shortest meta-paths (nil = compute on the fly)
+	ms *MetaState
 
 	delta [][]graph.Edge // per meta-edge: SPG edge list in G
 
@@ -118,7 +133,7 @@ type BuildStats struct {
 
 // SizeLabelsBytes is the paper's size(L): |R| bytes per vertex.
 func (ix *Index) SizeLabelsBytes() int64 {
-	return int64(ix.g.NumVertices()) * int64(ix.numLand)
+	return int64(ix.a.NumVertices()) * int64(ix.numLand)
 }
 
 // SizeDeltaBytes is the paper's size(Δ): 8 bytes per precomputed
@@ -127,14 +142,19 @@ func (ix *Index) SizeDeltaBytes() int64 { return ix.build.DeltaEdges * 8 }
 
 // SizeMetaBytes is the meta-graph footprint (σ and APSP matrices).
 func (ix *Index) SizeMetaBytes() int64 {
-	return int64(len(ix.sigma)) + int64(len(ix.distM))*4
+	return int64(len(ix.ms.sigma)) + int64(len(ix.ms.distM))*4
 }
 
 // Stats returns construction statistics.
 func (ix *Index) Stats() BuildStats { return ix.build }
 
-// Graph returns the indexed graph.
+// Graph returns the indexed static graph, or nil when the index was
+// assembled over a dynamic adjacency (use Adjacency then).
 func (ix *Index) Graph() *graph.Graph { return ix.g }
+
+// Adjacency returns the adjacency structure the index answers queries
+// over.
+func (ix *Index) Adjacency() graph.Adjacency { return ix.a }
 
 // Landmarks returns the landmark vertex ids (rank order). The slice
 // aliases internal storage and must not be modified.
@@ -149,9 +169,8 @@ func (ix *Index) NumLandmarks() int { return ix.numLand }
 // Label returns the label entries of v as parallel slices of landmark
 // ranks and distances, freshly allocated. Landmarks have empty labels.
 func (ix *Index) Label(v graph.V) (ranks []int, dists []int32) {
-	base := int(v) * ix.numLand
 	for i := 0; i < ix.numLand; i++ {
-		if d := ix.labels[base+i]; d != NoEntry {
+		if d := ix.labels[i][v]; d != NoEntry {
 			ranks = append(ranks, i)
 			dists = append(dists, int32(d))
 		}
@@ -162,20 +181,23 @@ func (ix *Index) Label(v graph.V) (ranks []int, dists []int32) {
 // LabelEntry returns the labelled distance from v to landmark rank i, or
 // (0, false) when the entry is absent.
 func (ix *Index) LabelEntry(v graph.V, i int) (int32, bool) {
-	d := ix.labels[int(v)*ix.numLand+i]
+	d := ix.labels[i][v]
 	if d == NoEntry {
 		return 0, false
 	}
 	return int32(d), true
 }
 
+// Meta returns the frozen meta-graph state.
+func (ix *Index) Meta() *MetaState { return ix.ms }
+
 // MetaDist returns d_M between landmark ranks i and j (graph.InfDist when
 // unreachable).
-func (ix *Index) MetaDist(i, j int) int32 { return ix.distM[i*ix.numLand+j] }
+func (ix *Index) MetaDist(i, j int) int32 { return ix.ms.Dist(i, j) }
 
 // MetaEdgeWeight returns σ(i, j) and whether the meta-edge exists.
 func (ix *Index) MetaEdgeWeight(i, j int) (int32, bool) {
-	s := ix.sigma[i*ix.numLand+j]
+	s := ix.ms.Sigma(i, j)
 	if s == NoEntry {
 		return 0, false
 	}
@@ -185,8 +207,8 @@ func (ix *Index) MetaEdgeWeight(i, j int) (int32, bool) {
 // MetaEdges returns the meta-graph edge list as (rankA, rankB, weight)
 // triples with rankA < rankB.
 func (ix *Index) MetaEdges() [][3]int32 {
-	out := make([][3]int32, len(ix.meta))
-	for k, e := range ix.meta {
+	out := make([][3]int32, len(ix.ms.meta))
+	for k, e := range ix.ms.meta {
 		out[k] = [3]int32{int32(e.a), int32(e.b), e.weight}
 	}
 	return out
@@ -207,31 +229,9 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 	if landmarks == nil {
 		landmarks = opts.Strategy(g, opts.NumLandmarks, opts.Seed)
 	}
-	if len(landmarks) > 254 {
-		return nil, fmt.Errorf("core: %d landmarks exceed the 254 maximum", len(landmarks))
-	}
-	seen := make(map[graph.V]bool, len(landmarks))
-	for _, r := range landmarks {
-		if r < 0 || int(r) >= g.NumVertices() {
-			return nil, fmt.Errorf("core: landmark %d out of range", r)
-		}
-		if seen[r] {
-			return nil, fmt.Errorf("core: duplicate landmark %d", r)
-		}
-		seen[r] = true
-	}
-
-	ix := &Index{
-		g:         g,
-		landmarks: landmarks,
-		numLand:   len(landmarks),
-		landIdx:   make([]int16, g.NumVertices()),
-	}
-	for i := range ix.landIdx {
-		ix.landIdx[i] = -1
-	}
-	for i, r := range landmarks {
-		ix.landIdx[r] = int16(i)
+	ix, err := newIndexShell(g, g, landmarks)
+	if err != nil {
+		return nil, err
 	}
 
 	labStart := time.Now()
@@ -241,7 +241,6 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 	ix.build.LabellingTime = time.Since(labStart)
 
 	metaStart := time.Now()
-	ix.buildAPSP()
 	if !opts.SkipDelta {
 		ix.buildDelta()
 	}
@@ -253,6 +252,38 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 	return ix, nil
 }
 
+// newIndexShell validates the landmark set and prepares the common Index
+// skeleton (landmark ranks, reverse map) without labels.
+func newIndexShell(g *graph.Graph, a graph.Adjacency, landmarks []graph.V) (*Index, error) {
+	if len(landmarks) > 254 {
+		return nil, fmt.Errorf("core: %d landmarks exceed the 254 maximum", len(landmarks))
+	}
+	seen := make(map[graph.V]bool, len(landmarks))
+	for _, r := range landmarks {
+		if r < 0 || int(r) >= a.NumVertices() {
+			return nil, fmt.Errorf("core: landmark %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("core: duplicate landmark %d", r)
+		}
+		seen[r] = true
+	}
+	ix := &Index{
+		g:         g,
+		a:         a,
+		landmarks: landmarks,
+		numLand:   len(landmarks),
+		landIdx:   make([]int16, a.NumVertices()),
+	}
+	for i := range ix.landIdx {
+		ix.landIdx[i] = -1
+	}
+	for i, r := range landmarks {
+		ix.landIdx[r] = int16(i)
+	}
+	return ix, nil
+}
+
 // MustBuild is Build that panics on error (tests, examples).
 func MustBuild(g *graph.Graph, opts Options) *Index {
 	ix, err := Build(g, opts)
@@ -260,4 +291,34 @@ func MustBuild(g *graph.Graph, opts Options) *Index {
 		panic(err)
 	}
 	return ix
+}
+
+// AssembleDynamic wraps incrementally maintained parts into a queryable
+// Index without any construction work: the label columns, meta state and
+// Δ lists are adopted by reference (the caller promises they are frozen —
+// the dynamic subsystem's copy-on-write snapshots guarantee this). delta
+// must align with ms's deterministic edge order and must be non-nil.
+func AssembleDynamic(a graph.Adjacency, landmarks []graph.V, labels [][]uint8, ms *MetaState, delta [][]graph.Edge) (*Index, error) {
+	ix, err := newIndexShell(nil, a, landmarks)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != len(landmarks) {
+		return nil, fmt.Errorf("core: %d label columns for %d landmarks", len(labels), len(landmarks))
+	}
+	if ms == nil || ms.R != len(landmarks) {
+		return nil, fmt.Errorf("core: meta state does not match landmark count")
+	}
+	if len(delta) != len(ms.meta) {
+		return nil, fmt.Errorf("core: %d delta lists for %d meta edges", len(delta), len(ms.meta))
+	}
+	ix.labels = labels
+	ix.ms = ms
+	ix.delta = delta
+	ix.build.NumLandmarks = ix.numLand
+	ix.build.MetaEdges = len(ms.meta)
+	for _, d := range delta {
+		ix.build.DeltaEdges += int64(len(d))
+	}
+	return ix, nil
 }

@@ -58,9 +58,9 @@ func (ws *labelWorkspace) reset() {
 // landmarkBFS labels column ri of the matrix and returns the meta-edges
 // (ri, other) discovered, with overflow reported via the bool.
 func (ix *Index) landmarkBFS(ri int, ws *labelWorkspace) ([]metaEdge, bool) {
-	g := ix.g
-	R := ix.numLand
+	g := ix.a
 	root := ix.landmarks[ri]
+	col := ix.labels[ri]
 	ws.reset()
 	ws.depth[root] = 0
 	ws.visited = append(ws.visited, root)
@@ -70,7 +70,7 @@ func (ix *Index) landmarkBFS(ri int, ws *labelWorkspace) ([]metaEdge, bool) {
 	depth := int32(0)
 	for len(ws.curL) > 0 || len(ws.curN) > 0 {
 		next := depth + 1
-		if next > 254 {
+		if next > MaxLabelDist {
 			return nil, false
 		}
 		ws.nextL, ws.nextN = ws.nextL[:0], ws.nextN[:0]
@@ -91,7 +91,7 @@ func (ix *Index) landmarkBFS(ri int, ws *labelWorkspace) ([]metaEdge, bool) {
 					metas = append(metas, metaEdge{a: a, b: b, weight: next})
 				} else {
 					ws.nextL = append(ws.nextL, v)
-					ix.labels[int(v)*R+ri] = uint8(next)
+					col[v] = uint8(next)
 				}
 			}
 		}
@@ -116,11 +116,15 @@ func (ix *Index) landmarkBFS(ri int, ws *labelWorkspace) ([]metaEdge, bool) {
 // buildLabelling runs Algorithm 2 from every landmark, with the given
 // number of parallel workers, then merges the per-landmark meta-edges.
 func (ix *Index) buildLabelling(parallelism int) error {
-	n := ix.g.NumVertices()
+	n := ix.a.NumVertices()
 	R := ix.numLand
-	ix.labels = make([]uint8, n*R)
+	ix.labels = make([][]uint8, R)
 	for i := range ix.labels {
-		ix.labels[i] = NoEntry
+		col := make([]uint8, n)
+		for j := range col {
+			col[j] = NoEntry
+		}
+		ix.labels[i] = col
 	}
 	if R == 0 {
 		ix.finishMeta(nil)
@@ -179,39 +183,38 @@ func (ix *Index) buildLabelling(parallelism int) error {
 	}
 	ix.finishMeta(all)
 
-	var entries int64
-	for _, d := range ix.labels {
-		if d != NoEntry {
-			entries++
-		}
-	}
-	ix.build.LabelEntries = entries
+	ix.build.LabelEntries = ix.countLabelEntries()
 	return nil
 }
 
-// finishMeta deduplicates meta-edges (each is discovered from both
-// endpoints) and freezes σ, the edge list, and the (a,b) → edge index.
-func (ix *Index) finishMeta(all []metaEdge) {
-	R := ix.numLand
-	ix.sigma = make([]uint8, R*R)
-	for i := range ix.sigma {
-		ix.sigma[i] = NoEntry
-	}
-	ix.metaID = make([]int32, R*R)
-	for i := range ix.metaID {
-		ix.metaID[i] = -1
-	}
-	ix.meta = ix.meta[:0]
-	for _, e := range all {
-		at := e.a*R + e.b
-		if ix.sigma[at] == NoEntry {
-			ix.sigma[at] = uint8(e.weight)
-			ix.sigma[e.b*R+e.a] = uint8(e.weight)
-			id := int32(len(ix.meta))
-			ix.meta = append(ix.meta, e)
-			ix.metaID[at] = id
-			ix.metaID[e.b*R+e.a] = id
+func (ix *Index) countLabelEntries() int64 {
+	var entries int64
+	for _, col := range ix.labels {
+		for _, d := range col {
+			if d != NoEntry {
+				entries++
+			}
 		}
 	}
-	ix.build.MetaEdges = len(ix.meta)
+	return entries
+}
+
+// finishMeta deduplicates meta-edges (each is discovered from both
+// endpoints), builds the σ matrix and freezes the derived meta state
+// (edge list, APSP, shortest-meta-path table).
+func (ix *Index) finishMeta(all []metaEdge) {
+	R := ix.numLand
+	sigma := make([]uint8, R*R)
+	for i := range sigma {
+		sigma[i] = NoEntry
+	}
+	for _, e := range all {
+		at := e.a*R + e.b
+		if sigma[at] == NoEntry {
+			sigma[at] = uint8(e.weight)
+			sigma[e.b*R+e.a] = uint8(e.weight)
+		}
+	}
+	ix.ms = NewMetaState(R, sigma)
+	ix.build.MetaEdges = len(ix.ms.meta)
 }

@@ -117,8 +117,10 @@ func TestParallelismMoreWorkersThanLandmarks(t *testing.T) {
 	ix := MustBuild(g, Options{NumLandmarks: 3, Parallelism: 16})
 	seq := MustBuild(g, Options{NumLandmarks: 3, Parallelism: 1})
 	for i := range ix.labels {
-		if ix.labels[i] != seq.labels[i] {
-			t.Fatal("worker oversubscription changed the labelling")
+		for v := range ix.labels[i] {
+			if ix.labels[i][v] != seq.labels[i][v] {
+				t.Fatal("worker oversubscription changed the labelling")
+			}
 		}
 	}
 }

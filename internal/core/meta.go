@@ -11,37 +11,95 @@ import (
 // graph between a and b in G, recovered from the labelling alone.
 // These drop per-query sketch cost to O(|R|²) and let the recover search
 // expand landmark-to-landmark segments without touching G.
+//
+// The meta-graph state is factored into its own immutable MetaState so
+// the dynamic-update subsystem can share one instance across index
+// snapshots and swap in a fresh one only when σ actually changes.
+
+// MetaState is the immutable meta-graph bundle derived from σ: the edge
+// list, the σ and APSP matrices, and the shortest-meta-path edge table.
+// It is safe to share between index snapshots; all fields are frozen
+// after NewMetaState.
+type MetaState struct {
+	R      int
+	sigma  []uint8 // |R|×|R| meta-edge weights; NoEntry = no edge
+	distM  []int32 // |R|×|R| APSP over M; graph.InfDist = unreachable
+	meta   []metaEdge
+	metaID []int32   // |R|×|R| -> index into meta, or -1
+	spg    [][]int32 // |R|×|R| -> meta-edge ids on shortest meta-paths (nil = compute on the fly)
+}
+
+// NewMetaState freezes the meta-graph derived from a σ matrix. The
+// matrix is copied; the deterministic edge order is row-major over pairs
+// a < b, which Delta maintenance relies on for alignment.
+func NewMetaState(R int, sigma []uint8) *MetaState {
+	ms := &MetaState{R: R, sigma: make([]uint8, R*R), metaID: make([]int32, R*R)}
+	copy(ms.sigma, sigma)
+	for i := range ms.metaID {
+		ms.metaID[i] = -1
+	}
+	for a := 0; a < R; a++ {
+		for b := a + 1; b < R; b++ {
+			if w := ms.sigma[a*R+b]; w != NoEntry {
+				id := int32(len(ms.meta))
+				ms.meta = append(ms.meta, metaEdge{a: a, b: b, weight: int32(w)})
+				ms.metaID[a*R+b] = id
+				ms.metaID[b*R+a] = id
+			}
+		}
+	}
+	ms.buildAPSP()
+	ms.buildMetaSPG()
+	return ms
+}
+
+// NumEdges returns the number of meta-edges.
+func (ms *MetaState) NumEdges() int { return len(ms.meta) }
+
+// Edge returns meta-edge k as landmark ranks a < b and weight σ(a, b).
+func (ms *MetaState) Edge(k int) (a, b int, weight int32) {
+	e := ms.meta[k]
+	return e.a, e.b, e.weight
+}
+
+// EdgeID returns the meta-edge index for ranks (a, b), or -1.
+func (ms *MetaState) EdgeID(a, b int) int32 { return ms.metaID[a*ms.R+b] }
+
+// Sigma returns σ(a, b) (NoEntry when the meta-edge is absent).
+func (ms *MetaState) Sigma(a, b int) uint8 { return ms.sigma[a*ms.R+b] }
+
+// Dist returns d_M(a, b) (graph.InfDist when unreachable).
+func (ms *MetaState) Dist(a, b int) int32 { return ms.distM[a*ms.R+b] }
 
 // buildAPSP runs Floyd–Warshall over σ. |R| ≤ 254, so O(|R|³) is trivial.
-func (ix *Index) buildAPSP() {
-	R := ix.numLand
-	ix.distM = make([]int32, R*R)
+func (ms *MetaState) buildAPSP() {
+	R := ms.R
+	ms.distM = make([]int32, R*R)
 	for i := 0; i < R; i++ {
 		for j := 0; j < R; j++ {
 			switch {
 			case i == j:
-				ix.distM[i*R+j] = 0
-			case ix.sigma[i*R+j] != NoEntry:
-				ix.distM[i*R+j] = int32(ix.sigma[i*R+j])
+				ms.distM[i*R+j] = 0
+			case ms.sigma[i*R+j] != NoEntry:
+				ms.distM[i*R+j] = int32(ms.sigma[i*R+j])
 			default:
-				ix.distM[i*R+j] = graph.InfDist
+				ms.distM[i*R+j] = graph.InfDist
 			}
 		}
 	}
 	for k := 0; k < R; k++ {
 		for i := 0; i < R; i++ {
-			dik := ix.distM[i*R+k]
+			dik := ms.distM[i*R+k]
 			if dik == graph.InfDist {
 				continue
 			}
 			for j := 0; j < R; j++ {
-				if dkj := ix.distM[k*R+j]; dkj != graph.InfDist && dik+dkj < ix.distM[i*R+j] {
-					ix.distM[i*R+j] = dik + dkj
+				if dkj := ms.distM[k*R+j]; dkj != graph.InfDist && dik+dkj < ms.distM[i*R+j] {
+					ms.distM[i*R+j] = dik + dkj
 				}
 			}
 		}
 	}
-	ix.buildMetaSPG()
 }
 
 // buildMetaSPG precomputes, for every landmark pair (i, j), the list of
@@ -50,27 +108,27 @@ func (ix *Index) buildAPSP() {
 // precomputation is capped (degenerate metric meta-graphs could make the
 // lists quadratic); past the cap the query path falls back to an
 // on-the-fly scan.
-func (ix *Index) buildMetaSPG() {
+func (ms *MetaState) buildMetaSPG() {
 	const maxStored = 4 << 20 // ids; ~16 MB worst case
-	R := ix.numLand
-	ix.metaSPG = make([][]int32, R*R)
+	R := ms.R
+	ms.spg = make([][]int32, R*R)
 	stored := 0
 	for i := 0; i < R; i++ {
 		for j := i + 1; j < R; j++ {
-			if ix.distM[i*R+j] == graph.InfDist {
+			if ms.distM[i*R+j] == graph.InfDist {
 				continue
 			}
 			var ids []int32
-			for k := range ix.meta {
-				if ix.onMetaShortestPath(i, j, k) {
+			for k := range ms.meta {
+				if ms.onMetaShortestPath(i, j, k) {
 					ids = append(ids, int32(k))
 				}
 			}
-			ix.metaSPG[i*R+j] = ids
-			ix.metaSPG[j*R+i] = ids
+			ms.spg[i*R+j] = ids
+			ms.spg[j*R+i] = ids
 			stored += len(ids)
 			if stored > maxStored {
-				ix.metaSPG = nil
+				ms.spg = nil
 				return
 			}
 		}
@@ -79,13 +137,13 @@ func (ix *Index) buildMetaSPG() {
 
 // metaSPGEdges returns the meta-edge ids on shortest i–j meta-paths,
 // using the precomputed table when available.
-func (ix *Index) metaSPGEdges(i, j int, buf []int32) []int32 {
-	if ix.metaSPG != nil {
-		return ix.metaSPG[i*ix.numLand+j]
+func (ms *MetaState) metaSPGEdges(i, j int, buf []int32) []int32 {
+	if ms.spg != nil {
+		return ms.spg[i*ms.R+j]
 	}
 	buf = buf[:0]
-	for k := range ix.meta {
-		if ix.onMetaShortestPath(i, j, k) {
+	for k := range ms.meta {
+		if ms.onMetaShortestPath(i, j, k) {
 			buf = append(buf, int32(k))
 		}
 	}
@@ -94,18 +152,18 @@ func (ix *Index) metaSPGEdges(i, j int, buf []int32) []int32 {
 
 // onMetaShortestPath reports whether meta-edge k lies on some shortest
 // path between landmark ranks i and j in M.
-func (ix *Index) onMetaShortestPath(i, j, k int) bool {
-	R := ix.numLand
-	e := ix.meta[k]
-	d := ix.distM[i*R+j]
+func (ms *MetaState) onMetaShortestPath(i, j, k int) bool {
+	R := ms.R
+	e := ms.meta[k]
+	d := ms.distM[i*R+j]
 	if d == graph.InfDist {
 		return false
 	}
-	da, db := ix.distM[i*R+e.a], ix.distM[e.b*R+j]
+	da, db := ms.distM[i*R+e.a], ms.distM[e.b*R+j]
 	if da != graph.InfDist && db != graph.InfDist && da+e.weight+db == d {
 		return true
 	}
-	da, db = ix.distM[i*R+e.b], ix.distM[e.a*R+j]
+	da, db = ms.distM[i*R+e.b], ms.distM[e.a*R+j]
 	return da != graph.InfDist && db != graph.InfDist && da+e.weight+db == d
 }
 
@@ -117,38 +175,38 @@ func (ix *Index) onMetaShortestPath(i, j, k int) bool {
 // whole recovery costs one pass over label entries plus neighbour scans
 // of candidate vertices — no BFS over G.
 func (ix *Index) buildDelta() {
-	g := ix.g
+	g := ix.a
 	R := ix.numLand
 	n := g.NumVertices()
-	ix.delta = make([][]graph.Edge, len(ix.meta))
+	meta := ix.ms.meta
+	ix.delta = make([][]graph.Edge, len(meta))
 
 	// σ = 1 meta-edges are just the direct edge.
-	for k, e := range ix.meta {
+	for k, e := range meta {
 		if e.weight == 1 {
 			ix.delta[k] = []graph.Edge{graph.Edge{U: ix.landmarks[e.a], W: ix.landmarks[e.b]}.Normalize()}
 		}
 	}
 
 	// Pass 1: collect candidates per meta-edge.
-	cands := make([][]graph.V, len(ix.meta))
+	cands := make([][]graph.V, len(meta))
 	var ranks []int
 	for v := 0; v < n; v++ {
-		base := v * R
 		ranks = ranks[:0]
 		for i := 0; i < R; i++ {
-			if ix.labels[base+i] != NoEntry {
+			if ix.labels[i][v] != NoEntry {
 				ranks = append(ranks, i)
 			}
 		}
 		for x := 0; x < len(ranks); x++ {
 			for y := x + 1; y < len(ranks); y++ {
 				a, b := ranks[x], ranks[y]
-				id := ix.metaID[a*R+b]
+				id := ix.ms.metaID[a*R+b]
 				if id < 0 {
 					continue
 				}
-				da, db := int32(ix.labels[base+a]), int32(ix.labels[base+b])
-				if da+db == ix.meta[id].weight {
+				da, db := int32(ix.labels[a][v]), int32(ix.labels[b][v])
+				if da+db == meta[id].weight {
 					cands[id] = append(cands[id], graph.V(v))
 				}
 			}
@@ -161,14 +219,14 @@ func (ix *Index) buildDelta() {
 		level[i] = -1
 	}
 	var deltaEdges int64
-	for k, e := range ix.meta {
+	for k, e := range meta {
 		if e.weight == 1 {
 			deltaEdges++
 			continue
 		}
 		va, vb := ix.landmarks[e.a], ix.landmarks[e.b]
 		for _, w := range cands[k] {
-			level[w] = int32(ix.labels[int(w)*R+e.a])
+			level[w] = int32(ix.labels[e.a][w])
 		}
 		edges := ix.delta[k]
 		for _, w := range cands[k] {
@@ -188,7 +246,7 @@ func (ix *Index) buildDelta() {
 		for _, w := range cands[k] {
 			level[w] = -1
 		}
-		ix.delta[k] = dedupEdgeList(edges)
+		ix.delta[k] = DedupEdges(edges)
 		deltaEdges += int64(len(ix.delta[k]))
 	}
 	ix.build.DeltaEdges = deltaEdges
@@ -201,7 +259,10 @@ func (ix *Index) EnsureDelta() {
 	}
 }
 
-func dedupEdgeList(edges []graph.Edge) []graph.Edge {
+// DedupEdges sorts a normalised edge list and removes duplicates in
+// place. Shared with the dynamic subsystem, whose incrementally
+// recomputed Δ lists must match buildDelta's output bit for bit.
+func DedupEdges(edges []graph.Edge) []graph.Edge {
 	if len(edges) < 2 {
 		return edges
 	}

@@ -52,7 +52,7 @@ type QueryStats struct {
 // Index).
 type Searcher struct {
 	ix *Index
-	g  *graph.Graph
+	g  graph.Adjacency
 
 	fwd, bwd searchSide
 	ext      *bfs.Extractor // reverse extraction with reusable buffers
@@ -103,16 +103,16 @@ func (s *searchSide) visited() int { return len(s.arena) }
 // NewSearcher creates a query workspace for ix.
 func NewSearcher(ix *Index) *Searcher {
 	ix.EnsureDelta()
-	n := ix.g.NumVertices()
+	n := ix.a.NumVertices()
 	R := ix.numLand
 	sr := &Searcher{
 		ix:         ix,
-		g:          ix.g,
+		g:          ix.a,
 		ext:        bfs.NewExtractor(n),
 		walkMark:   bfs.NewWorkspace(n),
 		sideSigmaU: make([]int32, R),
 		sideSigmaV: make([]int32, R),
-		metaGen:    make([]uint32, len(ix.meta)),
+		metaGen:    make([]uint32, len(ix.ms.meta)),
 	}
 	sr.fwd.ws = bfs.NewWorkspace(n)
 	sr.bwd.ws = bfs.NewWorkspace(n)
@@ -121,6 +121,29 @@ func NewSearcher(ix *Index) *Searcher {
 		sr.sideSigmaV[i] = -1
 	}
 	return sr
+}
+
+// Rebind points the searcher at another index over the same vertex set
+// and landmark count — consecutive snapshots of a dynamic index — so
+// pooled workspaces survive snapshot turnover instead of being
+// reallocated per update. It reports whether the new index is
+// compatible; on false the searcher is unchanged and the caller should
+// allocate a fresh one.
+func (sr *Searcher) Rebind(ix *Index) bool {
+	if sr.ix == ix {
+		return true
+	}
+	if ix.a.NumVertices() != sr.ix.a.NumVertices() || ix.numLand != sr.ix.numLand {
+		return false
+	}
+	ix.EnsureDelta()
+	sr.ix = ix
+	sr.g = ix.a
+	if len(sr.metaGen) < len(ix.ms.meta) {
+		sr.metaGen = make([]uint32, len(ix.ms.meta))
+		sr.metaCur = 0
+	}
+	return true
 }
 
 // Query answers SPG(u, v).
@@ -238,7 +261,7 @@ func (sr *Searcher) computeSketch(u, v graph.V) (dTop, dStarU, dStarV int32) {
 	for _, eu := range sr.entU {
 		row := eu.Rank * R
 		for _, ev := range sr.entV {
-			dm := ix.distM[row+ev.Rank]
+			dm := ix.ms.distM[row+ev.Rank]
 			if dm == graph.InfDist {
 				continue
 			}
@@ -253,7 +276,7 @@ func (sr *Searcher) computeSketch(u, v graph.V) (dTop, dStarU, dStarV int32) {
 	for _, eu := range sr.entU {
 		row := eu.Rank * R
 		for _, ev := range sr.entV {
-			dm := ix.distM[row+ev.Rank]
+			dm := ix.ms.distM[row+ev.Rank]
 			if dm == graph.InfDist || eu.Sigma+dm+ev.Sigma != dTop {
 				continue
 			}
@@ -387,7 +410,7 @@ func (sr *Searcher) recover(spg *graph.SPG, st *QueryStats) {
 			want := uint8(sigma - dm)
 			starts := sr.recoverStart[:0]
 			for _, w := range sd.side.level(dm) {
-				if ix.labels[int(w)*ix.numLand+rank] == want {
+				if ix.labels[rank][w] == want {
 					starts = append(starts, w)
 				}
 			}
@@ -406,7 +429,7 @@ func (sr *Searcher) recover(spg *graph.SPG, st *QueryStats) {
 		if p.R == p.RPrime {
 			continue
 		}
-		sr.metaBuf = sr.ix.metaSPGEdges(p.R, p.RPrime, sr.metaBuf)
+		sr.metaBuf = sr.ix.ms.metaSPGEdges(p.R, p.RPrime, sr.metaBuf)
 		for _, k := range sr.metaBuf {
 			if sr.metaGen[k] == sr.metaCur {
 				continue
@@ -444,7 +467,7 @@ func (sr *Searcher) labelWalk(spg *graph.SPG, starts []graph.V, rank int, delta 
 				if ix.landIdx[y] >= 0 {
 					continue
 				}
-				if ix.labels[int(y)*ix.numLand+rank] == want {
+				if ix.labels[rank][y] == want {
 					spg.AddEdge(x, y)
 					if !sr.walkMark.Seen(y) {
 						sr.walkMark.SetDist(y, 0)

@@ -343,12 +343,14 @@ func TestDeterministicParallelLabelling(t *testing.T) {
 		t.Fatal("label matrix size mismatch")
 	}
 	for i := range seq.labels {
-		if seq.labels[i] != par.labels[i] {
-			t.Fatalf("label matrix differs at %d: %d vs %d", i, seq.labels[i], par.labels[i])
+		for v := range seq.labels[i] {
+			if seq.labels[i][v] != par.labels[i][v] {
+				t.Fatalf("label matrix differs at rank %d vertex %d: %d vs %d", i, v, seq.labels[i][v], par.labels[i][v])
+			}
 		}
 	}
-	for i := range seq.sigma {
-		if seq.sigma[i] != par.sigma[i] {
+	for i := range seq.ms.sigma {
+		if seq.ms.sigma[i] != par.ms.sigma[i] {
 			t.Fatalf("meta σ differs at %d", i)
 		}
 	}

@@ -11,15 +11,20 @@ import (
 )
 
 // Index serialization. The on-disk format stores the minimal
-// reconstruction state — landmarks, the label matrix, and the meta-graph
-// edges — and recomputes the derived structures (APSP, meta-SPG table,
-// Δ) on load; they derive deterministically from the stored state and
-// the graph (Lemma 5.2), and recomputation is much cheaper than the
-// landmark BFSes. The graph itself is not embedded: Load takes the same
-// graph the index was built over and validates vertex/arc counts.
+// reconstruction state — landmarks, the σ matrix and the label matrix
+// (column-major, one landmark column after another) — and recomputes the
+// derived structures (APSP, meta-SPG table, Δ) on load; they derive
+// deterministically from the stored state and the graph (Lemma 5.2), and
+// recomputation is much cheaper than the landmark BFSes. The graph
+// itself is not embedded: Load takes the same graph the index was built
+// over and validates vertex/arc counts.
 
 const indexMagic = "QBSI"
-const indexVersion = 1
+
+// indexVersion 2: labels stored column-major and the meta-graph stored
+// as the σ matrix (version 1 stored row-major labels plus an explicit
+// meta-edge list).
+const indexVersion = 2
 
 // Write serialises the index.
 func (ix *Index) Write(w io.Writer) error {
@@ -29,10 +34,9 @@ func (ix *Index) Write(w io.Writer) error {
 	}
 	hdr := []int64{
 		indexVersion,
-		int64(ix.g.NumVertices()),
-		int64(ix.g.NumArcs()),
+		int64(ix.a.NumVertices()),
+		int64(ix.a.NumArcs()),
 		int64(ix.numLand),
-		int64(len(ix.meta)),
 	}
 	for _, h := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
@@ -42,12 +46,11 @@ func (ix *Index) Write(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, ix.landmarks); err != nil {
 		return err
 	}
-	if _, err := bw.Write(ix.labels); err != nil {
+	if _, err := bw.Write(ix.ms.sigma); err != nil {
 		return err
 	}
-	for _, e := range ix.meta {
-		rec := [3]int32{int32(e.a), int32(e.b), e.weight}
-		if err := binary.Write(bw, binary.LittleEndian, rec[:]); err != nil {
+	for _, col := range ix.labels {
+		if _, err := bw.Write(col); err != nil {
 			return err
 		}
 	}
@@ -65,8 +68,8 @@ func Load(g *graph.Graph, r io.Reader) (*Index, error) {
 	if string(magic) != indexMagic {
 		return nil, fmt.Errorf("core: bad index magic %q", magic)
 	}
-	var version, nV, nArcs, nLand, nMeta int64
-	for _, p := range []*int64{&version, &nV, &nArcs, &nLand, &nMeta} {
+	var version, nV, nArcs, nLand int64
+	for _, p := range []*int64{&version, &nV, &nArcs, &nLand} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return nil, err
 		}
@@ -78,59 +81,45 @@ func Load(g *graph.Graph, r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: index was built over a graph with |V|=%d arcs=%d, got |V|=%d arcs=%d",
 			nV, nArcs, g.NumVertices(), g.NumArcs())
 	}
-	if nLand < 0 || nLand > 254 || nMeta < 0 || nMeta > nLand*nLand {
+	if nLand < 0 || nLand > 254 {
 		return nil, fmt.Errorf("core: corrupt index header")
 	}
-	ix := &Index{
-		g:         g,
-		numLand:   int(nLand),
-		landmarks: make([]graph.V, nLand),
-		landIdx:   make([]int16, g.NumVertices()),
-	}
-	if err := binary.Read(br, binary.LittleEndian, ix.landmarks); err != nil {
+	landmarks := make([]graph.V, nLand)
+	if err := binary.Read(br, binary.LittleEndian, landmarks); err != nil {
 		return nil, err
 	}
-	for i := range ix.landIdx {
-		ix.landIdx[i] = -1
+	ix, err := newIndexShell(g, g, landmarks)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt index: %w", err)
 	}
-	for i, r := range ix.landmarks {
-		if r < 0 || int(r) >= g.NumVertices() {
-			return nil, fmt.Errorf("core: corrupt landmark %d", r)
+	R := int(nLand)
+	sigma := make([]uint8, R*R)
+	if _, err := io.ReadFull(br, sigma); err != nil {
+		return nil, err
+	}
+	for a := 0; a < R; a++ {
+		for b := 0; b < R; b++ {
+			s := sigma[a*R+b]
+			if s != sigma[b*R+a] || (a == b && s != NoEntry) || (s != NoEntry && s == 0) {
+				return nil, fmt.Errorf("core: corrupt sigma matrix at (%d,%d)", a, b)
+			}
 		}
-		ix.landIdx[r] = int16(i)
 	}
-	ix.labels = make([]uint8, int(nV)*int(nLand))
-	if _, err := io.ReadFull(br, ix.labels); err != nil {
-		return nil, err
-	}
-	metas := make([]metaEdge, nMeta)
-	for i := range metas {
-		var rec [3]int32
-		if err := binary.Read(br, binary.LittleEndian, rec[:]); err != nil {
+	ix.labels = make([][]uint8, R)
+	for i := range ix.labels {
+		col := make([]uint8, nV)
+		if _, err := io.ReadFull(br, col); err != nil {
 			return nil, err
 		}
-		if rec[0] < 0 || rec[1] <= rec[0] || int(rec[1]) >= ix.numLand || rec[2] <= 0 || rec[2] > 254 {
-			return nil, fmt.Errorf("core: corrupt meta edge %v", rec)
-		}
-		metas[i] = metaEdge{a: int(rec[0]), b: int(rec[1]), weight: rec[2]}
+		ix.labels[i] = col
 	}
-	ix.finishMeta(metas)
-	if len(ix.meta) != int(nMeta) {
-		return nil, fmt.Errorf("core: duplicate meta edges in index file")
-	}
+	ix.ms = NewMetaState(R, sigma)
 
 	// Derived structures.
-	ix.buildAPSP()
 	ix.buildDelta()
-	var entries int64
-	for _, d := range ix.labels {
-		if d != NoEntry {
-			entries++
-		}
-	}
-	ix.build.LabelEntries = entries
+	ix.build.LabelEntries = ix.countLabelEntries()
 	ix.build.NumLandmarks = ix.numLand
-	ix.build.MetaEdges = len(ix.meta)
+	ix.build.MetaEdges = len(ix.ms.meta)
 	return ix, nil
 }
 

@@ -29,17 +29,19 @@ func TestIndexRoundTrip(t *testing.T) {
 		}
 	}
 	for i := range orig.labels {
-		if loaded.labels[i] != orig.labels[i] {
-			t.Fatal("labels changed")
+		for v := range orig.labels[i] {
+			if loaded.labels[i][v] != orig.labels[i][v] {
+				t.Fatal("labels changed")
+			}
 		}
 	}
-	for i := range orig.sigma {
-		if loaded.sigma[i] != orig.sigma[i] {
+	for i := range orig.ms.sigma {
+		if loaded.ms.sigma[i] != orig.ms.sigma[i] {
 			t.Fatal("meta σ changed")
 		}
 	}
-	for i := range orig.distM {
-		if loaded.distM[i] != orig.distM[i] {
+	for i := range orig.ms.distM {
+		if loaded.ms.distM[i] != orig.ms.distM[i] {
 			t.Fatal("APSP changed")
 		}
 	}

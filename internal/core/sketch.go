@@ -59,9 +59,8 @@ func (ix *Index) entryList(t graph.V, buf []SketchEndpoint) []SketchEndpoint {
 	if ri := ix.landIdx[t]; ri >= 0 {
 		return append(buf, SketchEndpoint{Rank: int(ri), Sigma: 0})
 	}
-	base := int(t) * ix.numLand
 	for i := 0; i < ix.numLand; i++ {
-		if d := ix.labels[base+i]; d != NoEntry {
+		if d := ix.labels[i][t]; d != NoEntry {
 			buf = append(buf, SketchEndpoint{Rank: i, Sigma: int32(d)})
 		}
 	}
@@ -79,7 +78,7 @@ func (ix *Index) Sketch(u, v graph.V) *Sketch {
 	for _, eu := range uEntries {
 		row := eu.Rank * ix.numLand
 		for _, ev := range vEntries {
-			dm := ix.distM[row+ev.Rank]
+			dm := ix.ms.distM[row+ev.Rank]
 			if dm == graph.InfDist {
 				continue
 			}
@@ -99,7 +98,7 @@ func (ix *Index) Sketch(u, v graph.V) *Sketch {
 	for _, eu := range uEntries {
 		row := eu.Rank * ix.numLand
 		for _, ev := range vEntries {
-			dm := ix.distM[row+ev.Rank]
+			dm := ix.ms.distM[row+ev.Rank]
 			if dm == graph.InfDist || eu.Sigma+dm+ev.Sigma != s.DTop {
 				continue
 			}
@@ -107,8 +106,8 @@ func (ix *Index) Sketch(u, v graph.V) *Sketch {
 			uSeen[eu.Rank] = eu.Sigma
 			vSeen[ev.Rank] = ev.Sigma
 			if eu.Rank != ev.Rank {
-				for k := range ix.meta {
-					if _, dup := metaSeen[k]; !dup && ix.onMetaShortestPath(eu.Rank, ev.Rank, k) {
+				for k := range ix.ms.meta {
+					if _, dup := metaSeen[k]; !dup && ix.ms.onMetaShortestPath(eu.Rank, ev.Rank, k) {
 						metaSeen[k] = struct{}{}
 						s.MetaEdges = append(s.MetaEdges, k)
 					}

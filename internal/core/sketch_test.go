@@ -109,7 +109,7 @@ func TestSketchMetaEdgesLieOnShortestMetaPaths(t *testing.T) {
 		for _, k := range sk.MetaEdges {
 			ok := false
 			for _, p := range sk.Pairs {
-				if p.R != p.RPrime && ix.onMetaShortestPath(p.R, p.RPrime, k) {
+				if p.R != p.RPrime && ix.ms.onMetaShortestPath(p.R, p.RPrime, k) {
 					ok = true
 					break
 				}
@@ -124,23 +124,23 @@ func TestSketchMetaEdgesLieOnShortestMetaPaths(t *testing.T) {
 func TestMetaSPGPrecomputeMatchesOnTheFly(t *testing.T) {
 	g := connected(graph.BarabasiAlbert(300, 4, 17))
 	ix := MustBuild(g, Options{NumLandmarks: 16})
-	if ix.metaSPG == nil {
+	if ix.ms.spg == nil {
 		t.Skip("precompute capped out (unexpected at this size)")
 	}
 	R := ix.numLand
 	var buf []int32
 	for i := 0; i < R; i++ {
 		for j := 0; j < R; j++ {
-			if i == j || ix.distM[i*R+j] == graph.InfDist {
+			if i == j || ix.ms.distM[i*R+j] == graph.InfDist {
 				continue
 			}
 			want := map[int32]bool{}
-			for k := range ix.meta {
-				if ix.onMetaShortestPath(i, j, k) {
+			for k := range ix.ms.meta {
+				if ix.ms.onMetaShortestPath(i, j, k) {
 					want[int32(k)] = true
 				}
 			}
-			got := ix.metaSPGEdges(i, j, buf)
+			got := ix.ms.metaSPGEdges(i, j, buf)
 			if len(got) != len(want) {
 				t.Fatalf("pair (%d,%d): %d precomputed vs %d on-the-fly", i, j, len(got), len(want))
 			}

@@ -1,0 +1,144 @@
+package dynamic
+
+import (
+	"qbs/internal/core"
+	"qbs/internal/graph"
+)
+
+// Incremental Δ maintenance. Δ[k] for meta-edge k = (a, b) is the
+// shortest-path graph between landmarks a and b, recovered from the two
+// label columns alone: a vertex v participates iff
+// lab_a(v) + lab_b(v) = σ(a, b). A meta-edge therefore only needs
+// recomputation when (1) σ(a, b) changed (handled by snapshot
+// realignment, which carries lists over only when the weight is
+// unchanged), (2) some vertex's a- or b-label changed while the vertex
+// participates before or after, or (3) the updated edge itself joins two
+// participating vertices on consecutive levels, or attaches a
+// participant to a landmark endpoint. Everything else is carried over
+// from the previous snapshot by reference.
+
+// dirtyDeltas returns the set of landmark-rank pairs (encoded a<<8|b
+// with a < b) whose Δ list must be recomputed, given the update's label
+// changes and the mutated edge {u, w}. oldLab resolves a vertex's label
+// before the update (labels of unchanged columns are shared).
+func dirtyDeltas(cols []*column, sigma []uint8, R int, landIdx []int16, changes []labelChange, u, w graph.V, oldLab func(v graph.V, rank int) uint8) map[int]struct{} {
+	dirty := map[int]struct{}{}
+	mark := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		dirty[a<<8|b] = struct{}{}
+	}
+
+	// (2) label changes at participating vertices.
+	for _, ch := range changes {
+		a := ch.rank
+		for b := 0; b < R; b++ {
+			if b == a {
+				continue
+			}
+			s := sigma[a*R+b]
+			if s == core.NoEntry {
+				continue
+			}
+			lbOld := oldLab(ch.v, b)
+			lbNew := cols[b].lab[ch.v]
+			oldCand := ch.old != core.NoEntry && lbOld != core.NoEntry && int(ch.old)+int(lbOld) == int(s)
+			newCand := ch.new != core.NoEntry && lbNew != core.NoEntry && int(ch.new)+int(lbNew) == int(s)
+			if oldCand || newCand {
+				mark(a, b)
+			}
+		}
+	}
+
+	// (3a) the mutated edge joining two participants on adjacent levels.
+	for a := 0; a < R; a++ {
+		lau, law := cols[a].lab[u], cols[a].lab[w]
+		if lau == core.NoEntry || law == core.NoEntry {
+			continue
+		}
+		if d := int(lau) - int(law); d != 1 && d != -1 {
+			continue
+		}
+		for b := a + 1; b < R; b++ {
+			s := sigma[a*R+b]
+			if s == core.NoEntry {
+				continue
+			}
+			lbu, lbw := cols[b].lab[u], cols[b].lab[w]
+			if lbu == core.NoEntry || lbw == core.NoEntry {
+				continue
+			}
+			if int(lau)+int(lbu) == int(s) && int(law)+int(lbw) == int(s) {
+				mark(a, b)
+			}
+		}
+	}
+
+	// (3b) the mutated edge attaching a level-1 participant to a landmark
+	// endpoint. In principle rule (2) already covers this — a level-1
+	// label exists iff the direct landmark edge does, so mutating that
+	// edge always produces a label change — but the O(R) check is kept as
+	// cheap insurance against membership-invariant edge cases.
+	markEndpoint := func(land, other graph.V) {
+		ra := landIdx[land]
+		if ra < 0 {
+			return
+		}
+		a := int(ra)
+		for b := 0; b < R; b++ {
+			if b == a {
+				continue
+			}
+			s := sigma[a*R+b]
+			if s == core.NoEntry {
+				continue
+			}
+			la, lb := cols[a].lab[other], cols[b].lab[other]
+			if la == 1 && lb != core.NoEntry && int(la)+int(lb) == int(s) {
+				mark(a, b)
+			}
+		}
+	}
+	markEndpoint(u, w)
+	markEndpoint(w, u)
+	return dirty
+}
+
+// computeDelta recomputes the Δ list of meta-edge (a, b) with weight
+// sigma from the label columns, matching core's buildDelta output
+// (normalised, sorted, deduplicated). The column scan is O(|V|), but it
+// is paid only for dirty pairs, which most updates have none of (the
+// endpoints must participate in a landmark-pair SPG); a localized patch
+// driven by the label-change list is possible if this ever shows up in
+// write latency profiles.
+func computeDelta(g *Overlay, landmarks []graph.V, cols []*column, a, b int, sigma int32) []graph.Edge {
+	va, vb := landmarks[a], landmarks[b]
+	if sigma == 1 {
+		return []graph.Edge{graph.Edge{U: va, W: vb}.Normalize()}
+	}
+	la, lb := cols[a].lab, cols[b].lab
+	var edges []graph.Edge
+	n := g.NumVertices()
+	for vi := 0; vi < n; vi++ {
+		da, db := la[vi], lb[vi]
+		if da == core.NoEntry || db == core.NoEntry || int32(da)+int32(db) != sigma {
+			continue
+		}
+		v := graph.V(vi)
+		lv := int32(da)
+		if lv == 1 {
+			edges = append(edges, graph.Edge{U: va, W: v}.Normalize())
+		}
+		if lv == sigma-1 {
+			edges = append(edges, graph.Edge{U: v, W: vb}.Normalize())
+		}
+		for _, x := range g.Neighbors(v) {
+			xa, xb := la[x], lb[x]
+			if xa != core.NoEntry && xb != core.NoEntry && int32(xa)+int32(xb) == sigma && int32(xa) == lv+1 {
+				edges = append(edges, graph.Edge{U: v, W: x}.Normalize())
+			}
+		}
+	}
+	return core.DedupEdges(edges)
+}

@@ -1,0 +1,26 @@
+package graph
+
+// Adjacency is the neighbour-iteration interface consumed by the BFS
+// kernels, the QbS searcher and the labelling machinery. The immutable
+// CSR Graph is the canonical implementation; the dynamic-update
+// subsystem provides a second one (an immutable CSR base plus
+// per-vertex adjacency deltas) so indexes can be maintained over a
+// mutating graph without rebuilding the CSR.
+//
+// Implementations must be immutable (or at least never mutated while a
+// reader holds them): Neighbors may alias internal storage and callers
+// iterate it without copying.
+type Adjacency interface {
+	// NumVertices returns |V|. Vertex ids are dense in [0, NumVertices).
+	NumVertices() int
+	// NumArcs returns the number of stored arcs (2·|E| undirected).
+	NumArcs() int
+	// Degree returns the number of neighbours of v.
+	Degree(v V) int
+	// Neighbors returns the sorted neighbour list of v. The slice may
+	// alias internal storage and must not be modified or retained across
+	// mutations of the underlying structure.
+	Neighbors(v V) []V
+}
+
+var _ Adjacency = (*Graph)(nil)

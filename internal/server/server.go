@@ -3,7 +3,13 @@
 // build (or load) the index once, then serve shortest-path-graph
 // queries at microsecond latency.
 //
-// Endpoints:
+// A server fronts either an immutable qbs.Index (New) or a live-mutable
+// qbs.DynamicIndex (NewMutable). In mutable mode the graph accepts edge
+// writes: each write repairs the index incrementally and publishes a new
+// snapshot epoch, while in-flight reads keep answering against the
+// snapshot they resolved — readers never block on writers.
+//
+// Read endpoints (both modes):
 //
 //	GET /spg?u=<id>&v=<id>        the shortest path graph of the pair
 //	GET /distance?u=<id>&v=<id>   just the distance
@@ -11,10 +17,23 @@
 //	GET /paths?u=<id>&v=<id>&limit=<n>  enumerated shortest paths
 //	GET /stats                    index and graph statistics
 //	GET /healthz                  liveness
+//
+// Write endpoints (mutable mode only; 404 on an immutable server):
+//
+//	POST /edges                   body {"u":<id>,"v":<id>} — insert edge
+//	DELETE /edges?u=<id>&v=<id>   remove edge
+//	GET /epoch                    current snapshot epoch
+//
+// Writes respond with {"applied":bool,"epoch":N,"edges":E}; applied is
+// false for idempotent no-ops (inserting an existing edge, deleting an
+// absent one), which do not advance the epoch. A write that would push
+// the graph past the labelling's 254-hop representation limit is
+// rejected with 422 and leaves the index unchanged.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -23,15 +42,50 @@ import (
 	"qbs/internal/analysis"
 )
 
-// Server handles the HTTP API over one immutable index.
-type Server struct {
-	index *qbs.Index
-	mux   *http.ServeMux
+// backend is the query surface shared by the immutable and mutable
+// index types.
+type backend interface {
+	Query(u, v qbs.V) *qbs.SPG
+	QueryWithStats(u, v qbs.V) (*qbs.SPG, qbs.QueryStats)
+	Distance(u, v qbs.V) int32
+	Sketch(u, v qbs.V) *qbs.Sketch
+	Landmarks() []qbs.V
+	NumVertices() int
+	NumEdges() int
+	SizeLabelsBytes() int64
+	SizeDeltaBytes() int64
 }
 
-// New creates a server for the given index.
+// staticBackend adapts *qbs.Index to the backend interface.
+type staticBackend struct{ *qbs.Index }
+
+func (b staticBackend) NumVertices() int { return b.Graph().NumVertices() }
+func (b staticBackend) NumEdges() int    { return b.Graph().NumEdges() }
+
+// Server handles the HTTP API over one index.
+type Server struct {
+	b      backend
+	static *qbs.Index        // nil in mutable mode
+	dyn    *qbs.DynamicIndex // nil in immutable mode
+	mux    *http.ServeMux
+}
+
+// New creates a read-only server over an immutable index.
 func New(index *qbs.Index) *Server {
-	s := &Server{index: index, mux: http.NewServeMux()}
+	s := &Server{b: staticBackend{index}, static: index}
+	s.routes()
+	return s
+}
+
+// NewMutable creates a read/write server over a dynamic index.
+func NewMutable(index *qbs.DynamicIndex) *Server {
+	s := &Server{b: index, dyn: index}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /spg", s.handleSPG)
 	s.mux.HandleFunc("GET /distance", s.handleDistance)
 	s.mux.HandleFunc("GET /sketch", s.handleSketch)
@@ -41,7 +95,11 @@ func New(index *qbs.Index) *Server {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	return s
+	if s.dyn != nil {
+		s.mux.HandleFunc("POST /edges", s.handleAddEdge)
+		s.mux.HandleFunc("DELETE /edges", s.handleRemoveEdge)
+		s.mux.HandleFunc("GET /epoch", s.handleEpoch)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -51,24 +109,24 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) pair(w http.ResponseWriter, r *http.Request) (u, v qbs.V, ok bool) {
-	parse := func(name string) (qbs.V, bool) {
-		raw := r.URL.Query().Get(name)
-		id, err := strconv.Atoi(raw)
-		if err != nil || id < 0 || id >= s.index.Graph().NumVertices() {
-			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error: fmt.Sprintf("parameter %q must be a vertex id in [0,%d), got %q",
-					name, s.index.Graph().NumVertices(), raw),
-			})
-			return 0, false
-		}
-		return qbs.V(id), true
+func (s *Server) parseVertex(w http.ResponseWriter, name, raw string) (qbs.V, bool) {
+	id, err := strconv.Atoi(raw)
+	if err != nil || id < 0 || id >= s.b.NumVertices() {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("parameter %q must be a vertex id in [0,%d), got %q",
+				name, s.b.NumVertices(), raw),
+		})
+		return 0, false
 	}
-	u, ok = parse("u")
+	return qbs.V(id), true
+}
+
+func (s *Server) pair(w http.ResponseWriter, r *http.Request) (u, v qbs.V, ok bool) {
+	u, ok = s.parseVertex(w, "u", r.URL.Query().Get("u"))
 	if !ok {
 		return
 	}
-	v, ok = parse("v")
+	v, ok = s.parseVertex(w, "v", r.URL.Query().Get("v"))
 	return
 }
 
@@ -104,7 +162,7 @@ func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	spg, st := s.index.QueryWithStats(u, v)
+	spg, st := s.b.QueryWithStats(u, v)
 	resp := SPGResponse{
 		Source:      u,
 		Target:      v,
@@ -124,7 +182,7 @@ func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
 		for _, e := range spg.Edges() {
 			resp.Edges = append(resp.Edges, [2]int32{e.U, e.W})
 		}
-		if dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.index.Distance(u, x) }); dag != nil {
+		if dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.b.Distance(u, x) }); dag != nil {
 			resp.NumPaths = dag.CountPaths()
 		} else if u == v {
 			resp.NumPaths = 1
@@ -146,7 +204,7 @@ func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	d := s.index.Distance(u, v)
+	d := s.b.Distance(u, v)
 	resp := DistanceResponse{Source: u, Target: v}
 	if d == qbs.InfDist {
 		resp.Disconnected = true
@@ -170,14 +228,14 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	sk := s.index.Sketch(u, v)
-	resp := SketchResponse{Source: u, Target: v, Landmarks: s.index.Landmarks()}
+	sk := s.b.Sketch(u, v)
+	resp := SketchResponse{Source: u, Target: v, Landmarks: s.b.Landmarks()}
 	if sk.DTop != qbs.InfDist {
 		dt := sk.DTop
 		resp.DTop = &dt
 		for _, p := range sk.Pairs {
 			resp.Pairs = append(resp.Pairs, [2]int32{
-				s.index.Landmarks()[p.R], s.index.Landmarks()[p.RPrime],
+				s.b.Landmarks()[p.R], s.b.Landmarks()[p.RPrime],
 			})
 		}
 	}
@@ -208,12 +266,12 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	spg := s.index.Query(u, v)
+	spg := s.b.Query(u, v)
 	resp := PathsResponse{Source: u, Target: v}
 	if spg.Dist != qbs.InfDist && u != v {
 		d := spg.Dist
 		resp.Distance = &d
-		dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.index.Distance(u, x) })
+		dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.b.Distance(u, x) })
 		if dag != nil {
 			resp.NumPaths = dag.CountPaths()
 			for _, p := range dag.EnumeratePaths(limit) {
@@ -225,37 +283,146 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// DynamicStatsResponse is the dynamic-maintenance section of /stats
+// (mutable servers only).
+type DynamicStatsResponse struct {
+	Epoch           uint64 `json:"epoch"`
+	Inserts         uint64 `json:"inserts"`
+	Deletes         uint64 `json:"deletes"`
+	ColumnsRepaired uint64 `json:"columns_repaired"`
+	ColumnsRebuilt  uint64 `json:"columns_rebuilt"`
+	LabelsRewritten uint64 `json:"labels_rewritten"`
+	DeltaRecomputes uint64 `json:"delta_recomputes"`
+	Compactions     uint64 `json:"compactions"`
+	Overridden      int    `json:"overridden_vertices"`
+}
+
 // StatsResponse is the JSON body of /stats.
 type StatsResponse struct {
-	Vertices       int     `json:"vertices"`
-	Edges          int     `json:"edges"`
-	AvgDegree      float64 `json:"avg_degree"`
-	NumLandmarks   int     `json:"num_landmarks"`
-	Landmarks      []int32 `json:"landmarks"`
-	LabelEntries   int64   `json:"label_entries"`
-	MetaEdges      int     `json:"meta_edges"`
-	SizeLabels     int64   `json:"size_labels_bytes"`
-	SizeDelta      int64   `json:"size_delta_bytes"`
-	LabellingMS    float64 `json:"labelling_ms"`
-	ConstructionMS float64 `json:"construction_ms"`
+	Vertices       int                   `json:"vertices"`
+	Edges          int                   `json:"edges"`
+	AvgDegree      float64               `json:"avg_degree"`
+	NumLandmarks   int                   `json:"num_landmarks"`
+	Landmarks      []int32               `json:"landmarks"`
+	LabelEntries   int64                 `json:"label_entries,omitempty"`
+	MetaEdges      int                   `json:"meta_edges,omitempty"`
+	SizeLabels     int64                 `json:"size_labels_bytes"`
+	SizeDelta      int64                 `json:"size_delta_bytes"`
+	LabellingMS    float64               `json:"labelling_ms,omitempty"`
+	ConstructionMS float64               `json:"construction_ms,omitempty"`
+	Mutable        bool                  `json:"mutable"`
+	Dynamic        *DynamicStatsResponse `json:"dynamic,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	g := s.index.Graph()
-	st := s.index.Stats()
-	writeJSON(w, http.StatusOK, StatsResponse{
-		Vertices:       g.NumVertices(),
-		Edges:          g.NumEdges(),
-		AvgDegree:      g.AvgDegree(),
-		NumLandmarks:   st.NumLandmarks,
-		Landmarks:      s.index.Landmarks(),
-		LabelEntries:   st.LabelEntries,
-		MetaEdges:      st.MetaEdges,
-		SizeLabels:     s.index.SizeLabelsBytes(),
-		SizeDelta:      s.index.SizeDeltaBytes(),
-		LabellingMS:    float64(st.LabellingTime.Microseconds()) / 1000,
-		ConstructionMS: float64(st.TotalTime.Microseconds()) / 1000,
+	nv, ne := s.b.NumVertices(), s.b.NumEdges()
+	resp := StatsResponse{
+		Vertices:     nv,
+		Edges:        ne,
+		NumLandmarks: len(s.b.Landmarks()),
+		Landmarks:    s.b.Landmarks(),
+		SizeLabels:   s.b.SizeLabelsBytes(),
+		SizeDelta:    s.b.SizeDeltaBytes(),
+		Mutable:      s.dyn != nil,
+	}
+	if nv > 0 {
+		resp.AvgDegree = 2 * float64(ne) / float64(nv)
+	}
+	if s.static != nil {
+		st := s.static.Stats()
+		resp.LabelEntries = st.LabelEntries
+		resp.MetaEdges = st.MetaEdges
+		resp.LabellingMS = float64(st.LabellingTime.Microseconds()) / 1000
+		resp.ConstructionMS = float64(st.TotalTime.Microseconds()) / 1000
+	}
+	if s.dyn != nil {
+		d := s.dyn.DynamicStats()
+		// Pin the epoch/edge pair to one snapshot; the counters are
+		// advisory and may trail by an in-flight write.
+		epoch, edges := s.dyn.EpochEdges()
+		resp.Edges = edges
+		if nv > 0 {
+			resp.AvgDegree = 2 * float64(edges) / float64(nv)
+		}
+		resp.Dynamic = &DynamicStatsResponse{
+			Epoch:           epoch,
+			Inserts:         d.Inserts,
+			Deletes:         d.Deletes,
+			ColumnsRepaired: d.ColumnsRepaired,
+			ColumnsRebuilt:  d.ColumnsRebuilt,
+			LabelsRewritten: d.LabelsRewritten,
+			DeltaRecomputes: d.DeltaRecomputes,
+			Compactions:     d.Compactions,
+			Overridden:      d.Overridden,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// EdgeRequest is the JSON body of POST /edges. Pointer fields make
+// missing keys detectable: a body that omits u or v is rejected rather
+// than silently defaulting to vertex 0.
+type EdgeRequest struct {
+	U *int32 `json:"u"`
+	V *int32 `json:"v"`
+}
+
+// EdgeResponse is the JSON body of POST /edges and DELETE /edges.
+type EdgeResponse struct {
+	Applied bool   `json:"applied"`
+	Epoch   uint64 `json:"epoch"`
+	Edges   int    `json:"edges"`
+}
+
+func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
+	var req EdgeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.U == nil || req.V == nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be {\"u\":<id>,\"v\":<id>}"})
+		return
+	}
+	s.applyEdge(w, qbs.V(*req.U), qbs.V(*req.V), true)
+}
+
+func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	s.applyEdge(w, u, v, false)
+}
+
+func (s *Server) applyEdge(w http.ResponseWriter, u, v qbs.V, insert bool) {
+	if u < 0 || int(u) >= s.b.NumVertices() || v < 0 || int(v) >= s.b.NumVertices() || u == v {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("edge {%d,%d} invalid: endpoints must be distinct ids in [0,%d)", u, v, s.b.NumVertices()),
+		})
+		return
+	}
+	res, err := s.dyn.ApplyEdge(u, v, insert)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, qbs.ErrDiameterTooLarge) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, EdgeResponse{
+		Applied: res.Applied,
+		Epoch:   res.Epoch,
+		Edges:   res.Edges,
 	})
+}
+
+// EpochResponse is the JSON body of GET /epoch.
+type EpochResponse struct {
+	Epoch uint64 `json:"epoch"`
+	Edges int    `json:"edges"`
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, _ *http.Request) {
+	epoch, edges := s.dyn.EpochEdges()
+	writeJSON(w, http.StatusOK, EpochResponse{Epoch: epoch, Edges: edges})
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

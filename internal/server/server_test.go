@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"qbs"
@@ -142,5 +143,121 @@ func TestMethodNotAllowed(t *testing.T) {
 	s.ServeHTTP(rec, req)
 	if rec.Result().StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST status %d", rec.Result().StatusCode)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Mutable-mode tests.
+
+// testMutableServer serves the same diamond fixture over a dynamic
+// index.
+func testMutableServer(t *testing.T) (*Server, *qbs.DynamicIndex) {
+	t.Helper()
+	g := graph.MustFromEdges(7, []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 3}, {U: 0, W: 2}, {U: 2, W: 3},
+		{U: 0, W: 4}, {U: 4, W: 5}, {U: 5, W: 3},
+	})
+	di, err := qbs.BuildDynamicIndex(g, qbs.DynamicOptions{Index: qbs.Options{NumLandmarks: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewMutable(di), di
+}
+
+func do(t *testing.T, s *Server, method, path, body string, out any) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	resp := rec.Result()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s %s: %v", method, path, err)
+		}
+	}
+	return resp
+}
+
+func TestWriteEndpoints(t *testing.T) {
+	s, _ := testMutableServer(t)
+
+	// Initial epoch.
+	var ep EpochResponse
+	if r := do(t, s, "GET", "/epoch", "", &ep); r.StatusCode != 200 {
+		t.Fatalf("epoch status %d", r.StatusCode)
+	}
+	if ep.Epoch != 0 || ep.Edges != 7 {
+		t.Fatalf("epoch = %+v", ep)
+	}
+
+	// Insert a shortcut 1-2: distance 1-2 drops from 2 to 1.
+	var er EdgeResponse
+	if r := do(t, s, "POST", "/edges", `{"u":1,"v":2}`, &er); r.StatusCode != 200 {
+		t.Fatalf("post status %d", r.StatusCode)
+	}
+	if !er.Applied || er.Epoch != 1 || er.Edges != 8 {
+		t.Fatalf("post response %+v", er)
+	}
+	var dr DistanceResponse
+	do(t, s, "GET", "/distance?u=1&v=2", "", &dr)
+	if dr.Distance == nil || *dr.Distance != 1 {
+		t.Fatalf("distance after insert = %+v", dr)
+	}
+
+	// Idempotent re-insert: applied=false, epoch unchanged.
+	if r := do(t, s, "POST", "/edges", `{"u":2,"v":1}`, &er); r.StatusCode != 200 {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if er.Applied || er.Epoch != 1 {
+		t.Fatalf("re-insert response %+v", er)
+	}
+
+	// Delete both 0-3 two-hop paths: the detour 0-4-5-3 takes over.
+	do(t, s, "DELETE", "/edges?u=1&v=3", "", &er)
+	do(t, s, "DELETE", "/edges?u=2&v=3", "", &er)
+	if !er.Applied || er.Edges != 6 {
+		t.Fatalf("delete response %+v", er)
+	}
+	var spg SPGResponse
+	do(t, s, "GET", "/spg?u=0&v=3", "", &spg)
+	if spg.Distance == nil || *spg.Distance != 3 || spg.NumPaths != 1 {
+		t.Fatalf("spg after deletes = %+v", spg)
+	}
+
+	// Deleting an absent edge is a no-op.
+	do(t, s, "DELETE", "/edges?u=1&v=3", "", &er)
+	if er.Applied {
+		t.Fatal("deleting absent edge reported applied")
+	}
+
+	// Bad requests.
+	if r := do(t, s, "POST", "/edges", `{"u":1,"v":1}`, nil); r.StatusCode != 400 {
+		t.Fatalf("self-loop status %d", r.StatusCode)
+	}
+	if r := do(t, s, "POST", "/edges", `{"u":1,"v":99}`, nil); r.StatusCode != 400 {
+		t.Fatalf("out-of-range status %d", r.StatusCode)
+	}
+	if r := do(t, s, "POST", "/edges", `not json`, nil); r.StatusCode != 400 {
+		t.Fatalf("bad body status %d", r.StatusCode)
+	}
+
+	// Stats reports mutable mode and counters.
+	var st StatsResponse
+	do(t, s, "GET", "/stats", "", &st)
+	if !st.Mutable || st.Dynamic == nil {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Dynamic.Inserts != 1 || st.Dynamic.Deletes != 2 {
+		t.Fatalf("dynamic stats = %+v", st.Dynamic)
+	}
+}
+
+func TestWriteEndpointsAbsentOnImmutable(t *testing.T) {
+	s := testServer(t)
+	if r := do(t, s, "POST", "/edges", `{"u":1,"v":2}`, nil); r.StatusCode == 200 {
+		t.Fatal("immutable server accepted a write")
+	}
+	if r := do(t, s, "GET", "/epoch", "", nil); r.StatusCode == 200 {
+		t.Fatal("immutable server served /epoch")
 	}
 }

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math/rand"
+
+	"qbs/internal/graph"
+)
+
+// Mixed read/write workloads for the dynamic index: a deterministic
+// stream of queries interleaved with edge insertions and deletions. The
+// generator tracks the evolving edge set so deletions always target an
+// existing edge and insertions a missing one, keeping edge density
+// roughly stationary over long streams — the steady-state churn shape of
+// a live social or web graph.
+
+// OpKind discriminates stream operations.
+type OpKind uint8
+
+const (
+	// OpQuery asks for SPG(U, V).
+	OpQuery OpKind = iota
+	// OpInsert adds the edge {U, V} (absent when generated).
+	OpInsert
+	// OpDelete removes the edge {U, V} (present when generated).
+	OpDelete
+)
+
+// Op is one operation of a mixed stream.
+type Op struct {
+	Kind OpKind
+	U, V graph.V
+}
+
+// MixedOps generates count operations over g: writeRatio of them are
+// edge mutations (split evenly between insertions and deletions, subject
+// to availability), the rest uniform random query pairs. Deterministic
+// in (g, count, writeRatio, seed).
+func MixedOps(g *graph.Graph, count int, writeRatio float64, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	ops := make([]Op, 0, count)
+	if n < 2 {
+		return ops
+	}
+
+	// Mutable edge-set mirror: slice for uniform picks, map for O(1)
+	// membership and swap-removal.
+	edges := g.Edges()
+	at := make(map[graph.Edge]int, len(edges))
+	for i, e := range edges {
+		at[e] = i
+	}
+	removeAt := func(i int) {
+		e := edges[i]
+		last := len(edges) - 1
+		edges[i] = edges[last]
+		at[edges[i]] = i
+		edges = edges[:last]
+		delete(at, e)
+	}
+	addEdge := func(e graph.Edge) {
+		at[e] = len(edges)
+		edges = append(edges, e)
+	}
+	randomPair := func() (graph.V, graph.V) {
+		for {
+			u := graph.V(rng.Intn(n))
+			v := graph.V(rng.Intn(n))
+			if u != v {
+				return u, v
+			}
+		}
+	}
+	randomMissing := func() (graph.Edge, bool) {
+		for tries := 0; tries < 64; tries++ {
+			u, v := randomPair()
+			e := graph.Edge{U: u, W: v}.Normalize()
+			if _, dup := at[e]; !dup {
+				return e, true
+			}
+		}
+		return graph.Edge{}, false // near-complete graph
+	}
+
+	for len(ops) < count {
+		if rng.Float64() >= writeRatio {
+			u, v := randomPair()
+			ops = append(ops, Op{Kind: OpQuery, U: u, V: v})
+			continue
+		}
+		wantDelete := rng.Intn(2) == 0
+		if wantDelete && len(edges) > 0 {
+			i := rng.Intn(len(edges))
+			e := edges[i]
+			removeAt(i)
+			ops = append(ops, Op{Kind: OpDelete, U: e.U, V: e.W})
+		} else if e, ok := randomMissing(); ok {
+			addEdge(e)
+			ops = append(ops, Op{Kind: OpInsert, U: e.U, V: e.W})
+		} else if len(edges) > 0 {
+			i := rng.Intn(len(edges))
+			e := edges[i]
+			removeAt(i)
+			ops = append(ops, Op{Kind: OpDelete, U: e.U, V: e.W})
+		} else {
+			u, v := randomPair()
+			ops = append(ops, Op{Kind: OpQuery, U: u, V: v})
+		}
+	}
+	return ops
+}
+
+// CountKinds tallies a stream by operation kind.
+func CountKinds(ops []Op) (queries, inserts, deletes int) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpQuery:
+			queries++
+		case OpInsert:
+			inserts++
+		case OpDelete:
+			deletes++
+		}
+	}
+	return
+}

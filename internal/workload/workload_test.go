@@ -89,3 +89,51 @@ func TestApproxAvgDistance(t *testing.T) {
 		t.Fatalf("path avg dist = %f", got)
 	}
 }
+
+func TestMixedOps(t *testing.T) {
+	g := graph.ErdosRenyi(200, 600, 11)
+	ops := MixedOps(g, 2000, 0.3, 42)
+	if len(ops) != 2000 {
+		t.Fatalf("got %d ops", len(ops))
+	}
+	q, ins, del := CountKinds(ops)
+	if q == 0 || ins == 0 || del == 0 {
+		t.Fatalf("kinds: q=%d ins=%d del=%d", q, ins, del)
+	}
+	writes := ins + del
+	if ratio := float64(writes) / float64(len(ops)); ratio < 0.2 || ratio > 0.4 {
+		t.Fatalf("write ratio %.2f far from requested 0.3", ratio)
+	}
+	// Replay against a mirror: every delete must hit an existing edge,
+	// every insert a missing one.
+	edges := map[graph.Edge]bool{}
+	for _, e := range g.Edges() {
+		edges[e] = true
+	}
+	for i, op := range ops {
+		e := graph.Edge{U: op.U, W: op.V}.Normalize()
+		switch op.Kind {
+		case OpInsert:
+			if edges[e] {
+				t.Fatalf("op %d: insert of existing edge %v", i, e)
+			}
+			edges[e] = true
+		case OpDelete:
+			if !edges[e] {
+				t.Fatalf("op %d: delete of missing edge %v", i, e)
+			}
+			delete(edges, e)
+		case OpQuery:
+			if op.U == op.V {
+				t.Fatalf("op %d: degenerate query pair", i)
+			}
+		}
+	}
+	// Determinism.
+	again := MixedOps(g, 2000, 0.3, 42)
+	for i := range ops {
+		if ops[i] != again[i] {
+			t.Fatalf("op %d differs between runs", i)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"qbs/internal/bfs"
 	"qbs/internal/core"
+	"qbs/internal/dynamic"
 	"qbs/internal/graph"
 )
 
@@ -268,6 +269,155 @@ func LoadIndexFile(g *Graph, path string) (*Index, error) {
 	ix.pool.New = func() any { return core.NewSearcher(cix) }
 	return ix, nil
 }
+
+// ErrDiameterTooLarge is returned when a graph (or a graph update) would
+// push some landmark distance beyond the 254-hop label representation
+// limit.
+var ErrDiameterTooLarge = core.ErrDiameterTooLarge
+
+// DynamicOptions configures BuildDynamicIndex.
+type DynamicOptions struct {
+	// Index carries the landmark selection settings (NumLandmarks,
+	// Strategy, Landmarks, Seed). Parallelism is ignored: dynamic
+	// construction is sequential per landmark.
+	Index Options
+	// RepairBudget caps the affected-vertex set of a deletion repair
+	// before falling back to a full single-landmark re-BFS (0 = auto).
+	RepairBudget int
+	// CompactFraction sets the overlay-drift fraction that triggers an
+	// asynchronous compaction rebuild (0 = default 0.25, negative =
+	// disabled). See DynamicIndex.Compact.
+	CompactFraction float64
+}
+
+// DynamicStats reports dynamic-index maintenance counters.
+type DynamicStats = dynamic.Stats
+
+// DynamicIndex is a QbS index over a mutable graph: AddEdge and
+// RemoveEdge repair the landmark labelling incrementally instead of
+// rebuilding, and publish a new immutable snapshot per update. Queries
+// are lock-free — they resolve the snapshot current at call time and
+// never block on writers — so the read hot path matches the immutable
+// Index. Writers are serialised internally; all methods are safe for
+// concurrent use.
+//
+// The vertex set is fixed at construction; only edges change. Updates
+// that would make some vertex sit more than 254 hops from a landmark are
+// rejected with ErrDiameterTooLarge (the labelling stores one distance
+// byte per landmark), leaving the index unchanged.
+type DynamicIndex struct {
+	d *dynamic.Index
+}
+
+// BuildDynamicIndex constructs a live-mutable QbS index over the current
+// edges of g. Construction costs the same as BuildIndex; subsequent
+// updates cost orders of magnitude less than a rebuild.
+func BuildDynamicIndex(g *Graph, opts DynamicOptions) (*DynamicIndex, error) {
+	landmarks := opts.Index.Landmarks
+	if landmarks == nil {
+		k := core.ClampLandmarks(opts.Index.NumLandmarks, g.NumVertices())
+		landmarks = opts.Index.Strategy.fn()(g, k, opts.Index.Seed)
+	}
+	d, err := dynamic.New(g, landmarks, dynamic.Options{
+		RepairBudget:    opts.RepairBudget,
+		CompactFraction: opts.CompactFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{d: d}, nil
+}
+
+// UpdateResult reports the outcome of one edge update: whether the
+// graph changed, plus the epoch and edge count the write published
+// (captured atomically with the write, so concurrent writers cannot
+// skew them).
+type UpdateResult = dynamic.Result
+
+// AddEdge inserts the undirected edge {u, v} and incrementally repairs
+// the index. It reports whether the graph changed (false when the edge
+// already exists).
+func (di *DynamicIndex) AddEdge(u, v V) (bool, error) { return di.d.AddEdge(u, v) }
+
+// ApplyEdge inserts (insert=true) or removes the undirected edge {u, v}
+// and returns the published epoch and edge count along with whether the
+// graph changed — for callers that echo snapshot coordinates back to
+// clients.
+func (di *DynamicIndex) ApplyEdge(u, v V, insert bool) (UpdateResult, error) {
+	return di.d.ApplyEdge(u, v, insert)
+}
+
+// RemoveEdge deletes the undirected edge {u, v} and incrementally
+// repairs the index. It reports whether the graph changed (false when
+// the edge does not exist).
+func (di *DynamicIndex) RemoveEdge(u, v V) (bool, error) { return di.d.RemoveEdge(u, v) }
+
+// Query answers SPG(u, v) against the current snapshot.
+func (di *DynamicIndex) Query(u, v V) *SPG { return di.d.Query(u, v) }
+
+// QueryWithStats answers SPG(u, v) with query internals.
+func (di *DynamicIndex) QueryWithStats(u, v V) (*SPG, QueryStats) {
+	return di.d.QueryWithStats(u, v)
+}
+
+// Distance returns d_G(u, v) on the current snapshot.
+func (di *DynamicIndex) Distance(u, v V) int32 { return di.d.Distance(u, v) }
+
+// Sketch computes the query sketch on the current snapshot.
+func (di *DynamicIndex) Sketch(u, v V) *Sketch { return di.d.Sketch(u, v) }
+
+// QueryBatch answers many queries concurrently against one consistent
+// snapshot: every answer reflects the same epoch even if writers land
+// updates mid-batch. parallelism 0 means GOMAXPROCS.
+func (di *DynamicIndex) QueryBatch(pairs []Pair, parallelism int) []*SPG {
+	ps := make([][2]V, len(pairs))
+	for i, p := range pairs {
+		ps[i] = [2]V{p.U, p.V}
+	}
+	return di.d.QueryBatch(ps, parallelism)
+}
+
+// Epoch returns the current snapshot number. It advances by one per
+// applied update (and per compaction), so clients can detect staleness.
+func (di *DynamicIndex) Epoch() uint64 { return di.d.Epoch() }
+
+// EpochEdges returns the current epoch and edge count as one consistent
+// pair (resolved from a single snapshot).
+func (di *DynamicIndex) EpochEdges() (uint64, int) { return di.d.EpochEdges() }
+
+// NumVertices returns |V| (fixed at construction).
+func (di *DynamicIndex) NumVertices() int { return di.d.NumVertices() }
+
+// NumEdges returns the current undirected edge count.
+func (di *DynamicIndex) NumEdges() int { return di.d.NumEdges() }
+
+// HasEdge reports whether {u, v} exists in the current snapshot.
+func (di *DynamicIndex) HasEdge(u, v V) bool { return di.d.HasEdge(u, v) }
+
+// Landmarks returns the landmark set, fixed for the index's lifetime.
+func (di *DynamicIndex) Landmarks() []V { return di.d.Landmarks() }
+
+// DynamicStats returns maintenance counters (repairs, fallbacks,
+// compactions, overlay pressure).
+func (di *DynamicIndex) DynamicStats() DynamicStats { return di.d.Stats() }
+
+// SizeLabelsBytes is the paper's size(L) accounting for the current
+// snapshot.
+func (di *DynamicIndex) SizeLabelsBytes() int64 { return di.d.CurrentIndex().SizeLabelsBytes() }
+
+// SizeDeltaBytes is the paper's size(Δ) accounting for the current
+// snapshot.
+func (di *DynamicIndex) SizeDeltaBytes() int64 { return di.d.CurrentIndex().SizeDeltaBytes() }
+
+// Compact synchronously rebuilds the CSR base and labelling from the
+// current graph, resetting overlay drift. Compaction also happens
+// automatically (and asynchronously, off the write path) once the
+// overlay covers more than DynamicOptions.CompactFraction of vertices.
+func (di *DynamicIndex) Compact() error { return di.d.Compact() }
+
+// WaitCompaction blocks until any in-flight asynchronous compaction has
+// finished.
+func (di *DynamicIndex) WaitCompaction() { di.d.WaitCompaction() }
 
 // BiBFS answers SPG(u, v) by plain bidirectional BFS over the full graph
 // — the paper's search-based baseline, requiring no index. For repeated
