@@ -1,0 +1,212 @@
+// Allocation regression tests and benchmarks for the warm query path.
+// After the PR 2 arena work, a warmed-up searcher answering into a
+// reused SPG performs zero heap allocations per query; these tests pin
+// that down so it cannot silently rot.
+package qbs_test
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"qbs"
+	"qbs/internal/core"
+	"qbs/internal/graph"
+	"qbs/internal/workload"
+)
+
+// allocGraph returns a small hub-ish test graph and sampled pairs.
+func allocGraph(tb testing.TB) (*graph.Graph, []workload.Pair) {
+	tb.Helper()
+	g := connectedBA(800, 3, 42)
+	return g, workload.SamplePairs(g, 64, 7)
+}
+
+func connectedBA(n, m int, seed int64) *graph.Graph {
+	g := graph.BarabasiAlbert(n, m, seed)
+	lc, _ := g.LargestComponent()
+	return lc
+}
+
+// TestWarmQueryZeroAllocs asserts the PR 2 acceptance criterion: a warm
+// query through the reusable-result path allocates nothing — neither in
+// the searcher (expansion, sketch, extraction) nor in the result, whose
+// edge buffer is recycled at its high-water mark.
+func TestWarmQueryZeroAllocs(t *testing.T) {
+	g, pairs := allocGraph(t)
+	cix := core.MustBuild(g, core.Options{NumLandmarks: 16})
+	sr := core.NewSearcher(cix)
+	spg := graph.NewSPG(0, 0)
+
+	// Warm every buffer to its working size on the same pair set.
+	for r := 0; r < 3; r++ {
+		for _, p := range pairs {
+			sr.QueryInto(spg, p.U, p.V)
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.QueryInto(spg, p.U, p.V)
+	}); avg != 0 {
+		t.Fatalf("warm Searcher.QueryInto allocates %.2f/op, want 0", avg)
+	}
+
+	i = 0
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.Distance(p.U, p.V)
+	}); avg != 0 {
+		t.Fatalf("warm Searcher.Distance allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestWarmIndexQueryIntoZeroAllocs covers the public pooled entry point.
+// GC is paused so the searcher pool cannot be emptied mid-measurement
+// (a pool refill is an allocation the steady state never pays).
+func TestWarmIndexQueryIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	g, pairs := allocGraph(t)
+	ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 16})
+	spg := graph.NewSPG(0, 0)
+	for r := 0; r < 3; r++ {
+		for _, p := range pairs {
+			ix.QueryInto(spg, p.U, p.V)
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	i := 0
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		ix.QueryInto(spg, p.U, p.V)
+	}); avg != 0 {
+		t.Fatalf("warm Index.QueryInto allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestQueryBatchRecoversFromPanic feeds QueryBatch a poisoned pair (an
+// out-of-range vertex panics inside the searcher). The batch must
+// complete, return every healthy result, and leave only the poisoned
+// slot nil — previously the panic killed the process.
+func TestQueryBatchRecoversFromPanic(t *testing.T) {
+	g, pairs := allocGraph(t)
+	ix := qbs.MustBuildIndex(g, qbs.Options{NumLandmarks: 8})
+
+	batch := make([]qbs.Pair, 0, len(pairs)+2)
+	for _, p := range pairs {
+		batch = append(batch, qbs.Pair{U: p.U, V: p.V})
+	}
+	poisonA, poisonB := 3, len(batch)/2
+	batch[poisonA] = qbs.Pair{U: -1, V: 0}
+	batch[poisonB] = qbs.Pair{U: 0, V: graph.V(g.NumVertices() + 5)}
+
+	out := ix.QueryBatch(batch, 4)
+	if len(out) != len(batch) {
+		t.Fatalf("got %d results for %d pairs", len(out), len(batch))
+	}
+	for i, spg := range out {
+		if i == poisonA || i == poisonB {
+			if spg != nil {
+				t.Fatalf("poisoned pair %d returned a result", i)
+			}
+			continue
+		}
+		if spg == nil {
+			t.Fatalf("healthy pair %d lost its result", i)
+		}
+		want := ix.Query(batch[i].U, batch[i].V)
+		if !spg.Equal(want) {
+			t.Fatalf("pair %d: batch result differs from direct query", i)
+		}
+	}
+}
+
+// TestDynamicQueryBatchRecoversFromPanic is the same contract on the
+// live-mutable index.
+func TestDynamicQueryBatchRecoversFromPanic(t *testing.T) {
+	g, pairs := allocGraph(t)
+	di, err := qbs.BuildDynamicIndex(g, qbs.DynamicOptions{Index: qbs.Options{NumLandmarks: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]qbs.Pair, 0, len(pairs))
+	for _, p := range pairs[:16] {
+		batch = append(batch, qbs.Pair{U: p.U, V: p.V})
+	}
+	batch[5] = qbs.Pair{U: -7, V: 1}
+	out := di.QueryBatch(batch, 3)
+	for i, spg := range out {
+		if i == 5 {
+			if spg != nil {
+				t.Fatal("poisoned dynamic pair returned a result")
+			}
+			continue
+		}
+		if spg == nil {
+			t.Fatalf("healthy dynamic pair %d lost its result", i)
+		}
+		if want := di.Query(batch[i].U, batch[i].V); !spg.Equal(want) {
+			t.Fatalf("dynamic pair %d differs from direct query", i)
+		}
+	}
+}
+
+// --- benchmarks -------------------------------------------------------
+
+func BenchmarkQueryInto(b *testing.B) {
+	benchSetup(b)
+	for _, key := range benchKeys {
+		ix, pairs := benchIndexes[key], benchPairs[key]
+		b.Run(key, func(b *testing.B) {
+			sr := core.NewSearcher(ix)
+			spg := graph.NewSPG(0, 0)
+			for _, p := range pairs {
+				sr.QueryInto(spg, p.U, p.V)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				sr.QueryInto(spg, p.U, p.V)
+			}
+		})
+	}
+}
+
+func BenchmarkDistanceWarm(b *testing.B) {
+	benchSetup(b)
+	for _, key := range benchKeys {
+		ix, pairs := benchIndexes[key], benchPairs[key]
+		b.Run(key, func(b *testing.B) {
+			sr := core.NewSearcher(ix)
+			for _, p := range pairs {
+				sr.Distance(p.U, p.V)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				sr.Distance(p.U, p.V)
+			}
+		})
+	}
+}
+
+func BenchmarkQueryBatch(b *testing.B) {
+	benchSetup(b)
+	key := "YT"
+	ix := qbs.MustBuildIndex(benchGraphs[key], qbs.Options{NumLandmarks: 20})
+	pairs := make([]qbs.Pair, len(benchPairs[key]))
+	for i, p := range benchPairs[key] {
+		pairs[i] = qbs.Pair{U: p.U, V: p.V}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.QueryBatch(pairs, 0)
+	}
+}

@@ -90,6 +90,7 @@ func BenchmarkTable2BuildQbSP(b *testing.B) {
 	for _, key := range benchKeys {
 		g := benchGraphs[key]
 		b.Run(key, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.MustBuild(g, core.Options{NumLandmarks: 20})
 			}
@@ -138,6 +139,7 @@ func BenchmarkTable2QueryQbS(b *testing.B) {
 		ix, pairs := benchIndexes[key], benchPairs[key]
 		b.Run(key, func(b *testing.B) {
 			sr := core.NewSearcher(ix)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]

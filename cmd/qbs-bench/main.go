@@ -33,6 +33,7 @@ func main() {
 		seed      = flag.Int64("seed", 2021, "workload sampling seed")
 		pplBudget = flag.Duration("ppl-budget", 60*time.Second, "PPL/ParentPPL construction time budget (DNF beyond)")
 		outPath   = flag.String("out", "", "write markdown to this file as well as stdout")
+		jsonPath  = flag.String("json", "", "write a perf snapshot (build time, query p50/p99, allocs/op) to this JSON file and exit; see README \"Performance\"")
 	)
 	flag.Parse()
 
@@ -64,6 +65,26 @@ func main() {
 			cfg.Datasets = append(cfg.Datasets, k)
 		}
 	}
+	if *jsonPath != "" {
+		// Snapshot mode: the machine-readable perf record tracked across
+		// PRs (BENCH_PR2.json and successors). Default to the three
+		// representative Table 2 analogs unless -datasets was given.
+		if len(cfg.Datasets) == 0 {
+			cfg.Datasets = []string{"DO", "YT", "FR"}
+		}
+		t0 := time.Now()
+		snap, err := bench.New(cfg).Snapshot()
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.WriteJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot (%d datasets) written to %s in %s\n",
+			len(snap.Datasets), *jsonPath, time.Since(t0).Round(time.Millisecond))
+		return
+	}
+
 	h := bench.New(cfg)
 
 	fmt.Fprintf(out, "# QbS evaluation (scale=%.2f, queries=%d, |R|=%d)\n",

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"qbs/internal/core"
+	"qbs/internal/graph"
+	"qbs/internal/workload"
+)
+
+// SnapshotSchema identifies the BENCH_PR*.json format version.
+const SnapshotSchema = "qbs-bench-snapshot/v1"
+
+// SnapshotDataset is one dataset row of a perf snapshot. Durations are
+// nanoseconds; build times are best-of-N to shave scheduler noise,
+// query percentiles come from one warmed pass over the sampled pairs.
+type SnapshotDataset struct {
+	Key      string `json:"key"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+
+	BuildTotalNs     int64 `json:"build_total_ns"`
+	BuildLabellingNs int64 `json:"build_labelling_ns"`
+	BuildMetaNs      int64 `json:"build_meta_ns"`
+
+	QueryP50Ns int64 `json:"query_p50_ns"`
+	QueryP99Ns int64 `json:"query_p99_ns"`
+
+	// QueryAllocsPerOp and DistanceAllocsPerOp are measured on a warm
+	// searcher answering into a reused SPG (the steady-state serving
+	// path); the PR 2 acceptance target for both is 0.
+	QueryAllocsPerOp    float64 `json:"query_allocs_per_op"`
+	DistanceAllocsPerOp float64 `json:"distance_allocs_per_op"`
+
+	LabelEntries int64 `json:"label_entries"`
+	MetaEdges    int   `json:"meta_edges"`
+}
+
+// Snapshot is a machine-readable perf record (BENCH_PR2.json): enough
+// to track the repo's build-time / query-latency / allocation
+// trajectory across PRs. See README "Performance" for the field
+// contract.
+type Snapshot struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Scale      float64           `json:"scale"`
+	Queries    int               `json:"queries"`
+	Landmarks  int               `json:"landmarks"`
+	Seed       int64             `json:"seed"`
+	Datasets   []SnapshotDataset `json:"datasets"`
+}
+
+// buildReps is how many builds the snapshot times per dataset (keeping
+// the fastest, the conventional way to report a deterministic kernel).
+const buildReps = 5
+
+// Snapshot measures the configured datasets and returns the perf
+// record. It is driven by `qbs-bench -json` and by tests.
+func (h *Harness) Snapshot() (*Snapshot, error) {
+	cfg := h.cfg
+	s := &Snapshot{
+		Schema:     SnapshotSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Queries:    cfg.NumQueries,
+		Landmarks:  cfg.NumLandmarks,
+		Seed:       cfg.Seed,
+	}
+	for _, key := range h.sortedKeys() {
+		g, err := h.Graph(key)
+		if err != nil {
+			return nil, err
+		}
+		row, err := snapshotDataset(key, g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Datasets = append(s.Datasets, row)
+	}
+	return s, nil
+}
+
+func snapshotDataset(key string, g *graph.Graph, cfg Config) (SnapshotDataset, error) {
+	row := SnapshotDataset{Key: key, Vertices: g.NumVertices(), Edges: g.NumEdges()}
+
+	var ix *core.Index
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < buildReps; rep++ {
+		t0 := time.Now()
+		built, err := core.Build(g, core.Options{NumLandmarks: cfg.NumLandmarks})
+		if err != nil {
+			return row, err
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+			st := built.Stats()
+			row.BuildTotalNs = d.Nanoseconds()
+			row.BuildLabellingNs = st.LabellingTime.Nanoseconds()
+			row.BuildMetaNs = st.MetaTime.Nanoseconds()
+			row.LabelEntries = st.LabelEntries
+			row.MetaEdges = st.MetaEdges
+		}
+		ix = built
+	}
+
+	pairs := workload.SamplePairs(g, cfg.NumQueries, cfg.Seed)
+	sr := core.NewSearcher(ix)
+	spg := graph.NewSPG(0, 0)
+	for _, p := range pairs {
+		sr.QueryInto(spg, p.U, p.V) // warm every buffer
+	}
+	lat := make([]int64, len(pairs))
+	for i, p := range pairs {
+		t0 := time.Now()
+		sr.QueryInto(spg, p.U, p.V)
+		lat[i] = time.Since(t0).Nanoseconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	row.QueryP50Ns = lat[len(lat)/2]
+	row.QueryP99Ns = lat[len(lat)*99/100]
+
+	i := 0
+	row.QueryAllocsPerOp = allocsPerRun(256, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.QueryInto(spg, p.U, p.V)
+	})
+	i = 0
+	row.DistanceAllocsPerOp = allocsPerRun(256, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.Distance(p.U, p.V)
+	})
+	return row, nil
+}
+
+// allocsPerRun mirrors testing.AllocsPerRun (warm-up call, GOMAXPROCS
+// pinned to 1, mallocs-per-iteration from MemStats) without linking the
+// testing framework into the qbs-bench binary.
+func allocsPerRun(runs int, f func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}
+
+// WriteJSON renders the snapshot with stable formatting (two-space
+// indent, trailing newline) so committed snapshots diff cleanly.
+func (s *Snapshot) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSnapshot loads a committed snapshot (for trajectory comparisons).
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotShapeAndRoundtrip(t *testing.T) {
+	h := New(Config{Scale: 0.02, NumQueries: 50, Datasets: []string{"DO", "FR"}})
+	s, err := h.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Schema != SnapshotSchema {
+		t.Fatalf("schema = %q", s.Schema)
+	}
+	if len(s.Datasets) != 2 {
+		t.Fatalf("%d dataset rows, want 2", len(s.Datasets))
+	}
+	for _, d := range s.Datasets {
+		if d.Vertices <= 0 || d.Edges <= 0 || d.BuildTotalNs <= 0 || d.QueryP50Ns <= 0 {
+			t.Fatalf("%s: degenerate row %+v", d.Key, d)
+		}
+		if d.QueryP99Ns < d.QueryP50Ns {
+			t.Fatalf("%s: p99 %d < p50 %d", d.Key, d.QueryP99Ns, d.QueryP50Ns)
+		}
+		if !raceEnabled && (d.QueryAllocsPerOp != 0 || d.DistanceAllocsPerOp != 0) {
+			t.Fatalf("%s: warm query allocates (query=%.2f distance=%.2f), want 0",
+				d.Key, d.QueryAllocsPerOp, d.DistanceAllocsPerOp)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := s.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != s.Schema || len(back.Datasets) != len(s.Datasets) ||
+		back.Datasets[0] != s.Datasets[0] {
+		t.Fatal("snapshot JSON roundtrip mismatch")
+	}
+}

@@ -1,19 +1,27 @@
 // Package bfs provides the breadth-first-search kernels shared by the
-// QbS index and the baselines: single-source distance BFS, a reusable
-// epoch-stamped workspace that avoids per-query O(|V|) clearing, the
+// QbS index and the baselines: single-source distance BFS, the
 // bidirectional-BFS shortest-path-graph baseline from the paper (Bi-BFS,
 // §6.1), and a brute-force shortest-path-graph oracle used as ground
-// truth in tests.
+// truth in tests. The reusable epoch-stamped Workspace and the
+// direction-optimizing level expander live in qbs/internal/traverse and
+// are re-exported here for the search code that grew up around this
+// package.
 package bfs
 
 import (
-	"math"
-
 	"qbs/internal/graph"
+	"qbs/internal/traverse"
 )
 
 // Infinity marks an unreached vertex in distance arrays.
-const Infinity = int32(math.MaxInt32)
+const Infinity = traverse.Infinity
+
+// Workspace is the reusable epoch-stamped BFS state; see
+// traverse.Workspace.
+type Workspace = traverse.Workspace
+
+// NewWorkspace creates a workspace for graphs with n vertices.
+func NewWorkspace(n int) *Workspace { return traverse.NewWorkspace(n) }
 
 // Distances runs a full BFS from source and returns the distance array
 // (Infinity for unreachable vertices). It allocates; query paths use
@@ -81,54 +89,3 @@ func Eccentricity(g graph.Adjacency, v graph.V) int32 {
 	}
 	return ecc
 }
-
-// Workspace holds reusable per-query BFS state for a fixed graph size.
-// Distance entries are valid only when their epoch stamp matches the
-// current epoch, so resetting between queries is O(1). A Workspace is
-// not safe for concurrent use; create one per goroutine.
-type Workspace struct {
-	n     int
-	epoch uint32
-	stamp []uint32
-	dist  []int32
-	queue []graph.V
-}
-
-// NewWorkspace creates a workspace for graphs with n vertices.
-func NewWorkspace(n int) *Workspace {
-	return &Workspace{
-		n:     n,
-		stamp: make([]uint32, n),
-		dist:  make([]int32, n),
-		queue: make([]graph.V, 0, 1024),
-	}
-}
-
-// Reset invalidates all distances in O(1).
-func (ws *Workspace) Reset() {
-	ws.epoch++
-	if ws.epoch == 0 { // wrapped: do the rare full clear
-		for i := range ws.stamp {
-			ws.stamp[i] = 0
-		}
-		ws.epoch = 1
-	}
-	ws.queue = ws.queue[:0]
-}
-
-// Dist returns the distance of v in the current epoch, or Infinity.
-func (ws *Workspace) Dist(v graph.V) int32 {
-	if ws.stamp[v] == ws.epoch {
-		return ws.dist[v]
-	}
-	return Infinity
-}
-
-// SetDist stamps v with distance d in the current epoch.
-func (ws *Workspace) SetDist(v graph.V, d int32) {
-	ws.stamp[v] = ws.epoch
-	ws.dist[v] = d
-}
-
-// Seen reports whether v has been assigned a distance this epoch.
-func (ws *Workspace) Seen(v graph.V) bool { return ws.stamp[v] == ws.epoch }

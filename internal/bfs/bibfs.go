@@ -1,6 +1,9 @@
 package bfs
 
-import "qbs/internal/graph"
+import (
+	"qbs/internal/graph"
+	"qbs/internal/traverse"
+)
 
 // Bidirectional BFS baseline (the paper's search-based baseline Bi-BFS,
 // §6.1): a forward search from u and a backward search from v expand
@@ -31,10 +34,14 @@ func BiBFS(g graph.Adjacency, u, v graph.V) *graph.SPG {
 }
 
 // Bidirectional is a reusable bidirectional-BFS searcher over a fixed
-// graph. Not safe for concurrent use.
+// graph. Each side expands through a direction-optimizing
+// traverse.Expander, so the dense middle levels of small-world graphs
+// run bottom-up. Not safe for concurrent use.
 type Bidirectional struct {
-	g        graph.Adjacency
-	fwd, bwd *Workspace
+	g              graph.Adjacency
+	deg            []int32 // cached degrees when g is a static CSR graph
+	fwd, bwd       *Workspace
+	fwdExp, bwdExp *traverse.Expander
 	// frontier storage, reused across queries
 	frontFwd, frontBwd []graph.V
 	nextBuf            []graph.V
@@ -45,12 +52,18 @@ type Bidirectional struct {
 // NewBidirectional creates a searcher for g.
 func NewBidirectional(g graph.Adjacency) *Bidirectional {
 	n := g.NumVertices()
-	return &Bidirectional{
-		g:   g,
-		fwd: NewWorkspace(n),
-		bwd: NewWorkspace(n),
-		ext: NewExtractor(n),
+	b := &Bidirectional{
+		g:      g,
+		fwd:    NewWorkspace(n),
+		bwd:    NewWorkspace(n),
+		fwdExp: traverse.NewExpander(n),
+		bwdExp: traverse.NewExpander(n),
+		ext:    NewExtractor(n),
 	}
+	if cg, ok := g.(*graph.Graph); ok {
+		b.deg = cg.Degrees()
+	}
+	return b
 }
 
 // Query computes SPG(u, v) and work counters.
@@ -66,6 +79,8 @@ func (b *Bidirectional) Query(u, v graph.V) (*graph.SPG, SearchStats) {
 	b.bwd.Reset()
 	b.fwd.SetDist(u, 0)
 	b.bwd.SetDist(v, 0)
+	b.fwdExp.Begin(g, b.deg)
+	b.bwdExp.Begin(g, b.deg)
 	stats.VerticesVisited = 2
 	fs := append(b.frontFwd[:0], u)
 	bs := append(b.frontBwd[:0], v)
@@ -76,12 +91,12 @@ func (b *Bidirectional) Query(u, v graph.V) (*graph.SPG, SearchStats) {
 	for len(fs) > 0 && len(bs) > 0 {
 		// Expand the side with the smaller visited set.
 		if sizeFwd <= sizeBwd {
-			fs = b.expand(fs, b.fwd, du, &stats)
+			fs = b.expand(b.fwdExp, fs, b.fwd, du, &stats)
 			du++
 			sizeFwd += len(fs)
 			meet = b.collectMeeting(fs, b.bwd, meet)
 		} else {
-			bs = b.expand(bs, b.bwd, dv, &stats)
+			bs = b.expand(b.bwdExp, bs, b.bwd, dv, &stats)
 			dv++
 			sizeBwd += len(bs)
 			meet = b.collectMeeting(bs, b.fwd, meet)
@@ -109,19 +124,12 @@ func (b *Bidirectional) Query(u, v graph.V) (*graph.SPG, SearchStats) {
 }
 
 // expand grows one BFS level: every vertex in frontier has depth d; its
-// unseen neighbours get depth d+1 and form the next frontier.
-func (b *Bidirectional) expand(frontier []graph.V, ws *Workspace, d int32, stats *SearchStats) []graph.V {
-	next := b.nextBuf[:0]
-	for _, x := range frontier {
-		for _, y := range b.g.Neighbors(x) {
-			stats.ArcsScanned++
-			if !ws.Seen(y) {
-				ws.SetDist(y, d+1)
-				stats.VerticesVisited++
-				next = append(next, y)
-			}
-		}
-	}
+// unseen neighbours get depth d+1 and form the next frontier. The
+// expander picks top-down or bottom-up per level.
+func (b *Bidirectional) expand(exp *traverse.Expander, frontier []graph.V, ws *Workspace, d int32, stats *SearchStats) []graph.V {
+	next, arcs := exp.Expand(ws, frontier, d, b.nextBuf[:0])
+	stats.ArcsScanned += arcs
+	stats.VerticesVisited += int64(len(next))
 	b.nextBuf = frontier[:0] // recycle the old frontier's backing array
 	return next
 }

@@ -112,6 +112,13 @@ type Index struct {
 	// between snapshots (copy-on-write per landmark).
 	labels [][]uint8
 
+	// degs caches per-vertex degrees as a flat array for the traversal
+	// engines' α/β direction heuristic (an interface Degree call per
+	// discovered vertex would dominate the switch bookkeeping). Static
+	// builds materialise it once; dynamically assembled snapshots leave
+	// it nil and the engines fall back to Adjacency.Degree.
+	degs []int32
+
 	ms *MetaState
 
 	delta [][]graph.Edge // per meta-edge: SPG edge list in G
@@ -233,6 +240,7 @@ func Build(g *graph.Graph, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	ix.degs = g.Degrees()
 
 	labStart := time.Now()
 	if err := ix.buildLabelling(opts.Parallelism); err != nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"qbs/internal/bfs"
@@ -212,5 +214,114 @@ func TestByCoverageSpreadsLandmarks(t *testing.T) {
 	got := map[graph.V]bool{lands[0]: true, lands[1]: true}
 	if !got[0] || !got[11] {
 		t.Fatalf("coverage picked %v, want the two star centres", lands)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Bit-parallel engine vs the scalar reference (retained landmarkBFS).
+
+// scalarLabelling rebuilds labels, σ and meta-edges for the given
+// landmark set with the scalar per-landmark QL/QN BFS, on a bare shell.
+func scalarLabelling(t *testing.T, g *graph.Graph, landmarks []graph.V) *Index {
+	t.Helper()
+	shell, err := newIndexShell(g, g, landmarks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	shell.labels = make([][]uint8, len(landmarks))
+	for i := range shell.labels {
+		col := make([]uint8, n)
+		for j := range col {
+			col[j] = NoEntry
+		}
+		shell.labels[i] = col
+	}
+	ws := newLabelWorkspace(n)
+	var all []metaEdge
+	for ri := range landmarks {
+		metas, ok := shell.landmarkBFS(ri, ws)
+		if !ok {
+			t.Fatal("scalar labelling overflow")
+		}
+		all = append(all, metas...)
+	}
+	shell.finishMeta(all)
+	return shell
+}
+
+func randomTestGraph(t *testing.T, n, m int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.V(rng.Intn(n)), graph.V(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+// TestBitParallelLabellingMatchesScalar is the oracle property test for
+// the traverse.MultiBFS build path: labels, σ and the meta APSP must be
+// bit-identical to the scalar Algorithm 2, including on disconnected
+// graphs and with landmark sets spanning multiple 64-wide batches.
+func TestBitParallelLabellingMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		n, m, R int
+		seed    int64
+	}{
+		{30, 15, 5, 1},     // disconnected
+		{100, 300, 20, 2},  // paper-default |R|
+		{150, 900, 64, 3},  // exactly one full batch
+		{200, 1200, 70, 4}, // two batches
+		{64, 80, 64, 5},    // every vertex nearly a landmark
+	} {
+		g := randomTestGraph(t, tc.n, tc.m, tc.seed)
+		n := g.NumVertices()
+		R := tc.R
+		if R > n {
+			R = n
+		}
+		rng := rand.New(rand.NewSource(tc.seed * 101))
+		seen := map[graph.V]bool{}
+		var lms []graph.V
+		for len(lms) < R {
+			v := graph.V(rng.Intn(n))
+			if !seen[v] {
+				seen[v] = true
+				lms = append(lms, v)
+			}
+		}
+		for _, par := range []int{1, 3} {
+			ix, err := Build(g, Options{Landmarks: lms, Parallelism: par, SkipDelta: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := scalarLabelling(t, g, lms)
+			for i := range lms {
+				if !reflect.DeepEqual(ix.labels[i], ref.labels[i]) {
+					t.Fatalf("n=%d R=%d par=%d: label column %d differs", tc.n, R, par, i)
+				}
+			}
+			if !reflect.DeepEqual(ix.ms.sigma, ref.ms.sigma) {
+				t.Fatalf("n=%d R=%d par=%d: sigma differs", tc.n, R, par)
+			}
+			if !reflect.DeepEqual(ix.ms.distM, ref.ms.distM) {
+				t.Fatalf("n=%d R=%d par=%d: meta APSP differs", tc.n, R, par)
+			}
+			if len(ix.ms.meta) != len(ref.ms.meta) {
+				t.Fatalf("n=%d R=%d par=%d: meta edge count differs", tc.n, R, par)
+			}
+		}
+	}
+}
+
+// TestBuildLabelEntriesCountsSweepWrites checks the settle-time entry
+// count against a full matrix scan (the count is now accumulated during
+// the sweep instead of re-scanned).
+func TestBuildLabelEntriesCountsSweepWrites(t *testing.T) {
+	g := randomTestGraph(t, 120, 500, 9)
+	ix := MustBuild(g, Options{NumLandmarks: 20})
+	if got, want := ix.Stats().LabelEntries, ix.countLabelEntries(); got != want {
+		t.Fatalf("LabelEntries = %d, matrix scan says %d", got, want)
 	}
 }

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"qbs/internal/graph"
 )
@@ -88,14 +88,16 @@ func (ms *MetaState) buildAPSP() {
 		}
 	}
 	for k := 0; k < R; k++ {
+		rowK := ms.distM[k*R : k*R+R]
 		for i := 0; i < R; i++ {
 			dik := ms.distM[i*R+k]
 			if dik == graph.InfDist {
 				continue
 			}
-			for j := 0; j < R; j++ {
-				if dkj := ms.distM[k*R+j]; dkj != graph.InfDist && dik+dkj < ms.distM[i*R+j] {
-					ms.distM[i*R+j] = dik + dkj
+			rowI := ms.distM[i*R : i*R+R]
+			for j, dkj := range rowK {
+				if dkj != graph.InfDist && dik+dkj < rowI[j] {
+					rowI[j] = dik + dkj
 				}
 			}
 		}
@@ -113,15 +115,44 @@ func (ms *MetaState) buildMetaSPG() {
 	R := ms.R
 	ms.spg = make([][]int32, R*R)
 	stored := 0
+	// This pass is O(R²·|meta|) and independent of the graph size, so at
+	// small scales it would otherwise dominate builds. Two reductions
+	// keep it cheap: (1) the membership test factors through tightness —
+	// edge (a,b,w) lies on a shortest i–j path iff it is tight from i
+	// (d(i,a)+w = d(i,b)) and its far endpoint closes the path
+	// (d(i,b)+d(b,j) = d(i,j)); tight edges are collected once per i and
+	// reused across all j. (2) distM is symmetric, so d(·, j) reads from
+	// row j. An edge is tight from i in at most one direction (weights
+	// are ≥ 1), so each id is still emitted at most once, in ascending
+	// order — the output is identical to the direct double test.
+	type tightEdge struct {
+		k    int32 // meta-edge id
+		end  int32 // far endpoint rank (closes the path towards j)
+		dist int32 // d(i, end) = d(i, near)+w
+	}
+	var tights []tightEdge
 	for i := 0; i < R; i++ {
+		rowI := ms.distM[i*R : i*R+R]
+		tights = tights[:0]
+		for k, e := range ms.meta {
+			da, db := rowI[e.a], rowI[e.b]
+			switch {
+			case da != graph.InfDist && da+e.weight == db:
+				tights = append(tights, tightEdge{int32(k), int32(e.b), db})
+			case db != graph.InfDist && db+e.weight == da:
+				tights = append(tights, tightEdge{int32(k), int32(e.a), da})
+			}
+		}
 		for j := i + 1; j < R; j++ {
-			if ms.distM[i*R+j] == graph.InfDist {
+			d := rowI[j]
+			if d == graph.InfDist {
 				continue
 			}
+			rowJ := ms.distM[j*R : j*R+R]
 			var ids []int32
-			for k := range ms.meta {
-				if ms.onMetaShortestPath(i, j, k) {
-					ids = append(ids, int32(k))
+			for _, te := range tights {
+				if dj := rowJ[te.end]; dj != graph.InfDist && te.dist+dj == d {
+					ids = append(ids, te.k)
 				}
 			}
 			ms.spg[i*R+j] = ids
@@ -171,9 +202,10 @@ func (ms *MetaState) onMetaShortestPath(i, j, k int) bool {
 // b in G. A non-landmark vertex w lies on a shortest a–b path that avoids
 // other landmarks iff both label entries exist and δ_wa + δ_wb = σ(a, b);
 // an edge (w, w') of such a path connects consecutive levels. Endpoint
-// edges attach level-1 (resp. level σ−1) vertices to a (resp. b). The
-// whole recovery costs one pass over label entries plus neighbour scans
-// of candidate vertices — no BFS over G.
+// edges attach level-1 (resp. level σ−1) vertices to a (resp. b).
+//
+// The whole recovery costs one pass over label entries plus neighbour
+// scans of candidate vertices — no BFS over G.
 func (ix *Index) buildDelta() {
 	g := ix.a
 	R := ix.numLand
@@ -188,26 +220,52 @@ func (ix *Index) buildDelta() {
 		}
 	}
 
-	// Pass 1: collect candidates per meta-edge.
-	cands := make([][]graph.V, len(meta))
-	var ranks []int
-	for v := 0; v < n; v++ {
-		ranks = ranks[:0]
-		for i := 0; i < R; i++ {
-			if ix.labels[i][v] != NoEntry {
-				ranks = append(ranks, i)
+	// Pass 1: collect candidates per meta-edge. A candidate for (a, b)
+	// needs δ_va + δ_vb = σ(a, b) with both terms ≥ 1, so an entry with
+	// δ_va ≥ max_b σ(a, b) can never participate — on hub-dominated
+	// graphs, where landmarks sit close together, that filter discards
+	// almost every entry before the O(L²) pair loop. The column-major
+	// label matrix is transposed into a row-major scratch so each
+	// vertex's entries sit in one cache line, the surviving entries are
+	// gathered into locals, and each pair costs one σ-matrix byte probe
+	// (the meta-edge id is resolved only on the rare hit).
+	sigma := ix.ms.sigma
+	metaID := ix.ms.metaID
+	maxSig := make([]uint8, R)
+	for a := 0; a < R; a++ {
+		for b := 0; b < R; b++ {
+			if s := sigma[a*R+b]; s != NoEntry && s > maxSig[a] {
+				maxSig[a] = s
 			}
 		}
-		for x := 0; x < len(ranks); x++ {
-			for y := x + 1; y < len(ranks); y++ {
-				a, b := ranks[x], ranks[y]
-				id := ix.ms.metaID[a*R+b]
-				if id < 0 {
-					continue
-				}
-				da, db := int32(ix.labels[a][v]), int32(ix.labels[b][v])
-				if da+db == meta[id].weight {
-					cands[id] = append(cands[id], graph.V(v))
+	}
+	rows := make([]uint8, n*R)
+	for i := 0; i < R; i++ {
+		col := ix.labels[i]
+		for v := 0; v < n; v++ {
+			rows[v*R+i] = col[v]
+		}
+	}
+	cands := make([][]graph.V, len(meta))
+	var ranks [256]int32
+	var dists [256]int32
+	for v := 0; v < n; v++ {
+		nr := 0
+		row := rows[v*R : v*R+R]
+		for i, d := range row {
+			if d != NoEntry && d < maxSig[i] {
+				ranks[nr] = int32(i)
+				dists[nr] = int32(d)
+				nr++
+			}
+		}
+		for x := 0; x < nr-1; x++ {
+			row := int(ranks[x]) * R
+			da := dists[x]
+			for y := x + 1; y < nr; y++ {
+				b := int(ranks[y])
+				if sig := sigma[row+b]; sig != NoEntry && da+dists[y] == int32(sig) {
+					cands[metaID[row+b]] = append(cands[metaID[row+b]], graph.V(v))
 				}
 			}
 		}
@@ -276,11 +334,30 @@ func DedupEdges(edges []graph.Edge) []graph.Edge {
 	return out
 }
 
+// sortEdges orders by (U, W) ascending. Short lists (most Δ lists on
+// the bundled analogs) use an allocation-free insertion sort; longer
+// ones are packed into uint64 keys and sorted with the specialised
+// ordered-slice sort, several times faster than a comparator sort.
+// Endpoints are non-negative, so the unsigned pack preserves order.
 func sortEdges(edges []graph.Edge) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+	if len(edges) <= 32 {
+		for i := 1; i < len(edges); i++ {
+			e := edges[i]
+			j := i - 1
+			for j >= 0 && (edges[j].U > e.U || (edges[j].U == e.U && edges[j].W > e.W)) {
+				edges[j+1] = edges[j]
+				j--
+			}
+			edges[j+1] = e
 		}
-		return edges[i].W < edges[j].W
-	})
+		return
+	}
+	keys := make([]uint64, len(edges))
+	for i, e := range edges {
+		keys[i] = uint64(uint32(e.U))<<32 | uint64(uint32(e.W))
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		edges[i] = graph.Edge{U: int32(k >> 32), W: int32(uint32(k))}
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"qbs/internal/bfs"
 	"qbs/internal/graph"
+	"qbs/internal/traverse"
 )
 
 // Guided search (Algorithm 4): answer SPG(u, v) by a sketch-bounded
@@ -51,14 +52,16 @@ type QueryStats struct {
 // concurrent use; create one per goroutine (they share the immutable
 // Index).
 type Searcher struct {
-	ix *Index
-	g  graph.Adjacency
+	ix  *Index
+	g   graph.Adjacency
+	deg []int32 // cached degree array (nil for dynamic snapshots)
 
 	fwd, bwd searchSide
 	ext      *bfs.Extractor // reverse extraction with reusable buffers
 	walkMark *bfs.Workspace // scratch for label walks
 	meet     []graph.V
 	metaBuf  []int32
+	distSPG  *graph.SPG // scratch result for Distance (never escapes)
 
 	// sketch buffers
 	entU, entV   []SketchEndpoint
@@ -75,10 +78,12 @@ type Searcher struct {
 }
 
 // searchSide is one direction of the bidirectional search: an
-// epoch-stamped depth map plus an arena of visited vertices grouped into
-// levels (level i = arena[levelOff[i]:levelOff[i+1]]).
+// epoch-stamped depth map, a direction-optimizing expander and an arena
+// of visited vertices grouped into levels
+// (level i = arena[levelOff[i]:levelOff[i+1]]).
 type searchSide struct {
 	ws       *bfs.Workspace
+	exp      *traverse.Expander
 	arena    []graph.V
 	levelOff []int32
 	d        int32 // completed levels
@@ -108,14 +113,18 @@ func NewSearcher(ix *Index) *Searcher {
 	sr := &Searcher{
 		ix:         ix,
 		g:          ix.a,
+		deg:        ix.degs,
 		ext:        bfs.NewExtractor(n),
 		walkMark:   bfs.NewWorkspace(n),
 		sideSigmaU: make([]int32, R),
 		sideSigmaV: make([]int32, R),
 		metaGen:    make([]uint32, len(ix.ms.meta)),
+		distSPG:    graph.NewSPG(0, 0),
 	}
 	sr.fwd.ws = bfs.NewWorkspace(n)
 	sr.bwd.ws = bfs.NewWorkspace(n)
+	sr.fwd.exp = traverse.NewExpander(n)
+	sr.bwd.exp = traverse.NewExpander(n)
 	for i := 0; i < R; i++ {
 		sr.sideSigmaU[i] = -1
 		sr.sideSigmaV[i] = -1
@@ -139,6 +148,7 @@ func (sr *Searcher) Rebind(ix *Index) bool {
 	ix.EnsureDelta()
 	sr.ix = ix
 	sr.g = ix.a
+	sr.deg = ix.degs
 	if len(sr.metaGen) < len(ix.ms.meta) {
 		sr.metaGen = make([]uint32, len(ix.ms.meta))
 		sr.metaCur = 0
@@ -148,33 +158,44 @@ func (sr *Searcher) Rebind(ix *Index) bool {
 
 // Query answers SPG(u, v).
 func (sr *Searcher) Query(u, v graph.V) *graph.SPG {
-	spg, _ := sr.QueryWithStats(u, v)
+	spg := graph.NewSPG(u, v)
+	sr.query(spg, u, v, true)
 	return spg
 }
 
+// QueryInto answers SPG(u, v) into a caller-owned result, resetting it
+// first. Reusing one SPG across queries makes the warm query path
+// allocation-free (the edge buffer is recycled at its high-water mark).
+func (sr *Searcher) QueryInto(spg *graph.SPG, u, v graph.V) QueryStats {
+	spg.Reset(u, v)
+	return sr.query(spg, u, v, true)
+}
+
 // Distance returns d_G(u, v) using the same sketch-guided machinery but
-// skipping path extraction.
+// skipping path extraction. It does not allocate on the warm path.
 func (sr *Searcher) Distance(u, v graph.V) int32 {
-	_, st := sr.query(u, v, false)
+	sr.distSPG.Reset(u, v)
+	st := sr.query(sr.distSPG, u, v, false)
 	return st.Dist
 }
 
 // QueryWithStats answers SPG(u, v) and reports query internals.
 func (sr *Searcher) QueryWithStats(u, v graph.V) (*graph.SPG, QueryStats) {
-	return sr.query(u, v, true)
+	spg := graph.NewSPG(u, v)
+	st := sr.query(spg, u, v, true)
+	return spg, st
 }
 
-func (sr *Searcher) query(u, v graph.V, extract bool) (*graph.SPG, QueryStats) {
+func (sr *Searcher) query(spg *graph.SPG, u, v graph.V, extract bool) QueryStats {
 	g := sr.g
 	ix := sr.ix
 	var st QueryStats
 	st.DGMinus = graph.InfDist
-	spg := graph.NewSPG(u, v)
 	if u == v {
 		spg.Dist = 0
 		st.Dist = 0
 		st.Coverage = CoverageTrivial
-		return spg, st
+		return st
 	}
 
 	// Sketching (Algorithm 3).
@@ -191,9 +212,12 @@ func (sr *Searcher) query(u, v graph.V, extract bool) (*graph.SPG, QueryStats) {
 	sr.bwd.reset(v)
 	var meet []graph.V
 	if !uLand && !vLand {
+		sr.fwd.exp.Begin(g, sr.deg)
+		sr.bwd.exp.Begin(g, sr.deg)
 		// Pre-stamp landmarks with a sentinel depth so the expansion
 		// loop skips them with a single stamp check — this is the
-		// implicit G⁻ = G[V\R].
+		// implicit G⁻ = G[V\R], honoured identically by the expander's
+		// top-down and bottom-up directions.
 		for _, r := range ix.landmarks {
 			sr.fwd.ws.SetDist(r, -1)
 			sr.bwd.ws.SetDist(r, -1)
@@ -213,7 +237,7 @@ func (sr *Searcher) query(u, v graph.V, extract bool) (*graph.SPG, QueryStats) {
 	if dist == graph.InfDist {
 		st.Coverage = CoverageTrivial
 		sr.releaseSketch()
-		return spg, st
+		return st
 	}
 
 	// Eq. 5: reverse and/or recover.
@@ -246,7 +270,7 @@ func (sr *Searcher) query(u, v graph.V, extract bool) (*graph.SPG, QueryStats) {
 		st.Coverage = CoverageAll
 	}
 	sr.releaseSketch()
-	return spg, st
+	return st
 }
 
 // computeSketch fills the searcher's sketch buffers and returns
@@ -351,24 +375,13 @@ func (sr *Searcher) bidirectional(dTop, dStarU, dStarV int32, st *QueryStats) []
 	return nil
 }
 
-// expand grows side by one level over G⁻. Landmarks carry a sentinel
-// stamp from query setup, so a single Seen check skips both previously
-// visited vertices and the removed landmarks.
+// expand grows side by one level over G⁻ through the
+// direction-optimizing expander. Landmarks carry a sentinel stamp from
+// query setup, so a single Seen check skips both previously visited
+// vertices and the removed landmarks in either direction.
 func (sr *Searcher) expand(side *searchSide, st *QueryStats) {
-	g := sr.g
-	d := side.d
 	var arcs int64
-	for _, x := range side.frontier() {
-		ns := g.Neighbors(x)
-		arcs += int64(len(ns))
-		for _, y := range ns {
-			if side.ws.Seen(y) {
-				continue
-			}
-			side.ws.SetDist(y, d+1)
-			side.arena = append(side.arena, y)
-		}
-	}
+	side.arena, arcs = side.exp.Expand(side.ws, side.frontier(), side.d, side.arena)
 	st.ArcsScanned += arcs
 	side.levelOff = append(side.levelOff, int32(len(side.arena)))
 	side.d++

@@ -116,6 +116,7 @@ func Load(g *graph.Graph, r io.Reader) (*Index, error) {
 	ix.ms = NewMetaState(R, sigma)
 
 	// Derived structures.
+	ix.degs = g.Degrees()
 	ix.buildDelta()
 	ix.build.LabelEntries = ix.countLabelEntries()
 	ix.build.NumLandmarks = ix.numLand

@@ -2,12 +2,13 @@ package dynamic
 
 import (
 	"fmt"
-	"runtime"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
 	"qbs/internal/core"
 	"qbs/internal/graph"
+	"qbs/internal/traverse"
 )
 
 // Options tunes the dynamic index.
@@ -168,19 +169,49 @@ func New(g *graph.Graph, landmarks []graph.V, opts Options) (*Index, error) {
 	return d, nil
 }
 
-// buildState constructs the full state for an overlay from scratch (one
-// re-BFS per column). Used by New and by compaction.
+// buildState constructs the full state for an overlay from scratch,
+// sweeping the bit-parallel engine over batches of up to 64 landmark
+// columns at a time. Used by New and by compaction.
 func (d *Index) buildState(ov *Overlay, rp *repairer) (state, error) {
-	sigma := make([]uint8, d.R*d.R)
+	R := d.R
+	sigma := make([]uint8, R*R)
 	for i := range sigma {
 		sigma[i] = core.NoEntry
 	}
-	cols := make([]*column, d.R)
-	rp.begin(ov, sigma)
-	for r := 0; r < d.R; r++ {
+	cols := make([]*column, R)
+	for r := 0; r < R; r++ {
 		cols[r] = newColumn(d.n)
-		if err := rp.rebuildColumn(cols[r], r); err != nil {
-			return state{}, err
+	}
+	for base := 0; base < R; base += traverse.MaxSources {
+		end := min(base+traverse.MaxSources, R)
+		roots := d.landmarks[base:end]
+		bcols := cols[base:end]
+		err := rp.eng.Run(ov, nil, d.landIdx, roots, core.MaxLabelDist,
+			func(v graph.V, depth int32, newL, newN uint64) {
+				for w := newL | newN; w != 0; w &= w - 1 {
+					bcols[bits.TrailingZeros64(w)].dist[v] = depth
+				}
+				if newL == 0 {
+					return
+				}
+				d8 := uint8(depth)
+				if rj := d.landIdx[v]; rj >= 0 {
+					for w := newL; w != 0; w &= w - 1 {
+						a, b := base+bits.TrailingZeros64(w), int(rj)
+						sigma[a*R+b] = d8
+						sigma[b*R+a] = d8
+					}
+				} else {
+					for w := newL; w != 0; w &= w - 1 {
+						bcols[bits.TrailingZeros64(w)].lab[v] = d8
+					}
+				}
+			})
+		if err != nil {
+			return state{}, core.ErrDiameterTooLarge
+		}
+		for i, r := range roots {
+			bcols[i].dist[r] = 0
 		}
 	}
 	ms := core.NewMetaState(d.R, sigma)
@@ -458,6 +489,15 @@ func (d *Index) Query(u, v graph.V) *graph.SPG {
 	return sr.Query(u, v)
 }
 
+// QueryInto answers SPG(u, v) on the current snapshot into a
+// caller-owned result, resetting it first; see core.Searcher.QueryInto.
+func (d *Index) QueryInto(dst *graph.SPG, u, v graph.V) *graph.SPG {
+	sr := d.searcher(d.cur.Load())
+	defer d.pool.Put(sr)
+	sr.QueryInto(dst, u, v)
+	return dst
+}
+
 // QueryWithStats answers SPG(u, v) with query internals.
 func (d *Index) QueryWithStats(u, v graph.V) (*graph.SPG, core.QueryStats) {
 	sr := d.searcher(d.cur.Load())
@@ -479,37 +519,15 @@ func (d *Index) Sketch(u, v graph.V) *core.Sketch {
 
 // QueryBatch answers many queries concurrently against one consistent
 // snapshot (all answers reflect the same epoch). parallelism 0 means
-// GOMAXPROCS.
+// GOMAXPROCS. A panicking query leaves its slot nil and the batch
+// completes; see core.QueryBatchInto.
 func (d *Index) QueryBatch(pairs [][2]graph.V, parallelism int) []*graph.SPG {
 	out := make([]*graph.SPG, len(pairs))
-	if len(pairs) == 0 {
-		return out
-	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(pairs) {
-		parallelism = len(pairs)
-	}
 	s := d.cur.Load()
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for i := 0; i < parallelism; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sr := d.searcher(s)
-			defer d.pool.Put(sr)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
-					return
-				}
-				out[i] = sr.Query(pairs[i][0], pairs[i][1])
-			}
-		}()
-	}
-	wg.Wait()
+	core.QueryBatchInto(out, parallelism,
+		func(i int) (graph.V, graph.V) { return pairs[i][0], pairs[i][1] },
+		func() *core.Searcher { return d.searcher(s) },
+		func(sr *core.Searcher) { d.pool.Put(sr) })
 	return out
 }
 

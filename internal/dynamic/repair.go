@@ -5,6 +5,7 @@ import (
 
 	"qbs/internal/core"
 	"qbs/internal/graph"
+	"qbs/internal/traverse"
 )
 
 // Incremental repair of one labelling column (one landmark-rooted QL/QN
@@ -97,10 +98,12 @@ type repairer struct {
 	tent      []int32
 	cur, next []graph.V
 
-	// full column rebuild scratch
-	newDist                  []int32
-	newLab                   []uint8
-	curL, curN, nextL, nextN []graph.V
+	// full column rebuild scratch: the shared bit-parallel engine (also
+	// used 64 columns at a time by buildState) and the diff buffers.
+	eng     *traverse.MultiBFS
+	newDist []int32
+	newLab  []uint8
+	rootBuf [1]graph.V
 
 	// outputs accumulated across the columns of one update
 	labelChanges []labelChange
@@ -119,6 +122,7 @@ func newRepairer(n int, landmarks []graph.V, landIdx []int16, budget int) *repai
 		aff:       make([]uint32, n),
 		fin:       make([]uint32, n),
 		tent:      make([]int32, n),
+		eng:       traverse.NewMultiBFS(n),
 		newDist:   make([]int32, n),
 		newLab:    make([]uint8, n),
 	}
@@ -428,13 +432,13 @@ func (rp *repairer) recordSigma(other int, nv uint8) {
 
 // ---------------------------------------------------------------------
 // Full column rebuild: the QL/QN BFS of Algorithm 2 over the overlay,
-// recording the diff against the column's previous state. Used as the
-// budget fallback for expensive deletions, for initial construction and
-// for compaction.
+// run through the direction-optimizing bit-parallel engine (batch width
+// one) and recording the diff against the column's previous state. Used
+// as the budget fallback for expensive deletions and by compaction
+// replay.
 
 func (rp *repairer) rebuildColumn(c *column, rank int) error {
 	rp.c, rp.rank = c, rank
-	g := rp.g
 	root := rp.landmarks[rank]
 	newDist, newLab := rp.newDist, rp.newLab
 	for i := range newDist {
@@ -447,44 +451,20 @@ func (rp *repairer) rebuildColumn(c *column, rank int) error {
 	}
 
 	newDist[root] = 0
-	curL := append(rp.curL[:0], root)
-	curN := rp.curN[:0]
-	depth := int32(0)
-	for len(curL) > 0 || len(curN) > 0 {
-		next := depth + 1
-		if next > core.MaxLabelDist {
-			rp.curL, rp.curN = curL[:0], curN[:0]
-			return core.ErrDiameterTooLarge
-		}
-		nextL, nextN := rp.nextL[:0], rp.nextN[:0]
-		for _, u := range curL {
-			for _, v := range g.Neighbors(u) {
-				if newDist[v] != graph.InfDist {
-					continue
-				}
-				newDist[v] = next
+	rp.rootBuf[0] = root
+	err := rp.eng.Run(rp.g, nil, rp.landIdx, rp.rootBuf[:], core.MaxLabelDist,
+		func(v graph.V, depth int32, newL, _ uint64) {
+			newDist[v] = depth
+			if newL != 0 {
 				if rj := rp.landIdx[v]; rj >= 0 {
-					nextN = append(nextN, v)
-					sigRow[rj] = uint8(next)
+					sigRow[rj] = uint8(depth)
 				} else {
-					nextL = append(nextL, v)
-					newLab[v] = uint8(next)
+					newLab[v] = uint8(depth)
 				}
 			}
-		}
-		for _, u := range curN {
-			for _, v := range g.Neighbors(u) {
-				if newDist[v] != graph.InfDist {
-					continue
-				}
-				newDist[v] = next
-				nextN = append(nextN, v)
-			}
-		}
-		rp.curL, rp.nextL = nextL, curL
-		rp.curN, rp.nextN = nextN, curN
-		curL, curN = nextL, nextN
-		depth = next
+		})
+	if err != nil {
+		return core.ErrDiameterTooLarge
 	}
 
 	for v := 0; v < rp.n; v++ {

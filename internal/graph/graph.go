@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -97,6 +98,18 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
+// Degrees materialises every vertex degree as a flat int32 array — the
+// form the traversal engines consume for their direction heuristic
+// (avoiding an interface Degree call per touched vertex).
+func (g *Graph) Degrees() []int32 {
+	n := g.NumVertices()
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(V(v)))
+	}
+	return deg
+}
+
 // MaxDegree returns the largest vertex degree, or 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	max := 0
@@ -124,30 +137,84 @@ func (g *Graph) SizeBytes() int64 { return int64(g.NumArcs()) * 8 }
 
 // VerticesByDegree returns all vertices sorted by descending degree,
 // breaking ties by ascending vertex id (making the order deterministic).
+// Vertices are packed into (degree, flipped-id) keys and sorted with the
+// specialised ordered-slice sort; landmark selection runs this on every
+// build, so it is kept off the comparator-sort slow path.
 func (g *Graph) VerticesByDegree() []V {
 	n := g.NumVertices()
-	vs := make([]V, n)
-	for i := range vs {
-		vs[i] = V(i)
+	keys := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		keys[v] = uint64(g.Degree(V(v)))<<32 | uint64(uint32(math.MaxInt32-v))
 	}
-	sort.Slice(vs, func(i, j int) bool {
-		di, dj := g.Degree(vs[i]), g.Degree(vs[j])
-		if di != dj {
-			return di > dj
-		}
-		return vs[i] < vs[j]
-	})
+	slices.Sort(keys)
+	vs := make([]V, n)
+	for i, k := range keys {
+		vs[n-1-i] = V(math.MaxInt32 - int32(uint32(k)))
+	}
 	return vs
 }
 
 // TopDegreeVertices returns the k highest-degree vertices (deterministic
-// tie-break by id). If k exceeds |V|, all vertices are returned.
+// tie-break by id). If k exceeds |V|, all vertices are returned. Small k
+// (landmark selection's k ≪ |V|) uses an O(|V| log k) min-heap
+// selection instead of sorting every vertex.
 func (g *Graph) TopDegreeVertices(k int) []V {
-	vs := g.VerticesByDegree()
-	if k > len(vs) {
-		k = len(vs)
+	n := g.NumVertices()
+	if k > n {
+		k = n
 	}
-	return vs[:k]
+	if k <= 0 {
+		return nil
+	}
+	if k*16 >= n {
+		return g.VerticesByDegree()[:k]
+	}
+	// Min-heap of packed (degree, flipped-id) keys: the root is the
+	// current worst of the best k, ejected when a better key arrives.
+	// Keys sort exactly like VerticesByDegree's comparator.
+	heap := make([]uint64, 0, k)
+	key := func(v int) uint64 {
+		return uint64(g.Degree(V(v)))<<32 | uint64(uint32(math.MaxInt32-v))
+	}
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(heap) {
+				return
+			}
+			if c+1 < len(heap) && heap[c+1] < heap[c] {
+				c++
+			}
+			if heap[i] <= heap[c] {
+				return
+			}
+			heap[i], heap[c] = heap[c], heap[i]
+			i = c
+		}
+	}
+	for v := 0; v < n; v++ {
+		kv := key(v)
+		if len(heap) < k {
+			heap = append(heap, kv)
+			for i := len(heap) - 1; i > 0; {
+				p := (i - 1) / 2
+				if heap[p] <= heap[i] {
+					break
+				}
+				heap[p], heap[i] = heap[i], heap[p]
+				i = p
+			}
+		} else if kv > heap[0] {
+			heap[0] = kv
+			siftDown(0)
+		}
+	}
+	slices.Sort(heap)
+	out := make([]V, k)
+	for i, kv := range heap {
+		out[k-1-i] = V(math.MaxInt32 - int32(uint32(kv)))
+	}
+	return out
 }
 
 // Validate checks internal invariants of the CSR structure: offsets are

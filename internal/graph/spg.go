@@ -31,6 +31,16 @@ func NewSPG(u, v V) *SPG {
 	return &SPG{Source: u, Target: v, Dist: InfDist, canonical: true}
 }
 
+// Reset re-initialises the SPG for a new pair (u, v), keeping the edge
+// buffer's capacity. Query paths reuse one SPG across many queries to
+// stay allocation-free once the buffer has grown to its working size.
+func (s *SPG) Reset(u, v V) {
+	s.Source, s.Target = u, v
+	s.Dist = InfDist
+	s.edges = s.edges[:0]
+	s.canonical = true
+}
+
 // AddEdge records an edge of some shortest path. Duplicates are fine;
 // they are removed on canonicalisation.
 func (s *SPG) AddEdge(u, w V) {

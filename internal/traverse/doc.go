@@ -1,0 +1,59 @@
+// Package traverse is the shared BFS engine behind the QbS index: every
+// hot traversal — labelling construction, query search and dynamic
+// column repair — runs on the two kernels defined here.
+//
+// # Direction-optimizing expansion (Expander)
+//
+// A level-synchronous BFS normally expands top-down: scan every frontier
+// vertex and stamp its unseen neighbours. On small-world graphs one or
+// two levels hold most of the graph, and top-down then touches almost
+// every arc just to rediscover vertices that are already stamped.
+// Beamer's direction-optimizing BFS flips those dense levels bottom-up:
+// iterate the *unvisited* vertices and stop at the first neighbour found
+// in the frontier (a parent), so a vertex of degree d costs on average
+// far fewer than d probes.
+//
+// The switch uses the classic α/β heuristic:
+//
+//   - top-down → bottom-up when m_f·α > m_u, where m_f is the sum of
+//     frontier degrees (arcs the next top-down step would scan) and m_u
+//     is the arc mass not yet explored;
+//   - bottom-up → top-down when |frontier|·β < |V| (the frontier has
+//     shrunk enough that scanning all unvisited vertices is wasteful).
+//
+// The bottom-up scan is driven by a per-side visited bitmap packed 64
+// vertices to a word, so fully-visited regions skip in one comparison.
+// The bitmap is maintained incrementally (one bit set per discovery) and
+// cleared in O(words touched), so queries that never go dense pay almost
+// nothing for it.
+//
+// Both directions produce identical distance assignments — bottom-up
+// only changes the order in which a level's vertices are emitted — so
+// search results are unchanged.
+//
+// # Bit-parallel multi-source labelling BFS (MultiBFS)
+//
+// QbS construction runs one landmark-rooted BFS per landmark. MultiBFS
+// instead runs up to 64 of them in a single graph sweep: each vertex
+// carries uint64 words whose bit i belongs to source i, and a frontier
+// expansion ORs a vertex's word into its neighbours, advancing all
+// sources one level per pass. With the paper's default |R| = 20 the
+// whole labelling is one sweep instead of twenty.
+//
+// The engine natively implements Algorithm 2's two-frontier discipline,
+// per bit: QL (reached by a shortest path avoiding all other landmarks)
+// and QN (every shortest path passes through another landmark). Per
+// vertex it keeps five words —
+//
+//	curL/curN    frontier membership at the current level
+//	nextL/nextN  accumulating frontier for the next level
+//	visited      sources that have reached the vertex
+//
+// and a level settles as: bits first arriving via QL join QL (and emit a
+// label or, at a landmark, a meta-edge); bits arriving only via QN join
+// QN; landmarks absorb all bits into QN. Because levels are settled
+// synchronously after the whole frontier is scanned, the result is
+// bit-identical to running the scalar QL/QN BFS per source, in any
+// frontier order — which also lets MultiBFS reuse the same α/β
+// direction switch for its dense levels.
+package traverse

@@ -1,0 +1,179 @@
+package traverse
+
+import (
+	"math/bits"
+
+	"qbs/internal/graph"
+)
+
+// Default α/β of the direction switch. α compares frontier arc mass
+// against the whole graph's (rather than Beamer's expensively tracked
+// unexplored remainder) because the QbS searches are bounded and
+// bidirectional — they often terminate before a full sweep, so the
+// threshold is deliberately conservative.
+const (
+	DefaultAlpha = 12
+	DefaultBeta  = 24
+)
+
+// Expander performs direction-optimizing level expansion for a single
+// BFS: top-down while the frontier is sparse, bottom-up through the
+// dense middle levels. It is a reusable per-goroutine workspace; bind it
+// to a traversal with Begin, then call Expand once per level.
+//
+// Distances are stored in a Workspace by the caller, so the Expander
+// composes with the searcher's epoch-stamped state (including sentinel
+// stamps such as QbS's removed landmarks: any vertex already Seen in the
+// workspace is never re-discovered, whichever direction runs).
+//
+// The sparse top-down path is exactly the classic frontier scan with
+// zero added bookkeeping. Only when a level actually goes dense — a
+// frontier of Ω(|V|/β) vertices, so the level itself is Ω(|V|) work —
+// is the visited bitmap for bottom-up materialised, in one O(|V|) sweep
+// over the workspace stamps.
+type Expander struct {
+	// Alpha tunes the top-down → bottom-up switch: go bottom-up when
+	// frontierDeg·Alpha > |arcs| (and the frontier is at least |V|/Beta
+	// vertices). 0 disables bottom-up entirely; negative forces it on
+	// every level (used by tests).
+	Alpha int64
+	// Beta tunes the switch back: return to top-down when
+	// |frontier|·Beta < |V|.
+	Beta int64
+
+	n        int
+	g        graph.Adjacency
+	deg      []int32 // optional cached degrees; nil falls back to g.Degree
+	totalArc int64
+	bottomUp bool
+
+	words  []uint64 // visited bitmap, valid only while bottomUp
+	bmUsed bool     // words is dirty and needs clearing on Begin
+}
+
+// NewExpander creates an expander for graphs with n vertices.
+func NewExpander(n int) *Expander {
+	return &Expander{
+		Alpha: DefaultAlpha,
+		Beta:  DefaultBeta,
+		n:     n,
+		words: make([]uint64, (n+63)/64),
+	}
+}
+
+// Begin binds the expander to one traversal over g. deg optionally
+// supplies a cached degree array (indexed by vertex); pass nil to fall
+// back to g.Degree calls. The bitmap is cleared only when the previous
+// traversal went dense, so sparse query streams never touch it.
+func (e *Expander) Begin(g graph.Adjacency, deg []int32) {
+	if e.bmUsed {
+		clear(e.words)
+		e.bmUsed = false
+	}
+	e.g = g
+	e.deg = deg
+	e.totalArc = int64(g.NumArcs())
+	e.bottomUp = false
+}
+
+// syncBitmap rebuilds the visited bitmap from the workspace stamps.
+// Runs once per dense phase, charged against that phase's Ω(|V|) level.
+func (e *Expander) syncBitmap(ws *Workspace) {
+	clear(e.words)
+	e.bmUsed = true
+	for v := 0; v < e.n; v++ {
+		if ws.Seen(graph.V(v)) {
+			e.words[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+}
+
+// Expand grows the BFS by one level: every vertex in frontier has depth
+// d in ws; unseen neighbours get depth d+1, are appended to dst and
+// returned. The second result counts adjacency entries examined.
+func (e *Expander) Expand(ws *Workspace, frontier []graph.V, d int32, dst []graph.V) ([]graph.V, int64) {
+	switch {
+	case e.Alpha < 0:
+		if !e.bottomUp {
+			e.bottomUp = true
+			e.syncBitmap(ws)
+		}
+	case e.bottomUp:
+		if int64(len(frontier))*e.Beta < int64(e.n) {
+			e.bottomUp = false
+		}
+	case e.Alpha > 0 && int64(len(frontier))*e.Beta >= int64(e.n):
+		// Dense enough to be worth pricing out: compare the arcs a
+		// top-down step would scan against the whole arc mass.
+		var mf int64
+		if e.deg != nil {
+			for _, x := range frontier {
+				mf += int64(e.deg[x])
+			}
+		} else {
+			for _, x := range frontier {
+				mf += int64(e.g.Degree(x))
+			}
+		}
+		if mf*e.Alpha > e.totalArc {
+			e.bottomUp = true
+			e.syncBitmap(ws)
+		}
+	}
+	if e.bottomUp {
+		return e.expandBottomUp(ws, d, dst)
+	}
+	return e.expandTopDown(ws, frontier, d, dst)
+}
+
+func (e *Expander) expandTopDown(ws *Workspace, frontier []graph.V, d int32, dst []graph.V) ([]graph.V, int64) {
+	g := e.g
+	var arcs int64
+	for _, x := range frontier {
+		ns := g.Neighbors(x)
+		arcs += int64(len(ns))
+		for _, y := range ns {
+			if ws.Seen(y) {
+				continue
+			}
+			ws.SetDist(y, d+1)
+			dst = append(dst, y)
+		}
+	}
+	return dst, arcs
+}
+
+// expandBottomUp scans the unvisited vertices instead of the frontier: a
+// vertex joins the next level at the first neighbour found at depth d.
+// The bitmap is a skip accelerator, not ground truth — a stale bit
+// (stamped in ws after the last sync, e.g. during an interleaved
+// top-down phase) is re-checked against ws.Seen and marked lazily.
+func (e *Expander) expandBottomUp(ws *Workspace, d int32, dst []graph.V) ([]graph.V, int64) {
+	g := e.g
+	var arcs int64
+	nw := len(e.words)
+	for w := 0; w < nw; w++ {
+		unv := ^e.words[w]
+		if w == nw-1 && e.n&63 != 0 {
+			unv &= 1<<(uint(e.n)&63) - 1
+		}
+		for unv != 0 {
+			v := graph.V(w<<6 + bits.TrailingZeros64(unv))
+			unv &= unv - 1
+			if ws.Seen(v) {
+				e.words[w] |= 1 << (uint(v) & 63)
+				continue
+			}
+			for _, y := range g.Neighbors(v) {
+				arcs++
+				if ws.Dist(y) == d {
+					ws.SetDist(v, d+1)
+					e.words[w] |= 1 << (uint(v) & 63)
+					dst = append(dst, v)
+					break
+				}
+			}
+		}
+	}
+	return dst, arcs
+}

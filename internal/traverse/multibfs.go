@@ -1,0 +1,231 @@
+package traverse
+
+import (
+	"errors"
+	"fmt"
+
+	"qbs/internal/graph"
+)
+
+// ErrTooDeep reports that a MultiBFS level exceeded the caller's depth
+// limit while some source still had a non-empty frontier.
+var ErrTooDeep = errors.New("traverse: BFS depth exceeds limit")
+
+// MaxSources is the number of sources one MultiBFS sweep carries: one
+// bit per source in a uint64 word.
+const MaxSources = 64
+
+// MultiBFS runs up to 64 simultaneous landmark-rooted QL/QN BFS
+// layerings (Algorithm 2 of the paper) in one graph sweep, one bit per
+// source. It is a reusable workspace sized for a fixed vertex count; not
+// safe for concurrent use — create one per worker.
+type MultiBFS struct {
+	// Alpha/Beta tune the direction switch exactly as on Expander:
+	// Alpha 0 disables bottom-up, negative forces it.
+	Alpha int64
+	Beta  int64
+
+	n       int
+	curL    []uint64 // bit i: v is on source i's QL frontier at this level
+	curN    []uint64 // bit i: v is on source i's QN frontier at this level
+	nextL   []uint64 // next level, resolved at settle time
+	nextN   []uint64
+	visited []uint64 // bit i: source i has reached v
+
+	frontier []graph.V // vertices with curL|curN != 0, each once
+	next     []graph.V
+	touched  []graph.V // top-down: vertices with pending next-level bits
+}
+
+// NewMultiBFS creates an engine for graphs with n vertices.
+func NewMultiBFS(n int) *MultiBFS {
+	return &MultiBFS{
+		Alpha:   DefaultAlpha,
+		Beta:    DefaultBeta,
+		n:       n,
+		curL:    make([]uint64, n),
+		curN:    make([]uint64, n),
+		nextL:   make([]uint64, n),
+		nextN:   make([]uint64, n),
+		visited: make([]uint64, n),
+	}
+}
+
+// Run sweeps the graph once, advancing a QL/QN BFS from every root in
+// lock-step. roots[i] is the root of bit i (all distinct vertices, at
+// most MaxSources). landIdx marks the landmark vertices (>= 0); at a
+// landmark every arriving bit is absorbed into QN, which is what makes
+// the per-bit layering match the scalar Algorithm 2. Pass a nil landIdx
+// to treat every vertex as a plain vertex (plain multi-source BFS).
+//
+// settle is called exactly once per (vertex, level) with the bits that
+// first reached the vertex at that level: newL arrived via a QL
+// frontier (these are the labelled discoveries — or, at a landmark, the
+// meta-edge discoveries), newN arrived only via QN. Roots are not
+// settled; the caller accounts for depth 0 itself.
+//
+// deg optionally supplies cached degrees for the α/β switch; nil falls
+// back to g.Degree. Run returns ErrTooDeep when a level would exceed
+// maxDepth; the engine is reusable afterwards.
+func (mb *MultiBFS) Run(g graph.Adjacency, deg []int32, landIdx []int16, roots []graph.V, maxDepth int32, settle func(v graph.V, depth int32, newL, newN uint64)) error {
+	n := g.NumVertices()
+	if n != mb.n {
+		return fmt.Errorf("traverse: engine sized for %d vertices, graph has %d", mb.n, n)
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	if len(roots) > MaxSources {
+		return fmt.Errorf("traverse: %d roots exceed the %d-way sweep width", len(roots), MaxSources)
+	}
+	full := ^uint64(0)
+	if len(roots) < MaxSources {
+		full = 1<<uint(len(roots)) - 1
+	}
+	clear(mb.curL)
+	clear(mb.curN)
+	clear(mb.nextL)
+	clear(mb.nextN)
+	clear(mb.visited)
+
+	degree := func(v graph.V) int64 {
+		if deg != nil {
+			return int64(deg[v])
+		}
+		return int64(g.Degree(v))
+	}
+
+	frontier := mb.frontier[:0]
+	for i, r := range roots {
+		if mb.visited[r] != 0 {
+			return fmt.Errorf("traverse: duplicate root %d", r)
+		}
+		mb.curL[r] = 1 << uint(i)
+		mb.visited[r] = 1 << uint(i)
+		frontier = append(frontier, r)
+	}
+	totalArc := int64(g.NumArcs())
+
+	depth := int32(0)
+	bottomUp := false
+	for len(frontier) > 0 {
+		depth++
+		if depth > maxDepth {
+			// Leave the engine clean for reuse.
+			for _, u := range frontier {
+				mb.curL[u], mb.curN[u] = 0, 0
+			}
+			mb.frontier, mb.next = frontier[:0], mb.next[:0]
+			return ErrTooDeep
+		}
+
+		switch {
+		case mb.Alpha < 0:
+			bottomUp = true
+		case bottomUp:
+			if int64(len(frontier))*mb.Beta < int64(n) {
+				bottomUp = false
+			}
+		case mb.Alpha > 0 && int64(len(frontier))*mb.Beta >= int64(n):
+			// Dense enough to price out (sparse levels skip the degree
+			// summation entirely). As on Expander, the threshold compares
+			// against the whole arc mass — conservative, and it keeps the
+			// hot settle path free of per-vertex degree accounting.
+			var mf int64
+			for _, x := range frontier {
+				mf += degree(x)
+			}
+			if mf*mb.Alpha > totalArc {
+				bottomUp = true
+			}
+		}
+
+		nf := mb.next[:0]
+		if bottomUp {
+			// Bottom-up: scan vertices some source has not reached and pull
+			// frontier bits from their neighbours. Settling immediately is
+			// safe — it writes only v's own visited/next words, while the
+			// scan reads neighbours' cur words, which this level never
+			// mutates.
+			for v := graph.V(0); int(v) < n; v++ {
+				vis := mb.visited[v]
+				if vis == full {
+					continue
+				}
+				var aL, aN uint64
+				for _, u := range g.Neighbors(v) {
+					aL |= mb.curL[u]
+					aN |= mb.curN[u]
+					if aL|vis == full {
+						// Every source is already visited or arriving via QL;
+						// later neighbours cannot change any bit's QL-priority
+						// classification, so stop probing.
+						break
+					}
+				}
+				if (aL|aN)&^vis == 0 {
+					continue
+				}
+				nf = mb.settleVertex(v, depth, aL, aN, landIdx, settle, nf)
+			}
+		} else {
+			// Top-down: accumulate frontier bits into the next-level words,
+			// then settle every touched vertex. nextL/nextN double as the
+			// accumulators; settleVertex rewrites them with the resolved
+			// QL/QN assignment.
+			touched := mb.touched[:0]
+			for _, u := range frontier {
+				lu, ln := mb.curL[u], mb.curN[u]
+				both := lu | ln
+				for _, v := range g.Neighbors(u) {
+					if both&^mb.visited[v] == 0 {
+						continue
+					}
+					if mb.nextL[v]|mb.nextN[v] == 0 {
+						touched = append(touched, v)
+					}
+					mb.nextL[v] |= lu
+					mb.nextN[v] |= ln
+				}
+			}
+			for _, v := range touched {
+				aL, aN := mb.nextL[v], mb.nextN[v]
+				nf = mb.settleVertex(v, depth, aL, aN, landIdx, settle, nf)
+			}
+			mb.touched = touched[:0]
+		}
+
+		for _, u := range frontier {
+			mb.curL[u], mb.curN[u] = 0, 0
+		}
+		mb.curL, mb.nextL = mb.nextL, mb.curL
+		mb.curN, mb.nextN = mb.nextN, mb.curN
+		mb.frontier, mb.next = nf, frontier[:0]
+		frontier = nf
+	}
+	mb.frontier = frontier[:0]
+	return nil
+}
+
+// settleVertex resolves one vertex's newly arrived bits at this level
+// and installs its next-level frontier words. Per bit: arrived via QL →
+// QL (labelled); arrived only via QN → QN; at a landmark everything is
+// absorbed into QN.
+func (mb *MultiBFS) settleVertex(v graph.V, depth int32, aL, aN uint64, landIdx []int16, settle func(graph.V, int32, uint64, uint64), nf []graph.V) []graph.V {
+	vis := mb.visited[v]
+	fromL := aL &^ vis
+	newBits := (aL | aN) &^ vis
+	if newBits == 0 {
+		mb.nextL[v], mb.nextN[v] = 0, 0
+		return nf
+	}
+	fromN := newBits &^ fromL
+	mb.visited[v] = vis | newBits
+	if landIdx != nil && landIdx[v] >= 0 {
+		mb.nextL[v], mb.nextN[v] = 0, newBits
+	} else {
+		mb.nextL[v], mb.nextN[v] = fromL, fromN
+	}
+	settle(v, depth, fromL, fromN)
+	return append(nf, v)
+}

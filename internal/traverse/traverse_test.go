@@ -1,0 +1,286 @@
+// Property tests for the traversal engines: the direction-optimizing
+// expander must produce exactly the distances of a plain top-down BFS in
+// every mode, and the 64-way bit-parallel multi-source BFS must agree
+// with one independent BFS per source — on random graphs including
+// disconnected ones, graphs built from edge lists with self-loop and
+// duplicate entries, and the regular structures. CI runs these under
+// -race.
+package traverse_test
+
+import (
+	"fmt"
+	mbits "math/bits"
+	"math/rand"
+	"testing"
+
+	"qbs/internal/bfs"
+	"qbs/internal/graph"
+	"qbs/internal/traverse"
+)
+
+// randomGraph builds a random graph with n vertices and ~m edge draws.
+// Draws include self-loops and duplicates (dropped by the builder), and
+// low m leaves the graph disconnected with isolated vertices.
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := graph.V(rng.Intn(n))
+		w := graph.V(rng.Intn(n))
+		b.AddEdge(u, w) // u == w allowed: builder must drop it
+	}
+	return b.MustBuild()
+}
+
+// expanderBFS runs a full single-source BFS through the Expander and
+// returns the distance array.
+func expanderBFS(g *graph.Graph, src graph.V, alpha, beta int64) []int32 {
+	n := g.NumVertices()
+	e := traverse.NewExpander(n)
+	e.Alpha, e.Beta = alpha, beta
+	ws := traverse.NewWorkspace(n)
+	ws.Reset()
+	ws.SetDist(src, 0)
+	e.Begin(g, nil)
+	frontier := []graph.V{src}
+	var d int32
+	for len(frontier) > 0 {
+		frontier, _ = e.Expand(ws, frontier, d, frontier[:0:0])
+		d++
+	}
+	dist := make([]int32, n)
+	for v := 0; v < n; v++ {
+		dist[v] = ws.Dist(graph.V(v))
+	}
+	return dist
+}
+
+func TestExpanderMatchesPlainBFS(t *testing.T) {
+	cases := []*graph.Graph{
+		randomGraph(1, 0, 1),
+		randomGraph(50, 30, 2),   // sparse, disconnected
+		randomGraph(120, 700, 3), // dense-ish
+		randomGraph(200, 90, 4),  // many isolated vertices
+		graph.Star(64),
+		graph.Path(40),
+		graph.Complete(30),
+	}
+	modes := []struct {
+		name        string
+		alpha, beta int64
+	}{
+		{"auto", traverse.DefaultAlpha, traverse.DefaultBeta},
+		{"top-down-only", 0, traverse.DefaultBeta},
+		{"bottom-up-always", -1, 1},
+		{"eager-switch", 1, traverse.DefaultBeta},
+	}
+	for gi, g := range cases {
+		n := g.NumVertices()
+		for _, src := range []graph.V{0, graph.V(n / 2), graph.V(n - 1)} {
+			want := bfs.Distances(g, src)
+			for _, mode := range modes {
+				got := expanderBFS(g, src, mode.alpha, mode.beta)
+				for v := 0; v < n; v++ {
+					if got[v] != want[v] {
+						t.Fatalf("graph %d mode %s src %d: dist[%d] = %d, want %d",
+							gi, mode.name, src, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExpanderReuseAcrossTraversals(t *testing.T) {
+	// One expander serving many traversals must not leak visited state,
+	// including after bottom-up levels dirtied the bitmap.
+	g := randomGraph(150, 800, 7)
+	n := g.NumVertices()
+	e := traverse.NewExpander(n)
+	e.Alpha = 1 // switch eagerly so the bitmap actually gets used
+	ws := traverse.NewWorkspace(n)
+	for rep := 0; rep < 10; rep++ {
+		src := graph.V((rep * 37) % n)
+		ws.Reset()
+		ws.SetDist(src, 0)
+		e.Begin(g, nil)
+		frontier := []graph.V{src}
+		var d int32
+		for len(frontier) > 0 {
+			frontier, _ = e.Expand(ws, frontier, d, frontier[:0:0])
+			d++
+		}
+		want := bfs.Distances(g, src)
+		for v := 0; v < n; v++ {
+			if ws.Dist(graph.V(v)) != want[v] {
+				t.Fatalf("rep %d: dist[%d] = %d, want %d", rep, v, ws.Dist(graph.V(v)), want[v])
+			}
+		}
+	}
+}
+
+// multiDistances runs MultiBFS over the roots and returns one distance
+// array per root, reconstructed from the settle callbacks.
+func multiDistances(t *testing.T, g *graph.Graph, roots []graph.V, alpha int64) [][]int32 {
+	t.Helper()
+	n := g.NumVertices()
+	mb := traverse.NewMultiBFS(n)
+	mb.Alpha = alpha
+	dist := make([][]int32, len(roots))
+	for i, r := range roots {
+		dist[i] = make([]int32, n)
+		for v := range dist[i] {
+			dist[i][v] = traverse.Infinity
+		}
+		dist[i][r] = 0
+	}
+	err := mb.Run(g, nil, nil, roots, 1<<30, func(v graph.V, depth int32, newL, newN uint64) {
+		for w := newL | newN; w != 0; w &= w - 1 {
+			i := trailing(w)
+			if dist[i][v] != traverse.Infinity {
+				t.Fatalf("root %d settled vertex %d twice", i, v)
+			}
+			dist[i][v] = depth
+		}
+	})
+	if err != nil {
+		t.Fatalf("MultiBFS: %v", err)
+	}
+	return dist
+}
+
+func trailing(w uint64) int {
+	i := 0
+	for w&1 == 0 {
+		w >>= 1
+		i++
+	}
+	return i
+}
+
+func TestMultiBFSMatchesPerSourceBFS(t *testing.T) {
+	for _, tc := range []struct {
+		n, m  int
+		seed  int64
+		roots int
+	}{
+		{10, 4, 11, 1},  // tiny, disconnected
+		{80, 50, 12, 7}, // sparse, disconnected
+		{100, 600, 13, 20},
+		{200, 1500, 14, 64}, // full 64-way batch
+		{64, 64, 15, 64},    // as many roots as vertices allows
+	} {
+		g := randomGraph(tc.n, tc.m, tc.seed)
+		n := g.NumVertices()
+		rng := rand.New(rand.NewSource(tc.seed * 31))
+		seen := map[graph.V]bool{}
+		var roots []graph.V
+		for len(roots) < tc.roots && len(roots) < n {
+			r := graph.V(rng.Intn(n))
+			if !seen[r] {
+				seen[r] = true
+				roots = append(roots, r)
+			}
+		}
+		for _, alpha := range []int64{traverse.DefaultAlpha, 0, -1} {
+			dist := multiDistances(t, g, roots, alpha)
+			for i, r := range roots {
+				want := bfs.Distances(g, r)
+				for v := 0; v < n; v++ {
+					if dist[i][v] != want[v] {
+						t.Fatalf("n=%d alpha=%d root %d: dist[%d] = %d, want %d",
+							tc.n, alpha, r, v, dist[i][v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultiBFSRejectsBadInput(t *testing.T) {
+	g := graph.Path(5)
+	mb := traverse.NewMultiBFS(5)
+	roots := make([]graph.V, 65)
+	for i := range roots {
+		roots[i] = graph.V(i % 5)
+	}
+	if err := mb.Run(g, nil, nil, roots, 100, func(graph.V, int32, uint64, uint64) {}); err == nil {
+		t.Fatal("65 roots accepted")
+	}
+	if err := mb.Run(g, nil, nil, []graph.V{1, 1}, 100, func(graph.V, int32, uint64, uint64) {}); err == nil {
+		t.Fatal("duplicate roots accepted")
+	}
+	if err := mb.Run(graph.Path(6), nil, nil, []graph.V{0}, 100, func(graph.V, int32, uint64, uint64) {}); err == nil {
+		t.Fatal("mis-sized graph accepted")
+	}
+}
+
+func TestMultiBFSDepthLimitAndReuse(t *testing.T) {
+	g := graph.Path(50)
+	mb := traverse.NewMultiBFS(50)
+	err := mb.Run(g, nil, nil, []graph.V{0}, 10, func(graph.V, int32, uint64, uint64) {})
+	if err != traverse.ErrTooDeep {
+		t.Fatalf("depth-limited run: %v, want ErrTooDeep", err)
+	}
+	// The engine must be reusable after the error.
+	dist := multiDistances(t, g, []graph.V{0}, traverse.DefaultAlpha)
+	for v := 0; v < 50; v++ {
+		if dist[0][v] != int32(v) {
+			t.Fatalf("after error: dist[%d] = %d", v, dist[0][v])
+		}
+	}
+}
+
+func TestMultiBFSDeterministicAcrossModes(t *testing.T) {
+	// Distances aside, the (vertex, depth, newL, newN) settle stream must
+	// carry identical per-bit assignments whichever direction ran — only
+	// the order may change. Compare as sets.
+	g := randomGraph(120, 900, 21)
+	n := g.NumVertices()
+	roots := []graph.V{0, 1, 2, 3, 4, 5, 6, 7}
+	type key struct {
+		v     graph.V
+		depth int32
+	}
+	collect := func(alpha int64) map[key][2]uint64 {
+		mb := traverse.NewMultiBFS(n)
+		mb.Alpha = alpha
+		out := map[key][2]uint64{}
+		if err := mb.Run(g, nil, nil, roots, 1<<30, func(v graph.V, depth int32, newL, newN uint64) {
+			k := key{v, depth}
+			cur := out[k]
+			out[k] = [2]uint64{cur[0] | newL, cur[1] | newN}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	auto := collect(traverse.DefaultAlpha)
+	td := collect(0)
+	bu := collect(-1)
+	if len(auto) != len(td) || len(bu) != len(td) {
+		t.Fatalf("settle-event counts differ: auto=%d td=%d bu=%d", len(auto), len(td), len(bu))
+	}
+	for k, want := range td {
+		if auto[k] != want {
+			t.Fatalf("auto settle %v = %v, want %v", k, auto[k], want)
+		}
+		if bu[k] != want {
+			t.Fatalf("bottom-up settle %v = %v, want %v", k, bu[k], want)
+		}
+	}
+}
+
+func ExampleMultiBFS() {
+	// Two sources on a path: bit 0 from vertex 0, bit 1 from vertex 4.
+	// Each vertex is reached by both sources except the roots themselves
+	// (a root is only ever reached by the opposite source).
+	g := graph.Path(5)
+	mb := traverse.NewMultiBFS(5)
+	reached := make([]int, 5)
+	_ = mb.Run(g, nil, nil, []graph.V{0, 4}, 100, func(v graph.V, depth int32, newL, newN uint64) {
+		reached[v] += mbits.OnesCount64(newL | newN)
+	})
+	fmt.Println(reached)
+	// Output: [1 2 2 2 1]
+}

@@ -1,0 +1,58 @@
+package traverse
+
+import (
+	"math"
+
+	"qbs/internal/graph"
+)
+
+// Infinity marks an unreached vertex in distance arrays.
+const Infinity = int32(math.MaxInt32)
+
+// Workspace holds reusable per-query BFS state for a fixed graph size.
+// Distance entries are valid only when their epoch stamp matches the
+// current epoch, so resetting between queries is O(1). A Workspace is
+// not safe for concurrent use; create one per goroutine.
+type Workspace struct {
+	n     int
+	epoch uint32
+	stamp []uint32
+	dist  []int32
+}
+
+// NewWorkspace creates a workspace for graphs with n vertices.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		n:     n,
+		stamp: make([]uint32, n),
+		dist:  make([]int32, n),
+	}
+}
+
+// Reset invalidates all distances in O(1).
+func (ws *Workspace) Reset() {
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: do the rare full clear
+		for i := range ws.stamp {
+			ws.stamp[i] = 0
+		}
+		ws.epoch = 1
+	}
+}
+
+// Dist returns the distance of v in the current epoch, or Infinity.
+func (ws *Workspace) Dist(v graph.V) int32 {
+	if ws.stamp[v] == ws.epoch {
+		return ws.dist[v]
+	}
+	return Infinity
+}
+
+// SetDist stamps v with distance d in the current epoch.
+func (ws *Workspace) SetDist(v graph.V, d int32) {
+	ws.stamp[v] = ws.epoch
+	ws.dist[v] = d
+}
+
+// Seen reports whether v has been assigned a distance this epoch.
+func (ws *Workspace) Seen(v graph.V) bool { return ws.stamp[v] == ws.epoch }

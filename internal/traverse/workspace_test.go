@@ -1,0 +1,27 @@
+package traverse
+
+import "testing"
+
+func TestWorkspaceEpochWraparound(t *testing.T) {
+	ws := NewWorkspace(10)
+	ws.Reset()
+	ws.SetDist(3, 7)
+	if ws.Dist(3) != 7 || ws.Dist(4) != Infinity {
+		t.Fatal("workspace basic ops")
+	}
+	ws.Reset()
+	if ws.Seen(3) {
+		t.Fatal("reset must invalidate")
+	}
+	ws.SetDist(3, 1)
+	// Exercise epoch wraparound: stamps from the wrapped-around epoch
+	// must not read as current.
+	ws.epoch = ^uint32(0)
+	ws.Reset()
+	if ws.epoch != 1 {
+		t.Fatalf("wraparound epoch = %d", ws.epoch)
+	}
+	if ws.Seen(3) {
+		t.Fatal("wraparound must clear stamps")
+	}
+}

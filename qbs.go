@@ -31,9 +31,7 @@
 package qbs
 
 import (
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"qbs/internal/bfs"
 	"qbs/internal/core"
@@ -168,6 +166,18 @@ func (ix *Index) Query(u, v V) *SPG {
 	return sr.Query(u, v)
 }
 
+// QueryInto answers SPG(u, v) into a caller-owned result, resetting it
+// first, and returns dst. Reusing one SPG across queries keeps the warm
+// query path free of heap allocations (the result buffer is recycled at
+// its high-water mark); serving loops that answer-and-encode should
+// prefer it over Query.
+func (ix *Index) QueryInto(dst *SPG, u, v V) *SPG {
+	sr := ix.pool.Get().(*core.Searcher)
+	defer ix.pool.Put(sr)
+	sr.QueryInto(dst, u, v)
+	return dst
+}
+
 // QueryWithStats answers SPG(u, v) and reports query internals.
 func (ix *Index) QueryWithStats(u, v V) (*SPG, QueryStats) {
 	sr := ix.pool.Get().(*core.Searcher)
@@ -193,36 +203,18 @@ type Pair struct{ U, V V }
 // QueryBatch answers many queries concurrently with up to parallelism
 // workers (0 = GOMAXPROCS, capped at the batch size). Results align
 // with the input slice. Each worker draws a searcher from the index's
-// pool, so repeated batches reuse workspaces.
+// pool and answers into per-chunk result arenas, so repeated batches
+// reuse workspaces and steady-state queries stay off the allocator.
+//
+// A query that panics (e.g. an out-of-range vertex id) does not bring
+// the batch down: its slot is left nil and all remaining results are
+// returned.
 func (ix *Index) QueryBatch(pairs []Pair, parallelism int) []*SPG {
 	out := make([]*SPG, len(pairs))
-	if len(pairs) == 0 {
-		return out
-	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(pairs) {
-		parallelism = len(pairs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sr := ix.pool.Get().(*core.Searcher)
-			defer ix.pool.Put(sr)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pairs) {
-					return
-				}
-				out[i] = sr.Query(pairs[i].U, pairs[i].V)
-			}
-		}()
-	}
-	wg.Wait()
+	core.QueryBatchInto(out, parallelism,
+		func(i int) (V, V) { return pairs[i].U, pairs[i].V },
+		func() *core.Searcher { return ix.pool.Get().(*core.Searcher) },
+		func(sr *core.Searcher) { ix.pool.Put(sr) })
 	return out
 }
 
@@ -354,6 +346,10 @@ func (di *DynamicIndex) RemoveEdge(u, v V) (bool, error) { return di.d.RemoveEdg
 
 // Query answers SPG(u, v) against the current snapshot.
 func (di *DynamicIndex) Query(u, v V) *SPG { return di.d.Query(u, v) }
+
+// QueryInto answers SPG(u, v) against the current snapshot into a
+// caller-owned result; see Index.QueryInto for the reuse contract.
+func (di *DynamicIndex) QueryInto(dst *SPG, u, v V) *SPG { return di.d.QueryInto(dst, u, v) }
 
 // QueryWithStats answers SPG(u, v) with query internals.
 func (di *DynamicIndex) QueryWithStats(u, v V) (*SPG, QueryStats) {

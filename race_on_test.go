@@ -1,0 +1,8 @@
+//go:build race
+
+package qbs_test
+
+// raceEnabled reports whether the race detector is active; allocation
+// assertions that depend on uninstrumented sync.Pool behaviour are
+// skipped under it.
+const raceEnabled = true
