@@ -7,7 +7,9 @@
 //	qbs-bench -exp all -datasets DO,DB,YT -out results.md
 //
 // Experiments: table1, table2, table3, fig7, fig8, fig9, fig10, fig11,
-// dynamic (incremental updates vs rebuild), ablation-traversal,
+// dynamic (incremental updates vs rebuild), loadvsbuild (durable-store
+// restart cost: snapshot open + WAL replay vs cold build; with -json it
+// emits the BENCH_PR3.json record), ablation-traversal,
 // ablation-parallel, ablation-landmarks, all.
 package main
 
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = DESIGN.md sizes)")
 		queries   = flag.Int("queries", 1000, "number of sampled query pairs per dataset")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R| for single-point experiments")
@@ -64,6 +66,20 @@ func main() {
 			}
 			cfg.Datasets = append(cfg.Datasets, k)
 		}
+	}
+	if *jsonPath != "" && *exp == "loadvsbuild" {
+		// Persistence snapshot mode: the BENCH_PR3.json record (snapshot
+		// open time, WAL replay rate, vs cold build).
+		if len(cfg.Datasets) == 0 {
+			cfg.Datasets = []string{"DO", "YT", "FR"}
+		}
+		t0 := time.Now()
+		if err := bench.New(cfg).LoadVsBuildJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadvsbuild snapshot written to %s in %s\n",
+			*jsonPath, time.Since(t0).Round(time.Millisecond))
+		return
 	}
 	if *jsonPath != "" {
 		// Snapshot mode: the machine-readable perf record tracked across
@@ -111,6 +127,7 @@ func main() {
 	run("fig10", func() error { _, err := h.Fig10(nil); return err })
 	run("fig11", func() error { _, err := h.Fig11(nil); return err })
 	run("dynamic", func() error { _, err := h.DynamicUpdates(nil); return err })
+	run("loadvsbuild", func() error { _, err := h.LoadVsBuild(); return err })
 	run("ablation-traversal", func() error { _, err := h.AblationTraversal(); return err })
 	run("ablation-scale", func() error { _, err := h.AblationScale(nil); return err })
 	run("ablation-directed", func() error { _, err := h.AblationDirected(); return err })

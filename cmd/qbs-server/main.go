@@ -5,14 +5,23 @@
 //	qbs-server -graph web.edges -landmarks 20 -addr :8080
 //	qbs-server -dataset YT -scale 0.5 -index yt.qbsi   # build once, reuse
 //	qbs-server -dataset YT -mutable                    # accept edge writes
+//	qbs-server -dataset YT -mutable -data ./yt-data    # durable: survive restarts
+//	qbs-server -data ./yt-data -mutable                # reopen in sub-second
 //
 // Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz, and in
-// -mutable mode POST /edges, DELETE /edges, /epoch — see internal/server
-// for the JSON schemas.
+// -mutable mode POST /edges, DELETE /edges, /epoch, POST /checkpoint —
+// see internal/server for the JSON schemas.
+//
+// With -data, the server owns a durable data directory: on first start
+// it builds the index from the graph source and persists it; on every
+// later start it recovers from the newest snapshot plus write-ahead-log
+// replay (no graph source needed, and no rebuild — a killed server
+// comes back with the exact pre-crash index, same epoch included).
+// Without -mutable the recovered index is served read-only.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections, drains in-flight requests (bounded by -drain) and, in
-// mutable mode, waits for any background index compaction to settle.
+// connections, drains in-flight requests (bounded by -drain), waits for
+// any background index compaction to settle, and flushes the log.
 package main
 
 import (
@@ -40,24 +49,57 @@ func main() {
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
 		indexPath = flag.String("index", "", "index file: loaded if present, saved after building otherwise (immutable mode only)")
+		dataDir   = flag.String("data", "", "durable data directory: created from the graph source on first start, recovered (snapshot + WAL replay) afterwards")
+		syncEvery = flag.Int("sync-every", 0, "batch WAL fsyncs every N writes (0/1 = every write)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		mutable   = flag.Bool("mutable", false, "serve a live-mutable index accepting edge writes")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
-
 	var handler http.Handler
 	var dyn *qbs.DynamicIndex
-	if *mutable {
-		if *indexPath != "" {
-			fmt.Fprintln(os.Stderr, "qbs-server: -index is ignored in -mutable mode (snapshots are not persisted)")
+	switch {
+	case *dataDir != "" && qbs.StoreExists(*dataDir):
+		// Restart path: recover, no graph source and no rebuild needed.
+		start := time.Now()
+		var err error
+		dyn, err = qbs.OpenStore(*dataDir, qbs.StoreOptions{
+			ReadOnly:  !*mutable,
+			MMap:      true,
+			SyncEvery: *syncEvery,
+		})
+		if err != nil {
+			fatal(err)
 		}
+		epoch, edges := dyn.EpochEdges()
+		fmt.Printf("store: recovered %s in %s (|V|=%d |E|=%d epoch=%d)\n",
+			*dataDir, time.Since(start).Round(time.Millisecond), dyn.NumVertices(), edges, epoch)
+	case *dataDir != "":
+		g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
+		start := time.Now()
+		dyn, err = qbs.CreateStore(*dataDir, g, qbs.StoreOptions{
+			Index:     qbs.Options{NumLandmarks: *landmarks},
+			SyncEvery: *syncEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("store: built and persisted to %s in %s (%d landmarks)\n",
+			*dataDir, time.Since(start).Round(time.Millisecond), len(dyn.Landmarks()))
+	case *mutable:
+		if *indexPath != "" {
+			fmt.Fprintln(os.Stderr, "qbs-server: -index is ignored in -mutable mode (use -data for persistence)")
+		}
+		g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
 		start := time.Now()
 		dyn, err = qbs.BuildDynamicIndex(g, qbs.DynamicOptions{
 			Index: qbs.Options{NumLandmarks: *landmarks},
@@ -65,15 +107,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("dynamic index: built in %s (%d landmarks, mutable)\n",
+		fmt.Printf("dynamic index: built in %s (%d landmarks, mutable, not persisted)\n",
 			time.Since(start).Round(time.Millisecond), len(dyn.Landmarks()))
-		handler = server.NewMutable(dyn)
-	} else {
+	default:
+		g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: |V|=%d |E|=%d\n", g.NumVertices(), g.NumEdges())
 		index, err := buildOrLoadIndex(g, *indexPath, *landmarks)
 		if err != nil {
 			fatal(err)
 		}
 		handler = server.New(index)
+	}
+	if dyn != nil {
+		if *mutable {
+			handler = server.NewMutable(dyn)
+		} else {
+			handler = server.NewDynamicReadOnly(dyn)
+		}
 	}
 
 	srv := &http.Server{
@@ -109,6 +162,9 @@ func main() {
 		}
 		if dyn != nil {
 			dyn.WaitCompaction()
+			if err := dyn.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "qbs-server: store close:", err)
+			}
 		}
 		fmt.Println("bye")
 	}

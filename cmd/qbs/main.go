@@ -7,6 +7,13 @@
 //	qbs -graph web.edges -landmarks 20 -query 14,907 -query 3,77
 //	qbs -dataset TW -scale 0.1 -random 5         # 5 random queries
 //	qbs -graph web.edges -stats                  # index statistics only
+//	qbs -graph web.edges -data ./web-data        # build once, persist
+//	qbs -data ./web-data -query 14,907           # reopen in sub-second
+//
+// With -data the index lives in a durable data directory: the first run
+// (which still needs a graph source) builds and persists it; later runs
+// recover it from the snapshot + write-ahead log without rebuilding.
+// -checkpoint persists a fresh snapshot before exiting.
 package main
 
 import (
@@ -30,47 +37,97 @@ func (q *queryList) Set(s string) error { *q = append(*q, s); return nil }
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file to load")
-		binPath   = flag.String("bin", "", "binary graph file to load")
-		dataset   = flag.String("dataset", "", "dataset analog key instead of a file")
-		scale     = flag.Float64("scale", 0.25, "dataset scale factor")
-		landmarks = flag.Int("landmarks", 20, "number of landmarks |R|")
-		strategy  = flag.String("strategy", "degree", "landmark strategy: degree|random|coverage")
-		random    = flag.Int("random", 0, "answer this many random queries")
-		seed      = flag.Int64("seed", 1, "seed for -random and -strategy random")
-		stats     = flag.Bool("stats", false, "print index statistics")
-		verbose   = flag.Bool("v", false, "print the full edge set of each answer")
+		graphPath  = flag.String("graph", "", "edge-list file to load")
+		binPath    = flag.String("bin", "", "binary graph file to load")
+		dataset    = flag.String("dataset", "", "dataset analog key instead of a file")
+		scale      = flag.Float64("scale", 0.25, "dataset scale factor")
+		landmarks  = flag.Int("landmarks", 20, "number of landmarks |R|")
+		strategy   = flag.String("strategy", "degree", "landmark strategy: degree|random|coverage")
+		random     = flag.Int("random", 0, "answer this many random queries")
+		seed       = flag.Int64("seed", 1, "seed for -random and -strategy random")
+		stats      = flag.Bool("stats", false, "print index statistics")
+		verbose    = flag.Bool("v", false, "print the full edge set of each answer")
+		dataDir    = flag.String("data", "", "durable data directory: built from the graph source if absent, recovered otherwise")
+		checkpoint = flag.Bool("checkpoint", false, "persist a fresh snapshot to -data before exiting")
 	)
 	var queries queryList
 	flag.Var(&queries, "query", "query pair \"u,v\" (repeatable)")
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
-	if err != nil {
-		fatal(err)
+	// answer is the query surface shared by the static and durable paths.
+	var answer interface {
+		QueryWithStats(u, v qbs.V) (*qbs.SPG, qbs.QueryStats)
 	}
-	fmt.Printf("graph: |V|=%d |E|=%d avg deg %.2f\n", g.NumVertices(), g.NumEdges(), g.AvgDegree())
+	var numVertices int
 
-	start := time.Now()
-	ix, err := qbs.BuildIndex(g, qbs.Options{
-		NumLandmarks: *landmarks,
-		Strategy:     qbs.Strategy(*strategy),
-		Seed:         *seed,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("index: built in %s\n", time.Since(start).Round(time.Microsecond))
+	switch {
+	case *dataDir != "" && qbs.StoreExists(*dataDir):
+		start := time.Now()
+		// Query-only runs open read-only: no writer lock, no log segment,
+		// and the data dir is left byte-for-byte untouched. Only
+		// -checkpoint needs a writable open.
+		di, err := qbs.OpenStore(*dataDir, qbs.StoreOptions{MMap: true, ReadOnly: !*checkpoint})
+		if err != nil {
+			fatal(err)
+		}
+		defer di.Close()
+		epoch, edges := di.EpochEdges()
+		fmt.Printf("store: recovered %s in %s (|V|=%d |E|=%d epoch=%d)\n",
+			*dataDir, time.Since(start).Round(time.Microsecond), di.NumVertices(), edges, epoch)
+		if *stats {
+			printStoreStats(di)
+		}
+		answer, numVertices = di, di.NumVertices()
+		defer maybeCheckpoint(di, *checkpoint)
+	case *dataDir != "":
+		g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: |V|=%d |E|=%d avg deg %.2f\n", g.NumVertices(), g.NumEdges(), g.AvgDegree())
+		start := time.Now()
+		di, err := qbs.CreateStore(*dataDir, g, qbs.StoreOptions{Index: qbs.Options{
+			NumLandmarks: *landmarks,
+			Strategy:     qbs.Strategy(*strategy),
+			Seed:         *seed,
+		}})
+		if err != nil {
+			fatal(err)
+		}
+		defer di.Close()
+		fmt.Printf("store: built and persisted to %s in %s\n", *dataDir, time.Since(start).Round(time.Microsecond))
+		if *stats {
+			printStoreStats(di)
+		}
+		answer, numVertices = di, di.NumVertices()
+	default:
+		g, err := loadGraph(*graphPath, *binPath, *dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("graph: |V|=%d |E|=%d avg deg %.2f\n", g.NumVertices(), g.NumEdges(), g.AvgDegree())
+		start := time.Now()
+		ix, err := qbs.BuildIndex(g, qbs.Options{
+			NumLandmarks: *landmarks,
+			Strategy:     qbs.Strategy(*strategy),
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index: built in %s\n", time.Since(start).Round(time.Microsecond))
 
-	if *stats {
-		st := ix.Stats()
-		fmt.Printf("  landmarks:      %d\n", st.NumLandmarks)
-		fmt.Printf("  labelling time: %s (parallelism %d)\n", st.LabellingTime.Round(time.Microsecond), st.Parallelism)
-		fmt.Printf("  meta/Δ time:    %s\n", st.MetaTime.Round(time.Microsecond))
-		fmt.Printf("  label entries:  %d\n", st.LabelEntries)
-		fmt.Printf("  meta edges:     %d\n", st.MetaEdges)
-		fmt.Printf("  size(L):        %d bytes\n", ix.SizeLabelsBytes())
-		fmt.Printf("  size(Δ):        %d bytes\n", ix.SizeDeltaBytes())
+		if *stats {
+			st := ix.Stats()
+			fmt.Printf("  landmarks:      %d\n", st.NumLandmarks)
+			fmt.Printf("  labelling time: %s (parallelism %d)\n", st.LabellingTime.Round(time.Microsecond), st.Parallelism)
+			fmt.Printf("  meta/Δ time:    %s\n", st.MetaTime.Round(time.Microsecond))
+			fmt.Printf("  label entries:  %d\n", st.LabelEntries)
+			fmt.Printf("  meta edges:     %d\n", st.MetaEdges)
+			fmt.Printf("  size(L):        %d bytes\n", ix.SizeLabelsBytes())
+			fmt.Printf("  size(Δ):        %d bytes\n", ix.SizeDeltaBytes())
+		}
+		answer, numVertices = ix, g.NumVertices()
 	}
 
 	var pairs [][2]qbs.V
@@ -81,19 +138,19 @@ func main() {
 		}
 		u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
 		v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
-		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= g.NumVertices() || v >= g.NumVertices() {
-			fatal(fmt.Errorf("bad -query %q for graph with %d vertices", q, g.NumVertices()))
+		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= numVertices || v >= numVertices {
+			fatal(fmt.Errorf("bad -query %q for graph with %d vertices", q, numVertices))
 		}
 		pairs = append(pairs, [2]qbs.V{qbs.V(u), qbs.V(v)})
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	for i := 0; i < *random; i++ {
-		pairs = append(pairs, [2]qbs.V{qbs.V(rng.Intn(g.NumVertices())), qbs.V(rng.Intn(g.NumVertices()))})
+		pairs = append(pairs, [2]qbs.V{qbs.V(rng.Intn(numVertices)), qbs.V(rng.Intn(numVertices))})
 	}
 
 	for _, p := range pairs {
 		t0 := time.Now()
-		spg, st := ix.QueryWithStats(p[0], p[1])
+		spg, st := answer.QueryWithStats(p[0], p[1])
 		el := time.Since(t0)
 		if spg.Dist == qbs.InfDist {
 			fmt.Printf("SPG(%d,%d): disconnected (%s)\n", p[0], p[1], el.Round(time.Nanosecond))
@@ -108,6 +165,30 @@ func main() {
 			}
 		}
 	}
+}
+
+// printStoreStats is the -stats block for the durable-store paths
+// (construction timings live in the store, not the process, so the
+// static build's labelling/meta split is not reported here).
+func printStoreStats(di *qbs.DynamicIndex) {
+	epoch, edges := di.EpochEdges()
+	fmt.Printf("  landmarks:      %d\n", len(di.Landmarks()))
+	fmt.Printf("  epoch:          %d\n", epoch)
+	fmt.Printf("  edges:          %d\n", edges)
+	fmt.Printf("  size(L):        %d bytes\n", di.SizeLabelsBytes())
+	fmt.Printf("  size(Δ):        %d bytes\n", di.SizeDeltaBytes())
+}
+
+func maybeCheckpoint(di *qbs.DynamicIndex, enabled bool) {
+	if !enabled {
+		return
+	}
+	start := time.Now()
+	epoch, err := di.Checkpoint()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("store: checkpointed epoch %d in %s\n", epoch, time.Since(start).Round(time.Microsecond))
 }
 
 func loadGraph(path, bin, dataset string, scale float64) (*qbs.Graph, error) {

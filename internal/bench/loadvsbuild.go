@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"qbs/internal/dynamic"
+	"qbs/internal/graph"
+	"qbs/internal/store"
+	"qbs/internal/workload"
+)
+
+// LoadVsBuild experiment (PR 3): quantify what the durable store buys a
+// restart. For each dataset analog the harness measures the cold
+// dynamic build, the snapshot write, the snapshot-only open (no WAL),
+// and a recovery open that additionally replays a WAL tail — reported
+// as a replay rate in ops/s. The committed BENCH_PR3.json tracks these
+// numbers across PRs, next to BENCH_PR2.json's query-latency record.
+
+// LoadVsBuildSchema identifies the BENCH_PR3.json format.
+const LoadVsBuildSchema = "qbs-bench-loadvsbuild/v1"
+
+// LoadVsBuildRow is one dataset row.
+type LoadVsBuildRow struct {
+	Key      string `json:"key"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+
+	BuildNs         int64 `json:"build_ns"`          // cold dynamic build (best of reps)
+	SnapshotWriteNs int64 `json:"snapshot_write_ns"` // Create minus the build
+	SnapshotBytes   int64 `json:"snapshot_bytes"`
+	OpenNs          int64 `json:"open_ns"` // snapshot-only open, no WAL tail
+
+	WALOps       int     `json:"wal_ops"`    // logged updates replayed by the recovery open
+	RecoverNs    int64   `json:"recover_ns"` // open incl. WAL replay
+	ReplayOpsSec float64 `json:"replay_ops_per_s"`
+
+	OpenSpeedup float64 `json:"open_speedup"` // BuildNs / OpenNs
+}
+
+// LoadVsBuildSnapshot is the BENCH_PR3.json document.
+type LoadVsBuildSnapshot struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Scale      float64          `json:"scale"`
+	Landmarks  int              `json:"landmarks"`
+	WALOps     int              `json:"wal_ops"`
+	Datasets   []LoadVsBuildRow `json:"datasets"`
+}
+
+// loadVsBuildWALOps is the logged-update count used for the replay-rate
+// measurement.
+const loadVsBuildWALOps = 256
+
+// LoadVsBuild runs the experiment over the configured datasets and
+// renders a markdown table. Timings are best-of-N like the PR 2
+// snapshot.
+func (h *Harness) LoadVsBuild() ([]LoadVsBuildRow, error) {
+	var rows []LoadVsBuildRow
+	for _, key := range h.sortedKeys() {
+		g, err := h.Graph(key)
+		if err != nil {
+			return nil, err
+		}
+		row, err := loadVsBuildDataset(key, g, h.cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+
+	tbl := &table{
+		title: "Load vs build: restart cost with the durable store",
+		header: []string{"dataset", "|V|", "|E|", "cold build", "snap write", "snap MB",
+			"open", "open speedup", fmt.Sprintf("recover (+%d ops)", loadVsBuildWALOps), "replay ops/s"},
+	}
+	for _, r := range rows {
+		tbl.add(
+			r.Key, fmtCount(r.Vertices), fmtCount(r.Edges),
+			fmtDuration(time.Duration(r.BuildNs)),
+			fmtDuration(time.Duration(r.SnapshotWriteNs)),
+			fmt.Sprintf("%.1f", float64(r.SnapshotBytes)/(1<<20)),
+			fmtDuration(time.Duration(r.OpenNs)),
+			fmt.Sprintf("%.0f×", r.OpenSpeedup),
+			fmtDuration(time.Duration(r.RecoverNs)),
+			fmt.Sprintf("%.0f", r.ReplayOpsSec),
+		)
+	}
+	tbl.render(h.cfg.Out)
+	return rows, nil
+}
+
+func loadVsBuildDataset(key string, g *graph.Graph, cfg Config) (LoadVsBuildRow, error) {
+	row := LoadVsBuildRow{Key: key, Vertices: g.NumVertices(), Edges: g.NumEdges(), WALOps: loadVsBuildWALOps}
+	landmarks := g.TopDegreeVertices(cfg.NumLandmarks)
+
+	// Cold build, best of reps.
+	var d *dynamic.Index
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < buildReps; rep++ {
+		t0 := time.Now()
+		built, err := dynamic.New(g, landmarks, dynamic.Options{CompactFraction: -1})
+		if err != nil {
+			return row, err
+		}
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+		d = built
+	}
+	row.BuildNs = best.Nanoseconds()
+
+	dir, err := os.MkdirTemp("", "qbs-loadvsbuild-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+
+	t0 := time.Now()
+	s, err := store.Create(dir, d, store.Options{})
+	if err != nil {
+		return row, err
+	}
+	row.SnapshotWriteNs = time.Since(t0).Nanoseconds()
+	if err := s.Close(); err != nil {
+		return row, err
+	}
+	if des, err := os.ReadDir(dir); err == nil {
+		for _, de := range des {
+			if fi, err := de.Info(); err == nil && !de.IsDir() {
+				row.SnapshotBytes += fi.Size()
+			}
+		}
+	}
+
+	// Snapshot-only open (the WAL is empty), best of reps.
+	best = time.Duration(1<<63 - 1)
+	for rep := 0; rep < buildReps; rep++ {
+		t0 = time.Now()
+		s2, err := store.Open(dir, store.Options{MMap: true, ReadOnly: true})
+		if err != nil {
+			return row, err
+		}
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+		s2.Close()
+	}
+	row.OpenNs = best.Nanoseconds()
+	row.OpenSpeedup = float64(row.BuildNs) / float64(row.OpenNs)
+
+	// Grow a WAL tail: reopen writable, log updates, crash-close (no
+	// checkpoint), then time the recovery open that replays them.
+	s3, err := store.Open(dir, store.Options{Dynamic: dynamic.Options{CompactFraction: -1}, SyncEvery: 64})
+	if err != nil {
+		return row, err
+	}
+	ops := workload.MixedOps(g, loadVsBuildWALOps*2, 1.0, cfg.Seed)
+	applied := 0
+	for _, op := range ops {
+		if applied >= loadVsBuildWALOps {
+			break
+		}
+		var err error
+		switch op.Kind {
+		case workload.OpInsert:
+			_, err = s3.Index().AddEdge(op.U, op.V)
+		case workload.OpDelete:
+			_, err = s3.Index().RemoveEdge(op.U, op.V)
+		default:
+			continue
+		}
+		if err != nil {
+			return row, fmt.Errorf("%s: wal op {%d,%d}: %w", key, op.U, op.V, err)
+		}
+		applied++
+	}
+	row.WALOps = applied
+	if err := s3.Close(); err != nil {
+		return row, err
+	}
+
+	t0 = time.Now()
+	s4, err := store.Open(dir, store.Options{MMap: true, ReadOnly: true, Dynamic: dynamic.Options{CompactFraction: -1}})
+	if err != nil {
+		return row, err
+	}
+	row.RecoverNs = time.Since(t0).Nanoseconds()
+	s4.Close()
+	if replay := row.RecoverNs - row.OpenNs; replay > 0 {
+		row.ReplayOpsSec = float64(applied) / (float64(replay) / 1e9)
+	}
+	return row, nil
+}
+
+// LoadVsBuildJSON runs the experiment and writes the BENCH_PR3.json
+// document.
+func (h *Harness) LoadVsBuildJSON(path string) error {
+	rows, err := h.LoadVsBuild()
+	if err != nil {
+		return err
+	}
+	doc := LoadVsBuildSnapshot{
+		Schema:     LoadVsBuildSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      h.cfg.Scale,
+		Landmarks:  h.cfg.NumLandmarks,
+		WALOps:     loadVsBuildWALOps,
+		Datasets:   rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -96,6 +96,7 @@ type Index struct {
 	rebuilding bool
 	pending    []update
 	compactWG  sync.WaitGroup
+	logger     UpdateLogger // durability hook; nil when not durable
 }
 
 // searcher draws a pooled searcher bound to the given snapshot.
@@ -110,7 +111,25 @@ func (d *Index) searcher(s *snapshot) *core.Searcher {
 // initial construction does the same work as a static build (one QL/QN
 // BFS per landmark plus Δ recovery).
 func New(g *graph.Graph, landmarks []graph.V, opts Options) (*Index, error) {
-	n := g.NumVertices()
+	d, err := newShell(g.NumVertices(), landmarks, opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := d.buildState(NewOverlay(g), d.rp)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := d.newSnapshot(st, 0)
+	if err != nil {
+		return nil, err
+	}
+	d.cur.Store(snap)
+	return d, nil
+}
+
+// newShell validates the landmark set and options and prepares an Index
+// without any published state (shared by New and Restore).
+func newShell(n int, landmarks []graph.V, opts Options) (*Index, error) {
 	if len(landmarks) > 254 {
 		return nil, fmt.Errorf("dynamic: %d landmarks exceed the 254 maximum", len(landmarks))
 	}
@@ -157,15 +176,6 @@ func New(g *graph.Graph, landmarks []graph.V, opts Options) (*Index, error) {
 		compactAt: compactAt,
 		rp:        newRepairer(n, landmarks, landIdx, budget),
 	}
-	st, err := d.buildState(NewOverlay(g), d.rp)
-	if err != nil {
-		return nil, err
-	}
-	snap, err := d.newSnapshot(st, 0)
-	if err != nil {
-		return nil, err
-	}
-	d.cur.Store(snap)
 	return d, nil
 }
 
@@ -235,16 +245,14 @@ func (d *Index) newSnapshot(st state, epoch uint64) (*snapshot, error) {
 	return &snapshot{state: st, index: ix, epoch: epoch}, nil
 }
 
-// publishLocked swaps in a new snapshot one epoch past the current one.
-func (d *Index) publishLocked(st state) error {
-	snap, err := d.newSnapshot(st, d.cur.Load().epoch+1)
-	if err != nil {
-		return err
-	}
+// commitLocked publishes a prepared snapshot. It cannot fail — every
+// fallible step happens in newSnapshot beforehand — which is what lets
+// writers log to the WAL between preparation and publication without
+// ever leaving a logged epoch unpublished.
+func (d *Index) commitLocked(snap *snapshot) {
 	d.cur.Store(snap)
 	d.stats.Epoch = snap.epoch
 	d.stats.Overridden = snap.overlay.Overridden()
-	return nil
 }
 
 // Result reports the outcome of one edge update: whether the graph
@@ -295,9 +303,22 @@ func (d *Index) ApplyEdge(u, w graph.V, insert bool) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if err := d.publishLocked(st); err != nil {
+	snap, err := d.newSnapshot(st, s.epoch+1)
+	if err != nil {
 		return Result{}, err
 	}
+	// Durability: the update must be on the log before its epoch becomes
+	// visible. A logging failure rejects the update outright — the caller
+	// sees an error and the published state is unchanged, so the log never
+	// trails the index it protects. The snapshot is prepared first so
+	// nothing can fail between logging and publication: a logged epoch is
+	// always published, keeping the log free of orphan records.
+	if d.logger != nil {
+		if err := d.logger.LogUpdate(snap.epoch, u, w, insert); err != nil {
+			return Result{}, fmt.Errorf("dynamic: update not logged: %w", err)
+		}
+	}
+	d.commitLocked(snap)
 	if insert {
 		d.stats.Inserts++
 	} else {
@@ -450,9 +471,20 @@ func (d *Index) compact(snap *snapshot) {
 		}
 	}
 	d.pending = d.pending[:0]
-	if err := d.publishLocked(st); err != nil {
+	snap, snapErr := d.newSnapshot(st, d.cur.Load().epoch+1)
+	if snapErr != nil {
 		return
 	}
+	if d.logger != nil {
+		// A compaction advances the epoch without an edge mutation; log it
+		// so replayed epochs stay aligned with live ones. If the log is
+		// unavailable, skip publishing — the pre-compaction state keeps
+		// serving and drift will trigger another attempt.
+		if err := d.logger.LogCompaction(snap.epoch); err != nil {
+			return
+		}
+	}
+	d.commitLocked(snap)
 	d.stats.Compactions++
 }
 
@@ -471,9 +503,16 @@ func (d *Index) Compact() error {
 	if err != nil {
 		return err
 	}
-	if err := d.publishLocked(st); err != nil {
+	snap, err := d.newSnapshot(st, s.epoch+1)
+	if err != nil {
 		return err
 	}
+	if d.logger != nil {
+		if err := d.logger.LogCompaction(snap.epoch); err != nil {
+			return fmt.Errorf("dynamic: compaction not logged: %w", err)
+		}
+	}
+	d.commitLocked(snap)
 	d.stats.Compactions++
 	return nil
 }

@@ -1,0 +1,180 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"qbs/internal/core"
+	"qbs/internal/graph"
+)
+
+// Persistence hooks for the durable store (internal/store). The dynamic
+// index itself stays storage-agnostic: it exposes (1) an UpdateLogger
+// callback invoked with every epoch advance *before* the epoch is
+// published, (2) a frozen PersistentState view of one snapshot for
+// serialization, and (3) Restore/ReplayEdge/ReplayEpoch, the recovery
+// entry points that reassemble an index from persisted state and drive
+// logged updates back through the ordinary repair path.
+
+// UpdateLogger receives every epoch advance of a durable index before
+// the epoch becomes visible to readers. Implementations append to a
+// write-ahead log: when LogUpdate returns nil the record is considered
+// committed, so a crash immediately after publication replays it.
+// Returning an error rejects the update (the index stays unchanged).
+//
+// Calls arrive serialised under the index's writer lock, in strictly
+// increasing epoch order with no gaps.
+type UpdateLogger interface {
+	// LogUpdate records one applied edge mutation and the epoch it will
+	// publish.
+	LogUpdate(epoch uint64, u, w graph.V, insert bool) error
+	// LogCompaction records an epoch advance with no edge mutation (a
+	// compaction publish). Replay bumps the epoch without touching edges.
+	LogCompaction(epoch uint64) error
+}
+
+// SetLogger attaches (or with nil detaches) the durability hook. It
+// synchronises with in-flight writers: once SetLogger returns, no
+// further calls reach the previous logger.
+func (d *Index) SetLogger(l UpdateLogger) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.logger = l
+}
+
+// PersistentState is a frozen view of one published snapshot — the unit
+// the durable store serialises. All slices alias copy-on-write snapshot
+// state (immutable by construction) except Graph, which is materialised
+// fresh from the overlay; none may be modified.
+type PersistentState struct {
+	Epoch     uint64
+	Graph     *graph.Graph // current adjacency, flattened to CSR
+	Landmarks []graph.V
+	Sigma     []uint8        // |R|×|R| meta-edge weights
+	Dists     [][]int32      // per landmark rank: BFS distance column
+	Labels    [][]uint8      // per landmark rank: QbS label column
+	Delta     [][]graph.Edge // per meta-edge, in MetaState edge order
+}
+
+// Persistent captures the current snapshot for serialization. The
+// capture is consistent even against concurrent writers: everything is
+// resolved from a single snapshot pointer.
+func (d *Index) Persistent() PersistentState {
+	s := d.cur.Load()
+	ps := PersistentState{
+		Epoch:     s.epoch,
+		Graph:     s.overlay.Materialize(),
+		Landmarks: d.landmarks,
+		Sigma:     s.sigma,
+		Dists:     make([][]int32, len(s.cols)),
+		Labels:    make([][]uint8, len(s.cols)),
+		Delta:     s.delta,
+	}
+	for i, c := range s.cols {
+		ps.Dists[i] = c.dist
+		ps.Labels[i] = c.lab
+	}
+	return ps
+}
+
+// Restore reassembles a dynamic index from persisted state without any
+// BFS work: the columns, σ and Δ are adopted by reference (they may be
+// views into a read-only snapshot arena — the copy-on-write update path
+// never writes into adopted state), and only the derived meta-state
+// (APSP + meta-SPG tables, O(|R|³) independent of graph size) is
+// recomputed. delta must align with the deterministic meta-edge order
+// NewMetaState derives from sigma. The index publishes at the given
+// epoch; callers then replay any logged updates beyond it.
+func Restore(g *graph.Graph, landmarks []graph.V, dists [][]int32, labels [][]uint8, sigma []uint8, delta [][]graph.Edge, epoch uint64, opts Options) (*Index, error) {
+	d, err := newShell(g.NumVertices(), landmarks, opts)
+	if err != nil {
+		return nil, err
+	}
+	R := d.R
+	if len(dists) != R || len(labels) != R {
+		return nil, fmt.Errorf("dynamic: restore with %d dist / %d label columns for %d landmarks", len(dists), len(labels), R)
+	}
+	if len(sigma) != R*R {
+		return nil, fmt.Errorf("dynamic: restore with %d sigma entries, want %d", len(sigma), R*R)
+	}
+	cols := make([]*column, R)
+	for r := 0; r < R; r++ {
+		if len(dists[r]) != d.n || len(labels[r]) != d.n {
+			return nil, fmt.Errorf("dynamic: restore column %d has %d/%d entries for %d vertices", r, len(dists[r]), len(labels[r]), d.n)
+		}
+		cols[r] = &column{dist: dists[r], lab: labels[r]}
+	}
+	st := state{
+		overlay: NewOverlay(g),
+		cols:    cols,
+		sigma:   sigma,
+		ms:      core.NewMetaState(R, sigma),
+		delta:   delta,
+	}
+	snap, err := d.newSnapshot(st, epoch)
+	if err != nil {
+		return nil, err
+	}
+	d.cur.Store(snap)
+	d.stats.Epoch = epoch
+	return d, nil
+}
+
+// ReplayEdge re-applies one logged update during recovery. It runs the
+// same incremental repair as a live update but skips logging (the record
+// is already on disk) and compaction scheduling (epochs must track the
+// log exactly while replaying). The record's epoch must be the immediate
+// successor of the current one, and the mutation must actually change
+// the graph — a valid log only contains applied updates, so either
+// violation reports log/state divergence.
+func (d *Index) ReplayEdge(u, w graph.V, insert bool, epoch uint64) error {
+	if u < 0 || int(u) >= d.n || w < 0 || int(w) >= d.n || u == w {
+		return fmt.Errorf("dynamic: replayed edge {%d,%d} out of range [0,%d)", u, w, d.n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.cur.Load()
+	if epoch != s.epoch+1 {
+		return fmt.Errorf("dynamic: replay epoch %d does not follow current epoch %d", epoch, s.epoch)
+	}
+	if s.overlay.HasEdge(u, w) == insert {
+		return fmt.Errorf("dynamic: replayed update {%d,%d} insert=%v is a no-op (log and snapshot diverged)", u, w, insert)
+	}
+	st, counts, err := d.applyLocked(d.rp, s.state, u, w, insert)
+	if err != nil {
+		return err
+	}
+	snap, err := d.newSnapshot(st, epoch)
+	if err != nil {
+		return err
+	}
+	d.commitLocked(snap)
+	if insert {
+		d.stats.Inserts++
+	} else {
+		d.stats.Deletes++
+	}
+	d.stats.ColumnsRepaired += counts.repaired
+	d.stats.ColumnsRebuilt += counts.rebuilt
+	d.stats.ColumnsSkipped += counts.skipped
+	d.stats.LabelsRewritten += counts.labels
+	d.stats.DeltaRecomputes += counts.deltas
+	d.stats.MetaRebuilds += counts.metaRebuilds
+	return nil
+}
+
+// ReplayEpoch re-applies a logged compaction marker: the current state
+// is republished unchanged at the given epoch. (Replay does not redo the
+// compaction itself — a compaction rebuild produces bit-identical
+// labels, σ and Δ by the repair-equals-rebuild invariant, so only the
+// epoch number needs to advance.)
+func (d *Index) ReplayEpoch(epoch uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.cur.Load()
+	if epoch != s.epoch+1 {
+		return fmt.Errorf("dynamic: replay epoch %d does not follow current epoch %d", epoch, s.epoch)
+	}
+	d.cur.Store(&snapshot{state: s.state, index: s.index, epoch: epoch})
+	d.stats.Epoch = epoch
+	return nil
+}

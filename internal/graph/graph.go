@@ -12,8 +12,10 @@ package graph
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"slices"
 	"sort"
+	"sync"
 )
 
 // V is the vertex identifier type. Vertices are dense integers in
@@ -222,6 +224,28 @@ func (g *Graph) TopDegreeVertices(k int) []V {
 // and every arc has a reverse arc. It is used by tests and the binary
 // reader.
 func (g *Graph) Validate() error {
+	if err := g.ValidateStructure(); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(V(v)) {
+			if !g.HasEdge(w, V(v)) {
+				return fmt.Errorf("graph: missing reverse arc %d->%d", w, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateStructure is the O(n+m) subset of Validate: monotone in-range
+// offsets and sorted, in-range, self-loop-free neighbour lists — every
+// invariant array indexing and binary searches rely on, without the
+// per-arc reverse-pairing search. FromCSR uses it to keep checksummed
+// snapshot loads linear; on large graphs the scan fans out across
+// GOMAXPROCS workers (each vertex's checks are independent, and a
+// vertex's own offsets are verified before its adjacency is sliced).
+func (g *Graph) ValidateStructure() error {
 	n := g.NumVertices()
 	if len(g.offsets) == 0 {
 		if len(g.adj) != 0 {
@@ -232,31 +256,52 @@ func (g *Graph) Validate() error {
 	if g.offsets[0] != 0 || g.offsets[n] != int64(len(g.adj)) {
 		return fmt.Errorf("graph: offset endpoints invalid")
 	}
-	// Validate the whole offset array before any adjacency slicing: a
-	// corrupt file must not cause out-of-range slice panics below.
-	for v := 0; v < n; v++ {
-		if g.offsets[v] > g.offsets[v+1] {
-			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+	checkRange := func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			if g.offsets[v] > g.offsets[v+1] {
+				return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+			}
+			if g.offsets[v] < 0 || g.offsets[v+1] > int64(len(g.adj)) {
+				return fmt.Errorf("graph: offsets out of range at vertex %d", v)
+			}
+			ns := g.adj[g.offsets[v]:g.offsets[v+1]]
+			for i, w := range ns {
+				if w < 0 || int(w) >= n {
+					return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, w)
+				}
+				if w == V(v) {
+					return fmt.Errorf("graph: self-loop at vertex %d", v)
+				}
+				if i > 0 && ns[i-1] >= w {
+					return fmt.Errorf("graph: unsorted or duplicate neighbour %d of vertex %d", w, v)
+				}
+			}
 		}
-		if g.offsets[v] < 0 || g.offsets[v+1] > int64(len(g.adj)) {
-			return fmt.Errorf("graph: offsets out of range at vertex %d", v)
-		}
+		return nil
 	}
-	for v := 0; v < n; v++ {
-		ns := g.Neighbors(V(v))
-		for i, w := range ns {
-			if w < 0 || int(w) >= n {
-				return fmt.Errorf("graph: vertex %d has out-of-range neighbour %d", v, w)
-			}
-			if w == V(v) {
-				return fmt.Errorf("graph: self-loop at vertex %d", v)
-			}
-			if i > 0 && ns[i-1] >= w {
-				return fmt.Errorf("graph: unsorted or duplicate neighbour %d of vertex %d", w, v)
-			}
-			if !g.HasEdge(w, V(v)) {
-				return fmt.Errorf("graph: missing reverse arc %d->%d", w, v)
-			}
+	workers := runtime.GOMAXPROCS(0)
+	if n < 1<<15 || workers == 1 {
+		return checkRange(0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = checkRange(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

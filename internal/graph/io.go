@@ -110,6 +110,29 @@ func WriteEdgeListFile(path string, g *Graph) error {
 	return f.Close()
 }
 
+// CSR exposes the raw CSR arrays (offsets and concatenated adjacency).
+// Both slices alias the graph's internal storage and must not be
+// modified; they exist so serializers can dump the structure without a
+// per-element copy.
+func (g *Graph) CSR() (offsets []int64, adj []V) { return g.offsets, g.adj }
+
+// FromCSR adopts pre-built CSR arrays as a graph, checking the
+// structural invariants that index panics depend on (monotone in-range
+// offsets, sorted in-range neighbour lists, no self-loops) in O(n+m).
+// Unlike Validate it does not verify that every arc has its reverse —
+// callers adopting checksummed state (the durable store's zero-copy
+// load path, where both arrays are views into a snapshot arena) already
+// know the arrays are bit-exact, and the pairing check costs a binary
+// search per arc. The slices are adopted by reference and must not be
+// modified afterwards.
+func FromCSR(offsets []int64, adj []V) (*Graph, error) {
+	g := &Graph{offsets: offsets, adj: adj}
+	if err := g.ValidateStructure(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 const binaryMagic = "QBSG"
 
 // WriteBinary serialises the CSR structure: magic, version, |V|, |arcs|,

@@ -22,13 +22,21 @@
 //
 //	POST /edges                   body {"u":<id>,"v":<id>} — insert edge
 //	DELETE /edges?u=<id>&v=<id>   remove edge
-//	GET /epoch                    current snapshot epoch
+//	GET /epoch                    current snapshot epoch (any dynamic server)
+//	POST /checkpoint              persist a snapshot (durable stores only)
 //
 // Writes respond with {"applied":bool,"epoch":N,"edges":E}; applied is
 // false for idempotent no-ops (inserting an existing edge, deleting an
 // absent one), which do not advance the epoch. A write that would push
 // the graph past the labelling's 254-hop representation limit is
-// rejected with 422 and leaves the index unchanged.
+// rejected with 422 and leaves the index unchanged. Requests to /edges
+// with any other method return 405 with an Allow header. POST
+// /checkpoint responds {"epoch":N} once the snapshot is on disk; on a
+// mutable server without a durable store it returns 409.
+//
+// A third mode, NewDynamicReadOnly, serves a dynamic index (typically
+// one recovered from a data directory) with the write endpoints
+// withheld — the restart shape of a read replica.
 package server
 
 import (
@@ -64,10 +72,11 @@ func (b staticBackend) NumEdges() int    { return b.Graph().NumEdges() }
 
 // Server handles the HTTP API over one index.
 type Server struct {
-	b      backend
-	static *qbs.Index        // nil in mutable mode
-	dyn    *qbs.DynamicIndex // nil in immutable mode
-	mux    *http.ServeMux
+	b        backend
+	static   *qbs.Index        // nil in dynamic modes
+	dyn      *qbs.DynamicIndex // nil in immutable mode
+	writable bool              // write endpoints exposed (NewMutable)
+	mux      *http.ServeMux
 }
 
 // New creates a read-only server over an immutable index.
@@ -77,8 +86,21 @@ func New(index *qbs.Index) *Server {
 	return s
 }
 
-// NewMutable creates a read/write server over a dynamic index.
+// NewMutable creates a read/write server over a dynamic index. If the
+// index is backed by a durable store (qbs.OpenStore/CreateStore), POST
+// /checkpoint is exposed as well.
 func NewMutable(index *qbs.DynamicIndex) *Server {
+	s := &Server{b: index, dyn: index, writable: true}
+	s.routes()
+	return s
+}
+
+// NewDynamicReadOnly serves a dynamic index without its write
+// endpoints — e.g. an index recovered from a data directory by a
+// process that should only answer queries. Read-only observability
+// (GET /epoch, the dynamic /stats section) stays available so an
+// operator can confirm what epoch the replica recovered to.
+func NewDynamicReadOnly(index *qbs.DynamicIndex) *Server {
 	s := &Server{b: index, dyn: index}
 	s.routes()
 	return s
@@ -96,10 +118,23 @@ func (s *Server) routes() {
 		fmt.Fprintln(w, "ok")
 	})
 	if s.dyn != nil {
-		s.mux.HandleFunc("POST /edges", s.handleAddEdge)
-		s.mux.HandleFunc("DELETE /edges", s.handleRemoveEdge)
 		s.mux.HandleFunc("GET /epoch", s.handleEpoch)
 	}
+	if s.writable {
+		s.mux.HandleFunc("POST /edges", s.handleAddEdge)
+		s.mux.HandleFunc("DELETE /edges", s.handleRemoveEdge)
+		// Any other method on /edges is answered explicitly with 405 +
+		// Allow rather than falling through to a 404/400.
+		s.mux.HandleFunc("/edges", s.handleEdgesMethodNotAllowed)
+		s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	}
+}
+
+func (s *Server) handleEdgesMethodNotAllowed(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Allow", "POST, DELETE")
+	writeJSON(w, http.StatusMethodNotAllowed, errorBody{
+		Error: fmt.Sprintf("method %s not allowed on /edges (allowed: POST, DELETE)", r.Method),
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -323,7 +358,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Landmarks:    s.b.Landmarks(),
 		SizeLabels:   s.b.SizeLabelsBytes(),
 		SizeDelta:    s.b.SizeDeltaBytes(),
-		Mutable:      s.dyn != nil,
+		Mutable:      s.writable,
 	}
 	if nv > 0 {
 		resp.AvgDegree = 2 * float64(ne) / float64(nv)
@@ -412,6 +447,26 @@ func (s *Server) applyEdge(w http.ResponseWriter, u, v qbs.V, insert bool) {
 		Epoch:   res.Epoch,
 		Edges:   res.Edges,
 	})
+}
+
+// CheckpointResponse is the JSON body of POST /checkpoint.
+type CheckpointResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if !s.dyn.Durable() {
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: "server has no durable store (start it with a data directory to enable checkpoints)",
+		})
+		return
+	}
+	epoch, err := s.dyn.Checkpoint()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointResponse{Epoch: epoch})
 }
 
 // EpochResponse is the JSON body of GET /epoch.

@@ -252,6 +252,98 @@ func TestWriteEndpoints(t *testing.T) {
 	}
 }
 
+func TestEdgesWrongMethod(t *testing.T) {
+	s, _ := testMutableServer(t)
+	for _, method := range []string{"PUT", "PATCH", "GET", "HEAD"} {
+		req := httptest.NewRequest(method, "/edges", strings.NewReader(`{"u":1,"v":2}`))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		resp := rec.Result()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s /edges: status %d, want 405", method, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "POST, DELETE" {
+			t.Fatalf("%s /edges: Allow = %q, want \"POST, DELETE\"", method, allow)
+		}
+	}
+	// The allowed methods still work (the catch-all must not shadow them).
+	var er EdgeResponse
+	if r := do(t, s, "POST", "/edges", `{"u":1,"v":2}`, &er); r.StatusCode != 200 || !er.Applied {
+		t.Fatalf("POST /edges broken by catch-all: status %d applied %v", r.StatusCode, er.Applied)
+	}
+	if r := do(t, s, "DELETE", "/edges?u=1&v=2", "", &er); r.StatusCode != 200 || !er.Applied {
+		t.Fatalf("DELETE /edges broken by catch-all: status %d applied %v", r.StatusCode, er.Applied)
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	// Without a durable store: 409.
+	s, _ := testMutableServer(t)
+	if r := do(t, s, "POST", "/checkpoint", "", nil); r.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint without store: status %d, want 409", r.StatusCode)
+	}
+
+	// With one: persists and reports the epoch; the store can be reopened.
+	dir := t.TempDir()
+	g := graph.MustFromEdges(7, []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 3}, {U: 0, W: 2}, {U: 2, W: 3},
+		{U: 0, W: 4}, {U: 4, W: 5}, {U: 5, W: 3},
+	})
+	di, err := qbs.CreateStore(dir, g, qbs.StoreOptions{Index: qbs.Options{NumLandmarks: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewMutable(di)
+	var er EdgeResponse
+	do(t, ds, "POST", "/edges", `{"u":1,"v":2}`, &er)
+	var cp CheckpointResponse
+	if r := do(t, ds, "POST", "/checkpoint", "", &cp); r.StatusCode != 200 {
+		t.Fatalf("checkpoint status %d", r.StatusCode)
+	}
+	if cp.Epoch != 1 {
+		t.Fatalf("checkpoint epoch %d, want 1", cp.Epoch)
+	}
+	if err := di.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := qbs.OpenStore(dir, qbs.StoreOptions{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Epoch() != 1 || !re.HasEdge(1, 2) {
+		t.Fatalf("reopened store: epoch %d hasEdge %v", re.Epoch(), re.HasEdge(1, 2))
+	}
+}
+
+func TestDynamicReadOnlyServer(t *testing.T) {
+	_, di := testMutableServer(t)
+	if _, err := di.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := NewDynamicReadOnly(di)
+	var dr DistanceResponse
+	if r := do(t, s, "GET", "/distance?u=0&v=3", "", &dr); r.StatusCode != 200 || dr.Distance == nil {
+		t.Fatalf("read-only dynamic server query failed: %+v", dr)
+	}
+	// Observability stays on: the operator can confirm the recovered
+	// epoch even though writes are withheld.
+	var ep EpochResponse
+	if r := do(t, s, "GET", "/epoch", "", &ep); r.StatusCode != 200 || ep.Epoch != 1 {
+		t.Fatalf("read-only /epoch: status %d resp %+v", r.StatusCode, ep)
+	}
+	var st StatsResponse
+	if r := do(t, s, "GET", "/stats", "", &st); r.StatusCode != 200 || st.Dynamic == nil || st.Mutable {
+		t.Fatalf("read-only /stats: status %d mutable=%v dynamic=%v", r.StatusCode, st.Mutable, st.Dynamic)
+	}
+	if r := do(t, s, "POST", "/edges", `{"u":1,"v":2}`, nil); r.StatusCode == 200 {
+		t.Fatal("read-only dynamic server accepted a write")
+	}
+	if r := do(t, s, "POST", "/checkpoint", "", nil); r.StatusCode == 200 {
+		t.Fatal("read-only dynamic server accepted a checkpoint")
+	}
+}
+
 func TestWriteEndpointsAbsentOnImmutable(t *testing.T) {
 	s := testServer(t)
 	if r := do(t, s, "POST", "/edges", `{"u":1,"v":2}`, nil); r.StatusCode == 200 {

@@ -1,0 +1,260 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"qbs/internal/dynamic"
+	"qbs/internal/graph"
+)
+
+// Real kill-and-recover smoke: a child process (this test binary
+// re-executed) creates a store and applies a deterministic update
+// stream; the parent SIGKILLs it mid-WAL and verifies that recovery
+// lands on a state bit-identical to a never-crashed index that applied
+// exactly the surviving prefix. Two rounds, so the second round also
+// exercises reopening (and continuing) a store that was itself born
+// from crash recovery.
+
+const (
+	crashEnvFlag = "QBS_STORE_CRASH_CHILD"
+	crashEnvDir  = "QBS_STORE_CRASH_DIR"
+
+	crashGraphN    = 400
+	crashGraphM    = 3
+	crashGraphSeed = 7
+	crashLandmarks = 6
+	crashOpSeed    = 97
+)
+
+func crashGraph() *graph.Graph {
+	return graph.BarabasiAlbert(crashGraphN, crashGraphM, crashGraphSeed)
+}
+
+// crashOpStream drives the shared deterministic mutation stream against
+// d, one applied update per call to step. Both the child (live) and the
+// parent (reference) walk the identical sequence: the rng candidates
+// are fixed, and every decision depends only on the evolving graph
+// state, so "the first k applied updates" is well defined across
+// processes.
+func crashOpStream(d *dynamic.Index, applied int) func() error {
+	rng := rand.New(rand.NewSource(crashOpSeed))
+	n := d.NumVertices()
+	// Fast-forward the candidate stream past the updates already applied.
+	done := 0
+	var redo *dynamic.Index
+	if applied > 0 {
+		var err error
+		redo, err = dynamic.New(crashGraph(), crashGraph().TopDegreeVertices(crashLandmarks), dynamic.Options{CompactFraction: -1})
+		if err != nil {
+			panic(err)
+		}
+	}
+	step := func(target *dynamic.Index) error {
+		for {
+			u := graph.V(rng.Intn(n))
+			w := graph.V(rng.Intn(n))
+			if u == w {
+				continue
+			}
+			insert := !target.HasEdge(u, w)
+			var ok bool
+			var err error
+			if insert {
+				ok, err = target.AddEdge(u, w)
+			} else {
+				ok, err = target.RemoveEdge(u, w)
+			}
+			if err != nil {
+				continue // diameter-bound rejection: deterministic, skip
+			}
+			if ok {
+				return nil
+			}
+		}
+	}
+	for done < applied {
+		if err := step(redo); err != nil {
+			panic(err)
+		}
+		done++
+	}
+	return func() error { return step(d) }
+}
+
+// TestCrashChildProcess is the child body; it only runs when re-executed
+// by TestKillAndRecover.
+func TestCrashChildProcess(t *testing.T) {
+	if os.Getenv(crashEnvFlag) != "1" {
+		t.Skip("crash-test child helper")
+	}
+	dir := os.Getenv(crashEnvDir)
+	opts := Options{Dynamic: dynamic.Options{CompactFraction: -1}}
+	var s *Store
+	if Exists(dir) {
+		var err error
+		s, err = Open(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		g := crashGraph()
+		d, err := dynamic.New(g, g.TopDegreeVertices(crashLandmarks), dynamic.Options{CompactFraction: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err = Create(dir, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := s.Index()
+	step := crashOpStream(d, int(d.Epoch()))
+	fmt.Println("READY")
+	for i := 0; i < 1_000_000; i++ { // runs until killed
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			fmt.Printf("EPOCH %d\n", d.Epoch())
+		}
+	}
+}
+
+func TestKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	for round := 0; round < 2; round++ {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestCrashChildProcess$", "-test.v")
+		cmd.Env = append(os.Environ(), crashEnvFlag+"=1", crashEnvDir+"="+dir)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Let it get through setup and some amount of WAL traffic, then
+		// kill it without any warning.
+		sc := bufio.NewScanner(out)
+		ready := false
+		deadline := time.After(30 * time.Second)
+		lines := make(chan string)
+		go func() {
+			for sc.Scan() {
+				lines <- sc.Text()
+			}
+			close(lines)
+		}()
+	wait:
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					break wait
+				}
+				if strings.HasPrefix(line, "READY") {
+					ready = true
+					time.Sleep(time.Duration(20+round*35) * time.Millisecond)
+					break wait
+				}
+			case <-deadline:
+				t.Fatal("child never became ready")
+			}
+		}
+		if !ready {
+			t.Fatal("child exited before READY")
+		}
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		_ = cmd.Wait()
+		go func() {
+			for range lines { // drain
+			}
+		}()
+
+		// Recover and verify against the never-crashed reference.
+		s, err := Open(dir, Options{Dynamic: dynamic.Options{CompactFraction: -1}})
+		if err != nil {
+			t.Fatalf("round %d: recovery failed: %v", round, err)
+		}
+		epoch := s.Index().Epoch()
+		t.Logf("round %d: recovered at epoch %d", round, epoch)
+		g := crashGraph()
+		ref, err := dynamic.New(g, g.TopDegreeVertices(crashLandmarks), dynamic.Options{CompactFraction: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refStep := crashOpStream(ref, 0)
+		for ref.Epoch() < epoch {
+			if err := refStep(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		requireStateEqual(t, ref.Persistent(), s.Index().Persistent())
+
+		// The recovered index answers queries correctly.
+		cur := s.Index().CurrentGraph().Materialize()
+		for i := 0; i < 10; i++ {
+			u := graph.V((i * 53) % crashGraphN)
+			v := graph.V((i * 131) % crashGraphN)
+			want := s.Index().Distance(u, v)
+			got := int32(len(shortestPathBFS(cur, u, v)))
+			if want == graph.InfDist {
+				if got != 0 {
+					t.Fatalf("round %d: SPG(%d,%d) should be disconnected", round, u, v)
+				}
+			} else if got-1 != want {
+				t.Fatalf("round %d: distance(%d,%d) = %d, BFS says %d", round, u, v, want, got-1)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// shortestPathBFS returns one shortest u–v path (nil when disconnected)
+// — an oracle kept deliberately independent of the repo's BFS code.
+func shortestPathBFS(g *graph.Graph, u, v graph.V) []graph.V {
+	if u == v {
+		return []graph.V{u}
+	}
+	prev := make([]graph.V, g.NumVertices())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[u] = u
+	queue := []graph.V{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, y := range g.Neighbors(x) {
+			if prev[y] != -1 {
+				continue
+			}
+			prev[y] = x
+			if y == v {
+				var path []graph.V
+				for at := v; ; at = prev[at] {
+					path = append(path, at)
+					if at == u {
+						return path
+					}
+				}
+			}
+			queue = append(queue, y)
+		}
+	}
+	return nil
+}

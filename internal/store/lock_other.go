@@ -1,0 +1,12 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// No flock on this platform: writable opens are not mutually excluded.
+// (An O_EXCL lock file would be worse — it survives crashes and would
+// block the very recovery the store exists for.)
+func lockDataDir(string) (*os.File, error) { return nil, nil }
+
+func unlockDataDir(*os.File) {}

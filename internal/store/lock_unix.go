@@ -1,0 +1,35 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes the store's exclusive writer lock: an flock on
+// <dir>/LOCK. A second writable open of the same directory would
+// otherwise scan — and truncate — segments the first process is still
+// appending to. The kernel drops the lock when the process dies, so a
+// crashed writer never wedges recovery.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another writer: %w", dir, err)
+	}
+	return f, nil
+}
+
+func unlockDataDir(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

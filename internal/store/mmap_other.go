@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package store
+
+// mmapFile is unavailable on this platform; openArena falls back to a
+// single whole-file read.
+func mmapFile(string) ([]byte, bool) { return nil, false }

@@ -1,0 +1,29 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only. The mapping is intentionally never
+// unmapped: snapshot views alias it for the remaining process lifetime
+// (see arena). Any failure reports !ok and the caller falls back to a
+// plain read.
+func mmapFile(path string) ([]byte, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil || fi.Size() == 0 || fi.Size() > int64(int(^uint(0)>>1)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}

@@ -1,0 +1,60 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"qbs/internal/dynamic"
+	"qbs/internal/graph"
+)
+
+// TestOpenBeatsRebuild is the PR 3 acceptance regression: opening a
+// saved large-graph index must be at least 10× faster than rebuilding
+// it from the graph. The graph is sized so both numbers are well above
+// timer noise (build ≈ 1s, open ≈ tens of ms); the comparison takes the
+// fastest of two opens to shave cold-cache scheduling jitter.
+func TestOpenBeatsRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second build; skipped in -short mode")
+	}
+	g := graph.BarabasiAlbert(200000, 6, 7)
+	landmarks := g.TopDegreeVertices(64)
+
+	t0 := time.Now()
+	d, err := dynamic.New(g, landmarks, dynamic.Options{CompactFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := time.Since(t0)
+
+	dir := t.TempDir()
+	s, err := Create(dir, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	open := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 2; rep++ {
+		t0 = time.Now()
+		s2, err := Open(dir, Options{MMap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if el := time.Since(t0); el < open {
+			open = el
+		}
+		if got := s2.Index().NumEdges(); got != g.NumEdges() {
+			t.Fatalf("recovered %d edges, want %d", got, g.NumEdges())
+		}
+		s2.Close()
+	}
+
+	ratio := float64(build) / float64(open)
+	t.Logf("build=%v open=%v ratio=%.1f×", build, open, ratio)
+	if ratio < 10 {
+		t.Fatalf("open is only %.1f× faster than rebuild (build=%v open=%v), want ≥10×", ratio, build, open)
+	}
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"qbs/internal/graph"
+)
+
+// Write-ahead log: CRC-framed, epoch-stamped records in rotating
+// segments. The writer is single-threaded by construction (the dynamic
+// index serialises epoch advances under its writer lock; the store adds
+// its own mutex for rotation/pruning from checkpoints).
+
+const (
+	walMagic      = "QBSW"
+	walVersion    = 1
+	walHeaderSize = 16 // magic + u32 version + u64 seq
+	walPayload    = 17 // u64 epoch + u8 op + i32 u + i32 w
+	walRecordSize = 8 + walPayload
+
+	recInsert  = 1
+	recDelete  = 2
+	recCompact = 3
+)
+
+// walRecord is one logged epoch advance.
+type walRecord struct {
+	epoch uint64
+	op    uint8
+	u, w  graph.V
+}
+
+func segmentFileName(seq uint64) string {
+	return fmt.Sprintf("seg-%016d.wal", seq)
+}
+
+func segmentSeq(name string) (uint64, bool) {
+	var s uint64
+	if _, err := fmt.Sscanf(name, "seg-%d.wal", &s); err != nil {
+		return 0, false
+	}
+	return s, name == segmentFileName(s)
+}
+
+// segmentInfo is the pruning bookkeeping for one closed segment.
+type segmentInfo struct {
+	seq        uint64
+	lastEpoch  uint64 // highest epoch in the segment; 0 when empty
+	hasRecords bool
+}
+
+// walWriter appends records to the current segment, rotating at a size
+// threshold and fsyncing per the batching policy.
+type walWriter struct {
+	dir       string
+	f         *os.File
+	seq       uint64
+	size      int64
+	segBytes  int64
+	syncEvery int // fsync after this many unsynced appends; <=1 = every append
+	unsynced  int
+	cur       segmentInfo
+	closed    []segmentInfo
+	buf       [walRecordSize]byte
+}
+
+// newWALWriter starts a fresh segment with the given sequence number.
+// prior lists already-existing closed segments (from an Open scan) so a
+// later checkpoint can prune them.
+func newWALWriter(dir string, seq uint64, segBytes int64, syncEvery int, prior []segmentInfo) (*walWriter, error) {
+	if segBytes <= 0 {
+		segBytes = 64 << 20
+	}
+	w := &walWriter{
+		dir:       dir,
+		seq:       seq - 1, // openSegment increments
+		segBytes:  segBytes,
+		syncEvery: syncEvery,
+		closed:    append([]segmentInfo(nil), prior...),
+	}
+	if err := w.openSegment(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *walWriter) openSegment() error {
+	w.seq++
+	f, err := os.OpenFile(filepath.Join(w.dir, segmentFileName(w.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], w.seq)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.size = walHeaderSize
+	w.cur = segmentInfo{seq: w.seq}
+	return syncDir(w.dir)
+}
+
+// append frames, writes and (per policy) fsyncs one record.
+func (w *walWriter) append(rec walRecord) error {
+	if w.size+walRecordSize > w.segBytes && w.cur.hasRecords {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	b := w.buf[:]
+	binary.LittleEndian.PutUint32(b[0:], walPayload)
+	binary.LittleEndian.PutUint64(b[8:], rec.epoch)
+	b[16] = rec.op
+	binary.LittleEndian.PutUint32(b[17:], uint32(rec.u))
+	binary.LittleEndian.PutUint32(b[21:], uint32(rec.w))
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(b[8:], crcTable))
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	w.size += walRecordSize
+	w.cur.lastEpoch = rec.epoch
+	w.cur.hasRecords = true
+	w.unsynced++
+	if w.syncEvery <= 1 || w.unsynced >= w.syncEvery {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.unsynced = 0
+	}
+	return nil
+}
+
+// sync flushes any batched appends to disk.
+func (w *walWriter) sync() error {
+	if w.unsynced == 0 {
+		return nil
+	}
+	w.unsynced = 0
+	return w.f.Sync()
+}
+
+// rotate closes the current segment and opens the next one.
+func (w *walWriter) rotate() error {
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.closed = append(w.closed, w.cur)
+	return w.openSegment()
+}
+
+// prune deletes closed segments whose every record is covered by a
+// snapshot at or beyond upto (empty segments are always prunable).
+func (w *walWriter) prune(upto uint64) error {
+	kept := w.closed[:0]
+	for _, seg := range w.closed {
+		if !seg.hasRecords || seg.lastEpoch <= upto {
+			if err := os.Remove(filepath.Join(w.dir, segmentFileName(seg.seq))); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	w.closed = kept
+	return syncDir(w.dir)
+}
+
+// close flushes and closes the current segment.
+func (w *walWriter) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// listSegments returns the WAL segments present in dir, ordered by
+// sequence number.
+type segmentFile struct {
+	path string
+	seq  uint64
+}
+
+func listSegments(dir string) ([]segmentFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var segs []segmentFile
+	for _, e := range entries {
+		if seq, ok := segmentSeq(e.Name()); ok {
+			segs = append(segs, segmentFile{path: filepath.Join(dir, e.Name()), seq: seq})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// scanResult reports how a segment scan ended.
+type scanResult struct {
+	lastGood  int64  // file offset after the last valid record
+	lastEpoch uint64 // highest epoch seen
+	records   int
+	torn      bool // scan stopped before EOF (partial/corrupt tail)
+	badHeader bool // the segment header itself was invalid
+}
+
+// scanSegment streams the records of one segment through fn, stopping
+// at the first framing or checksum violation. It never trusts a length
+// field: records are fixed-size under version 1, so a corrupt frame
+// cannot force a large allocation.
+func scanSegment(path string, wantSeq uint64, fn func(walRecord) error) (scanResult, error) {
+	var res scanResult
+	f, err := os.Open(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		res.badHeader, res.torn = true, true
+		return res, nil
+	}
+	if string(hdr[:4]) != walMagic ||
+		binary.LittleEndian.Uint32(hdr[4:]) != walVersion ||
+		binary.LittleEndian.Uint64(hdr[8:]) != wantSeq {
+		res.badHeader, res.torn = true, true
+		return res, nil
+	}
+	res.lastGood = walHeaderSize
+
+	var rec [walRecordSize]byte
+	for {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			if err != io.EOF {
+				res.torn = true // partial record
+			}
+			return res, nil
+		}
+		if binary.LittleEndian.Uint32(rec[0:]) != walPayload ||
+			binary.LittleEndian.Uint32(rec[4:]) != crc32.Checksum(rec[8:], crcTable) {
+			res.torn = true
+			return res, nil
+		}
+		op := rec[16]
+		if op != recInsert && op != recDelete && op != recCompact {
+			res.torn = true
+			return res, nil
+		}
+		r := walRecord{
+			epoch: binary.LittleEndian.Uint64(rec[8:]),
+			op:    op,
+			u:     graph.V(binary.LittleEndian.Uint32(rec[17:])),
+			w:     graph.V(binary.LittleEndian.Uint32(rec[21:])),
+		}
+		if err := fn(r); err != nil {
+			return res, err
+		}
+		res.lastGood += walRecordSize
+		res.lastEpoch = r.epoch
+		res.records++
+	}
+}

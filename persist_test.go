@@ -1,0 +1,111 @@
+package qbs_test
+
+import (
+	"testing"
+
+	"qbs"
+)
+
+// persistGraph is a ladder: rungs give every pair two shortest paths.
+func persistGraph(t *testing.T) *qbs.Graph {
+	t.Helper()
+	const rungs = 30
+	b := qbs.NewBuilder(2 * rungs)
+	for i := 0; i < rungs; i++ {
+		b.AddEdge(qbs.V(2*i), qbs.V(2*i+1))
+		if i > 0 {
+			b.AddEdge(qbs.V(2*i-2), qbs.V(2*i))
+			b.AddEdge(qbs.V(2*i-1), qbs.V(2*i+1))
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestStoreLifecycle drives the whole public durability surface:
+// create → mutate → checkpoint → close → recover, with answers and the
+// epoch preserved across the restart.
+func TestStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	g := persistGraph(t)
+
+	if qbs.StoreExists(dir) {
+		t.Fatal("empty dir reported as a store")
+	}
+	di, err := qbs.CreateStore(dir, g, qbs.StoreOptions{Index: qbs.Options{NumLandmarks: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !di.Durable() {
+		t.Fatal("CreateStore index not durable")
+	}
+	if !qbs.StoreExists(dir) {
+		t.Fatal("store not visible on disk")
+	}
+
+	// A diagonal shortcut changes answers; it must survive the restart.
+	if ok, err := di.AddEdge(0, 3); err != nil || !ok {
+		t.Fatalf("AddEdge: ok=%v err=%v", ok, err)
+	}
+	wantDist := di.Distance(0, 3)
+	wantSPG := di.Query(0, 59)
+	if epoch, err := di.Checkpoint(); err != nil || epoch != 1 {
+		t.Fatalf("Checkpoint: epoch=%d err=%v", epoch, err)
+	}
+	if ok, err := di.RemoveEdge(0, 2); err != nil || !ok {
+		t.Fatalf("RemoveEdge: ok=%v err=%v", ok, err)
+	}
+	wantAfter := di.Query(0, 58)
+	if err := di.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := qbs.OpenStore(dir, qbs.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Epoch() != 2 {
+		t.Fatalf("recovered epoch %d, want 2", re.Epoch())
+	}
+	if got := re.Distance(0, 3); got != wantDist {
+		t.Fatalf("recovered distance(0,3) = %d, want %d", got, wantDist)
+	}
+	if !re.Query(0, 59).Equal(wantSPG) {
+		t.Fatal("recovered SPG(0,59) differs")
+	}
+	if !re.Query(0, 58).Equal(wantAfter) {
+		t.Fatal("recovered post-checkpoint SPG(0,58) differs")
+	}
+	if re.HasEdge(0, 2) {
+		t.Fatal("removed edge resurrected by recovery")
+	}
+
+	// The recovered store keeps accepting durable writes.
+	if ok, err := re.AddEdge(1, 4); err != nil || !ok {
+		t.Fatalf("post-recovery AddEdge: ok=%v err=%v", ok, err)
+	}
+	if re.Epoch() != 3 {
+		t.Fatalf("post-recovery epoch %d, want 3", re.Epoch())
+	}
+}
+
+// TestBuildDynamicIndexNotDurable pins the non-durable default:
+// Checkpoint errors, Close is a harmless no-op.
+func TestBuildDynamicIndexNotDurable(t *testing.T) {
+	di, err := qbs.BuildDynamicIndex(persistGraph(t), qbs.DynamicOptions{Index: qbs.Options{NumLandmarks: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di.Durable() {
+		t.Fatal("plain dynamic index claims durability")
+	}
+	if _, err := di.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on non-durable index succeeded")
+	}
+	if err := di.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := di.AddEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}

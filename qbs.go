@@ -31,12 +31,14 @@
 package qbs
 
 import (
+	"errors"
 	"sync"
 
 	"qbs/internal/bfs"
 	"qbs/internal/core"
 	"qbs/internal/dynamic"
 	"qbs/internal/graph"
+	"qbs/internal/store"
 )
 
 // Re-exported graph types. The library operates on immutable undirected
@@ -298,19 +300,15 @@ type DynamicStats = dynamic.Stats
 // rejected with ErrDiameterTooLarge (the labelling stores one distance
 // byte per landmark), leaving the index unchanged.
 type DynamicIndex struct {
-	d *dynamic.Index
+	d  *dynamic.Index
+	st *store.Store // non-nil when the index is backed by a durable store
 }
 
 // BuildDynamicIndex constructs a live-mutable QbS index over the current
 // edges of g. Construction costs the same as BuildIndex; subsequent
 // updates cost orders of magnitude less than a rebuild.
 func BuildDynamicIndex(g *Graph, opts DynamicOptions) (*DynamicIndex, error) {
-	landmarks := opts.Index.Landmarks
-	if landmarks == nil {
-		k := core.ClampLandmarks(opts.Index.NumLandmarks, g.NumVertices())
-		landmarks = opts.Index.Strategy.fn()(g, k, opts.Index.Seed)
-	}
-	d, err := dynamic.New(g, landmarks, dynamic.Options{
+	d, err := dynamic.New(g, selectLandmarks(g, opts.Index), dynamic.Options{
 		RepairBudget:    opts.RepairBudget,
 		CompactFraction: opts.CompactFraction,
 	})
@@ -318,6 +316,16 @@ func BuildDynamicIndex(g *Graph, opts DynamicOptions) (*DynamicIndex, error) {
 		return nil, err
 	}
 	return &DynamicIndex{d: d}, nil
+}
+
+// selectLandmarks resolves the landmark set from Options (an explicit
+// set, or the configured strategy over the clamped count).
+func selectLandmarks(g *Graph, opts Options) []V {
+	if opts.Landmarks != nil {
+		return opts.Landmarks
+	}
+	k := core.ClampLandmarks(opts.NumLandmarks, g.NumVertices())
+	return opts.Strategy.fn()(g, k, opts.Seed)
 }
 
 // UpdateResult reports the outcome of one edge update: whether the
@@ -414,6 +422,115 @@ func (di *DynamicIndex) Compact() error { return di.d.Compact() }
 // WaitCompaction blocks until any in-flight asynchronous compaction has
 // finished.
 func (di *DynamicIndex) WaitCompaction() { di.d.WaitCompaction() }
+
+// StoreOptions configures the durable store behind CreateStore and
+// OpenStore.
+type StoreOptions struct {
+	// Index carries the landmark selection settings used by CreateStore
+	// (NumLandmarks, Strategy, Landmarks, Seed); OpenStore ignores it —
+	// the landmark set is part of the persisted snapshot.
+	Index Options
+	// RepairBudget and CompactFraction tune the dynamic index exactly as
+	// in DynamicOptions.
+	RepairBudget    int
+	CompactFraction float64
+	// SyncEvery batches write-ahead-log fsyncs: the log is synced after
+	// this many updates (and always at checkpoint and Close). <= 1 syncs
+	// every update — full durability, the default; larger values trade
+	// the last few updates on power loss for write throughput. (A plain
+	// process crash loses nothing either way: the OS still holds the
+	// written log tail.)
+	SyncEvery int
+	// SegmentBytes rotates WAL segments past this size (0 = 64 MiB).
+	SegmentBytes int64
+	// ReadOnly opens the store without attaching the log: queries only,
+	// no Checkpoint, and the data directory is left untouched.
+	ReadOnly bool
+	// MMap maps the snapshot read-only instead of reading it into memory
+	// — the fastest open path; the mapping lives until process exit.
+	MMap bool
+}
+
+func (o StoreOptions) storeOptions() store.Options {
+	return store.Options{
+		Dynamic: dynamic.Options{
+			RepairBudget:    o.RepairBudget,
+			CompactFraction: o.CompactFraction,
+		},
+		SyncEvery:    o.SyncEvery,
+		SegmentBytes: o.SegmentBytes,
+		ReadOnly:     o.ReadOnly,
+		MMap:         o.MMap,
+	}
+}
+
+// CreateStore builds a dynamic index over g (costing one BuildIndex)
+// and initialises dir as its durable home: the freshly built state is
+// written as a snapshot and every subsequent update is logged to a
+// write-ahead log before it is acknowledged, so the index survives any
+// crash. dir must not already contain a store.
+func CreateStore(dir string, g *Graph, opts StoreOptions) (*DynamicIndex, error) {
+	d, err := dynamic.New(g, selectLandmarks(g, opts.Index), dynamic.Options{
+		RepairBudget:    opts.RepairBudget,
+		CompactFraction: opts.CompactFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.Create(dir, d, opts.storeOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{d: d, st: st}, nil
+}
+
+// OpenStore recovers the index persisted in dir: the newest valid
+// snapshot is loaded without recomputation (labels, distances, the
+// graph and Δ are adopted zero-copy from the file arena) and any logged
+// updates beyond it are replayed through the incremental repair path.
+// The recovered index is bit-identical to the pre-crash one — including
+// its epoch — and, unless opts.ReadOnly, continues logging new updates.
+// Opening is typically orders of magnitude faster than rebuilding.
+func OpenStore(dir string, opts StoreOptions) (*DynamicIndex, error) {
+	st, err := store.Open(dir, opts.storeOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicIndex{d: st.Index(), st: st}, nil
+}
+
+// StoreExists reports whether dir already contains a durable store.
+func StoreExists(dir string) bool { return store.Exists(dir) }
+
+// Durable reports whether the index is backed by a durable store (built
+// by CreateStore/OpenStore rather than BuildDynamicIndex).
+func (di *DynamicIndex) Durable() bool { return di.st != nil }
+
+// Checkpoint persists the current state as a new snapshot, points the
+// store at it and prunes write-ahead-log segments the snapshot covers.
+// Writers are not blocked: updates landing during the snapshot write
+// simply stay in the log. It returns the epoch persisted, and an error
+// on a non-durable or read-only index.
+func (di *DynamicIndex) Checkpoint() (uint64, error) {
+	if di.st == nil {
+		return 0, errNotDurable
+	}
+	return di.st.Checkpoint()
+}
+
+// Close flushes and detaches the durable store (waiting out any
+// background compaction first). The index remains usable in memory;
+// further updates are no longer logged. Close on a non-durable index is
+// a no-op.
+func (di *DynamicIndex) Close() error {
+	if di.st == nil {
+		return nil
+	}
+	di.d.WaitCompaction()
+	return di.st.Close()
+}
+
+var errNotDurable = errors.New("qbs: index has no durable store (use CreateStore/OpenStore)")
 
 // BiBFS answers SPG(u, v) by plain bidirectional BFS over the full graph
 // — the paper's search-based baseline, requiring no index. For repeated
