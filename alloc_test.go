@@ -5,11 +5,13 @@
 package qbs_test
 
 import (
+	"math/rand"
 	"runtime/debug"
 	"testing"
 
 	"qbs"
 	"qbs/internal/core"
+	"qbs/internal/dcore"
 	"qbs/internal/graph"
 	"qbs/internal/workload"
 )
@@ -208,5 +210,109 @@ func BenchmarkQueryBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.QueryBatch(pairs, 0)
+	}
+}
+
+// --- directed serving-surface allocation regressions ------------------
+
+// diAllocIndex returns a directed test index and sampled pairs.
+func diAllocIndex(tb testing.TB) (*qbs.DiIndex, [][2]qbs.V) {
+	tb.Helper()
+	g := graph.DirectedScaleFree(800, 3, 73)
+	ix := qbs.MustBuildDiIndex(g, qbs.DiOptions{NumLandmarks: 16})
+	rng := rand.New(rand.NewSource(9))
+	pairs := make([][2]qbs.V, 64)
+	for i := range pairs {
+		pairs[i] = [2]qbs.V{qbs.V(rng.Intn(g.NumVertices())), qbs.V(rng.Intn(g.NumVertices()))}
+	}
+	return ix, pairs
+}
+
+// TestWarmDiQueryZeroAllocs is the PR 4 acceptance criterion for the
+// directed serving surface: a warmed searcher answering into a reused
+// DiSPG performs zero heap allocations per query, and so does Distance.
+func TestWarmDiQueryZeroAllocs(t *testing.T) {
+	g := graph.DirectedScaleFree(800, 3, 73)
+	cix := dcore.MustBuild(g, dcore.Options{NumLandmarks: 16})
+	sr := dcore.NewSearcher(cix)
+	spg := graph.NewDiSPG(0, 0)
+	rng := rand.New(rand.NewSource(9))
+	pairs := make([][2]qbs.V, 64)
+	for i := range pairs {
+		pairs[i] = [2]qbs.V{qbs.V(rng.Intn(g.NumVertices())), qbs.V(rng.Intn(g.NumVertices()))}
+	}
+
+	for r := 0; r < 3; r++ {
+		for _, p := range pairs {
+			sr.QueryInto(spg, p[0], p[1])
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.QueryInto(spg, p[0], p[1])
+	}); avg != 0 {
+		t.Fatalf("warm directed Searcher.QueryInto allocates %.2f/op, want 0", avg)
+	}
+
+	i = 0
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.Distance(p[0], p[1])
+	}); avg != 0 {
+		t.Fatalf("warm directed Searcher.Distance allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestWarmDiIndexQueryIntoZeroAllocs covers the public pooled entry
+// point, mirroring TestWarmIndexQueryIntoZeroAllocs.
+func TestWarmDiIndexQueryIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	ix, pairs := diAllocIndex(t)
+	spg := graph.NewDiSPG(0, 0)
+	for r := 0; r < 3; r++ {
+		for _, p := range pairs {
+			ix.QueryInto(spg, p[0], p[1])
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	i := 0
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		ix.QueryInto(spg, p[0], p[1])
+	}); avg != 0 {
+		t.Fatalf("warm DiIndex.QueryInto allocates %.2f/op, want 0", avg)
+	}
+}
+
+func BenchmarkDiQueryInto(b *testing.B) {
+	ix, pairs := diAllocIndex(b)
+	spg := graph.NewDiSPG(0, 0)
+	for _, p := range pairs {
+		ix.QueryInto(spg, p[0], p[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		ix.QueryInto(spg, p[0], p[1])
+	}
+}
+
+func BenchmarkDiDistanceWarm(b *testing.B) {
+	ix, pairs := diAllocIndex(b)
+	for _, p := range pairs {
+		ix.Distance(p[0], p[1])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		ix.Distance(p[0], p[1])
 	}
 }

@@ -9,8 +9,10 @@
 // Experiments: table1, table2, table3, fig7, fig8, fig9, fig10, fig11,
 // dynamic (incremental updates vs rebuild), loadvsbuild (durable-store
 // restart cost: snapshot open + WAL replay vs cold build; with -json it
-// emits the BENCH_PR3.json record), ablation-traversal,
-// ablation-parallel, ablation-landmarks, all.
+// emits the BENCH_PR3.json record), directed (bit-parallel directed
+// engine vs the scalar reference and Di-Bi-BFS; with -json it emits the
+// BENCH_PR4.json record), ablation-traversal, ablation-parallel,
+// ablation-landmarks, all.
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|directed|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = DESIGN.md sizes)")
 		queries   = flag.Int("queries", 1000, "number of sampled query pairs per dataset")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R| for single-point experiments")
@@ -81,6 +83,21 @@ func main() {
 			*jsonPath, time.Since(t0).Round(time.Millisecond))
 		return
 	}
+	if *jsonPath != "" && *exp == "directed" {
+		// Directed snapshot mode: the BENCH_PR4.json record (bit-parallel
+		// directed labelling vs scalar reference, warm query latency and
+		// allocations, Di-Bi-BFS baseline).
+		if len(cfg.Datasets) == 0 {
+			cfg.Datasets = []string{"WK", "BA", "LJ"}
+		}
+		t0 := time.Now()
+		if err := bench.New(cfg).DirectedTableJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "directed snapshot written to %s in %s\n",
+			*jsonPath, time.Since(t0).Round(time.Millisecond))
+		return
+	}
 	if *jsonPath != "" {
 		// Snapshot mode: the machine-readable perf record tracked across
 		// PRs (BENCH_PR2.json and successors). Default to the three
@@ -128,6 +145,7 @@ func main() {
 	run("fig11", func() error { _, err := h.Fig11(nil); return err })
 	run("dynamic", func() error { _, err := h.DynamicUpdates(nil); return err })
 	run("loadvsbuild", func() error { _, err := h.LoadVsBuild(); return err })
+	run("directed", func() error { _, err := h.DirectedTable(); return err })
 	run("ablation-traversal", func() error { _, err := h.AblationTraversal(); return err })
 	run("ablation-scale", func() error { _, err := h.AblationScale(nil); return err })
 	run("ablation-directed", func() error { _, err := h.AblationDirected(); return err })

@@ -7,10 +7,17 @@
 //	qbs-server -dataset YT -mutable                    # accept edge writes
 //	qbs-server -dataset YT -mutable -data ./yt-data    # durable: survive restarts
 //	qbs-server -data ./yt-data -mutable                # reopen in sub-second
+//	qbs-server -directed -dataset WK                   # serve SPG(u → v)
+//	qbs-server -directed -dataset WK -data ./wk-data   # directed + durable
 //
 // Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz, and in
 // -mutable mode POST /edges, DELETE /edges, /epoch, POST /checkpoint —
 // see internal/server for the JSON schemas.
+//
+// With -directed the server fronts a directed index: the edge list is
+// read as arcs, /spg answers SPG(u → v), and -data persists/recovers a
+// directed snapshot. -directed is read-only and incompatible with
+// -mutable and -index.
 //
 // With -data, the server owns a durable data directory: on first start
 // it builds the index from the graph source and persists it; on every
@@ -53,6 +60,7 @@ func main() {
 		syncEvery = flag.Int("sync-every", 0, "batch WAL fsyncs every N writes (0/1 = every write)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		mutable   = flag.Bool("mutable", false, "serve a live-mutable index accepting edge writes")
+		directed  = flag.Bool("directed", false, "serve a directed index answering SPG(u → v); read-only")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
@@ -60,6 +68,43 @@ func main() {
 	var handler http.Handler
 	var dyn *qbs.DynamicIndex
 	switch {
+	case *directed && *mutable:
+		fatal(fmt.Errorf("-directed is read-only and incompatible with -mutable"))
+	case *directed:
+		if *indexPath != "" {
+			fatal(fmt.Errorf("-index is not supported in -directed mode (use -data)"))
+		}
+		var ix *qbs.DiIndex
+		if *dataDir != "" && qbs.DiStoreExists(*dataDir) {
+			start := time.Now()
+			var err error
+			ix, err = qbs.OpenDiStore(*dataDir, qbs.DiStoreOptions{MMap: true})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("store: recovered directed index from %s in %s (|V|=%d arcs=%d)\n",
+				*dataDir, time.Since(start).Round(time.Millisecond),
+				ix.Graph().NumVertices(), ix.Graph().NumArcs())
+		} else {
+			g, err := loadDiGraph(*graphPath, *dataset, *scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("digraph: |V|=%d arcs=%d\n", g.NumVertices(), g.NumArcs())
+			start := time.Now()
+			opts := qbs.DiStoreOptions{Index: qbs.DiOptions{NumLandmarks: *landmarks}}
+			if *dataDir != "" {
+				ix, err = qbs.CreateDiStore(*dataDir, g, opts)
+			} else {
+				ix, err = qbs.BuildDiIndex(g, opts.Index)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("directed index: built in %s (%d landmarks)\n",
+				time.Since(start).Round(time.Millisecond), len(ix.Landmarks()))
+		}
+		handler = server.NewDirected(ix)
 	case *dataDir != "" && qbs.StoreExists(*dataDir):
 		// Restart path: recover, no graph source and no rebuild needed.
 		start := time.Now()
@@ -196,6 +241,24 @@ func buildOrLoadIndex(g *qbs.Graph, indexPath string, landmarks int) (*qbs.Index
 		fmt.Printf("index: saved to %s\n", indexPath)
 	}
 	return index, nil
+}
+
+// loadDiGraph resolves the directed graph source: an arc list file or a
+// directed dataset analog.
+func loadDiGraph(path, dataset string, scale float64) (*qbs.DiGraph, error) {
+	switch {
+	case path != "":
+		g, _, err := qbs.LoadDiEdgeListFile(path)
+		return g, err
+	case dataset != "":
+		spec, err := datasets.ByKey(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return spec.GenerateDirected(scale), nil
+	default:
+		return nil, fmt.Errorf("one of -graph or -dataset is required (or -data with an existing directed store)")
+	}
 }
 
 func loadGraph(path, bin, dataset string, scale float64) (*qbs.Graph, error) {

@@ -9,11 +9,18 @@
 //	qbs -graph web.edges -stats                  # index statistics only
 //	qbs -graph web.edges -data ./web-data        # build once, persist
 //	qbs -data ./web-data -query 14,907           # reopen in sub-second
+//	qbs -directed -graph web.arcs -query 14,907  # SPG(u → v) on a digraph
+//	qbs -directed -dataset WK -data ./wk-data    # directed build + persist
 //
 // With -data the index lives in a durable data directory: the first run
 // (which still needs a graph source) builds and persists it; later runs
 // recover it from the snapshot + write-ahead log without rebuilding.
 // -checkpoint persists a fresh snapshot before exiting.
+//
+// With -directed the edge list is read as arcs (no symmetrising), the
+// index answers SPG(u → v), and -data persists/recovers the directed
+// snapshot (no write-ahead log: the directed index is immutable, so
+// -checkpoint does not apply).
 package main
 
 import (
@@ -49,10 +56,16 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the full edge set of each answer")
 		dataDir    = flag.String("data", "", "durable data directory: built from the graph source if absent, recovered otherwise")
 		checkpoint = flag.Bool("checkpoint", false, "persist a fresh snapshot to -data before exiting")
+		directed   = flag.Bool("directed", false, "directed mode: read the graph as arcs and answer SPG(u → v)")
 	)
 	var queries queryList
 	flag.Var(&queries, "query", "query pair \"u,v\" (repeatable)")
 	flag.Parse()
+
+	if *directed {
+		runDirected(*graphPath, *dataset, *scale, *landmarks, *dataDir, *stats, *verbose, *seed, *random, queries)
+		return
+	}
 
 	// answer is the query surface shared by the static and durable paths.
 	var answer interface {
@@ -130,19 +143,7 @@ func main() {
 		answer, numVertices = ix, g.NumVertices()
 	}
 
-	var pairs [][2]qbs.V
-	for _, q := range queries {
-		parts := strings.SplitN(q, ",", 2)
-		if len(parts) != 2 {
-			fatal(fmt.Errorf("bad -query %q, want \"u,v\"", q))
-		}
-		u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
-		v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
-		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= numVertices || v >= numVertices {
-			fatal(fmt.Errorf("bad -query %q for graph with %d vertices", q, numVertices))
-		}
-		pairs = append(pairs, [2]qbs.V{qbs.V(u), qbs.V(v)})
-	}
+	pairs := parsePairs(queries, numVertices)
 	rng := rand.New(rand.NewSource(*seed))
 	for i := 0; i < *random; i++ {
 		pairs = append(pairs, [2]qbs.V{qbs.V(rng.Intn(numVertices)), qbs.V(rng.Intn(numVertices))})
@@ -164,6 +165,115 @@ func main() {
 				fmt.Printf("  %d - %d\n", e.U, e.W)
 			}
 		}
+	}
+}
+
+// runDirected is the -directed main: build (or recover) a DiIndex and
+// answer directed queries.
+func runDirected(graphPath, dataset string, scale float64, landmarks int, dataDir string, stats, verbose bool, seed int64, random int, queries queryList) {
+	var ix *qbs.DiIndex
+	switch {
+	case dataDir != "" && qbs.DiStoreExists(dataDir):
+		start := time.Now()
+		var err error
+		ix, err = qbs.OpenDiStore(dataDir, qbs.DiStoreOptions{MMap: true})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("store: recovered directed index from %s in %s (|V|=%d arcs=%d)\n",
+			dataDir, time.Since(start).Round(time.Microsecond),
+			ix.Graph().NumVertices(), ix.Graph().NumArcs())
+	default:
+		g, err := loadDiGraph(graphPath, dataset, scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("digraph: |V|=%d arcs=%d\n", g.NumVertices(), g.NumArcs())
+		start := time.Now()
+		opts := qbs.DiStoreOptions{Index: qbs.DiOptions{NumLandmarks: landmarks}}
+		if dataDir != "" {
+			ix, err = qbs.CreateDiStore(dataDir, g, opts)
+		} else {
+			ix, err = qbs.BuildDiIndex(g, opts.Index)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if dataDir != "" {
+			fmt.Printf("store: built and persisted to %s in %s\n", dataDir, time.Since(start).Round(time.Microsecond))
+		} else {
+			fmt.Printf("index: built in %s\n", time.Since(start).Round(time.Microsecond))
+		}
+	}
+	if stats {
+		st := ix.Stats()
+		fmt.Printf("  landmarks:      %d\n", len(ix.Landmarks()))
+		fmt.Printf("  labelling time: %s\n", st.LabellingTime.Round(time.Microsecond))
+		fmt.Printf("  meta/Δ time:    %s\n", st.MetaTime.Round(time.Microsecond))
+		fmt.Printf("  label entries:  %d\n", st.LabelEntries)
+		fmt.Printf("  meta arcs:      %d\n", st.MetaArcs)
+		fmt.Printf("  size(L):        %d bytes\n", ix.SizeLabelsBytes())
+		fmt.Printf("  size(Δ):        %d bytes\n", ix.SizeDeltaBytes())
+	}
+
+	n := ix.Graph().NumVertices()
+	pairs := parsePairs(queries, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < random; i++ {
+		pairs = append(pairs, [2]qbs.V{qbs.V(rng.Intn(n)), qbs.V(rng.Intn(n))})
+	}
+	for _, p := range pairs {
+		t0 := time.Now()
+		spg := ix.Query(p[0], p[1])
+		el := time.Since(t0)
+		if spg.Dist == qbs.InfDist {
+			fmt.Printf("DiSPG(%d→%d): unreachable (%s)\n", p[0], p[1], el.Round(time.Nanosecond))
+			continue
+		}
+		fmt.Printf("DiSPG(%d→%d): dist=%d vertices=%d arcs=%d [%s]\n",
+			p[0], p[1], spg.Dist, len(spg.Vertices()), spg.NumArcs(), el.Round(time.Nanosecond))
+		if verbose {
+			for _, a := range spg.Arcs() {
+				fmt.Printf("  %d -> %d\n", a.From, a.To)
+			}
+		}
+	}
+}
+
+// parsePairs converts -query strings into vertex pairs, validating
+// against the vertex count.
+func parsePairs(queries queryList, numVertices int) [][2]qbs.V {
+	var pairs [][2]qbs.V
+	for _, q := range queries {
+		parts := strings.SplitN(q, ",", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -query %q, want \"u,v\"", q))
+		}
+		u, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		v, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= numVertices || v >= numVertices {
+			fatal(fmt.Errorf("bad -query %q for graph with %d vertices", q, numVertices))
+		}
+		pairs = append(pairs, [2]qbs.V{qbs.V(u), qbs.V(v)})
+	}
+	return pairs
+}
+
+// loadDiGraph resolves the directed graph source: an arc list file or a
+// directed dataset analog.
+func loadDiGraph(path, dataset string, scale float64) (*qbs.DiGraph, error) {
+	switch {
+	case path != "":
+		g, _, err := qbs.LoadDiEdgeListFile(path)
+		return g, err
+	case dataset != "":
+		spec, err := datasets.ByKey(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return spec.GenerateDirected(scale), nil
+	default:
+		return nil, fmt.Errorf("one of -graph or -dataset is required (or -data with an existing directed store)")
 	}
 }
 

@@ -94,3 +94,115 @@ func TestAsDirectedRoundTrip(t *testing.T) {
 		t.Fatalf("cycle distance = %d", spg.Dist)
 	}
 }
+
+// TestDiDistanceAndQueryIntoMatchOracle covers the grown serving
+// surface: Distance and the reusable-result QueryInto must agree with
+// the brute-force oracle.
+func TestDiDistanceAndQueryIntoMatchOracle(t *testing.T) {
+	g := graph.DirectedScaleFree(350, 3, 59)
+	ix := qbs.MustBuildDiIndex(g, qbs.DiOptions{NumLandmarks: 14})
+	spg := graph.NewDiSPG(0, 0)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 120; i++ {
+		u := qbs.V(rng.Intn(g.NumVertices()))
+		v := qbs.V(rng.Intn(g.NumVertices()))
+		want := qbs.OracleDiSPG(g, u, v)
+		if got := ix.QueryInto(spg, u, v); !got.Equal(want) {
+			t.Fatalf("QueryInto(%d,%d) != oracle", u, v)
+		}
+		if d := ix.Distance(u, v); d != want.Dist {
+			t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, d, want.Dist)
+		}
+	}
+}
+
+// TestDiQueryBatchMatchesOracle runs batches against the oracle —
+// including an index with more landmarks than one 64-way engine sweep
+// carries, so the multi-batch labelling path serves real queries.
+func TestDiQueryBatchMatchesOracle(t *testing.T) {
+	for _, R := range []int{12, 80} {
+		g := graph.DirectedScaleFree(300, 3, int64(R))
+		ix := qbs.MustBuildDiIndex(g, qbs.DiOptions{NumLandmarks: R})
+		rng := rand.New(rand.NewSource(int64(R) * 3))
+		pairs := make([]qbs.Pair, 96)
+		for i := range pairs {
+			pairs[i] = qbs.Pair{U: qbs.V(rng.Intn(g.NumVertices())), V: qbs.V(rng.Intn(g.NumVertices()))}
+		}
+		out := ix.QueryBatch(pairs, 4)
+		if len(out) != len(pairs) {
+			t.Fatalf("R=%d: %d results for %d pairs", R, len(out), len(pairs))
+		}
+		for i, spg := range out {
+			if spg == nil {
+				t.Fatalf("R=%d: result %d missing", R, i)
+			}
+			if want := qbs.OracleDiSPG(g, pairs[i].U, pairs[i].V); !spg.Equal(want) {
+				t.Fatalf("R=%d: batch result %d != oracle", R, i)
+			}
+		}
+	}
+}
+
+// TestDiQueryBatchRecoversFromPanic mirrors the undirected contract: a
+// poisoned pair loses only its own slot.
+func TestDiQueryBatchRecoversFromPanic(t *testing.T) {
+	g := graph.DirectedScaleFree(200, 3, 67)
+	ix := qbs.MustBuildDiIndex(g, qbs.DiOptions{NumLandmarks: 8})
+	rng := rand.New(rand.NewSource(5))
+	batch := make([]qbs.Pair, 48)
+	for i := range batch {
+		batch[i] = qbs.Pair{U: qbs.V(rng.Intn(200)), V: qbs.V(rng.Intn(200))}
+	}
+	poisonA, poisonB := 3, 30
+	batch[poisonA] = qbs.Pair{U: -1, V: 0}
+	batch[poisonB] = qbs.Pair{U: 0, V: qbs.V(g.NumVertices() + 9)}
+	out := ix.QueryBatch(batch, 4)
+	for i, spg := range out {
+		if i == poisonA || i == poisonB {
+			if spg != nil {
+				t.Fatalf("poisoned pair %d returned a result", i)
+			}
+			continue
+		}
+		if spg == nil {
+			t.Fatalf("healthy pair %d lost its result", i)
+		}
+		if want := ix.Query(batch[i].U, batch[i].V); !spg.Equal(want) {
+			t.Fatalf("pair %d: batch result differs from direct query", i)
+		}
+	}
+}
+
+// TestDiStorePublicRoundTrip covers CreateDiStore/OpenDiStore: the
+// reopened index answers every query identically and DiStoreExists
+// tracks the directory state.
+func TestDiStorePublicRoundTrip(t *testing.T) {
+	g := graph.DirectedScaleFree(300, 3, 71)
+	dir := t.TempDir()
+	if qbs.DiStoreExists(dir) {
+		t.Fatal("empty dir reports a store")
+	}
+	ix, err := qbs.CreateDiStore(dir, g, qbs.DiStoreOptions{Index: qbs.DiOptions{NumLandmarks: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qbs.DiStoreExists(dir) {
+		t.Fatal("DiStoreExists false after create")
+	}
+	re, err := qbs.OpenDiStore(dir, qbs.DiStoreOptions{MMap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 80; i++ {
+		u := qbs.V(rng.Intn(g.NumVertices()))
+		v := qbs.V(rng.Intn(g.NumVertices()))
+		want := qbs.OracleDiSPG(g, u, v)
+		if !ix.Query(u, v).Equal(want) || !re.Query(u, v).Equal(want) {
+			t.Fatalf("store round trip diverges on (%d,%d)", u, v)
+		}
+	}
+	if _, err := qbs.CreateDiStore(dir, g, qbs.DiStoreOptions{}); err == nil {
+		t.Fatal("second CreateDiStore succeeded")
+	}
+}

@@ -56,10 +56,11 @@ func main() {
 		if dag == nil {
 			continue
 		}
+		numPaths, _ := dag.CountPaths()
 		ties = append(ties, tie{
 			pair:   p,
 			dist:   spg.Dist,
-			paths:  dag.CountPaths(),
+			paths:  numPaths,
 			edges:  spg.NumEdges(),
 			common: dag.CommonLinks(),
 		})

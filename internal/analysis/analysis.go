@@ -11,6 +11,7 @@
 package analysis
 
 import (
+	"math"
 	"sort"
 
 	"qbs/internal/graph"
@@ -78,34 +79,70 @@ func BuildDAG(spg *graph.SPG, distFromSource func(graph.V) int32) *DAG {
 	return d
 }
 
-// CountPaths returns the number of distinct shortest paths, computed by
-// DP over the DAG. Returns 0 for nil DAGs.
-func (d *DAG) CountPaths() int64 {
-	if d == nil {
-		return 0
+// satAdd adds two non-negative path counts, saturating at MaxInt64.
+// Saturation is sticky: once a count hits the ceiling every count
+// derived from it stays there.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
 	}
-	from := d.pathsFromSource()
-	return from[d.Target]
+	return a + b
 }
 
-// pathsFromSource counts paths Source→v for every DAG vertex.
-func (d *DAG) pathsFromSource() map[graph.V]int64 {
+// satMul multiplies two non-negative path counts, saturating at
+// MaxInt64.
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// CountPaths returns the number of distinct shortest paths, computed by
+// DP over the DAG. Path counts grow exponentially with distance (a
+// chain of d diamonds has 2^d shortest paths), so the count saturates
+// at math.MaxInt64 instead of silently overflowing; saturated reports
+// whether the ceiling was hit — the true count is then >= MaxInt64.
+// Returns (0, false) for nil DAGs.
+func (d *DAG) CountPaths() (n int64, saturated bool) {
+	if d == nil {
+		return 0, false
+	}
+	from, sat := d.pathsFromSource()
+	total := from[d.Target]
+	return total, sat && total == math.MaxInt64
+}
+
+// pathsFromSource counts paths Source→v for every DAG vertex,
+// saturating at MaxInt64; the second result reports whether any count
+// saturated.
+func (d *DAG) pathsFromSource() (map[graph.V]int64, bool) {
 	counts := map[graph.V]int64{d.Source: 1}
+	saturated := false
 	for _, v := range d.Vertices { // ascending depth: topological order
 		c := counts[v]
 		if c == 0 {
 			continue
 		}
 		for _, w := range d.Next[v] {
-			counts[w] += c
+			s := satAdd(counts[w], c)
+			if s == math.MaxInt64 {
+				saturated = true
+			}
+			counts[w] = s
 		}
 	}
-	return counts
+	return counts, saturated
 }
 
-// pathsToTarget counts paths v→Target for every DAG vertex.
-func (d *DAG) pathsToTarget() map[graph.V]int64 {
+// pathsToTarget counts paths v→Target for every DAG vertex, saturating
+// at MaxInt64.
+func (d *DAG) pathsToTarget() (map[graph.V]int64, bool) {
 	counts := map[graph.V]int64{d.Target: 1}
+	saturated := false
 	for i := len(d.Vertices) - 1; i >= 0; i-- { // descending depth
 		v := d.Vertices[i]
 		c := counts[v]
@@ -113,10 +150,64 @@ func (d *DAG) pathsToTarget() map[graph.V]int64 {
 			continue
 		}
 		for _, w := range d.Prev[v] {
-			counts[w] += c
+			s := satAdd(counts[w], c)
+			if s == math.MaxInt64 {
+				saturated = true
+			}
+			counts[w] = s
 		}
 	}
-	return counts
+	return counts, saturated
+}
+
+// CountDiPaths counts the distinct shortest directed Source→Target
+// paths of a DiSPG by the same layered DP, saturating at MaxInt64.
+// distFromSource must give d(Source, v) for every DiSPG vertex (an
+// index Distance closure works). Arcs already carry their orientation,
+// so no re-layering of edges is needed — only a depth-sorted vertex
+// order. Returns (0, false) for disconnected pairs and (1, false) for
+// the trivial pair.
+func CountDiPaths(spg *graph.DiSPG, distFromSource func(graph.V) int32) (n int64, saturated bool) {
+	if spg.Source == spg.Target {
+		return 1, false
+	}
+	if spg.Dist == graph.InfDist {
+		return 0, false
+	}
+	vs := spg.Vertices()
+	depth := make(map[graph.V]int32, len(vs))
+	for _, v := range vs {
+		depth[v] = distFromSource(v)
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		di, dj := depth[vs[i]], depth[vs[j]]
+		if di != dj {
+			return di < dj
+		}
+		return vs[i] < vs[j]
+	})
+	next := make(map[graph.V][]graph.V, len(vs))
+	for _, a := range spg.Arcs() {
+		if depth[a.From]+1 == depth[a.To] {
+			next[a.From] = append(next[a.From], a.To)
+		}
+	}
+	counts := map[graph.V]int64{spg.Source: 1}
+	for _, v := range vs {
+		c := counts[v]
+		if c == 0 {
+			continue
+		}
+		for _, w := range next[v] {
+			s := satAdd(counts[w], c)
+			if s == math.MaxInt64 {
+				saturated = true
+			}
+			counts[w] = s
+		}
+	}
+	total := counts[spg.Target]
+	return total, saturated && total == math.MaxInt64
 }
 
 // EnumeratePaths lists up to limit shortest paths in lexicographic
@@ -149,13 +240,16 @@ func (d *DAG) EnumeratePaths(limit int) [][]graph.V {
 
 // CommonLinks returns the interior vertices that lie on every shortest
 // path (the Shortest Path Common Links problem): v is common iff
-// paths(Source→v) × paths(v→Target) equals the total path count.
+// paths(Source→v) × paths(v→Target) equals the total path count. (With
+// saturated counts the product test degrades to an approximation; use
+// CriticalVertices, which is count-free, when exactness matters on
+// astronomically path-rich pairs.)
 func (d *DAG) CommonLinks() []graph.V {
 	if d == nil {
 		return nil
 	}
-	from := d.pathsFromSource()
-	to := d.pathsToTarget()
+	from, _ := d.pathsFromSource()
+	to, _ := d.pathsToTarget()
 	total := from[d.Target]
 	if total == 0 {
 		return nil
@@ -165,7 +259,7 @@ func (d *DAG) CommonLinks() []graph.V {
 		if v == d.Source || v == d.Target {
 			continue
 		}
-		if from[v]*to[v] == total {
+		if satMul(from[v], to[v]) == total {
 			out = append(out, v)
 		}
 	}
@@ -179,8 +273,8 @@ func (d *DAG) PathBetweenness() map[graph.V]float64 {
 	if d == nil {
 		return nil
 	}
-	from := d.pathsFromSource()
-	to := d.pathsToTarget()
+	from, _ := d.pathsFromSource()
+	to, _ := d.pathsToTarget()
 	total := from[d.Target]
 	out := make(map[graph.V]float64)
 	if total == 0 {
@@ -190,7 +284,7 @@ func (d *DAG) PathBetweenness() map[graph.V]float64 {
 		if v == d.Source || v == d.Target {
 			continue
 		}
-		out[v] = float64(from[v]*to[v]) / float64(total)
+		out[v] = float64(satMul(from[v], to[v])) / float64(total)
 	}
 	return out
 }

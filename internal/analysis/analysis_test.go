@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -49,15 +50,15 @@ func TestBuildDAGTrivial(t *testing.T) {
 }
 
 func TestCountPaths(t *testing.T) {
-	if n := dagFor(diamond(), 0, 3).CountPaths(); n != 2 {
-		t.Fatalf("diamond paths = %d, want 2", n)
+	if n, sat := dagFor(diamond(), 0, 3).CountPaths(); n != 2 || sat {
+		t.Fatalf("diamond paths = %d (sat %v), want 2", n, sat)
 	}
 	// 4-cycle opposite corners: 2 paths.
-	if n := dagFor(graph.Cycle(4), 0, 2).CountPaths(); n != 2 {
+	if n, _ := dagFor(graph.Cycle(4), 0, 2).CountPaths(); n != 2 {
 		t.Fatalf("cycle paths = %d, want 2", n)
 	}
 	// Grid corner to corner: binomial(4,2)=6 monotone paths on 3x3.
-	if n := dagFor(graph.Grid(3, 3), 0, 8).CountPaths(); n != 6 {
+	if n, _ := dagFor(graph.Grid(3, 3), 0, 8).CountPaths(); n != 6 {
 		t.Fatalf("grid paths = %d, want 6", n)
 	}
 }
@@ -76,8 +77,8 @@ func TestCountPathsMatchesEnumeration(t *testing.T) {
 			continue
 		}
 		paths := d.EnumeratePaths(0)
-		if int64(len(paths)) != d.CountPaths() {
-			t.Fatalf("pair (%d,%d): %d enumerated vs %d counted", u, v, len(paths), d.CountPaths())
+		if n, sat := d.CountPaths(); int64(len(paths)) != n || sat {
+			t.Fatalf("pair (%d,%d): %d enumerated vs %d counted (sat %v)", u, v, len(paths), n, sat)
 		}
 		for _, p := range paths {
 			if int32(len(p)-1) != d.Dist {
@@ -214,5 +215,69 @@ func TestRerouteUnknownPath(t *testing.T) {
 	bogus := []graph.V{0, 5, 3}
 	if seq := d.Reroute(bogus, d.EnumeratePaths(1)[0], 0); seq != nil {
 		t.Fatal("bogus path must not reroute")
+	}
+}
+
+// diamondChain builds a chain of d diamonds: junction vertices
+// j_0..j_d, with two parallel interior vertices between consecutive
+// junctions. The (j_0, j_d) pair has exactly 2^d shortest paths.
+func diamondChain(d int) (*graph.Graph, graph.V, graph.V) {
+	n := (d + 1) + 2*d
+	b := graph.NewBuilder(n)
+	junction := func(i int) graph.V { return graph.V(i * 3) }
+	for i := 0; i < d; i++ {
+		j0, j1 := junction(i), junction(i+1)
+		a, c := graph.V(i*3+1), graph.V(i*3+2)
+		b.AddEdge(j0, a)
+		b.AddEdge(j0, c)
+		b.AddEdge(a, j1)
+		b.AddEdge(c, j1)
+	}
+	return b.MustBuild(), junction(0), junction(d)
+}
+
+// TestCountPathsSaturates is the PR 4 overflow regression: a 64-diamond
+// chain has 2^64 shortest paths, which used to wrap int64 negative
+// (making /spg report negative counts and inverting Truncated). The
+// count must now clamp to MaxInt64 and report saturation; one diamond
+// short of the ceiling stays exact.
+func TestCountPathsSaturates(t *testing.T) {
+	// 62 diamonds: 2^62 fits in int64 — exact, not saturated.
+	g, u, v := diamondChain(62)
+	d := dagFor(g, u, v)
+	if n, sat := d.CountPaths(); n != 1<<62 || sat {
+		t.Fatalf("62 diamonds: %d (sat %v), want 2^62 exact", n, sat)
+	}
+
+	// 64 diamonds: 2^64 overflows — saturate, never go negative.
+	g, u, v = diamondChain(64)
+	d = dagFor(g, u, v)
+	n, sat := d.CountPaths()
+	if n != math.MaxInt64 || !sat {
+		t.Fatalf("64 diamonds: %d (sat %v), want MaxInt64 saturated", n, sat)
+	}
+	if n < 0 {
+		t.Fatalf("64 diamonds: negative count %d", n)
+	}
+
+	// The backward DP saturates consistently too.
+	to, toSat := d.pathsToTarget()
+	if to[u] != math.MaxInt64 || !toSat {
+		t.Fatalf("pathsToTarget: %d (sat %v)", to[u], toSat)
+	}
+
+	// Saturated counts must not panic the derived analyses (CommonLinks
+	// documents that its product test degrades to an approximation under
+	// saturation). The count-free interdiction check stays exact: the
+	// critical vertices are precisely the interior junctions.
+	_ = d.CommonLinks()
+	crit := d.CriticalVertices()
+	if len(crit) != 63 {
+		t.Fatalf("64-diamond chain: %d critical vertices, want 63 junctions", len(crit))
+	}
+	for _, v := range crit {
+		if v%3 != 0 {
+			t.Fatalf("critical vertex %d is not a junction", v)
+		}
 	}
 }

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"qbs/internal/bfs"
+	"qbs/internal/datasets"
+	"qbs/internal/dcore"
+	"qbs/internal/graph"
+)
+
+// DirectedTable — the PR 4 directed-engine experiment: per directed
+// dataset analog it measures the bit-parallel labelling against the
+// scalar reference (the build-speedup acceptance criterion), warm query
+// latency percentiles and allocations of the grown serving surface, and
+// the Di-Bi-BFS baseline for context. `qbs-bench -exp directed -json`
+// emits the machine-readable BENCH_PR4.json record.
+
+// DirectedTableSchema identifies the BENCH_PR4.json format.
+const DirectedTableSchema = "qbs-bench-directed/v1"
+
+// DirectedTableRow is one directed dataset's measurements.
+type DirectedTableRow struct {
+	Key      string `json:"key"`
+	Vertices int    `json:"vertices"`
+	Arcs     int    `json:"arcs"`
+
+	// Labelling construction, best of N: the bit-parallel engine vs the
+	// scalar per-landmark reference (both sequential, so the ratio
+	// isolates the 64-way sweep rather than worker parallelism).
+	EngineLabellingNs int64   `json:"engine_labelling_ns"`
+	ScalarLabellingNs int64   `json:"scalar_labelling_ns"`
+	LabellingSpeedup  float64 `json:"labelling_speedup"`
+	BuildTotalNs      int64   `json:"build_total_ns"`
+
+	QueryP50Ns          int64   `json:"query_p50_ns"`
+	QueryP99Ns          int64   `json:"query_p99_ns"`
+	QueryAllocsPerOp    float64 `json:"query_allocs_per_op"`
+	DistanceAllocsPerOp float64 `json:"distance_allocs_per_op"`
+
+	BiBFSMeanNs    int64   `json:"bibfs_mean_ns"`
+	SpeedupVsBiBFS float64 `json:"speedup_vs_bibfs"`
+
+	LabelEntries int64 `json:"label_entries"`
+	MetaArcs     int   `json:"meta_arcs"`
+}
+
+// DirectedTableReport is the whole BENCH_PR4.json record.
+type DirectedTableReport struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Scale      float64            `json:"scale"`
+	Queries    int                `json:"queries"`
+	Landmarks  int                `json:"landmarks"`
+	Seed       int64              `json:"seed"`
+	Datasets   []DirectedTableRow `json:"datasets"`
+}
+
+// DirectedTable measures the directed engine over the datasets Table 1
+// marks directed, renders the markdown table and returns the rows.
+func (h *Harness) DirectedTable() ([]DirectedTableRow, error) {
+	var rows []DirectedTableRow
+	t := &table{
+		title: "DirectedTable — bit-parallel directed engine vs scalar reference",
+		header: []string{"Dataset", "|V|", "arcs", "engine label", "scalar label", "speedup",
+			"query p50", "query p99", "allocs/op", "Di-Bi-BFS", "vs Bi-BFS"},
+	}
+	for _, key := range h.sortedKeys() {
+		spec, err := datasets.ByKey(key)
+		if err != nil {
+			return nil, err
+		}
+		if !spec.Directed {
+			continue
+		}
+		g := spec.GenerateDirected(h.cfg.Scale)
+		row, err := h.directedRow(key, g)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		t.add(key, fmtCount(row.Vertices), fmtCount(row.Arcs),
+			fmtDuration(time.Duration(row.EngineLabellingNs)),
+			fmtDuration(time.Duration(row.ScalarLabellingNs)),
+			fmt.Sprintf("%.1fx", row.LabellingSpeedup),
+			fmtDuration(time.Duration(row.QueryP50Ns)),
+			fmtDuration(time.Duration(row.QueryP99Ns)),
+			fmt.Sprintf("%.1f", row.QueryAllocsPerOp),
+			fmtDuration(time.Duration(row.BiBFSMeanNs)),
+			fmt.Sprintf("%.1fx", row.SpeedupVsBiBFS))
+	}
+	t.render(h.cfg.Out)
+	return rows, nil
+}
+
+func (h *Harness) directedRow(key string, g *graph.DiGraph) (DirectedTableRow, error) {
+	cfg := h.cfg
+	row := DirectedTableRow{Key: key, Vertices: g.NumVertices(), Arcs: g.NumArcs()}
+
+	var ix *dcore.Index
+	bestEngine, bestTotal := int64(1<<62), int64(1<<62)
+	for rep := 0; rep < buildReps; rep++ {
+		built, err := dcore.Build(g, dcore.Options{NumLandmarks: cfg.NumLandmarks, Parallelism: 1})
+		if err != nil {
+			return row, err
+		}
+		st := built.Stats()
+		if ns := st.LabellingTime.Nanoseconds(); ns < bestEngine {
+			bestEngine = ns
+		}
+		if ns := st.TotalTime.Nanoseconds(); ns < bestTotal {
+			bestTotal = ns
+			row.LabelEntries = st.LabelEntries
+			row.MetaArcs = st.MetaArcs
+		}
+		ix = built
+	}
+	bestScalar := int64(1 << 62)
+	for rep := 0; rep < buildReps; rep++ {
+		built, err := dcore.Build(g, dcore.Options{NumLandmarks: cfg.NumLandmarks, Parallelism: 1, Scalar: true})
+		if err != nil {
+			return row, err
+		}
+		if ns := built.Stats().LabellingTime.Nanoseconds(); ns < bestScalar {
+			bestScalar = ns
+		}
+	}
+	row.EngineLabellingNs = bestEngine
+	row.ScalarLabellingNs = bestScalar
+	row.BuildTotalNs = bestTotal
+	if bestEngine > 0 {
+		row.LabellingSpeedup = float64(bestScalar) / float64(bestEngine)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type qp struct{ u, v graph.V }
+	pairs := make([]qp, cfg.NumQueries)
+	for i := range pairs {
+		pairs[i] = qp{graph.V(rng.Intn(g.NumVertices())), graph.V(rng.Intn(g.NumVertices()))}
+	}
+
+	sr := dcore.NewSearcher(ix)
+	spg := graph.NewDiSPG(0, 0)
+	for _, p := range pairs {
+		sr.QueryInto(spg, p.u, p.v) // warm every buffer
+	}
+	lat := make([]int64, len(pairs))
+	for i, p := range pairs {
+		t0 := time.Now()
+		sr.QueryInto(spg, p.u, p.v)
+		lat[i] = time.Since(t0).Nanoseconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	row.QueryP50Ns = lat[len(lat)/2]
+	row.QueryP99Ns = lat[len(lat)*99/100]
+
+	i := 0
+	row.QueryAllocsPerOp = allocsPerRun(256, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.QueryInto(spg, p.u, p.v)
+	})
+	i = 0
+	row.DistanceAllocsPerOp = allocsPerRun(256, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		sr.Distance(p.u, p.v)
+	})
+
+	bib := bfs.NewDiBidirectional(g)
+	start := time.Now()
+	for _, p := range pairs {
+		bib.Query(p.u, p.v)
+	}
+	row.BiBFSMeanNs = time.Since(start).Nanoseconds() / int64(len(pairs))
+	if mean := meanNs(lat); mean > 0 {
+		row.SpeedupVsBiBFS = float64(row.BiBFSMeanNs) / float64(mean)
+	}
+	return row, nil
+}
+
+func meanNs(lat []int64) int64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, v := range lat {
+		sum += v
+	}
+	return sum / int64(len(lat))
+}
+
+// DirectedTableJSON runs DirectedTable and writes the BENCH_PR4.json
+// record with stable formatting.
+func (h *Harness) DirectedTableJSON(path string) error {
+	rows, err := h.DirectedTable()
+	if err != nil {
+		return err
+	}
+	rep := DirectedTableReport{
+		Schema:     DirectedTableSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      h.cfg.Scale,
+		Queries:    h.cfg.NumQueries,
+		Landmarks:  h.cfg.NumLandmarks,
+		Seed:       h.cfg.Seed,
+		Datasets:   rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

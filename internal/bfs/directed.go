@@ -81,7 +81,7 @@ func OracleDiSPG(g *graph.DiGraph, u, v graph.V) *graph.DiSPG {
 type DiBidirectional struct {
 	g        *graph.DiGraph
 	fwd, bwd *Workspace
-	mark     *Workspace
+	ext      *DiExtractor
 	meet     []graph.V
 }
 
@@ -89,10 +89,10 @@ type DiBidirectional struct {
 func NewDiBidirectional(g *graph.DiGraph) *DiBidirectional {
 	n := g.NumVertices()
 	return &DiBidirectional{
-		g:    g,
-		fwd:  NewWorkspace(n),
-		bwd:  NewWorkspace(n),
-		mark: NewWorkspace(n),
+		g:   g,
+		fwd: NewWorkspace(n),
+		bwd: NewWorkspace(n),
+		ext: NewDiExtractor(n),
 	}
 }
 
@@ -151,8 +151,8 @@ func (b *DiBidirectional) Query(u, v graph.V) (*graph.DiSPG, SearchStats) {
 			cut = append(cut, w)
 		}
 	}
-	stats.ArcsScanned += ExtractDiPaths(g, spg, cut, b.fwd, b.mark, true)
-	stats.ArcsScanned += ExtractDiPaths(g, spg, cut, b.bwd, b.mark, false)
+	stats.ArcsScanned += b.ext.Extract(g, spg, cut, b.fwd, true)
+	stats.ArcsScanned += b.ext.Extract(g, spg, cut, b.bwd, false)
 	return spg, stats
 }
 
@@ -177,22 +177,36 @@ func (b *DiBidirectional) expand(frontier []graph.V, ws *Workspace, d int32, for
 	return next
 }
 
-// ExtractDiPaths is the directed reverse search: walk depth levels
-// downward in ws toward the search root. For the forward side
-// (towardSource = true) predecessors are in-neighbours and extracted
-// arcs point pred→x; for the backward side they are out-neighbours and
-// arcs point x→succ.
-func ExtractDiPaths(g *graph.DiGraph, spg *graph.DiSPG, from []graph.V, ws *Workspace, mark *Workspace, towardSource bool) int64 {
-	mark.Reset()
+// DiExtractor performs the directed reverse search with reusable
+// buffers: starting from the given vertices, walk depth levels downward
+// in ws toward the search root. For the forward side (towardSource =
+// true) predecessors are in-neighbours and extracted arcs point pred→x;
+// for the backward side they are out-neighbours and arcs point x→succ.
+// Shared by the Di-Bi-BFS baseline and the directed guided search; a
+// warmed extractor keeps the query path allocation-free.
+type DiExtractor struct {
+	mark      *Workspace
+	cur, next []graph.V
+}
+
+// NewDiExtractor creates an extractor for digraphs with n vertices.
+func NewDiExtractor(n int) *DiExtractor {
+	return &DiExtractor{mark: NewWorkspace(n)}
+}
+
+// Extract runs the directed reverse search from the given vertices and
+// returns the number of adjacency entries scanned.
+func (e *DiExtractor) Extract(g *graph.DiGraph, spg *graph.DiSPG, from []graph.V, ws *Workspace, towardSource bool) int64 {
+	e.mark.Reset()
 	var arcs int64
-	cur := make([]graph.V, 0, len(from))
+	cur := e.cur[:0]
 	for _, w := range from {
-		if !mark.Seen(w) {
-			mark.SetDist(w, 0)
+		if !e.mark.Seen(w) {
+			e.mark.SetDist(w, 0)
 			cur = append(cur, w)
 		}
 	}
-	var next []graph.V
+	next := e.next[:0]
 	for len(cur) > 0 {
 		next = next[:0]
 		for _, x := range cur {
@@ -214,8 +228,8 @@ func ExtractDiPaths(g *graph.DiGraph, spg *graph.DiSPG, from []graph.V, ws *Work
 					} else {
 						spg.AddArc(x, y)
 					}
-					if !mark.Seen(y) {
-						mark.SetDist(y, 0)
+					if !e.mark.Seen(y) {
+						e.mark.SetDist(y, 0)
 						next = append(next, y)
 					}
 				}
@@ -223,5 +237,13 @@ func ExtractDiPaths(g *graph.DiGraph, spg *graph.DiSPG, from []graph.V, ws *Work
 		}
 		cur, next = next, cur
 	}
+	e.cur, e.next = cur[:0], next[:0]
 	return arcs
+}
+
+// ExtractDiPaths is the one-shot form of DiExtractor.Extract; mark is
+// used as the dedup scratch set.
+func ExtractDiPaths(g *graph.DiGraph, spg *graph.DiSPG, from []graph.V, ws *Workspace, mark *Workspace, towardSource bool) int64 {
+	e := &DiExtractor{mark: mark}
+	return e.Extract(g, spg, from, ws, towardSource)
 }

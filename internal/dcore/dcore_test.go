@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"qbs/internal/bfs"
 	"qbs/internal/graph"
@@ -273,5 +274,155 @@ func TestDiBidirectionalMatchesOracle(t *testing.T) {
 				t.Fatalf("%s: DiBiBFS(%d,%d) = %v, want %v", name, u, v, got, want)
 			}
 		}
+	}
+}
+
+// TestEngineMatchesScalarReference pins the bit-parallel labelling
+// bit-identical to the scalar per-landmark reference: both label
+// matrices, σ, the canonical meta-arc list and every Δ list must agree
+// byte for byte, across graph shapes and landmark counts — including
+// multi-batch builds beyond the 64-way sweep width.
+func TestEngineMatchesScalarReference(t *testing.T) {
+	graphs := testDigraphs()
+	graphs["der400"] = graph.DirectedErdosRenyi(400, 2400, 29)
+	for name, g := range graphs {
+		for _, k := range []int{1, 3, 20, 80, 130} {
+			if k > g.NumVertices() {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/R=%d", name, k), func(t *testing.T) {
+				eng := MustBuild(g, Options{NumLandmarks: k})
+				ref := MustBuild(g, Options{NumLandmarks: k, Scalar: true})
+				for i := range eng.labelFrom {
+					if eng.labelFrom[i] != ref.labelFrom[i] {
+						t.Fatalf("labelFrom diverges at %d: engine %d, scalar %d", i, eng.labelFrom[i], ref.labelFrom[i])
+					}
+					if eng.labelTo[i] != ref.labelTo[i] {
+						t.Fatalf("labelTo diverges at %d: engine %d, scalar %d", i, eng.labelTo[i], ref.labelTo[i])
+					}
+				}
+				for i := range eng.sigma {
+					if eng.sigma[i] != ref.sigma[i] {
+						t.Fatalf("sigma diverges at %d: engine %d, scalar %d", i, eng.sigma[i], ref.sigma[i])
+					}
+					if eng.metaID[i] != ref.metaID[i] {
+						t.Fatalf("metaID diverges at %d", i)
+					}
+				}
+				if len(eng.meta) != len(ref.meta) {
+					t.Fatalf("meta arcs: engine %d, scalar %d", len(eng.meta), len(ref.meta))
+				}
+				for k := range eng.meta {
+					if eng.meta[k] != ref.meta[k] {
+						t.Fatalf("meta[%d]: engine %+v, scalar %+v", k, eng.meta[k], ref.meta[k])
+					}
+					if len(eng.delta[k]) != len(ref.delta[k]) {
+						t.Fatalf("delta[%d]: engine %d arcs, scalar %d", k, len(eng.delta[k]), len(ref.delta[k]))
+					}
+					for i := range eng.delta[k] {
+						if eng.delta[k][i] != ref.delta[k][i] {
+							t.Fatalf("delta[%d][%d] diverges", k, i)
+						}
+					}
+				}
+				if eng.build.LabelEntries != ref.build.LabelEntries {
+					t.Fatalf("label entries: engine %d, scalar %d", eng.build.LabelEntries, ref.build.LabelEntries)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineDepthOverflowMatchesScalar pins the two paths' failure
+// behaviour: both must reject a >254-hop labelling distance.
+func TestEngineDepthOverflowMatchesScalar(t *testing.T) {
+	b := graph.NewDiBuilder(300)
+	for i := 0; i < 299; i++ {
+		b.AddArc(graph.V(i), graph.V(i+1))
+	}
+	g := b.MustBuild()
+	if _, err := Build(g, Options{Landmarks: []graph.V{0}}); err != ErrDiameterTooLarge {
+		t.Fatalf("engine: err = %v, want ErrDiameterTooLarge", err)
+	}
+	if _, err := Build(g, Options{Landmarks: []graph.V{0}, Scalar: true}); err != ErrDiameterTooLarge {
+		t.Fatalf("scalar: err = %v, want ErrDiameterTooLarge", err)
+	}
+}
+
+// TestDirectedQueryIntoAndDistance covers the reusable-result entry
+// points against the oracle and the extracting query.
+func TestDirectedQueryIntoAndDistance(t *testing.T) {
+	g := graph.DirectedScaleFree(300, 3, 31)
+	ix := MustBuild(g, Options{NumLandmarks: 12})
+	sr := NewSearcher(ix)
+	spg := graph.NewDiSPG(0, 0)
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 150; i++ {
+		u := graph.V(rng.Intn(g.NumVertices()))
+		v := graph.V(rng.Intn(g.NumVertices()))
+		want := bfs.OracleDiSPG(g, u, v)
+		sr.QueryInto(spg, u, v)
+		if !spg.Equal(want) {
+			t.Fatalf("QueryInto(%d,%d) != oracle", u, v)
+		}
+		if d := sr.Distance(u, v); d != want.Dist {
+			t.Fatalf("Distance(%d,%d) = %d, want %d", u, v, d, want.Dist)
+		}
+	}
+}
+
+// TestDirectedRestoreRoundTrip pins Persistent/Restore: an index
+// reassembled from its own frozen state answers bit-identically.
+func TestDirectedRestoreRoundTrip(t *testing.T) {
+	g := graph.DirectedScaleFree(250, 3, 43)
+	ix := MustBuild(g, Options{NumLandmarks: 10})
+	ps := ix.Persistent()
+	re, err := Restore(ps.Graph, ps.Landmarks, ps.LabelFrom, ps.LabelTo, ps.Sigma, ps.Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ix.distM {
+		if ix.distM[i] != re.distM[i] {
+			t.Fatalf("restored APSP diverges at %d", i)
+		}
+	}
+	sa, sb := NewSearcher(ix), NewSearcher(re)
+	rng := rand.New(rand.NewSource(47))
+	for i := 0; i < 100; i++ {
+		u := graph.V(rng.Intn(g.NumVertices()))
+		v := graph.V(rng.Intn(g.NumVertices()))
+		if !sa.Query(u, v).Equal(sb.Query(u, v)) {
+			t.Fatalf("restored index answers (%d,%d) differently", u, v)
+		}
+	}
+}
+
+// TestDirectedEngineBuildSpeedup is the PR 4 acceptance criterion: the
+// bit-parallel labelling must construct at least 2× faster than the
+// scalar reference on the bench graph. Skipped under the race detector
+// and -short (instrumented timings are not representative).
+func TestDirectedEngineBuildSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabledDcore {
+		t.Skip("timing test under race instrumentation")
+	}
+	g := graph.DirectedScaleFree(30000, 6, 53)
+	landmarks := g.TotalDegreeOrder()[:32]
+	best := func(scalar bool) time.Duration {
+		b := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 3; rep++ {
+			ix := MustBuild(g, Options{Landmarks: landmarks, Scalar: scalar, Parallelism: 1})
+			if d := ix.Stats().LabellingTime; d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	engine, scalar := best(false), best(true)
+	if ratio := float64(scalar) / float64(engine); ratio < 2 {
+		t.Fatalf("bit-parallel labelling only %.2fx faster than scalar (engine %s, scalar %s), want >= 2x",
+			ratio, engine, scalar)
 	}
 }

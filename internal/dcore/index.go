@@ -21,21 +21,36 @@
 // LabelTo entries of u, suffixes after the last landmark witness
 // LabelFrom entries of v, and landmark-to-landmark segments decompose
 // into meta-arcs.
+//
+// Construction runs on the shared traverse.MultiBFS engine: one
+// bit-parallel sweep over the out-adjacency advances up to 64 forward
+// landmark BFSes (filling labelFrom and discovering meta-arcs), and one
+// sweep over the in-adjacency advances the matching backward BFSes
+// (filling labelTo) — two graph sweeps per 64 landmarks instead of two
+// per landmark. The scalar per-landmark BFS is retained below as the
+// reference implementation; dcore_test pins the engine's labels, σ and
+// meta-arcs bit-identical to it.
 package dcore
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"qbs/internal/graph"
+	"qbs/internal/traverse"
 )
 
 // NoEntry marks an absent label entry (distances stored in one byte, as
 // in the undirected index).
 const NoEntry = uint8(255)
+
+// MaxLabelDist is the largest distance representable in a label byte.
+const MaxLabelDist = int32(254)
 
 // ErrDiameterTooLarge mirrors core.ErrDiameterTooLarge.
 var ErrDiameterTooLarge = errors.New("dcore: graph distance exceeds 254, cannot encode labels in 8 bits")
@@ -48,11 +63,28 @@ type Options struct {
 	Landmarks []graph.V
 	// Parallelism bounds labelling workers (0 = GOMAXPROCS).
 	Parallelism int
+	// Scalar selects the scalar per-landmark reference labelling instead
+	// of the bit-parallel engine. The results are bit-identical; the
+	// scalar path exists for the oracle property tests and the
+	// DirectedTable build-speedup measurement.
+	Scalar bool
 }
 
 type metaArc struct {
 	a, b   int // landmark ranks, a → b
 	weight int32
+}
+
+// BuildStats reports directed construction cost and size accounting.
+type BuildStats struct {
+	LabellingTime time.Duration // both directed labellings
+	MetaTime      time.Duration // APSP + Δ recovery
+	TotalTime     time.Duration
+	Parallelism   int
+	NumLandmarks  int
+	LabelEntries  int64 // non-empty entries across labelFrom and labelTo
+	MetaArcs      int
+	DeltaArcs     int64
 }
 
 // Index is the directed QbS index.
@@ -63,8 +95,8 @@ type Index struct {
 	landIdx   []int16
 	numLand   int
 
-	labelFrom []uint8 // |V|×|R|: δ(r → v) over avoiding paths
-	labelTo   []uint8 // |V|×|R|: δ(v → r) over avoiding paths
+	labelFrom []uint8 // |V|×|R| row-major: δ(r → v) over avoiding paths
+	labelTo   []uint8 // |V|×|R| row-major: δ(v → r) over avoiding paths
 
 	sigma  []uint8 // |R|×|R| directed meta-arc weights (row = from)
 	distM  []int32 // |R|×|R| directed APSP
@@ -72,7 +104,13 @@ type Index struct {
 	metaID []int32
 	delta  [][]graph.Arc
 
-	buildTime time.Duration
+	// degsOut/degsIn cache per-direction degrees for the traversal
+	// engines' α/β direction heuristic (an interface Degree call per
+	// discovered vertex would dominate the switch bookkeeping).
+	degsOut []int32
+	degsIn  []int32
+
+	build BuildStats
 }
 
 // Graph returns the indexed digraph.
@@ -84,8 +122,14 @@ func (ix *Index) Landmarks() []graph.V { return ix.landmarks }
 // IsLandmark reports whether v is a landmark.
 func (ix *Index) IsLandmark(v graph.V) bool { return ix.landIdx[v] >= 0 }
 
+// NumLandmarks returns |R|.
+func (ix *Index) NumLandmarks() int { return ix.numLand }
+
+// Stats returns construction statistics.
+func (ix *Index) Stats() BuildStats { return ix.build }
+
 // BuildTime returns construction wall time.
-func (ix *Index) BuildTime() time.Duration { return ix.buildTime }
+func (ix *Index) BuildTime() time.Duration { return ix.build.TotalTime }
 
 // SizeLabelsBytes accounts 2·|R| bytes per vertex (two directed
 // labellings).
@@ -93,9 +137,46 @@ func (ix *Index) SizeLabelsBytes() int64 {
 	return 2 * int64(ix.g.NumVertices()) * int64(ix.numLand)
 }
 
+// SizeDeltaBytes accounts 8 bytes per precomputed meta-arc SPG arc.
+func (ix *Index) SizeDeltaBytes() int64 { return ix.build.DeltaArcs * 8 }
+
 // Build constructs the directed index.
 func Build(g *graph.DiGraph, opts Options) (*Index, error) {
 	start := time.Now()
+	ix, err := newShell(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	labStart := time.Now()
+	if opts.Scalar {
+		err = ix.buildLabellingScalar(parallelism)
+	} else {
+		err = ix.buildLabelling(parallelism)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ix.build.LabellingTime = time.Since(labStart)
+
+	metaStart := time.Now()
+	ix.buildAPSP()
+	ix.buildDelta()
+	ix.build.MetaTime = time.Since(metaStart)
+
+	ix.build.TotalTime = time.Since(start)
+	ix.build.Parallelism = parallelism
+	ix.build.NumLandmarks = ix.numLand
+	return ix, nil
+}
+
+// newShell validates the landmark set and prepares the Index skeleton
+// (landmark ranks, reverse map, cached degrees) without labels.
+func newShell(g *graph.DiGraph, opts Options) (*Index, error) {
 	k := opts.NumLandmarks
 	if k <= 0 {
 		k = 20
@@ -118,6 +199,8 @@ func Build(g *graph.DiGraph, opts Options) (*Index, error) {
 		landmarks: landmarks,
 		numLand:   len(landmarks),
 		landIdx:   make([]int16, g.NumVertices()),
+		degsOut:   g.OutDegrees(),
+		degsIn:    g.InDegrees(),
 	}
 	for i := range ix.landIdx {
 		ix.landIdx[i] = -1
@@ -131,12 +214,6 @@ func Build(g *graph.DiGraph, opts Options) (*Index, error) {
 		}
 		ix.landIdx[r] = int16(i)
 	}
-	if err := ix.buildLabelling(opts.Parallelism); err != nil {
-		return nil, err
-	}
-	ix.buildAPSP()
-	ix.buildDelta()
-	ix.buildTime = time.Since(start)
 	return ix, nil
 }
 
@@ -148,6 +225,182 @@ func MustBuild(g *graph.DiGraph, opts Options) *Index {
 	}
 	return ix
 }
+
+// allocLabels allocates both label matrices NoEntry-filled (doubling
+// copies: memmove beats a byte loop ~8×).
+func (ix *Index) allocLabels() {
+	n := ix.g.NumVertices()
+	R := ix.numLand
+	backing := make([]uint8, 2*n*R)
+	if len(backing) > 0 {
+		backing[0] = NoEntry
+		for filled := 1; filled < len(backing); filled *= 2 {
+			copy(backing[filled:], backing[:filled])
+		}
+	}
+	ix.labelFrom = backing[: n*R : n*R]
+	ix.labelTo = backing[n*R:]
+}
+
+// batchBFS sweeps one batch of up to 64 landmark ranks
+// [base, base+len(roots)) through the bit-parallel engine in one
+// direction. forward=true walks out-arcs filling labelFrom and
+// collecting meta-arcs (base+bit → rj); forward=false walks in-arcs
+// filling labelTo (meta-arcs are only collected on the forward pass to
+// avoid duplication). Returns the meta-arcs and the number of label
+// entries written.
+func (ix *Index) batchBFS(eng *traverse.MultiBFS, base int, roots []graph.V, forward bool) ([]metaArc, int64, error) {
+	g := ix.g
+	R := ix.numLand
+	push, pull, deg, labels := g.OutView(), g.InView(), ix.degsOut, ix.labelFrom
+	if !forward {
+		push, pull, deg, labels = g.InView(), g.OutView(), ix.degsIn, ix.labelTo
+	}
+	var metas []metaArc
+	var entries int64
+	err := eng.RunDirected(push, pull, deg, ix.landIdx, roots, MaxLabelDist,
+		func(v graph.V, depth int32, newL, _ uint64) {
+			if newL == 0 {
+				return
+			}
+			if rj := ix.landIdx[v]; rj >= 0 {
+				if forward {
+					for w := newL; w != 0; w &= w - 1 {
+						metas = append(metas, metaArc{a: base + bits.TrailingZeros64(w), b: int(rj), weight: depth})
+					}
+				}
+			} else {
+				entries += int64(bits.OnesCount64(newL))
+				d8 := uint8(depth)
+				row := labels[int(v)*R : int(v)*R+R]
+				for w := newL; w != 0; w &= w - 1 {
+					row[base+bits.TrailingZeros64(w)] = d8
+				}
+			}
+		})
+	if err != nil {
+		return nil, 0, ErrDiameterTooLarge
+	}
+	return metas, entries, nil
+}
+
+// buildLabelling runs both directed labellings from every landmark in
+// bit-parallel batches of 64 (batches distributed over parallel
+// workers), then merges and canonicalises the meta-arcs.
+func (ix *Index) buildLabelling(parallelism int) error {
+	n := ix.g.NumVertices()
+	R := ix.numLand
+	ix.allocLabels()
+	if R == 0 {
+		ix.finishMeta(nil)
+		return nil
+	}
+
+	batches := (R + traverse.MaxSources - 1) / traverse.MaxSources
+	perBatch := make([][]metaArc, batches)
+	perBatchEntries := make([]int64, batches)
+	var firstErr error
+
+	runBatch := func(eng *traverse.MultiBFS, b int) error {
+		base := b * traverse.MaxSources
+		end := min(base+traverse.MaxSources, R)
+		roots := ix.landmarks[base:end]
+		metas, fwdEntries, err := ix.batchBFS(eng, base, roots, true)
+		if err != nil {
+			return err
+		}
+		_, bwdEntries, err := ix.batchBFS(eng, base, roots, false)
+		if err != nil {
+			return err
+		}
+		perBatch[b] = metas
+		perBatchEntries[b] = fwdEntries + bwdEntries
+		return nil
+	}
+
+	if parallelism > batches {
+		parallelism = batches
+	}
+	if parallelism <= 1 {
+		eng := traverse.NewMultiBFS(n)
+		for b := 0; b < batches; b++ {
+			if err := runBatch(eng, b); err != nil {
+				return err
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		work := make(chan int)
+		for w := 0; w < parallelism; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eng := traverse.NewMultiBFS(n)
+				for b := range work {
+					if err := runBatch(eng, b); err != nil {
+						mu.Lock()
+						firstErr = err
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for b := 0; b < batches; b++ {
+			work <- b
+		}
+		close(work)
+		wg.Wait()
+		if firstErr != nil {
+			return firstErr
+		}
+	}
+
+	var all []metaArc
+	ix.build.LabelEntries = 0
+	for b, metas := range perBatch {
+		all = append(all, metas...)
+		ix.build.LabelEntries += perBatchEntries[b]
+	}
+	ix.finishMeta(all)
+	return nil
+}
+
+// finishMeta canonicalises the discovered meta-arcs — sorted by (from,
+// to) rank so the arc order is a pure function of σ, independent of
+// discovery order — and freezes σ, the arc list and the rank-pair → arc
+// id map. Each (a, b) pair is discovered at most once per forward BFS,
+// so weights are unique per pair and dedup order is immaterial.
+func (ix *Index) finishMeta(all []metaArc) {
+	R := ix.numLand
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].a != all[j].a {
+			return all[i].a < all[j].a
+		}
+		return all[i].b < all[j].b
+	})
+	ix.sigma = make([]uint8, R*R)
+	ix.metaID = make([]int32, R*R)
+	for i := range ix.sigma {
+		ix.sigma[i] = NoEntry
+		ix.metaID[i] = -1
+	}
+	for _, m := range all {
+		at := m.a*R + m.b
+		if ix.sigma[at] == NoEntry {
+			ix.sigma[at] = uint8(m.weight)
+			ix.metaID[at] = int32(len(ix.meta))
+			ix.meta = append(ix.meta, m)
+		}
+	}
+	ix.build.MetaArcs = len(ix.meta)
+}
+
+// --- scalar reference labelling ---------------------------------------
+//
+// One avoiding QL/QN BFS per landmark and direction, kept as the ground
+// truth the bit-parallel engine is pinned against (and as the baseline
+// of the DirectedTable build-speedup measurement).
 
 type diLabelWS struct {
 	depth   []int32
@@ -198,7 +451,7 @@ func (ix *Index) landmarkBFS(ri int, forward bool, ws *diLabelWS) ([]metaArc, bo
 	depth := int32(0)
 	for len(ws.curL) > 0 || len(ws.curN) > 0 {
 		next := depth + 1
-		if next > 254 {
+		if next > MaxLabelDist {
 			return nil, false
 		}
 		ws.nextL, ws.nextN = ws.nextL[:0], ws.nextN[:0]
@@ -236,17 +489,15 @@ func (ix *Index) landmarkBFS(ri int, forward bool, ws *diLabelWS) ([]metaArc, bo
 	return metas, true
 }
 
-func (ix *Index) buildLabelling(parallelism int) error {
+// buildLabellingScalar is the reference construction: two scalar BFSes
+// per landmark, landmarks distributed over parallel workers.
+func (ix *Index) buildLabellingScalar(parallelism int) error {
 	n := ix.g.NumVertices()
 	R := ix.numLand
-	ix.labelFrom = make([]uint8, n*R)
-	ix.labelTo = make([]uint8, n*R)
-	for i := range ix.labelFrom {
-		ix.labelFrom[i] = NoEntry
-		ix.labelTo[i] = NoEntry
-	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	ix.allocLabels()
+	if R == 0 {
+		ix.finishMeta(nil)
+		return nil
 	}
 	if parallelism > R {
 		parallelism = R
@@ -302,22 +553,27 @@ func (ix *Index) buildLabelling(parallelism int) error {
 	for _, m := range perLandmark {
 		all = append(all, m...)
 	}
-	ix.sigma = make([]uint8, R*R)
-	ix.metaID = make([]int32, R*R)
-	for i := range ix.sigma {
-		ix.sigma[i] = NoEntry
-		ix.metaID[i] = -1
-	}
-	for _, m := range all {
-		at := m.a*R + m.b
-		if ix.sigma[at] == NoEntry {
-			ix.sigma[at] = uint8(m.weight)
-			ix.metaID[at] = int32(len(ix.meta))
-			ix.meta = append(ix.meta, m)
-		}
-	}
+	ix.build.LabelEntries = ix.countLabelEntries()
+	ix.finishMeta(all)
 	return nil
 }
+
+func (ix *Index) countLabelEntries() int64 {
+	var entries int64
+	for _, d := range ix.labelFrom {
+		if d != NoEntry {
+			entries++
+		}
+	}
+	for _, d := range ix.labelTo {
+		if d != NoEntry {
+			entries++
+		}
+	}
+	return entries
+}
+
+// ----------------------------------------------------------------------
 
 func (ix *Index) buildAPSP() {
 	R := ix.numLand
@@ -428,5 +684,9 @@ func (ix *Index) buildDelta() {
 			level[w] = -1
 		}
 		ix.delta[k] = arcs
+	}
+	ix.build.DeltaArcs = 0
+	for _, d := range ix.delta {
+		ix.build.DeltaArcs += int64(len(d))
 	}
 }

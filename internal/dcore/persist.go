@@ -1,0 +1,87 @@
+package dcore
+
+import (
+	"fmt"
+
+	"qbs/internal/graph"
+)
+
+// Persistence hooks for the durable store (internal/store). The directed
+// index is immutable, so persistence is a single frozen snapshot: the
+// dual-CSR digraph, the landmark set, σ, both label matrices and the Δ
+// lists. The derived meta state (APSP, arc ids) is a pure function of σ
+// and is recomputed on restore (O(|R|³), independent of graph size).
+
+// PersistentState is the frozen view of an Index that the durable store
+// serialises. All slices alias index state and must not be modified.
+type PersistentState struct {
+	Graph     *graph.DiGraph
+	Landmarks []graph.V
+	Sigma     []uint8 // |R|×|R| row-major, row = from-rank
+	LabelFrom []uint8 // |V|×|R| row-major
+	LabelTo   []uint8 // |V|×|R| row-major
+	Delta     [][]graph.Arc
+}
+
+// Persistent captures the index state for serialization. Delta lists
+// are in the canonical meta-arc order (ascending (from, to) rank — a
+// pure function of σ, which is what lets Restore re-derive the arc ids).
+func (ix *Index) Persistent() PersistentState {
+	return PersistentState{
+		Graph:     ix.g,
+		Landmarks: ix.landmarks,
+		Sigma:     ix.sigma,
+		LabelFrom: ix.labelFrom,
+		LabelTo:   ix.labelTo,
+		Delta:     ix.delta,
+	}
+}
+
+// Restore reassembles a directed index from persisted state without any
+// BFS work: the labels, σ and Δ are adopted by reference (they may be
+// views into a read-only snapshot arena — the index never writes them),
+// and only the meta-arc table and APSP are recomputed from σ. delta must
+// align with the canonical meta-arc order derived from sigma.
+func Restore(g *graph.DiGraph, landmarks []graph.V, labelFrom, labelTo, sigma []uint8, delta [][]graph.Arc) (*Index, error) {
+	ix, err := newShell(g, Options{Landmarks: landmarks})
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	R := ix.numLand
+	if len(labelFrom) != n*R || len(labelTo) != n*R {
+		return nil, fmt.Errorf("dcore: restore with %d/%d label bytes, want %d", len(labelFrom), len(labelTo), n*R)
+	}
+	if len(sigma) != R*R {
+		return nil, fmt.Errorf("dcore: restore with %d sigma entries, want %d", len(sigma), R*R)
+	}
+	ix.labelFrom = labelFrom
+	ix.labelTo = labelTo
+	ix.sigma = sigma
+	ix.metaID = make([]int32, R*R)
+	for i := range ix.metaID {
+		ix.metaID[i] = -1
+	}
+	for a := 0; a < R; a++ {
+		for b := 0; b < R; b++ {
+			s := sigma[a*R+b]
+			if a == b || s == NoEntry {
+				continue
+			}
+			ix.metaID[a*R+b] = int32(len(ix.meta))
+			ix.meta = append(ix.meta, metaArc{a: a, b: b, weight: int32(s)})
+		}
+	}
+	if len(delta) != len(ix.meta) {
+		return nil, fmt.Errorf("dcore: restore with %d delta lists for %d meta arcs", len(delta), len(ix.meta))
+	}
+	ix.delta = delta
+	ix.buildAPSP()
+	ix.build.NumLandmarks = R
+	ix.build.MetaArcs = len(ix.meta)
+	ix.build.LabelEntries = ix.countLabelEntries()
+	for _, d := range delta {
+		ix.build.DeltaArcs += int64(len(d))
+	}
+	return ix, nil
+}

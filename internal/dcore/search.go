@@ -3,23 +3,28 @@ package dcore
 import (
 	"qbs/internal/bfs"
 	"qbs/internal/graph"
+	"qbs/internal/traverse"
 )
 
 // Directed guided search: forward BFS from u over out-arcs and backward
 // BFS from v over in-arcs on the landmark-sparsified digraph, bounded by
 // the directed sketch; then directed reverse and recover stages combined
-// per Eq. 5.
+// per Eq. 5. Each side expands through a direction-optimizing
+// traverse.Expander (top-down while sparse, bottom-up through dense
+// levels) exactly like the undirected searcher; landmarks carry a
+// sentinel stamp so both directions skip them with one Seen check.
 
 // Searcher answers directed queries against a fixed Index. Not safe for
-// concurrent use.
+// concurrent use; create one per goroutine (they share the immutable
+// Index).
 type Searcher struct {
-	ix *Index
-	g  *graph.DiGraph
-
-	fwd, bwd diSide
-	mark     *bfs.Workspace
-	walkMark *bfs.Workspace
-
+	ix         *Index
+	g          *graph.DiGraph
+	gOut, gIn  graph.Adjacency // pre-converted views (no per-query boxing)
+	fwd, bwd   diSide
+	ext        *bfs.DiExtractor
+	walkMark   *bfs.Workspace
+	distSPG    *graph.DiSPG // scratch result for Distance (never escapes)
 	entU, entV []sketchEntry
 	pairs      []pair
 	sigmaU     []int32
@@ -41,8 +46,12 @@ type sketchEntry struct {
 
 type pair struct{ r, rp int }
 
+// diSide is one direction of the bidirectional search: an epoch-stamped
+// depth map, a direction-optimizing expander and an arena of visited
+// vertices grouped into levels.
 type diSide struct {
 	ws       *bfs.Workspace
+	exp      *traverse.Expander
 	arena    []graph.V
 	levelOff []int32
 	d        int32
@@ -67,14 +76,19 @@ func NewSearcher(ix *Index) *Searcher {
 	sr := &Searcher{
 		ix:       ix,
 		g:        ix.g,
-		mark:     bfs.NewWorkspace(n),
+		gOut:     ix.g.OutView(),
+		gIn:      ix.g.InView(),
+		ext:      bfs.NewDiExtractor(n),
 		walkMark: bfs.NewWorkspace(n),
+		distSPG:  graph.NewDiSPG(0, 0),
 		sigmaU:   make([]int32, R),
 		sigmaV:   make([]int32, R),
 		metaGen:  make([]uint32, len(ix.meta)),
 	}
 	sr.fwd.ws = bfs.NewWorkspace(n)
 	sr.bwd.ws = bfs.NewWorkspace(n)
+	sr.fwd.exp = traverse.NewExpander(n)
+	sr.bwd.exp = traverse.NewExpander(n)
 	for i := 0; i < R; i++ {
 		sr.sigmaU[i] = -1
 		sr.sigmaV[i] = -1
@@ -82,14 +96,50 @@ func NewSearcher(ix *Index) *Searcher {
 	return sr
 }
 
+// QueryStats reports directed per-query internals.
+type QueryStats struct {
+	Dist int32 // d_G(u → v); graph.InfDist if unreachable
+	DTop int32 // the directed sketch bound d⊤
+}
+
 // Query answers the directed SPG(u → v).
 func (sr *Searcher) Query(u, v graph.V) *graph.DiSPG {
+	spg := graph.NewDiSPG(u, v)
+	sr.query(spg, u, v, true)
+	return spg
+}
+
+// QueryWithStats answers SPG(u → v) and reports query internals —
+// notably d⊤, which the serving layer would otherwise recompute with a
+// second sketch pass.
+func (sr *Searcher) QueryWithStats(u, v graph.V) (*graph.DiSPG, QueryStats) {
+	spg := graph.NewDiSPG(u, v)
+	st := sr.query(spg, u, v, true)
+	return spg, st
+}
+
+// QueryInto answers SPG(u → v) into a caller-owned result, resetting it
+// first. Reusing one DiSPG across queries keeps the warm query path free
+// of heap allocations (the arc buffer is recycled at its high-water
+// mark).
+func (sr *Searcher) QueryInto(spg *graph.DiSPG, u, v graph.V) {
+	spg.Reset(u, v)
+	sr.query(spg, u, v, true)
+}
+
+// Distance returns d_G(u → v) using the same sketch-guided machinery but
+// skipping path extraction. It does not allocate on the warm path.
+func (sr *Searcher) Distance(u, v graph.V) int32 {
+	sr.distSPG.Reset(u, v)
+	return sr.query(sr.distSPG, u, v, false).Dist
+}
+
+func (sr *Searcher) query(spg *graph.DiSPG, u, v graph.V, extract bool) QueryStats {
 	ix := sr.ix
 	g := sr.g
-	spg := graph.NewDiSPG(u, v)
 	if u == v {
 		spg.Dist = 0
-		return spg
+		return QueryStats{Dist: 0, DTop: 0}
 	}
 
 	dTop, dStarU, dStarV := sr.computeSketch(u, v)
@@ -102,6 +152,11 @@ func (sr *Searcher) Query(u, v graph.V) *graph.DiSPG {
 	var meet []graph.V
 	dGMinus := graph.InfDist
 	if !uLand && !vLand {
+		sr.fwd.exp.BeginDirected(sr.gOut, sr.gIn, ix.degsOut)
+		sr.bwd.exp.BeginDirected(sr.gIn, sr.gOut, ix.degsIn)
+		// Pre-stamp landmarks with a sentinel depth so the expansion loop
+		// skips them with a single stamp check — the implicit G⁻ = G[V\R],
+		// honoured identically by top-down and bottom-up expansion.
 		for _, r := range ix.landmarks {
 			sr.fwd.ws.SetDist(r, -1)
 			sr.bwd.ws.SetDist(r, -1)
@@ -118,23 +173,25 @@ func (sr *Searcher) Query(u, v graph.V) *graph.DiSPG {
 	}
 	spg.Dist = dist
 	if dist == graph.InfDist {
-		return spg
+		return QueryStats{Dist: dist, DTop: dTop}
 	}
 
-	if dGMinus == dist && len(meet) > 0 {
-		cut := meet[:0]
-		for _, w := range meet {
-			if sr.fwd.ws.Dist(w)+sr.bwd.ws.Dist(w) == dist {
-				cut = append(cut, w)
+	if extract {
+		if dGMinus == dist && len(meet) > 0 {
+			cut := meet[:0]
+			for _, w := range meet {
+				if sr.fwd.ws.Dist(w)+sr.bwd.ws.Dist(w) == dist {
+					cut = append(cut, w)
+				}
 			}
+			sr.ext.Extract(g, spg, cut, sr.fwd.ws, true)
+			sr.ext.Extract(g, spg, cut, sr.bwd.ws, false)
 		}
-		bfs.ExtractDiPaths(g, spg, cut, sr.fwd.ws, sr.mark, true)
-		bfs.ExtractDiPaths(g, spg, cut, sr.bwd.ws, sr.mark, false)
+		if dTop == dist {
+			sr.recover(spg, uLand, vLand)
+		}
 	}
-	if dTop == dist {
-		sr.recover(spg, uLand, vLand)
-	}
-	return spg
+	return QueryStats{Dist: dist, DTop: dTop}
 }
 
 func (sr *Searcher) computeSketch(u, v graph.V) (dTop, dStarU, dStarV int32) {
@@ -224,24 +281,23 @@ func (sr *Searcher) bidirectional(dTop, dStarU, dStarV int32) []graph.V {
 		uWant := dStarU > sr.fwd.d && len(sr.fwd.frontier()) > 0
 		vWant := dStarV > sr.bwd.d && len(sr.bwd.frontier()) > 0
 		var side, other *diSide
-		forward := true
 		switch {
 		case uWant && !vWant:
 			side, other = &sr.fwd, &sr.bwd
 		case vWant && !uWant:
-			side, other, forward = &sr.bwd, &sr.fwd, false
+			side, other = &sr.bwd, &sr.fwd
 		case sr.fwd.visited() <= sr.bwd.visited():
 			side, other = &sr.fwd, &sr.bwd
 		default:
-			side, other, forward = &sr.bwd, &sr.fwd, false
+			side, other = &sr.bwd, &sr.fwd
 		}
 		if len(side.frontier()) == 0 {
-			side, other, forward = other, side, !forward
+			side, other = other, side
 			if len(side.frontier()) == 0 {
 				return nil
 			}
 		}
-		sr.expand(side, forward)
+		sr.expand(side)
 		for _, w := range side.frontier() {
 			if other.ws.Seen(w) {
 				meet = append(meet, w)
@@ -254,22 +310,11 @@ func (sr *Searcher) bidirectional(dTop, dStarU, dStarV int32) []graph.V {
 	return nil
 }
 
-func (sr *Searcher) expand(side *diSide, forward bool) {
-	g := sr.g
-	d := side.d
-	neighbors := g.Out
-	if !forward {
-		neighbors = g.In
-	}
-	for _, x := range side.frontier() {
-		for _, y := range neighbors(x) {
-			if side.ws.Seen(y) {
-				continue
-			}
-			side.ws.SetDist(y, d+1)
-			side.arena = append(side.arena, y)
-		}
-	}
+// expand grows side by one level over G⁻ through its
+// direction-optimizing expander (the forward side is bound to the
+// out-view, the backward side to the in-view, at query setup).
+func (sr *Searcher) expand(side *diSide) {
+	side.arena, _ = side.exp.Expand(side.ws, side.frontier(), side.d, side.arena)
 	side.levelOff = append(side.levelOff, int32(len(side.arena)))
 	side.d++
 }
@@ -301,7 +346,7 @@ func (sr *Searcher) recover(spg *graph.DiSPG, uLand, vLand bool) {
 			if len(starts) == 0 {
 				continue
 			}
-			bfs.ExtractDiPaths(g, spg, starts, sr.fwd.ws, sr.mark, true)
+			sr.ext.Extract(g, spg, starts, sr.fwd.ws, true)
 			sr.labelWalkTo(spg, starts, rank, int32(want))
 		}
 	}
@@ -326,7 +371,7 @@ func (sr *Searcher) recover(spg *graph.DiSPG, uLand, vLand bool) {
 			if len(starts) == 0 {
 				continue
 			}
-			bfs.ExtractDiPaths(g, spg, starts, sr.bwd.ws, sr.mark, false)
+			sr.ext.Extract(g, spg, starts, sr.bwd.ws, false)
 			sr.labelWalkFrom(spg, starts, rank, int32(want))
 		}
 	}

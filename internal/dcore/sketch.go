@@ -1,0 +1,78 @@
+package dcore
+
+import "qbs/internal/graph"
+
+// SketchPair is one minimizing landmark pair (r, r') of a directed
+// sketch: d⊤ = δ(u→r) + d_M(r→r') + δ(r'→v).
+type SketchPair struct {
+	R, RPrime int // landmark ranks
+}
+
+// Sketch is the directed per-query summary structure — the directed
+// analogue of core.Sketch, for introspection and the /sketch endpoint.
+// Query computes the same quantities internally without allocating.
+type Sketch struct {
+	U, V  graph.V
+	DTop  int32 // the sketch distance bound (graph.InfDist if empty)
+	Pairs []SketchPair
+}
+
+// Sketch computes the directed query sketch S_{u→v}.
+func (ix *Index) Sketch(u, v graph.V) *Sketch {
+	R := ix.numLand
+	sk := &Sketch{U: u, V: v, DTop: graph.InfDist}
+	if u == v {
+		sk.DTop = 0
+		return sk
+	}
+	type entry struct {
+		rank  int
+		sigma int32
+	}
+	var entU, entV []entry
+	if ri := ix.landIdx[u]; ri >= 0 {
+		entU = append(entU, entry{rank: int(ri)})
+	} else {
+		base := int(u) * R
+		for i := 0; i < R; i++ {
+			if d := ix.labelTo[base+i]; d != NoEntry {
+				entU = append(entU, entry{rank: i, sigma: int32(d)})
+			}
+		}
+	}
+	if ri := ix.landIdx[v]; ri >= 0 {
+		entV = append(entV, entry{rank: int(ri)})
+	} else {
+		base := int(v) * R
+		for i := 0; i < R; i++ {
+			if d := ix.labelFrom[base+i]; d != NoEntry {
+				entV = append(entV, entry{rank: i, sigma: int32(d)})
+			}
+		}
+	}
+	for _, eu := range entU {
+		row := eu.rank * R
+		for _, ev := range entV {
+			dm := ix.distM[row+ev.rank]
+			if dm == graph.InfDist {
+				continue
+			}
+			if pi := eu.sigma + dm + ev.sigma; pi < sk.DTop {
+				sk.DTop = pi
+			}
+		}
+	}
+	if sk.DTop == graph.InfDist {
+		return sk
+	}
+	for _, eu := range entU {
+		row := eu.rank * R
+		for _, ev := range entV {
+			dm := ix.distM[row+ev.rank]
+			if dm != graph.InfDist && eu.sigma+dm+ev.sigma == sk.DTop {
+				sk.Pairs = append(sk.Pairs, SketchPair{R: eu.rank, RPrime: ev.rank})
+			}
+		}
+	}
+	return sk
+}

@@ -84,6 +84,104 @@ func (g *DiGraph) TotalDegreeOrder() []V {
 	return vs
 }
 
+// OutDegrees materialises the out-degree array (one int32 per vertex)
+// for the traversal engines' α/β direction heuristic.
+func (g *DiGraph) OutDegrees() []int32 {
+	n := g.NumVertices()
+	degs := make([]int32, n)
+	for v := 0; v < n; v++ {
+		degs[v] = int32(g.outOff[v+1] - g.outOff[v])
+	}
+	return degs
+}
+
+// InDegrees materialises the in-degree array.
+func (g *DiGraph) InDegrees() []int32 {
+	n := g.NumVertices()
+	degs := make([]int32, n)
+	for v := 0; v < n; v++ {
+		degs[v] = int32(g.inOff[v+1] - g.inOff[v])
+	}
+	return degs
+}
+
+// outAdj and inAdj adapt one direction of the dual CSR to the Adjacency
+// interface consumed by the shared BFS engines (traverse.MultiBFS and
+// traverse.Expander). They are single-pointer structs, so converting
+// them to the interface does not allocate.
+type outAdj struct{ g *DiGraph }
+
+func (a outAdj) NumVertices() int  { return a.g.NumVertices() }
+func (a outAdj) NumArcs() int      { return a.g.NumArcs() }
+func (a outAdj) Degree(v V) int    { return a.g.OutDegree(v) }
+func (a outAdj) Neighbors(v V) []V { return a.g.Out(v) }
+
+type inAdj struct{ g *DiGraph }
+
+func (a inAdj) NumVertices() int  { return a.g.NumVertices() }
+func (a inAdj) NumArcs() int      { return a.g.NumArcs() }
+func (a inAdj) Degree(v V) int    { return a.g.InDegree(v) }
+func (a inAdj) Neighbors(v V) []V { return a.g.In(v) }
+
+// OutView returns the forward (out-arc) adjacency as a graph.Adjacency.
+func (g *DiGraph) OutView() Adjacency { return outAdj{g} }
+
+// InView returns the backward (in-arc) adjacency: Neighbors(v) are the
+// in-neighbours of v, so a BFS over InView computes distances *to* the
+// root.
+func (g *DiGraph) InView() Adjacency { return inAdj{g} }
+
+// CSR exposes the raw dual-CSR arrays (out offsets/adjacency, in
+// offsets/adjacency). All four slices alias internal storage and must
+// not be modified; they exist so serializers can dump the structure
+// without a per-element copy.
+func (g *DiGraph) CSR() (outOff []int64, out []V, inOff []int64, in []V) {
+	return g.outOff, g.out, g.inOff, g.in
+}
+
+// DiFromCSR adopts pre-built dual-CSR arrays as a digraph, checking the
+// structural invariants the query kernels depend on (monotone in-range
+// offsets, sorted in-range neighbour lists, no self-loops, equal arc
+// counts) in O(n+m). Like graph.FromCSR it does not cross-check that
+// every out-arc appears in the in-adjacency — callers adopting
+// checksummed state (the durable store's zero-copy load path) already
+// know the arrays are bit-exact, and the pairing check costs a binary
+// search per arc. The slices are adopted by reference and must not be
+// modified afterwards.
+func DiFromCSR(outOff []int64, out []V, inOff []int64, in []V) (*DiGraph, error) {
+	g := &DiGraph{outOff: outOff, out: out, inOff: inOff, in: in}
+	if len(outOff) == 0 || len(outOff) != len(inOff) {
+		return nil, fmt.Errorf("digraph: offset arrays disagree (%d out, %d in)", len(outOff), len(inOff))
+	}
+	if len(out) != len(in) {
+		return nil, fmt.Errorf("digraph: arc arrays disagree (%d out, %d in)", len(out), len(in))
+	}
+	n := g.NumVertices()
+	for _, m := range []struct {
+		off []int64
+		adj []V
+	}{{outOff, out}, {inOff, in}} {
+		if m.off[0] != 0 || m.off[n] != int64(len(m.adj)) {
+			return nil, fmt.Errorf("digraph: offsets do not span the arc array")
+		}
+		for v := 0; v < n; v++ {
+			if m.off[v] > m.off[v+1] {
+				return nil, fmt.Errorf("digraph: offsets not monotone at %d", v)
+			}
+			ns := m.adj[m.off[v]:m.off[v+1]]
+			for i, w := range ns {
+				if w < 0 || int(w) >= n || w == V(v) {
+					return nil, fmt.Errorf("digraph: bad neighbour %d of %d", w, v)
+				}
+				if i > 0 && ns[i-1] >= w {
+					return nil, fmt.Errorf("digraph: neighbour list of %d unsorted", v)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
 // Validate checks the dual-CSR invariants.
 func (g *DiGraph) Validate() error {
 	n := g.NumVertices()

@@ -21,6 +21,16 @@ func NewDiSPG(u, v V) *DiSPG {
 	return &DiSPG{Source: u, Target: v, Dist: InfDist, canonical: true}
 }
 
+// Reset re-initialises the DiSPG for a new pair (u, v), keeping the arc
+// buffer's capacity. Query paths reuse one DiSPG across many queries to
+// stay allocation-free once the buffer has grown to its working size.
+func (s *DiSPG) Reset(u, v V) {
+	s.Source, s.Target = u, v
+	s.Dist = InfDist
+	s.arcs = s.arcs[:0]
+	s.canonical = true
+}
+
 // AddArc records an arc of some shortest path (duplicates allowed).
 func (s *DiSPG) AddArc(from, to V) {
 	s.arcs = append(s.arcs, Arc{from, to})

@@ -23,6 +23,27 @@ import (
 // are arbitrary non-negative integers and are remapped to a dense range;
 // the mapping from dense id to original id is returned.
 func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
+	pairs, orig, err := scanEdgeList(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := NewBuilder(len(orig))
+	for _, e := range pairs {
+		b.AddEdge(e.u, e.w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, orig, nil
+}
+
+// rawPair is one parsed edge-list line after id densification.
+type rawPair struct{ u, w V }
+
+// scanEdgeList parses the whitespace-separated pairs shared by the
+// undirected (symmetrising) and directed readers, densifying vertex ids.
+func scanEdgeList(r io.Reader) ([]rawPair, []int64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	idOf := make(map[int64]V)
@@ -36,8 +57,7 @@ func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
 		orig = append(orig, raw)
 		return v
 	}
-	type rawEdge struct{ u, w V }
-	var edges []rawEdge
+	var pairs []rawPair
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -57,20 +77,41 @@ func ReadEdgeList(r io.Reader) (*Graph, []int64, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 		}
-		edges = append(edges, rawEdge{intern(a), intern(b)})
+		pairs = append(pairs, rawPair{intern(a), intern(b)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
 	}
-	b := NewBuilder(len(orig))
-	for _, e := range edges {
-		b.AddEdge(e.u, e.w)
+	return pairs, orig, nil
+}
+
+// ReadDiEdgeList parses a whitespace-separated edge list as *directed*
+// arcs "u w" = u→w, without symmetrising (self-loops and duplicates are
+// dropped). Vertex ids are densified exactly as in ReadEdgeList.
+func ReadDiEdgeList(r io.Reader) (*DiGraph, []int64, error) {
+	pairs, orig, err := scanEdgeList(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := NewDiBuilder(len(orig))
+	for _, e := range pairs {
+		b.AddArc(e.u, e.w)
 	}
 	g, err := b.Build()
 	if err != nil {
 		return nil, nil, err
 	}
 	return g, orig, nil
+}
+
+// ReadDiEdgeListFile is ReadDiEdgeList over a file path.
+func ReadDiEdgeListFile(path string) (*DiGraph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadDiEdgeList(bufio.NewReaderSize(f, 1<<20))
 }
 
 // ReadEdgeListFile is ReadEdgeList over a file path.

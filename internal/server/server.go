@@ -37,6 +37,13 @@
 // A third mode, NewDynamicReadOnly, serves a dynamic index (typically
 // one recovered from a data directory) with the write endpoints
 // withheld — the restart shape of a read replica.
+//
+// A fourth mode, NewDirected, serves a directed index (qbs.DiIndex):
+// /spg answers SPG(u → v) with oriented arcs, /distance the directed
+// distance, /sketch the directed sketch, and /stats the directed index
+// statistics; /paths and the write endpoints do not exist on a directed
+// server. Responses carry "directed": true so clients can tell the
+// modes apart.
 package server
 
 import (
@@ -73,8 +80,9 @@ func (b staticBackend) NumEdges() int    { return b.Graph().NumEdges() }
 // Server handles the HTTP API over one index.
 type Server struct {
 	b        backend
-	static   *qbs.Index        // nil in dynamic modes
-	dyn      *qbs.DynamicIndex // nil in immutable mode
+	static   *qbs.Index        // nil in dynamic and directed modes
+	dyn      *qbs.DynamicIndex // nil in immutable and directed modes
+	di       *qbs.DiIndex      // non-nil only in directed mode
 	writable bool              // write endpoints exposed (NewMutable)
 	mux      *http.ServeMux
 }
@@ -106,8 +114,29 @@ func NewDynamicReadOnly(index *qbs.DynamicIndex) *Server {
 	return s
 }
 
+// NewDirected creates a read-only server over a directed index. The
+// read endpoints answer directed semantics: /spg is SPG(u → v) with
+// oriented arcs, /distance is d(u → v) (generally asymmetric), /sketch
+// the directed sketch. /paths is not served in directed mode.
+func NewDirected(index *qbs.DiIndex) *Server {
+	s := &Server{di: index}
+	s.routes()
+	return s
+}
+
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
+	if s.di != nil {
+		s.mux.HandleFunc("GET /spg", s.handleDiSPG)
+		s.mux.HandleFunc("GET /distance", s.handleDiDistance)
+		s.mux.HandleFunc("GET /sketch", s.handleDiSketch)
+		s.mux.HandleFunc("GET /stats", s.handleDiStats)
+		s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		})
+		return
+	}
 	s.mux.HandleFunc("GET /spg", s.handleSPG)
 	s.mux.HandleFunc("GET /distance", s.handleDistance)
 	s.mux.HandleFunc("GET /sketch", s.handleSketch)
@@ -144,12 +173,28 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// numVertices returns |V| of whichever index the server fronts.
+func (s *Server) numVertices() int {
+	if s.di != nil {
+		return s.di.Graph().NumVertices()
+	}
+	return s.b.NumVertices()
+}
+
 func (s *Server) parseVertex(w http.ResponseWriter, name, raw string) (qbs.V, bool) {
+	if raw == "" {
+		// Distinguish an absent parameter from a malformed one — the
+		// generic message below would report the confusing `got ""`.
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("missing required parameter %q", name),
+		})
+		return 0, false
+	}
 	id, err := strconv.Atoi(raw)
-	if err != nil || id < 0 || id >= s.b.NumVertices() {
+	if err != nil || id < 0 || id >= s.numVertices() {
 		writeJSON(w, http.StatusBadRequest, errorBody{
 			Error: fmt.Sprintf("parameter %q must be a vertex id in [0,%d), got %q",
-				name, s.b.NumVertices(), raw),
+				name, s.numVertices(), raw),
 		})
 		return 0, false
 	}
@@ -167,16 +212,20 @@ func (s *Server) pair(w http.ResponseWriter, r *http.Request) (u, v qbs.V, ok bo
 
 // SPGResponse is the JSON body of /spg.
 type SPGResponse struct {
-	Source       int32      `json:"source"`
-	Target       int32      `json:"target"`
-	Distance     *int32     `json:"distance"` // null when disconnected
-	Vertices     []int32    `json:"vertices"`
-	Edges        [][2]int32 `json:"edges"`
-	NumPaths     int64      `json:"num_shortest_paths"`
-	DTop         *int32     `json:"d_top"`
-	ArcsScanned  int64      `json:"arcs_scanned"`
-	Coverage     string     `json:"coverage"`
-	Disconnected bool       `json:"disconnected"`
+	Source   int32      `json:"source"`
+	Target   int32      `json:"target"`
+	Distance *int32     `json:"distance"` // null when disconnected
+	Vertices []int32    `json:"vertices"`
+	Edges    [][2]int32 `json:"edges"`
+	// NumPaths saturates at MaxInt64 (NumPathsSaturated true): the true
+	// count then exceeds int64 — it is never reported negative.
+	NumPaths          int64  `json:"num_shortest_paths"`
+	NumPathsSaturated bool   `json:"num_shortest_paths_saturated,omitempty"`
+	DTop              *int32 `json:"d_top"`
+	ArcsScanned       int64  `json:"arcs_scanned"`
+	Coverage          string `json:"coverage"`
+	Disconnected      bool   `json:"disconnected"`
+	Directed          bool   `json:"directed,omitempty"`
 }
 
 func coverageName(c qbs.QueryStats) string {
@@ -218,7 +267,7 @@ func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
 			resp.Edges = append(resp.Edges, [2]int32{e.U, e.W})
 		}
 		if dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.b.Distance(u, x) }); dag != nil {
-			resp.NumPaths = dag.CountPaths()
+			resp.NumPaths, resp.NumPathsSaturated = dag.CountPaths()
 		} else if u == v {
 			resp.NumPaths = 1
 		}
@@ -279,12 +328,16 @@ func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
 
 // PathsResponse is the JSON body of /paths.
 type PathsResponse struct {
-	Source    int32     `json:"source"`
-	Target    int32     `json:"target"`
-	Distance  *int32    `json:"distance"`
-	NumPaths  int64     `json:"num_shortest_paths"`
-	Paths     [][]int32 `json:"paths"`
-	Truncated bool      `json:"truncated"`
+	Source   int32  `json:"source"`
+	Target   int32  `json:"target"`
+	Distance *int32 `json:"distance"`
+	// NumPaths saturates at MaxInt64 (NumPathsSaturated true) instead of
+	// overflowing negative, so Truncated keeps its meaning on
+	// astronomically path-rich pairs.
+	NumPaths          int64     `json:"num_shortest_paths"`
+	NumPathsSaturated bool      `json:"num_shortest_paths_saturated,omitempty"`
+	Paths             [][]int32 `json:"paths"`
+	Truncated         bool      `json:"truncated"`
 }
 
 func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
@@ -301,14 +354,24 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	spg := s.b.Query(u, v)
 	resp := PathsResponse{Source: u, Target: v}
-	if spg.Dist != qbs.InfDist && u != v {
+	if u == v {
+		// The trivial pair: distance 0 and the one-vertex path [u],
+		// consistent with /spg (which reports distance 0 and one path).
+		zero := int32(0)
+		resp.Distance = &zero
+		resp.NumPaths = 1
+		resp.Paths = [][]int32{{int32(u)}}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	spg := s.b.Query(u, v)
+	if spg.Dist != qbs.InfDist {
 		d := spg.Dist
 		resp.Distance = &d
 		dag := analysis.BuildDAG(spg, func(x qbs.V) int32 { return s.b.Distance(u, x) })
 		if dag != nil {
-			resp.NumPaths = dag.CountPaths()
+			resp.NumPaths, resp.NumPathsSaturated = dag.CountPaths()
 			for _, p := range dag.EnumeratePaths(limit) {
 				resp.Paths = append(resp.Paths, p)
 			}
@@ -332,7 +395,8 @@ type DynamicStatsResponse struct {
 	Overridden      int    `json:"overridden_vertices"`
 }
 
-// StatsResponse is the JSON body of /stats.
+// StatsResponse is the JSON body of /stats. In directed mode Edges
+// counts arcs, AvgDegree is arcs/|V| and Directed is true.
 type StatsResponse struct {
 	Vertices       int                   `json:"vertices"`
 	Edges          int                   `json:"edges"`
@@ -346,6 +410,7 @@ type StatsResponse struct {
 	LabellingMS    float64               `json:"labelling_ms,omitempty"`
 	ConstructionMS float64               `json:"construction_ms,omitempty"`
 	Mutable        bool                  `json:"mutable"`
+	Directed       bool                  `json:"directed,omitempty"`
 	Dynamic        *DynamicStatsResponse `json:"dynamic,omitempty"`
 }
 
@@ -390,6 +455,94 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Compactions:     d.Compactions,
 			Overridden:      d.Overridden,
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- directed mode ----------------------------------------------------
+
+// handleDiSPG answers the directed shortest path graph. Arcs are
+// oriented From→To in the Edges field; paths are counted over the
+// directed DAG the arcs already form.
+func (s *Server) handleDiSPG(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	spg, st := s.di.QueryWithStats(u, v)
+	resp := SPGResponse{Source: u, Target: v, Directed: true, Coverage: "directed"}
+	if spg.Dist == qbs.InfDist {
+		resp.Disconnected = true
+	} else {
+		d := spg.Dist
+		resp.Distance = &d
+		if st.DTop != qbs.InfDist {
+			dt := st.DTop
+			resp.DTop = &dt
+		}
+		resp.Vertices = spg.Vertices()
+		for _, a := range spg.Arcs() {
+			resp.Edges = append(resp.Edges, [2]int32{a.From, a.To})
+		}
+		resp.NumPaths, resp.NumPathsSaturated = analysis.CountDiPaths(spg,
+			func(x qbs.V) int32 { return s.di.Distance(u, x) })
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDiDistance(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	d := s.di.Distance(u, v)
+	resp := DistanceResponse{Source: u, Target: v}
+	if d == qbs.InfDist {
+		resp.Disconnected = true
+	} else {
+		resp.Distance = &d
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDiSketch(w http.ResponseWriter, r *http.Request) {
+	u, v, ok := s.pair(w, r)
+	if !ok {
+		return
+	}
+	sk := s.di.Sketch(u, v)
+	resp := SketchResponse{Source: u, Target: v, Landmarks: s.di.Landmarks()}
+	if sk.DTop != qbs.InfDist {
+		dt := sk.DTop
+		resp.DTop = &dt
+		for _, p := range sk.Pairs {
+			resp.Pairs = append(resp.Pairs, [2]int32{
+				s.di.Landmarks()[p.R], s.di.Landmarks()[p.RPrime],
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDiStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.di.Graph()
+	st := s.di.Stats()
+	nv := g.NumVertices()
+	resp := StatsResponse{
+		Vertices:       nv,
+		Edges:          g.NumArcs(),
+		NumLandmarks:   len(s.di.Landmarks()),
+		Landmarks:      s.di.Landmarks(),
+		LabelEntries:   st.LabelEntries,
+		MetaEdges:      st.MetaArcs,
+		SizeLabels:     s.di.SizeLabelsBytes(),
+		SizeDelta:      s.di.SizeDeltaBytes(),
+		LabellingMS:    float64(st.LabellingTime.Microseconds()) / 1000,
+		ConstructionMS: float64(st.TotalTime.Microseconds()) / 1000,
+		Directed:       true,
+	}
+	if nv > 0 {
+		resp.AvgDegree = float64(g.NumArcs()) / float64(nv)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -2,6 +2,8 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -351,5 +353,277 @@ func TestWriteEndpointsAbsentOnImmutable(t *testing.T) {
 	}
 	if r := do(t, s, "GET", "/epoch", "", nil); r.StatusCode == 200 {
 		t.Fatal("immutable server served /epoch")
+	}
+}
+
+// ---------------------------------------------------------------------
+// PR 4 regression tests: /paths bounds and trivial pair, missing
+// parameters, path-count saturation, directed mode.
+
+// TestPathsLimitBounds sweeps the limit parameter across the accepted
+// range's borders and junk values.
+func TestPathsLimitBounds(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		limit  string
+		status int
+	}{
+		{"0", 400},
+		{"1", 200},
+		{"1024", 200},
+		{"1025", 400},
+		{"-3", 400},
+		{"junk", 400},
+		{"", 200}, // absent: default 16
+		{"2", 200},
+	}
+	for _, c := range cases {
+		path := "/paths?u=0&v=3"
+		if c.limit != "" {
+			path += "&limit=" + c.limit
+		}
+		var resp PathsResponse
+		r := get(t, s, path, &resp)
+		if r.StatusCode != c.status {
+			t.Fatalf("limit=%q: status %d, want %d", c.limit, r.StatusCode, c.status)
+		}
+		if c.status != 200 {
+			continue
+		}
+		// The fixture pair has 2 shortest paths; the truncation flag must
+		// agree with how many the limit let through.
+		if resp.NumPaths != 2 {
+			t.Fatalf("limit=%q: num paths %d, want 2", c.limit, resp.NumPaths)
+		}
+		wantPaths := 2
+		if c.limit == "1" {
+			wantPaths = 1
+		}
+		if len(resp.Paths) != wantPaths || resp.Truncated != (wantPaths < 2) {
+			t.Fatalf("limit=%q: %d paths truncated=%v", c.limit, len(resp.Paths), resp.Truncated)
+		}
+	}
+}
+
+// TestPathsTrivialPair is the u == v fix: /paths must agree with /spg
+// (distance 0, one path — the single vertex), not report a null
+// distance and no paths.
+func TestPathsTrivialPair(t *testing.T) {
+	s := testServer(t)
+	var resp PathsResponse
+	if r := get(t, s, "/paths?u=2&v=2", &resp); r.StatusCode != 200 {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if resp.Distance == nil || *resp.Distance != 0 {
+		t.Fatalf("trivial distance = %v, want 0", resp.Distance)
+	}
+	if resp.NumPaths != 1 || len(resp.Paths) != 1 || resp.Truncated {
+		t.Fatalf("trivial paths response: %+v", resp)
+	}
+	if len(resp.Paths[0]) != 1 || resp.Paths[0][0] != 2 {
+		t.Fatalf("trivial path = %v, want [2]", resp.Paths[0])
+	}
+	// /spg agrees.
+	var spg SPGResponse
+	get(t, s, "/spg?u=2&v=2", &spg)
+	if spg.Distance == nil || *spg.Distance != 0 || spg.NumPaths != 1 {
+		t.Fatalf("/spg trivial pair disagrees: %+v", spg)
+	}
+}
+
+// TestMissingParameterMessage is the parseVertex fix: an absent u/v must
+// be reported as missing, not as `got ""`.
+func TestMissingParameterMessage(t *testing.T) {
+	s := testServer(t)
+	for _, c := range []struct {
+		path string
+		want string
+	}{
+		{"/spg?v=1", `missing required parameter "u"`},
+		{"/spg?u=1", `missing required parameter "v"`},
+		{"/distance", `missing required parameter "u"`},
+		{"/paths?u=1", `missing required parameter "v"`},
+	} {
+		req := httptest.NewRequest("GET", c.path, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", c.path, rec.Code)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(rec.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		if eb.Error != c.want {
+			t.Fatalf("%s: error %q, want %q", c.path, eb.Error, c.want)
+		}
+		if strings.Contains(eb.Error, `got ""`) {
+			t.Fatalf("%s: still reports the confusing empty got", c.path)
+		}
+	}
+	// A malformed (present) value keeps the descriptive range message.
+	req := httptest.NewRequest("GET", "/spg?u=zzz&v=1", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var eb errorBody
+	_ = json.NewDecoder(rec.Body).Decode(&eb)
+	if !strings.Contains(eb.Error, `got "zzz"`) {
+		t.Fatalf("malformed value error lost its context: %q", eb.Error)
+	}
+}
+
+// pathSaturationServer serves a 64-diamond chain whose source/sink pair
+// has 2^64 shortest paths.
+func pathSaturationServer(t *testing.T) (*Server, qbs.V, qbs.V) {
+	t.Helper()
+	const d = 64
+	b := qbs.NewBuilder((d + 1) + 2*d)
+	junction := func(i int) qbs.V { return qbs.V(i * 3) }
+	for i := 0; i < d; i++ {
+		j0, j1 := junction(i), junction(i+1)
+		a, c := qbs.V(i*3+1), qbs.V(i*3+2)
+		b.AddEdge(j0, a)
+		b.AddEdge(j0, c)
+		b.AddEdge(a, j1)
+		b.AddEdge(c, j1)
+	}
+	g := b.MustBuild()
+	ix, err := qbs.BuildIndex(g, qbs.Options{NumLandmarks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ix), junction(0), junction(d)
+}
+
+// TestPathCountSaturationOverHTTP is the end-to-end overflow
+// regression: 2^64 shortest paths used to surface as a negative
+// num_shortest_paths with an inverted truncated flag.
+func TestPathCountSaturationOverHTTP(t *testing.T) {
+	s, u, v := pathSaturationServer(t)
+	var spg SPGResponse
+	get(t, s, fmt.Sprintf("/spg?u=%d&v=%d", u, v), &spg)
+	if spg.NumPaths < 0 {
+		t.Fatalf("/spg reports negative path count %d", spg.NumPaths)
+	}
+	if spg.NumPaths != math.MaxInt64 || !spg.NumPathsSaturated {
+		t.Fatalf("/spg: count %d saturated %v, want MaxInt64 saturated", spg.NumPaths, spg.NumPathsSaturated)
+	}
+	var paths PathsResponse
+	get(t, s, fmt.Sprintf("/paths?u=%d&v=%d&limit=4", u, v), &paths)
+	if paths.NumPaths != math.MaxInt64 || !paths.NumPathsSaturated {
+		t.Fatalf("/paths: count %d saturated %v", paths.NumPaths, paths.NumPathsSaturated)
+	}
+	if len(paths.Paths) != 4 || !paths.Truncated {
+		t.Fatalf("/paths: %d paths truncated=%v, want 4 truncated", len(paths.Paths), paths.Truncated)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Directed-mode tests.
+
+// testDirectedServer fronts the directed diamond 0→1→3, 0→2→3 with the
+// extension 3→4 and back-arc 4→0; vertex 5 is unreachable from 0.
+func testDirectedServer(t *testing.T) *Server {
+	t.Helper()
+	b := qbs.NewDiBuilder(6)
+	b.AddArc(0, 1)
+	b.AddArc(0, 2)
+	b.AddArc(1, 3)
+	b.AddArc(2, 3)
+	b.AddArc(3, 4)
+	b.AddArc(4, 0)
+	b.AddArc(5, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := qbs.BuildDiIndex(g, qbs.DiOptions{NumLandmarks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDirected(ix)
+}
+
+func TestDirectedSPGEndpoint(t *testing.T) {
+	s := testDirectedServer(t)
+	var resp SPGResponse
+	if r := get(t, s, "/spg?u=0&v=3", &resp); r.StatusCode != 200 {
+		t.Fatalf("status %d", r.StatusCode)
+	}
+	if !resp.Directed {
+		t.Fatal("directed flag missing")
+	}
+	if resp.Distance == nil || *resp.Distance != 2 || len(resp.Edges) != 4 || resp.NumPaths != 2 {
+		t.Fatalf("directed diamond: %+v", resp)
+	}
+	// Arc orientation: every reported pair must be a real arc u→w.
+	for _, a := range resp.Edges {
+		if a[0] == 3 || a[1] == 0 {
+			t.Fatalf("arc %v violates orientation", a)
+		}
+	}
+	// The reverse pair takes the long way around through 4→0.
+	get(t, s, "/spg?u=3&v=0", &resp)
+	if resp.Distance == nil || *resp.Distance != 2 {
+		t.Fatalf("reverse distance: %+v", resp)
+	}
+	// Unreachable direction.
+	get(t, s, "/spg?u=0&v=5", &resp)
+	if !resp.Disconnected {
+		t.Fatalf("0→5 must be unreachable: %+v", resp)
+	}
+}
+
+func TestDirectedDistanceAsymmetry(t *testing.T) {
+	s := testDirectedServer(t)
+	var a, b DistanceResponse
+	get(t, s, "/distance?u=0&v=4", &a)
+	get(t, s, "/distance?u=4&v=0", &b)
+	if a.Distance == nil || b.Distance == nil {
+		t.Fatal("distances missing")
+	}
+	if *a.Distance != 3 || *b.Distance != 1 {
+		t.Fatalf("d(0→4)=%d d(4→0)=%d, want 3 and 1", *a.Distance, *b.Distance)
+	}
+}
+
+func TestDirectedSketchAndStats(t *testing.T) {
+	s := testDirectedServer(t)
+	var sk SketchResponse
+	if r := get(t, s, "/sketch?u=1&v=4", &sk); r.StatusCode != 200 {
+		t.Fatalf("sketch status %d", r.StatusCode)
+	}
+	if len(sk.Landmarks) != 2 {
+		t.Fatalf("landmarks = %v", sk.Landmarks)
+	}
+	var st StatsResponse
+	get(t, s, "/stats", &st)
+	if !st.Directed || st.Vertices != 6 || st.Edges != 7 || st.NumLandmarks != 2 {
+		t.Fatalf("directed stats: %+v", st)
+	}
+	if st.SizeLabels != 2*6*2 {
+		t.Fatalf("size labels = %d", st.SizeLabels)
+	}
+}
+
+func TestDirectedServerOmitsPathsAndWrites(t *testing.T) {
+	s := testDirectedServer(t)
+	if r := get(t, s, "/paths?u=0&v=3", nil); r.StatusCode == 200 {
+		t.Fatal("directed server served /paths")
+	}
+	if r := do(t, s, "POST", "/edges", `{"u":1,"v":2}`, nil); r.StatusCode == 200 {
+		t.Fatal("directed server accepted a write")
+	}
+	if r := get(t, s, "/healthz", nil); r.StatusCode != 200 {
+		t.Fatal("healthz missing in directed mode")
+	}
+	// Parameter validation shares the fixed missing/malformed messages.
+	req := httptest.NewRequest("GET", "/spg?v=1", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var eb errorBody
+	_ = json.NewDecoder(rec.Body).Decode(&eb)
+	if rec.Code != 400 || eb.Error != `missing required parameter "u"` {
+		t.Fatalf("directed missing param: %d %q", rec.Code, eb.Error)
 	}
 }

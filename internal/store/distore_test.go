@@ -1,0 +1,205 @@
+package store
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qbs/internal/bfs"
+	"qbs/internal/dcore"
+	"qbs/internal/graph"
+)
+
+func diTestIndex(t *testing.T) (*graph.DiGraph, *dcore.Index) {
+	t.Helper()
+	g := graph.DirectedScaleFree(400, 3, 61)
+	ix, err := dcore.Build(g, dcore.Options{NumLandmarks: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ix
+}
+
+// TestDiStoreRoundTrip is the PR 4 acceptance criterion: a directed
+// store round-trips bit-identically — labels, σ, Δ and both CSR halves —
+// and the reopened index answers queries exactly like the original.
+func TestDiStoreRoundTrip(t *testing.T) {
+	for _, mmap := range []bool{false, true} {
+		name := "read"
+		if mmap {
+			name = "mmap"
+		}
+		t.Run(name, func(t *testing.T) {
+			g, ix := diTestIndex(t)
+			dir := t.TempDir()
+			if err := CreateDi(dir, ix.Persistent()); err != nil {
+				t.Fatal(err)
+			}
+			if !DiExists(dir) {
+				t.Fatal("DiExists false after CreateDi")
+			}
+			re, err := OpenDi(dir, mmap)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			a, b := ix.Persistent(), re.Persistent()
+			if string(a.Sigma) != string(b.Sigma) {
+				t.Fatal("sigma not bit-identical")
+			}
+			if string(a.LabelFrom) != string(b.LabelFrom) || string(a.LabelTo) != string(b.LabelTo) {
+				t.Fatal("labels not bit-identical")
+			}
+			ao1, aa1, ai1, av1 := a.Graph.CSR()
+			bo1, ba1, bi1, bv1 := b.Graph.CSR()
+			for i := range ao1 {
+				if ao1[i] != bo1[i] || ai1[i] != bi1[i] {
+					t.Fatal("CSR offsets not bit-identical")
+				}
+			}
+			for i := range aa1 {
+				if aa1[i] != ba1[i] || av1[i] != bv1[i] {
+					t.Fatal("CSR adjacency not bit-identical")
+				}
+			}
+			if len(a.Delta) != len(b.Delta) {
+				t.Fatalf("delta lists: %d vs %d", len(a.Delta), len(b.Delta))
+			}
+			for k := range a.Delta {
+				if len(a.Delta[k]) != len(b.Delta[k]) {
+					t.Fatalf("delta[%d] length differs", k)
+				}
+				for i := range a.Delta[k] {
+					if a.Delta[k][i] != b.Delta[k][i] {
+						t.Fatalf("delta[%d][%d] differs", k, i)
+					}
+				}
+			}
+
+			sr := dcore.NewSearcher(re)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 80; i++ {
+				u := graph.V(rng.Intn(g.NumVertices()))
+				v := graph.V(rng.Intn(g.NumVertices()))
+				want := bfs.OracleDiSPG(g, u, v)
+				if got := sr.Query(u, v); !got.Equal(want) {
+					t.Fatalf("reopened index: query (%d,%d) != oracle", u, v)
+				}
+			}
+		})
+	}
+}
+
+func TestDiStoreCreateTwiceFails(t *testing.T) {
+	_, ix := diTestIndex(t)
+	dir := t.TempDir()
+	if err := CreateDi(dir, ix.Persistent()); err != nil {
+		t.Fatal(err)
+	}
+	if err := CreateDi(dir, ix.Persistent()); err == nil {
+		t.Fatal("second CreateDi succeeded")
+	}
+}
+
+// TestDiSnapshotCorruptionDetected flips one byte at a sweep of offsets;
+// every corrupted image must be rejected (or, for a handful of bytes
+// that only pad alignment, still decode to a working index) — never
+// panic.
+func TestDiSnapshotCorruptionDetected(t *testing.T) {
+	_, ix := diTestIndex(t)
+	dir := t.TempDir()
+	if err := CreateDi(dir, ix.Persistent()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, diSnapshotName)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(orig)/97 + 1
+	for off := 0; off < len(orig); off += step {
+		data := append([]byte(nil), orig...)
+		data[off] ^= 0x41
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked with byte %d flipped: %v", off, r)
+				}
+			}()
+			ix, err := decodeDiSnapshot(data)
+			if err == nil && ix == nil {
+				t.Fatalf("flip at %d: nil index without error", off)
+			}
+		}()
+	}
+	// Truncations must also be rejected cleanly.
+	for _, cut := range []int{0, 1, snapHeaderSize, diSnapTableEnd, len(orig) / 2, len(orig) - 1} {
+		if _, err := decodeDiSnapshot(orig[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestCrossFormatErrors pins the error messages when a directed file is
+// opened with the undirected loader and vice versa — a named redirect,
+// not a checksum mismatch.
+func TestCrossFormatErrors(t *testing.T) {
+	_, ix := diTestIndex(t)
+	dir := t.TempDir()
+	if err := CreateDi(dir, ix.Persistent()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, diSnapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeSnapshot(data); err == nil || !strings.Contains(err.Error(), "OpenDiStore") {
+		t.Fatalf("undirected decoder on v4 file: %v", err)
+	}
+
+	udir := t.TempDir()
+	writeUndirectedSnapshot(t, udir)
+	names, _ := filepath.Glob(filepath.Join(udir, "snapshot-*.qbss"))
+	if len(names) == 0 {
+		t.Fatal("no undirected snapshot written")
+	}
+	udata, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeDiSnapshot(udata); err == nil || !strings.Contains(err.Error(), "OpenStore") {
+		t.Fatalf("directed decoder on v3 file: %v", err)
+	}
+
+	// The v3 compatibility rule: undirected snapshots keep magic "QBS3"
+	// and version 3, and keep loading.
+	if string(udata[:4]) != snapMagic {
+		t.Fatalf("undirected snapshot magic %q, want %q", udata[:4], snapMagic)
+	}
+	if v := binary.LittleEndian.Uint32(udata[4:]); v != snapVersion {
+		t.Fatalf("undirected snapshot version %d, want %d", v, snapVersion)
+	}
+	if _, err := decodeSnapshot(udata); err != nil {
+		t.Fatalf("v3 snapshot no longer loads: %v", err)
+	}
+}
+
+// writeUndirectedSnapshot persists a tiny undirected dynamic index into
+// dir via the ordinary v3 store path.
+func writeUndirectedSnapshot(t *testing.T, dir string) {
+	t.Helper()
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, W: 1}, {U: 1, W: 2}, {U: 2, W: 3}, {U: 3, W: 4}, {U: 0, W: 4},
+	})
+	d := newDynamic(t, g, 2)
+	st, err := Create(dir, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -276,6 +276,9 @@ func decodeSnapshot(data []byte) (*loadedSnapshot, error) {
 		return nil, fmt.Errorf("file too small (%d bytes)", len(data))
 	}
 	if string(data[:4]) != snapMagic {
+		if string(data[:4]) == diSnapMagic {
+			return nil, fmt.Errorf("directed v4 snapshot (open it with OpenDiStore)")
+		}
 		return nil, fmt.Errorf("bad magic %q", data[:4])
 	}
 	if v := binary.LittleEndian.Uint32(data[4:]); v != snapVersion {

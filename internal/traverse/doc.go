@@ -31,6 +31,14 @@
 // only changes the order in which a level's vertices are emitted — so
 // search results are unchanged.
 //
+// On a directed graph the two directions walk different arc sets:
+// top-down pushes along the traversal's forward arcs, while bottom-up
+// asks "which of my *in*-neighbours is on the frontier". Both kernels
+// therefore accept an explicit (push, pull) adjacency pair
+// (Expander.BeginDirected, MultiBFS.RunDirected) where pull is the
+// reverse adjacency of push; the undirected entry points pass the same
+// graph for both.
+//
 // # Bit-parallel multi-source labelling BFS (MultiBFS)
 //
 // QbS construction runs one landmark-rooted BFS per landmark. MultiBFS

@@ -42,8 +42,9 @@ type Expander struct {
 	Beta int64
 
 	n        int
-	g        graph.Adjacency
-	deg      []int32 // optional cached degrees; nil falls back to g.Degree
+	g        graph.Adjacency // push adjacency: frontier → next level
+	pull     graph.Adjacency // reverse adjacency for bottom-up parent probes
+	deg      []int32         // optional cached degrees; nil falls back to g.Degree
 	totalArc int64
 	bottomUp bool
 
@@ -66,13 +67,25 @@ func NewExpander(n int) *Expander {
 // back to g.Degree calls. The bitmap is cleared only when the previous
 // traversal went dense, so sparse query streams never touch it.
 func (e *Expander) Begin(g graph.Adjacency, deg []int32) {
+	e.BeginDirected(g, g, deg)
+}
+
+// BeginDirected binds the expander to a traversal over an asymmetric
+// adjacency pair: top-down levels push along push.Neighbors, while
+// bottom-up levels probe a vertex's potential parents via
+// pull.Neighbors — which must therefore be the *reverse* adjacency of
+// push (a dual-CSR digraph's InView when pushing over its OutView, and
+// vice versa). For an undirected graph the two coincide, which is what
+// Begin passes. deg caches push degrees.
+func (e *Expander) BeginDirected(push, pull graph.Adjacency, deg []int32) {
 	if e.bmUsed {
 		clear(e.words)
 		e.bmUsed = false
 	}
-	e.g = g
+	e.g = push
+	e.pull = pull
 	e.deg = deg
-	e.totalArc = int64(g.NumArcs())
+	e.totalArc = int64(push.NumArcs())
 	e.bottomUp = false
 }
 
@@ -144,12 +157,13 @@ func (e *Expander) expandTopDown(ws *Workspace, frontier []graph.V, d int32, dst
 }
 
 // expandBottomUp scans the unvisited vertices instead of the frontier: a
-// vertex joins the next level at the first neighbour found at depth d.
-// The bitmap is a skip accelerator, not ground truth — a stale bit
-// (stamped in ws after the last sync, e.g. during an interleaved
-// top-down phase) is re-checked against ws.Seen and marked lazily.
+// vertex joins the next level at the first pull-neighbour (in-neighbour
+// w.r.t. the push direction) found at depth d. The bitmap is a skip
+// accelerator, not ground truth — a stale bit (stamped in ws after the
+// last sync, e.g. during an interleaved top-down phase) is re-checked
+// against ws.Seen and marked lazily.
 func (e *Expander) expandBottomUp(ws *Workspace, d int32, dst []graph.V) ([]graph.V, int64) {
-	g := e.g
+	g := e.pull
 	var arcs int64
 	nw := len(e.words)
 	for w := 0; w < nw; w++ {

@@ -68,7 +68,17 @@ func NewMultiBFS(n int) *MultiBFS {
 // back to g.Degree. Run returns ErrTooDeep when a level would exceed
 // maxDepth; the engine is reusable afterwards.
 func (mb *MultiBFS) Run(g graph.Adjacency, deg []int32, landIdx []int16, roots []graph.V, maxDepth int32, settle func(v graph.V, depth int32, newL, newN uint64)) error {
-	n := g.NumVertices()
+	return mb.RunDirected(g, g, deg, landIdx, roots, maxDepth, settle)
+}
+
+// RunDirected is Run over an asymmetric adjacency pair: frontiers push
+// along push.Neighbors, while the bottom-up direction pulls a vertex's
+// pending bits from pull.Neighbors — which must therefore be the
+// *reverse* adjacency of push (a dual-CSR digraph's InView when pushing
+// over its OutView, and vice versa). For an undirected graph the two
+// coincide, which is what Run passes.
+func (mb *MultiBFS) RunDirected(push, pull graph.Adjacency, deg []int32, landIdx []int16, roots []graph.V, maxDepth int32, settle func(v graph.V, depth int32, newL, newN uint64)) error {
+	n := push.NumVertices()
 	if n != mb.n {
 		return fmt.Errorf("traverse: engine sized for %d vertices, graph has %d", mb.n, n)
 	}
@@ -92,7 +102,7 @@ func (mb *MultiBFS) Run(g graph.Adjacency, deg []int32, landIdx []int16, roots [
 		if deg != nil {
 			return int64(deg[v])
 		}
-		return int64(g.Degree(v))
+		return int64(push.Degree(v))
 	}
 
 	frontier := mb.frontier[:0]
@@ -104,7 +114,7 @@ func (mb *MultiBFS) Run(g graph.Adjacency, deg []int32, landIdx []int16, roots [
 		mb.visited[r] = 1 << uint(i)
 		frontier = append(frontier, r)
 	}
-	totalArc := int64(g.NumArcs())
+	totalArc := int64(push.NumArcs())
 
 	depth := int32(0)
 	bottomUp := false
@@ -153,7 +163,7 @@ func (mb *MultiBFS) Run(g graph.Adjacency, deg []int32, landIdx []int16, roots [
 					continue
 				}
 				var aL, aN uint64
-				for _, u := range g.Neighbors(v) {
+				for _, u := range pull.Neighbors(v) {
 					aL |= mb.curL[u]
 					aN |= mb.curN[u]
 					if aL|vis == full {
@@ -177,7 +187,7 @@ func (mb *MultiBFS) Run(g graph.Adjacency, deg []int32, landIdx []int16, roots [
 			for _, u := range frontier {
 				lu, ln := mb.curL[u], mb.curN[u]
 				both := lu | ln
-				for _, v := range g.Neighbors(u) {
+				for _, v := range push.Neighbors(u) {
 					if both&^mb.visited[v] == 0 {
 						continue
 					}
