@@ -11,7 +11,9 @@
 // restart cost: snapshot open + WAL replay vs cold build; with -json it
 // emits the BENCH_PR3.json record), directed (bit-parallel directed
 // engine vs the scalar reference and Di-Bi-BFS; with -json it emits the
-// BENCH_PR4.json record), ablation-traversal, ablation-parallel,
+// BENCH_PR4.json record), replication (routed read QPS at 1/2/4 WAL-
+// shipped replicas under a MixedOps write stream; with -json it emits
+// the BENCH_PR5.json record), ablation-traversal, ablation-parallel,
 // ablation-landmarks, all.
 package main
 
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|directed|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|directed|replication|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = DESIGN.md sizes)")
 		queries   = flag.Int("queries", 1000, "number of sampled query pairs per dataset")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R| for single-point experiments")
@@ -98,6 +100,20 @@ func main() {
 			*jsonPath, time.Since(t0).Round(time.Millisecond))
 		return
 	}
+	if *jsonPath != "" && *exp == "replication" {
+		// Replication snapshot mode: the BENCH_PR5.json record (routed
+		// read QPS at 1/2/4 replicas under a MixedOps write stream).
+		if len(cfg.Datasets) == 0 {
+			cfg.Datasets = []string{"YT"}
+		}
+		t0 := time.Now()
+		if err := bench.New(cfg).ReplicaScalingJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "replication snapshot written to %s in %s\n",
+			*jsonPath, time.Since(t0).Round(time.Millisecond))
+		return
+	}
 	if *jsonPath != "" {
 		// Snapshot mode: the machine-readable perf record tracked across
 		// PRs (BENCH_PR2.json and successors). Default to the three
@@ -146,6 +162,14 @@ func main() {
 	run("dynamic", func() error { _, err := h.DynamicUpdates(nil); return err })
 	run("loadvsbuild", func() error { _, err := h.LoadVsBuild(); return err })
 	run("directed", func() error { _, err := h.DirectedTable(); return err })
+	if *exp == "replication" {
+		// Not part of -exp all: it stands up live HTTP topologies and
+		// measures wall-clock throughput, which needs a quiet host.
+		if len(cfg.Datasets) == 0 {
+			h = bench.New(withDatasets(cfg, []string{"YT"}))
+		}
+		run("replication", func() error { _, err := h.ReplicaScaling(bench.ReplicaScalingConfig{}); return err })
+	}
 	run("ablation-traversal", func() error { _, err := h.AblationTraversal(); return err })
 	run("ablation-scale", func() error { _, err := h.AblationScale(nil); return err })
 	run("ablation-directed", func() error { _, err := h.AblationDirected(); return err })
@@ -153,6 +177,11 @@ func main() {
 	run("ablation-landmarks", func() error { _, err := h.AblationLandmarks(); return err })
 
 	fmt.Fprintf(os.Stderr, "total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func withDatasets(c bench.Config, ds []string) bench.Config {
+	c.Datasets = ds
+	return c
 }
 
 func fatal(err error) {

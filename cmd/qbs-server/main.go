@@ -10,6 +10,14 @@
 //	qbs-server -directed -dataset WK                   # serve SPG(u → v)
 //	qbs-server -directed -dataset WK -data ./wk-data   # directed + durable
 //
+// Replication (see internal/replica for the protocol and README
+// "Replication & read scaling" for the topology):
+//
+//	qbs-server -primary -dataset YT -data ./yt -addr :8080
+//	qbs-server -replica-of http://primary:8080 -addr :8081
+//	qbs-server -replica-of http://primary:8080 -addr :8082
+//	qbs-server -router http://primary:8080,http://r1:8081,http://r2:8082 -addr :8090
+//
 // Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz, and in
 // -mutable mode POST /edges, DELETE /edges, /epoch, POST /checkpoint —
 // see internal/server for the JSON schemas.
@@ -39,12 +47,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"qbs"
 	"qbs/internal/datasets"
 	"qbs/internal/graph"
+	"qbs/internal/replica"
 	"qbs/internal/server"
 )
 
@@ -61,9 +71,66 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		mutable   = flag.Bool("mutable", false, "serve a live-mutable index accepting edge writes")
 		directed  = flag.Bool("directed", false, "serve a directed index answering SPG(u → v); read-only")
+		primary   = flag.Bool("primary", false, "serve the replication feed (/replication/snapshot, /replication/wal) alongside the mutable API; requires -data, implies -mutable")
+		replicaOf = flag.String("replica-of", "", "run as a read replica of the primary at this base URL (bootstraps from its snapshot, tails its WAL)")
+		routerOf  = flag.String("router", "", "run as a query router: comma-separated <primary-url>,<replica-url>... — reads fan across replicas, writes forward to the primary")
+		poll      = flag.Duration("poll", 25*time.Millisecond, "replica WAL tail poll interval (bounds replication lag)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
+
+	if *primary {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("-primary requires -data (the WAL it ships lives there)"))
+		}
+		if *directed {
+			fatal(fmt.Errorf("-primary is incompatible with -directed"))
+		}
+		*mutable = true
+	}
+	if *replicaOf != "" && (*mutable || *directed || *primary || *routerOf != "") {
+		fatal(fmt.Errorf("-replica-of is a standalone read-only mode"))
+	}
+	if *routerOf != "" && (*mutable || *directed || *primary || *dataDir != "") {
+		fatal(fmt.Errorf("-router is a standalone proxy mode"))
+	}
+
+	// Router mode: no local index at all — just the fan-out proxy.
+	if *routerOf != "" {
+		parts := strings.Split(*routerOf, ",")
+		for i := range parts {
+			parts[i] = strings.TrimSpace(parts[i])
+		}
+		if len(parts) < 2 || parts[0] == "" {
+			fatal(fmt.Errorf("-router needs <primary-url>,<replica-url>[,...]"))
+		}
+		rt := replica.NewRouter(parts[0], parts[1:], replica.RouterOptions{})
+		defer rt.Stop()
+		fmt.Printf("router: %s\n", rt.Backends())
+		serve(*addr, *drain, rt, nil)
+		return
+	}
+
+	// Replica mode: bootstrap from the primary, serve read-only, keep
+	// tailing until shutdown.
+	if *replicaOf != "" {
+		start := time.Now()
+		rep, err := replica.Start(*replicaOf, replica.Options{
+			Dir:          *dataDir,
+			MMap:         true,
+			PollInterval: *poll,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer rep.Stop()
+		epoch, edges := rep.Index().EpochEdges()
+		fmt.Printf("replica: bootstrapped from %s in %s (|V|=%d |E|=%d epoch=%d)\n",
+			*replicaOf, time.Since(start).Round(time.Millisecond),
+			rep.Index().NumVertices(), edges, epoch)
+		serve(*addr, *drain, rep.Handler(), nil)
+		return
+	}
 
 	var handler http.Handler
 	var dyn *qbs.DynamicIndex
@@ -172,10 +239,26 @@ func main() {
 		} else {
 			handler = server.NewDynamicReadOnly(dyn)
 		}
+		if *primary {
+			// The replication feed rides alongside the serving API: the
+			// store ships its snapshot and WAL tail under /replication/.
+			prim := replica.NewPrimary(dyn.Store(), replica.PrimaryOptions{})
+			defer prim.Close()
+			mux := http.NewServeMux()
+			mux.Handle("/replication/", prim)
+			mux.Handle("/", handler)
+			handler = mux
+			fmt.Println("replication: serving /replication/snapshot and /replication/wal")
+		}
 	}
+	serve(*addr, *drain, handler, dyn)
+}
 
+// serve runs the HTTP server until SIGINT/SIGTERM, then drains
+// in-flight requests and (for durable indexes) flushes the store.
+func serve(addr string, drain time.Duration, handler http.Handler, dyn *qbs.DynamicIndex) {
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
@@ -188,7 +271,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("serving on %s\n", *addr)
+		fmt.Printf("serving on %s\n", addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -200,7 +283,7 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		fmt.Println("shutting down...")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "qbs-server: drain incomplete:", err)

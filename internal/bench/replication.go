@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qbs"
+	"qbs/internal/dynamic"
+	"qbs/internal/graph"
+	"qbs/internal/replica"
+	"qbs/internal/server"
+	"qbs/internal/store"
+	"qbs/internal/workload"
+)
+
+// ReplicaScaling measures read throughput through the query router as
+// replicas are added, under a concurrent MixedOps write stream hitting
+// the primary — the PR 5 read-scaling experiment (BENCH_PR5.json).
+//
+// Capacity model: the bench host is one machine (often a single core in
+// CI), so raw CPU parallelism cannot demonstrate scale-out. Instead
+// each replica is served through a capacity gate — at most
+// CapPerReplica concurrent reads, each holding the slot for
+// ServiceFloor — emulating a fleet of fixed-capacity replica nodes.
+// What the experiment then measures is real: the router's ability to
+// spread saturating read load across N capacity-bounded backends while
+// WAL shipping keeps every backend converging under live writes. The
+// gate parameters are recorded in the snapshot so the number can be
+// read for what it is.
+
+// ReplicationSchema identifies the BENCH_PR5.json format.
+const ReplicationSchema = "qbs-bench-replication/v1"
+
+// ReplicaScalingConfig tunes the experiment; zero values take the
+// defaults noted per field.
+type ReplicaScalingConfig struct {
+	ReplicaCounts []int         // replica counts to sweep (default 1,2,4)
+	CapPerReplica int           // concurrent reads per replica node (default 2)
+	ServiceFloor  time.Duration // per-read service time at a replica (default 2ms)
+	Readers       int           // client goroutines offering load (default 32)
+	Warmup        time.Duration // settle time before counting (default 300ms)
+	Measure       time.Duration // measurement window (default 1.5s)
+	WritePace     time.Duration // one primary write per this interval (default 10ms)
+}
+
+func (c ReplicaScalingConfig) withDefaults() ReplicaScalingConfig {
+	if len(c.ReplicaCounts) == 0 {
+		c.ReplicaCounts = []int{1, 2, 4}
+	}
+	if c.CapPerReplica <= 0 {
+		c.CapPerReplica = 2
+	}
+	if c.ServiceFloor <= 0 {
+		c.ServiceFloor = 2 * time.Millisecond
+	}
+	if c.Readers <= 0 {
+		c.Readers = 32
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 300 * time.Millisecond
+	}
+	if c.Measure <= 0 {
+		c.Measure = 1500 * time.Millisecond
+	}
+	if c.WritePace <= 0 {
+		c.WritePace = 10 * time.Millisecond
+	}
+	return c
+}
+
+// ReplicaScalingRun is one row: read QPS through the router at a given
+// replica count.
+type ReplicaScalingRun struct {
+	Replicas      int     `json:"replicas"`
+	ReadQPS       float64 `json:"read_qps"`
+	Reads         int64   `json:"reads"`
+	ReadErrors    int64   `json:"read_errors"`
+	WritesApplied int64   `json:"writes_applied"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+	FinalEpoch    uint64  `json:"final_primary_epoch"`
+	FinalLag      uint64  `json:"final_max_replica_lag_epochs"`
+}
+
+// ReplicationSnapshot is the machine-readable BENCH_PR5.json record.
+type ReplicationSnapshot struct {
+	Schema         string              `json:"schema"`
+	GoVersion      string              `json:"go"`
+	GOMAXPROCS     int                 `json:"gomaxprocs"`
+	Dataset        string              `json:"dataset"`
+	Vertices       int                 `json:"vertices"`
+	Edges          int                 `json:"edges"`
+	Scale          float64             `json:"scale"`
+	Landmarks      int                 `json:"landmarks"`
+	Seed           int64               `json:"seed"`
+	CapPerReplica  int                 `json:"cap_per_replica"`
+	ServiceFloorUs int64               `json:"service_floor_us"`
+	Readers        int                 `json:"readers"`
+	MeasureMs      int64               `json:"measure_ms"`
+	WritePaceUs    int64               `json:"write_pace_us"`
+	CapacityModel  string              `json:"capacity_model"`
+	Runs           []ReplicaScalingRun `json:"runs"`
+}
+
+// capacityGate admits at most cap concurrent requests, each holding its
+// slot for at least floor — the fixed-size replica-node emulation.
+func capacityGate(cap int, floor time.Duration, next http.Handler) http.Handler {
+	slots := make(chan struct{}, cap)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slots <- struct{}{}
+		defer func() { <-slots }()
+		time.Sleep(floor)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ReplicaScaling runs the experiment and renders the markdown table to
+// the harness writer.
+func (h *Harness) ReplicaScaling(rc ReplicaScalingConfig) (*ReplicationSnapshot, error) {
+	rc = rc.withDefaults()
+	cfg := h.cfg
+	key := cfg.Datasets[0]
+	g, err := h.Graph(key)
+	if err != nil {
+		return nil, err
+	}
+	snap := &ReplicationSnapshot{
+		Schema:         ReplicationSchema,
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Dataset:        key,
+		Vertices:       g.NumVertices(),
+		Edges:          g.NumEdges(),
+		Scale:          cfg.Scale,
+		Landmarks:      cfg.NumLandmarks,
+		Seed:           cfg.Seed,
+		CapPerReplica:  rc.CapPerReplica,
+		ServiceFloorUs: rc.ServiceFloor.Microseconds(),
+		Readers:        rc.Readers,
+		MeasureMs:      rc.Measure.Milliseconds(),
+		WritePaceUs:    rc.WritePace.Microseconds(),
+		CapacityModel: fmt.Sprintf(
+			"each replica gated to %d concurrent reads with a %s service floor (emulated fixed-capacity nodes on one bench host); scaling measured is router load-spreading, not host CPU parallelism",
+			rc.CapPerReplica, rc.ServiceFloor),
+	}
+	for _, n := range rc.ReplicaCounts {
+		run, err := h.replicaScalingRun(g, n, rc)
+		if err != nil {
+			return nil, err
+		}
+		if len(snap.Runs) > 0 && snap.Runs[0].ReadQPS > 0 {
+			run.SpeedupVs1 = run.ReadQPS / snap.Runs[0].ReadQPS
+		} else if len(snap.Runs) == 0 {
+			run.SpeedupVs1 = 1
+		}
+		snap.Runs = append(snap.Runs, run)
+	}
+
+	tb := &table{
+		title:  fmt.Sprintf("Read scaling with replicas (%s, MixedOps writes at 1/%s)", key, rc.WritePace),
+		header: []string{"replicas", "read QPS", "speedup", "reads", "errors", "writes", "final lag"},
+	}
+	for _, r := range snap.Runs {
+		tb.add(fmt.Sprintf("%d", r.Replicas), fmt.Sprintf("%.0f", r.ReadQPS),
+			fmt.Sprintf("%.2fx", r.SpeedupVs1), fmtCount(int(r.Reads)),
+			fmt.Sprintf("%d", r.ReadErrors), fmt.Sprintf("%d", r.WritesApplied),
+			fmt.Sprintf("%d", r.FinalLag))
+	}
+	tb.render(cfg.Out)
+	return snap, nil
+}
+
+// replicaScalingRun stands up one full topology — durable primary, n
+// replicas behind capacity gates, a router — and measures routed read
+// throughput under the paced write stream.
+func (h *Harness) replicaScalingRun(g *graph.Graph, n int, rc ReplicaScalingConfig) (ReplicaScalingRun, error) {
+	run := ReplicaScalingRun{Replicas: n}
+
+	dir, err := os.MkdirTemp("", "qbs-replbench-")
+	if err != nil {
+		return run, err
+	}
+	defer os.RemoveAll(dir)
+
+	d, err := dynamic.New(g, g.TopDegreeVertices(h.cfg.NumLandmarks), dynamic.Options{CompactFraction: -1})
+	if err != nil {
+		return run, err
+	}
+	st, err := store.Create(dir, d, store.Options{SyncEvery: 256})
+	if err != nil {
+		return run, err
+	}
+	defer st.Close()
+
+	prim := replica.NewPrimary(st, replica.PrimaryOptions{})
+	defer prim.Close()
+	mux := http.NewServeMux()
+	mux.Handle("/replication/", prim)
+	mux.Handle("/", server.NewMutable(qbs.AdoptDynamic(d)))
+	primary := httptest.NewServer(mux)
+	defer primary.Close()
+
+	// Connection-rich client: the default transport's two idle conns per
+	// host would serialise the fan-out. Idle connections are torn down
+	// with the run so their reader goroutines cannot pollute later
+	// allocation-sensitive measurements in the same process.
+	transport := &http.Transport{MaxIdleConnsPerHost: 4 * rc.Readers}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+
+	reps := make([]*replica.Replica, 0, n)
+	repURLs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		rep, err := replica.Start(primary.URL, replica.Options{
+			PollInterval: 2 * time.Millisecond,
+			Client:       client,
+		})
+		if err != nil {
+			return run, err
+		}
+		defer rep.Stop()
+		ts := httptest.NewServer(capacityGate(rc.CapPerReplica, rc.ServiceFloor, rep.Handler()))
+		defer ts.Close()
+		reps = append(reps, rep)
+		repURLs = append(repURLs, ts.URL)
+	}
+
+	rt := replica.NewRouter(primary.URL, repURLs, replica.RouterOptions{
+		HealthInterval: 100 * time.Millisecond,
+		Client:         client,
+		Seed:           h.cfg.Seed,
+	})
+	defer rt.Stop()
+
+	var (
+		reads, readErrs, writes atomic.Int64
+		counting                atomic.Bool
+		done                    = make(chan struct{})
+		wg                      sync.WaitGroup
+	)
+
+	// Paced writer: the MixedOps mutation stream through the router
+	// (forwarded to the primary), one write per WritePace.
+	muts := workload.Mutations(g, 1<<14, h.cfg.Seed)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(rc.WritePace)
+		defer ticker.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			op := muts[i%len(muts)]
+			var req *http.Request
+			if op.Kind == workload.OpInsert {
+				body, _ := json.Marshal(map[string]int32{"u": op.U, "v": op.V})
+				req = httptest.NewRequest("POST", "/edges", bytes.NewReader(body))
+			} else {
+				req = httptest.NewRequest("DELETE", fmt.Sprintf("/edges?u=%d&v=%d", op.U, op.V), nil)
+			}
+			rec := httptest.NewRecorder()
+			rt.ServeHTTP(rec, req)
+			if rec.Code == 200 && counting.Load() {
+				writes.Add(1)
+			}
+		}
+	}()
+
+	// Readers: saturating /spg load through the router.
+	for w := 0; w < rc.Readers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			nv := g.NumVertices()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				u, v := rng.Intn(nv), rng.Intn(nv)
+				rec := httptest.NewRecorder()
+				rt.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/spg?u=%d&v=%d", u, v), nil))
+				if !counting.Load() {
+					continue
+				}
+				if rec.Code == 200 {
+					reads.Add(1)
+				} else {
+					readErrs.Add(1)
+				}
+			}
+		}(h.cfg.Seed + int64(w))
+	}
+
+	time.Sleep(rc.Warmup)
+	counting.Store(true)
+	t0 := time.Now()
+	time.Sleep(rc.Measure)
+	counting.Store(false)
+	elapsed := time.Since(t0)
+	close(done)
+	wg.Wait()
+
+	run.Reads = reads.Load()
+	run.ReadErrors = readErrs.Load()
+	run.WritesApplied = writes.Load()
+	run.ReadQPS = float64(run.Reads) / elapsed.Seconds()
+	run.FinalEpoch = d.Epoch()
+	for _, rep := range reps {
+		if lag := run.FinalEpoch - rep.Epoch(); rep.Epoch() <= run.FinalEpoch && lag > run.FinalLag {
+			run.FinalLag = lag
+		}
+	}
+	return run, nil
+}
+
+// ReplicaScalingJSON runs the experiment with defaults and writes the
+// snapshot to path — the `qbs-bench -exp replication -json` entry.
+func (h *Harness) ReplicaScalingJSON(path string) error {
+	snap, err := h.ReplicaScaling(ReplicaScalingConfig{})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

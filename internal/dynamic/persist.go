@@ -162,6 +162,44 @@ func (d *Index) ReplayEdge(u, w graph.V, insert bool, epoch uint64) error {
 	return nil
 }
 
+// ReplayOp is one replicated log record, the unit ApplyStream consumes:
+// either an edge mutation (Insert reports the direction) or, when
+// Compact is set, a bare epoch advance published by a compaction.
+type ReplayOp struct {
+	Epoch   uint64
+	U, W    graph.V
+	Insert  bool
+	Compact bool
+}
+
+// ApplyStream replays a batch of logged operations in order — the
+// replica-side entry point for WAL shipping. Ops at or below the
+// current epoch are skipped (the bootstrap snapshot or an earlier batch
+// already covers them); the rest run through the same incremental
+// repair as recovery replay, so a replica that consumes the primary's
+// log converges to bit-identical labels, σ and Δ at every epoch. It
+// returns how many ops applied; on error the stream stops at the
+// offending op with everything before it applied and published.
+func (d *Index) ApplyStream(ops []ReplayOp) (int, error) {
+	applied := 0
+	for _, op := range ops {
+		if op.Epoch <= d.Epoch() {
+			continue
+		}
+		var err error
+		if op.Compact {
+			err = d.ReplayEpoch(op.Epoch)
+		} else {
+			err = d.ReplayEdge(op.U, op.W, op.Insert, op.Epoch)
+		}
+		if err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
 // ReplayEpoch re-applies a logged compaction marker: the current state
 // is republished unchanged at the given epoch. (Replay does not redo the
 // compaction itself — a compaction rebuild produces bit-identical

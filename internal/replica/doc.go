@@ -1,0 +1,86 @@
+// Package replica is the read-scaling subsystem: WAL-shipped read
+// replicas of a durable dynamic index, plus an epoch-aware query router
+// in front of them.
+//
+// # Topology
+//
+//	                  writes (POST/DELETE /edges, POST /checkpoint)
+//	clients ──► router ───────────────────────────────► primary
+//	               │                                      │  snapshot +
+//	               │ reads (GET /spg /distance ...)       │  WAL tail
+//	               ├──────────► replica 1 ◄───────────────┤
+//	               └──────────► replica 2 ◄───────────────┘
+//
+// The primary is an ordinary mutable durable server (internal/server
+// over a qbs.DynamicIndex with a store) that additionally serves two
+// replication endpoints. Replicas are read-only servers that bootstrap
+// from the primary's newest snapshot and stay fresh by tailing its
+// write-ahead log through the dynamic replay seam — by the
+// repair-equals-rebuild invariant they converge to bit-identical
+// labels, σ and Δ at every epoch. The router fans reads across healthy
+// replicas and forwards writes to the primary.
+//
+// # Wire protocol
+//
+// Replication is two HTTP GET endpoints on the primary:
+//
+//	GET /replication/snapshot?replica=<id>
+//
+// returns the newest intact snapshot file verbatim (the store's v3
+// format, decoded on the replica with the same zero-copy loaders as
+// crash recovery). The X-Qbs-Snapshot-Epoch header carries the epoch
+// the image captured. Passing a replica id registers a retention lease
+// at that epoch before the body is served, so the log suffix the
+// replica needs next cannot be pruned while it loads.
+//
+//	GET /replication/wal?from=<epoch>&replica=<id>&max=<n>
+//
+// returns the log records with epoch > from, oldest first, at most n of
+// them (default 65536). The body is a sequence of fixed-size 25-byte
+// frames byte-identical to the on-disk WAL record framing — u32 payload
+// length, u32 CRC-32C over the rest, u64 epoch, u8 op (1 insert,
+// 2 delete, 3 compaction), u32 u, u32 w — so the replica validates
+// shipped records exactly as recovery validates the log. The
+// X-Qbs-Wal-Tip header carries the primary's current epoch, from which
+// the replica derives its lag (exposed via GET /metrics). An empty body
+// means the replica is caught up; it polls again after its poll
+// interval. Each request renews the caller's retention lease at `from`.
+//
+// If the primary cannot supply the contiguous successor of `from` (the
+// records were pruned — possible only when the replica's lease expired)
+// it answers 410 Gone. The replica then parks its tail loop with
+// ErrWALTruncated and keeps serving its last applied epoch on the query
+// endpoints — but its /healthz and /epoch turn 503 so routers and
+// monitors take it out of rotation; restarting the replica process
+// re-bootstraps it from a fresh snapshot.
+//
+// # Retention leases
+//
+// Each registered replica holds a lease (id → lowest epoch still
+// needed, renewed by every replication request, expiring after
+// PrimaryOptions.LeaseTTL). The primary keeps the store's WAL pruning
+// floor at the minimum leased epoch, so checkpoints — which normally
+// delete every segment the retained snapshots cover — never delete a
+// segment a live replica has yet to fetch. Expired leases lift the
+// floor again: a replica that stalls past its TTL re-bootstraps instead
+// of holding the log hostage forever.
+//
+// # Consistency semantics
+//
+// Replication is asynchronous: a replica serves the epoch it has
+// applied, typically one poll interval behind the primary. Reads that
+// need read-your-writes pass min_epoch=<epoch> (the epoch a write
+// response reported): a replica still behind answers 503 + Retry-After
+// and the router retries the read on another backend, falling back to
+// the primary, which is always current. A record is fsynced before it
+// is ever shipped (ReadWAL flushes batched appends first), so even with
+// SyncEvery > 1 a replica can never apply an epoch that a power loss
+// erases from the primary — replicas are always at or behind what a
+// recovered primary would replay.
+//
+// A replica applies compaction markers by republishing its state at the
+// new epoch (labels are already bit-identical); it never compacts its
+// own overlay, so a very long-lived replica accumulates overlay drift
+// and should periodically re-bootstrap — the same snapshot fetch as
+// cold start.
+package replica

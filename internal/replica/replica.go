@@ -1,0 +1,389 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qbs"
+	"qbs/internal/dynamic"
+	"qbs/internal/server"
+	"qbs/internal/store"
+)
+
+// ErrWALTruncated reports that the primary pruned past this replica's
+// position (410 Gone from /replication/wal): tailing cannot continue
+// and the replica must be restarted to re-bootstrap from a snapshot.
+var ErrWALTruncated = errors.New("replica: primary pruned past our epoch; re-bootstrap required")
+
+// Options tunes a read replica.
+type Options struct {
+	// Dir caches the bootstrap snapshot (a temp dir when empty).
+	Dir string
+	// ID names this replica in the primary's retention leases (a
+	// host/pid-derived id when empty).
+	ID string
+	// MMap maps the bootstrap snapshot instead of reading it.
+	MMap bool
+	// PollInterval is the WAL tail poll cadence (0 = 25ms); it bounds
+	// steady-state replication lag.
+	PollInterval time.Duration
+	// MaxBatch caps records fetched per poll (0 = 65536).
+	MaxBatch int
+	// Client issues the replication requests (0 = a 30s-timeout client).
+	Client *http.Client
+	// RepairBudget tunes the dynamic repair path as in
+	// qbs.DynamicOptions. Compaction is always disabled on replicas:
+	// epochs are primary-owned.
+	RepairBudget int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 25 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = defaultMaxBatch
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.ID == "" {
+		o.ID = fmt.Sprintf("replica-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+	return o
+}
+
+// Replica is a live read replica: an index bootstrapped from the
+// primary's snapshot, kept fresh by a background WAL tail loop, served
+// read-only.
+type Replica struct {
+	primary string
+	opts    Options
+	dir     string // bootstrap snapshot cache
+	ownDir  bool   // dir was auto-created; removed on Stop
+	d       *dynamic.Index
+	qd      *qbs.DynamicIndex
+
+	tip     atomic.Uint64 // primary epoch from the last poll
+	fetched atomic.Uint64 // records applied over the replica's lifetime
+	failing atomic.Pointer[error]
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start bootstraps a replica of the primary at primaryURL — fetches the
+// newest snapshot, loads it with the zero-copy snapshot loader, and
+// begins tailing the WAL — and returns once the replica is serving
+// (possibly still behind; see Status for lag).
+func Start(primaryURL string, opts Options) (*Replica, error) {
+	opts = opts.withDefaults()
+	primaryURL = strings.TrimRight(primaryURL, "/")
+	if _, err := url.Parse(primaryURL); err != nil {
+		return nil, fmt.Errorf("replica: primary url: %w", err)
+	}
+	dir, ownDir := opts.Dir, false
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "qbs-replica-"); err != nil {
+			return nil, err
+		}
+		ownDir = true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	cleanup := func() {
+		if ownDir {
+			os.RemoveAll(dir)
+		}
+	}
+	// A bootstrap can outlast the primary's lease TTL (big snapshot,
+	// slow link, long restore): keep the retention lease warm with tiny
+	// WAL fetches until tailing proper takes over, or a checkpoint in
+	// that window could prune the suffix this replica is about to need.
+	keepStop := make(chan struct{})
+	var keepWG sync.WaitGroup
+	keepLease := func(epoch uint64) {
+		keepWG.Add(1)
+		go func() {
+			defer keepWG.Done()
+			ticker := time.NewTicker(10 * time.Second)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-keepStop:
+					return
+				case <-ticker.C:
+					resp, err := opts.Client.Get(fmt.Sprintf("%s%s?from=%d&replica=%s&max=1",
+						primaryURL, walPath, epoch, url.QueryEscape(opts.ID)))
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+	endKeep := func() {
+		close(keepStop)
+		keepWG.Wait()
+	}
+	path, epoch, err := fetchSnapshot(opts.Client, primaryURL, opts.ID, dir, keepLease)
+	if err != nil {
+		endKeep()
+		cleanup()
+		return nil, err
+	}
+	d, _, err := store.LoadSnapshot(path, opts.MMap, dynamic.Options{
+		RepairBudget:    opts.RepairBudget,
+		CompactFraction: -1, // replicas never self-compact: epochs are primary-owned
+	})
+	endKeep()
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+
+	r := &Replica{
+		primary: primaryURL,
+		opts:    opts,
+		dir:     dir,
+		ownDir:  ownDir,
+		d:       d,
+		qd:      qbs.AdoptDynamic(d),
+		stop:    make(chan struct{}),
+	}
+	r.tip.Store(epoch)
+	r.wg.Add(1)
+	go r.tailLoop()
+	return r, nil
+}
+
+// fetchSnapshot downloads the primary's newest snapshot into dir and
+// returns its path and epoch. onEpoch fires as soon as the epoch header
+// arrives (before the body transfers) so the caller can start its lease
+// keepalive. The write is atomic (temp file + rename) so a killed
+// replica never leaves a half-written bootstrap image for its successor
+// to trip over.
+func fetchSnapshot(client *http.Client, primary, id, dir string, onEpoch func(uint64)) (string, uint64, error) {
+	resp, err := client.Get(primary + snapshotPath + "?replica=" + url.QueryEscape(id))
+	if err != nil {
+		return "", 0, fmt.Errorf("replica: fetch snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, fmt.Errorf("replica: fetch snapshot: primary answered %s", resp.Status)
+	}
+	epoch, err := strconv.ParseUint(resp.Header.Get(hdrSnapshotEpoch), 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("replica: fetch snapshot: bad %s header %q", hdrSnapshotEpoch, resp.Header.Get(hdrSnapshotEpoch))
+	}
+	if onEpoch != nil {
+		onEpoch(epoch)
+	}
+	final := filepath.Join(dir, "bootstrap.qbss")
+	tmp, err := os.CreateTemp(dir, "bootstrap-*.qbss.tmp")
+	if err != nil {
+		return "", 0, err
+	}
+	if _, err := io.Copy(tmp, resp.Body); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", 0, fmt.Errorf("replica: fetch snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", 0, err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return "", 0, err
+	}
+	return final, epoch, nil
+}
+
+// tailLoop polls the primary's WAL until Stop. Transient fetch errors
+// are retried on the next tick — the tail resumes from the last applied
+// epoch, so an interrupted replica catches up exactly where it left
+// off. A 410 (pruned past us) is terminal: the loop parks with
+// ErrWALTruncated and the replica keeps serving its last epoch.
+func (r *Replica) tailLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.opts.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			for {
+				select {
+				case <-r.stop:
+					return // don't let a long catch-up drain block Stop
+				default:
+				}
+				n, err := r.pollOnce()
+				if err != nil {
+					r.failing.Store(&err)
+					if errors.Is(err, ErrWALTruncated) {
+						return
+					}
+					break
+				}
+				r.failing.Store(nil)
+				// Drained when the primary had nothing, or we have
+				// reached the tip it reported. Comparing n against our
+				// own MaxBatch would throttle catch-up to one of the
+				// *primary's* (possibly smaller) batches per tick.
+				if n == 0 || r.d.Epoch() >= r.tip.Load() {
+					break // wait for the next tick
+				}
+			}
+		}
+	}
+}
+
+// pollOnce fetches and applies one batch of records past the replica's
+// current epoch, returning how many arrived.
+func (r *Replica) pollOnce() (int, error) {
+	from := r.d.Epoch()
+	u := fmt.Sprintf("%s%s?from=%d&replica=%s&max=%d",
+		r.primary, walPath, from, url.QueryEscape(r.opts.ID), r.opts.MaxBatch)
+	resp, err := r.opts.Client.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return 0, ErrWALTruncated
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("replica: wal fetch: primary answered %s", resp.Status)
+	}
+	if tip, err := strconv.ParseUint(resp.Header.Get(hdrWalTip), 10, 64); err == nil {
+		r.tip.Store(tip)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, int64(r.opts.MaxBatch+1)*store.WALRecordSize))
+	if err != nil {
+		return 0, err
+	}
+	ops := make([]dynamic.ReplayOp, 0, len(body)/store.WALRecordSize)
+	for off := 0; off+store.WALRecordSize <= len(body); off += store.WALRecordSize {
+		rec, err := store.DecodeWALFrame(body[off:])
+		if err != nil {
+			return len(ops), fmt.Errorf("replica: %w", err)
+		}
+		ops = append(ops, dynamic.ReplayOp{
+			Epoch:   rec.Epoch,
+			U:       rec.U,
+			W:       rec.W,
+			Insert:  rec.Op == store.WALInsert,
+			Compact: rec.Op == store.WALCompact,
+		})
+	}
+	if _, err := r.d.ApplyStream(ops); err != nil {
+		return len(ops), fmt.Errorf("replica: apply: %w", err)
+	}
+	// The primary only ships epochs past `from`, so a full apply must
+	// land exactly on the last shipped epoch. Falling short means some
+	// op was silently skipped as "already covered" — i.e. this index
+	// advanced outside the tail loop (a local write on the adopted
+	// serving index) and is now diverging; fail loudly instead of
+	// serving corrupt answers with zero reported lag.
+	if len(ops) > 0 && r.d.Epoch() != ops[len(ops)-1].Epoch {
+		return len(ops), fmt.Errorf("replica: index at epoch %d after applying through %d — local writes bypassed the tail loop; restart the replica",
+			r.d.Epoch(), ops[len(ops)-1].Epoch)
+	}
+	r.fetched.Add(uint64(len(ops)))
+	return len(ops), nil
+}
+
+// Index returns the replica's serving surface (reads only are
+// meaningful; it has no durable store and must not be written to).
+func (r *Replica) Index() *qbs.DynamicIndex { return r.qd }
+
+// Dynamic exposes the underlying dynamic index for white-box state
+// comparisons in tests and the bench harness.
+func (r *Replica) Dynamic() *dynamic.Index { return r.d }
+
+// Epoch returns the last epoch the replica has applied and published.
+func (r *Replica) Epoch() uint64 { return r.d.Epoch() }
+
+// Err returns the current tail-loop failure, if any (nil while the
+// loop is healthy; errors.Is(err, ErrWALTruncated) once tailing has
+// parked for good).
+func (r *Replica) Err() error {
+	if errp := r.failing.Load(); errp != nil {
+		return *errp
+	}
+	return nil
+}
+
+// Status reports replication lag for /metrics.
+func (r *Replica) Status() server.ReplicationStatus {
+	epoch := r.d.Epoch()
+	tip := r.tip.Load()
+	if tip < epoch {
+		tip = epoch
+	}
+	return server.ReplicationStatus{
+		PrimaryEpoch: tip,
+		Epoch:        epoch,
+		LagBytes:     int64(tip-epoch) * store.WALRecordSize,
+	}
+}
+
+// Handler returns the replica's HTTP read surface: the ordinary
+// read-only dynamic API (/spg, /distance, /sketch, /paths, /stats,
+// /epoch, /healthz) plus /metrics with replication lag. min_epoch
+// gating comes with the server: a read the replica cannot yet answer
+// consistently gets 503 + Retry-After.
+//
+// Once the tail loop has parked terminally (ErrWALTruncated), /healthz
+// and /epoch turn 503 so routers and monitors take the frozen replica
+// out of rotation — otherwise it would keep passing health checks and
+// serve silently stale answers until drift happened to exceed the
+// router's lag bound. The query endpoints stay up for direct debugging.
+func (r *Replica) Handler() http.Handler {
+	srv := server.NewDynamicReadOnly(r.qd)
+	srv.SetReplicationStatus(r.Status)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if (req.URL.Path == "/healthz" || req.URL.Path == "/epoch") && errors.Is(r.Err(), ErrWALTruncated) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable,
+				"replica parked: primary pruned past our epoch; restart to re-bootstrap")
+			return
+		}
+		srv.ServeHTTP(w, req)
+	})
+}
+
+// Stop ends the tail loop. The replica keeps serving its last applied
+// epoch; it just stops advancing. An auto-created cache dir is removed
+// (unlinking under a live arena view is safe: the mapping or heap copy
+// outlives the file).
+func (r *Replica) Stop() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.wg.Wait()
+	if r.ownDir {
+		os.RemoveAll(r.dir)
+	}
+}

@@ -1,0 +1,304 @@
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterOptions tunes the read-fanning query router.
+type RouterOptions struct {
+	// HealthInterval is the backend probe cadence (0 = 500ms).
+	HealthInterval time.Duration
+	// MaxLagEpochs evicts a replica whose applied epoch trails the
+	// primary by more than this until it catches back up (0 = 4096).
+	MaxLagEpochs uint64
+	// Client issues the proxied requests (nil = a 30s-timeout client).
+	Client *http.Client
+	// Seed makes backend picks deterministic for tests (0 = time-based).
+	Seed int64
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 500 * time.Millisecond
+	}
+	if o.MaxLagEpochs == 0 {
+		o.MaxLagEpochs = 4096
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// backend is one routed-to server with its balancing state.
+type backend struct {
+	url      string
+	inflight atomic.Int64
+	healthy  atomic.Bool
+	epoch    atomic.Uint64
+}
+
+// Router fans reads across healthy replicas — power-of-two-choices on
+// in-flight count — and forwards every non-GET request to the primary.
+// A read that fails on its chosen replica (transport error or 503, the
+// min_epoch "still behind" answer) retries on the alternate choice and
+// finally on the primary, which is always current. A background probe
+// loop evicts replicas that fail health checks or fall more than
+// MaxLagEpochs behind, and readmits them when they recover.
+type Router struct {
+	primary        *backend
+	replicas       []*backend
+	opts           RouterOptions
+	probeClient    *http.Client    // short-timeout client for health probes
+	probeTransport *http.Transport // private, torn down in Stop
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRouter builds a router over one primary and any number of replica
+// base URLs and starts its health probes (one synchronous sweep runs
+// before returning, so routing state is populated from the start).
+func NewRouter(primaryURL string, replicaURLs []string, opts RouterOptions) *Router {
+	opts = opts.withDefaults()
+	probeTransport := &http.Transport{}
+	rt := &Router{
+		primary:        &backend{url: strings.TrimRight(primaryURL, "/")},
+		opts:           opts,
+		probeTransport: probeTransport,
+		probeClient:    &http.Client{Timeout: 2 * time.Second, Transport: probeTransport},
+		rng:            rand.New(rand.NewSource(opts.Seed)),
+		stop:           make(chan struct{}),
+	}
+	rt.primary.healthy.Store(true)
+	for _, u := range replicaURLs {
+		rt.replicas = append(rt.replicas, &backend{url: strings.TrimRight(u, "/")})
+	}
+	rt.sweep()
+	rt.wg.Add(1)
+	go rt.healthLoop()
+	return rt
+}
+
+// Stop ends the health probes and tears down their idle connections.
+// In-flight proxied requests finish.
+func (rt *Router) Stop() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	rt.wg.Wait()
+	rt.probeTransport.CloseIdleConnections()
+}
+
+func (rt *Router) healthLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.opts.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.sweep()
+		}
+	}
+}
+
+// sweep probes every backend's /epoch concurrently: the primary's
+// answer is the lag reference; a replica is healthy when it answers and
+// trails by at most MaxLagEpochs. Probes use a short dedicated timeout
+// so one black-holed backend cannot stall decisions about the others
+// (or, on the synchronous first sweep, router startup).
+func (rt *Router) sweep() {
+	var wg sync.WaitGroup
+	probeOne := func(b *backend, lagGated bool, tip uint64) {
+		defer wg.Done()
+		e, ok := rt.probe(b)
+		if !ok {
+			b.healthy.Store(false)
+			return
+		}
+		b.epoch.Store(e)
+		b.healthy.Store(!lagGated || tip <= e || tip-e <= rt.opts.MaxLagEpochs)
+	}
+	wg.Add(1)
+	probeOne(rt.primary, false, 0)
+	tip := rt.primary.epoch.Load()
+	for _, b := range rt.replicas {
+		wg.Add(1)
+		go probeOne(b, true, tip)
+	}
+	wg.Wait()
+}
+
+// probe fetches a backend's current epoch.
+func (rt *Router) probe(b *backend) (uint64, bool) {
+	resp, err := rt.probeClient.Get(b.url + "/epoch")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return 0, false
+	}
+	var body struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		return 0, false
+	}
+	return body.Epoch, true
+}
+
+// ServeHTTP implements http.Handler: writes to the primary, reads
+// across the replicas.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		// Writes are forwarded exactly once: a retry could double-apply.
+		if rt.forward(rt.primary, w, r, false) == fwdDone {
+			return
+		}
+		httpError(w, http.StatusBadGateway, "primary unreachable")
+		return
+	}
+	sawUnavailable := false
+	for _, b := range rt.pick() {
+		switch rt.forward(b, w, r, true) {
+		case fwdDone:
+			return
+		case fwdUnavailable:
+			sawUnavailable = true
+		}
+	}
+	if sawUnavailable {
+		// Every backend said 503 (min_epoch not yet published anywhere,
+		// or mid-restart): preserve the documented retriable signal
+		// instead of flattening it into a terminal 502.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "no backend can answer yet; retry")
+		return
+	}
+	httpError(w, http.StatusBadGateway, "no backend could answer")
+}
+
+// forward outcomes.
+const (
+	fwdDone        = iota // response written to the client
+	fwdFailed             // transport-level failure, nothing written
+	fwdUnavailable        // backend answered 503 (drained, nothing written)
+)
+
+// pick orders the read candidates: two healthy replicas chosen at
+// random, the less loaded first (power of two choices), with the
+// primary as the final fallback.
+func (rt *Router) pick() []*backend {
+	var healthy []*backend
+	for _, b := range rt.replicas {
+		if b.healthy.Load() {
+			healthy = append(healthy, b)
+		}
+	}
+	switch len(healthy) {
+	case 0:
+		return []*backend{rt.primary}
+	case 1:
+		return []*backend{healthy[0], rt.primary}
+	}
+	rt.rngMu.Lock()
+	i := rt.rng.Intn(len(healthy))
+	j := rt.rng.Intn(len(healthy) - 1)
+	rt.rngMu.Unlock()
+	if j >= i {
+		j++
+	}
+	a, b := healthy[i], healthy[j]
+	if b.inflight.Load() < a.inflight.Load() {
+		a, b = b, a
+	}
+	return []*backend{a, b, rt.primary}
+}
+
+// forward proxies one request to b. retryable (reads) treats transport
+// errors and 503 as "try the next backend" (fwdFailed/fwdUnavailable,
+// nothing written); writes pass every completed response through.
+func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, retryable bool) int {
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		return fwdFailed
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		// Only a failure of the backend counts against it: a client that
+		// hung up cancels r.Context(), and evicting a healthy replica
+		// for that would let impatient clients drain the read pool.
+		if retryable && r.Context().Err() == nil {
+			b.healthy.Store(false) // next sweep readmits it if it recovers
+		}
+		return fwdFailed
+	}
+	defer resp.Body.Close()
+	if retryable && resp.StatusCode == http.StatusServiceUnavailable {
+		// A replica refusing min_epoch (or mid-bootstrap): drain and let
+		// the caller try a fresher backend.
+		io.Copy(io.Discard, resp.Body)
+		return fwdUnavailable
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Qbs-Backend", b.url)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return fwdDone
+}
+
+// Backends reports the routing table — observability for tests and the
+// qbs-server -router log line.
+func (rt *Router) Backends() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "primary %s (epoch %d, healthy %v)", rt.primary.url, rt.primary.epoch.Load(), rt.primary.healthy.Load())
+	for i, b := range rt.replicas {
+		fmt.Fprintf(&sb, "; replica[%d] %s (epoch %d, healthy %v, inflight %d)",
+			i, b.url, b.epoch.Load(), b.healthy.Load(), b.inflight.Load())
+	}
+	return sb.String()
+}
+
+// ReplicaHealth reports each replica's current healthy bit, in the
+// order the replicas were configured.
+func (rt *Router) ReplicaHealth() []bool {
+	out := make([]bool, len(rt.replicas))
+	for i, b := range rt.replicas {
+		out[i] = b.healthy.Load()
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package replica
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a scriptable upstream: answers /epoch and /spg with
+// configurable status, and counts what reaches it.
+type fakeBackend struct {
+	name    string
+	epoch   atomic.Uint64
+	failAll atomic.Bool // every endpoint answers 503
+	fail503 atomic.Bool // queries answer 503, /epoch stays healthy
+	reads   atomic.Int64
+	writes  atomic.Int64
+	ts      *httptest.Server
+}
+
+func newFakeBackend(t *testing.T, name string, epoch uint64) *fakeBackend {
+	t.Helper()
+	b := &fakeBackend{name: name}
+	b.epoch.Store(epoch)
+	b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if b.failAll.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		switch {
+		case r.URL.Path == "/epoch":
+			fmt.Fprintf(w, `{"epoch":%d,"edges":0}`, b.epoch.Load())
+		case r.Method != http.MethodGet:
+			b.writes.Add(1)
+			fmt.Fprintf(w, `{"applied":true,"epoch":%d,"edges":0}`, b.epoch.Add(1))
+		case b.fail503.Load():
+			http.Error(w, "behind", http.StatusServiceUnavailable)
+		default:
+			b.reads.Add(1)
+			fmt.Fprintf(w, `{"backend":%q}`, b.name)
+		}
+	}))
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func routeGet(t *testing.T, rt *Router, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec
+}
+
+// TestRouterSpreadsReadsAndRoutesWrites: reads land on replicas, writes
+// on the primary, and both replicas see traffic.
+func TestRouterSpreadsReadsAndRoutesWrites(t *testing.T) {
+	prim := newFakeBackend(t, "primary", 10)
+	r1 := newFakeBackend(t, "r1", 10)
+	r2 := newFakeBackend(t, "r2", 10)
+	rt := NewRouter(prim.ts.URL, []string{r1.ts.URL, r2.ts.URL}, RouterOptions{
+		HealthInterval: 20 * time.Millisecond, Seed: 1,
+	})
+	defer rt.Stop()
+
+	for i := 0; i < 60; i++ {
+		if rec := routeGet(t, rt, "/spg?u=0&v=1"); rec.Code != 200 {
+			t.Fatalf("read %d: status %d", i, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("POST", "/edges", strings.NewReader(`{"u":0,"v":1}`)))
+	if rec.Code != 200 {
+		t.Fatalf("write status %d", rec.Code)
+	}
+	if prim.reads.Load() != 0 {
+		t.Fatalf("primary served %d reads while both replicas were healthy", prim.reads.Load())
+	}
+	if prim.writes.Load() != 1 || r1.writes.Load() != 0 || r2.writes.Load() != 0 {
+		t.Fatalf("writes landed wrong: primary=%d r1=%d r2=%d", prim.writes.Load(), r1.writes.Load(), r2.writes.Load())
+	}
+	if r1.reads.Load() == 0 || r2.reads.Load() == 0 {
+		t.Fatalf("reads not spread: r1=%d r2=%d", r1.reads.Load(), r2.reads.Load())
+	}
+}
+
+// TestRouterFailoverOn503 is the satellite failover test: a replica
+// that starts answering 503 loses its reads to the other backends with
+// zero client-visible errors, and is evicted once its health probe
+// fails too.
+func TestRouterFailoverOn503(t *testing.T) {
+	prim := newFakeBackend(t, "primary", 10)
+	good := newFakeBackend(t, "good", 10)
+	bad := newFakeBackend(t, "bad", 10)
+	rt := NewRouter(prim.ts.URL, []string{good.ts.URL, bad.ts.URL}, RouterOptions{
+		HealthInterval: 20 * time.Millisecond, Seed: 2,
+	})
+	defer rt.Stop()
+
+	// Phase 1: bad 503s its queries but still answers /epoch. Every
+	// routed read must still succeed via retry on the good backends.
+	bad.fail503.Store(true)
+	for i := 0; i < 40; i++ {
+		if rec := routeGet(t, rt, "/distance?u=0&v=1"); rec.Code != 200 {
+			t.Fatalf("read %d: status %d (failover failed)", i, rec.Code)
+		}
+	}
+	if good.reads.Load() == 0 {
+		t.Fatal("good replica saw no reads")
+	}
+
+	// Phase 2: bad fails its health probe entirely → evicted.
+	bad.failAll.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := rt.ReplicaHealth()
+		if len(h) == 2 && h[0] && !h[1] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bad replica not evicted: health=%v", h)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	before := bad.reads.Load()
+	for i := 0; i < 20; i++ {
+		if rec := routeGet(t, rt, "/distance?u=0&v=1"); rec.Code != 200 {
+			t.Fatalf("read %d after eviction: status %d", i, rec.Code)
+		}
+	}
+	if bad.reads.Load() != before {
+		t.Fatal("evicted replica still receiving reads")
+	}
+
+	// Phase 3: bad recovers → readmitted.
+	bad.failAll.Store(false)
+	bad.fail503.Store(false)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if h := rt.ReplicaHealth(); h[1] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered replica not readmitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterEvictsLaggingReplica: a replica whose epoch trails the
+// primary past MaxLagEpochs is evicted until it catches up.
+func TestRouterEvictsLaggingReplica(t *testing.T) {
+	prim := newFakeBackend(t, "primary", 5000)
+	lagging := newFakeBackend(t, "lagging", 100)
+	rt := NewRouter(prim.ts.URL, []string{lagging.ts.URL}, RouterOptions{
+		HealthInterval: 20 * time.Millisecond, MaxLagEpochs: 1000, Seed: 3,
+	})
+	defer rt.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h := rt.ReplicaHealth(); !h[0] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lagging replica not evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// With no healthy replica, reads fall back to the primary.
+	if rec := routeGet(t, rt, "/distance?u=0&v=1"); rec.Code != 200 {
+		t.Fatalf("fallback read status %d", rec.Code)
+	}
+	if prim.reads.Load() == 0 {
+		t.Fatal("primary did not take the fallback read")
+	}
+
+	// Catch-up readmits it.
+	lagging.epoch.Store(5000)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if h := rt.ReplicaHealth(); h[0] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("caught-up replica not readmitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -16,7 +16,14 @@
 //	GET /sketch?u=<id>&v=<id>     the query sketch (d⊤, minimizing pairs)
 //	GET /paths?u=<id>&v=<id>&limit=<n>  enumerated shortest paths
 //	GET /stats                    index and graph statistics
+//	GET /metrics                  request/error counters, epoch, replication lag
 //	GET /healthz                  liveness
+//
+// On dynamic servers the query endpoints accept &min_epoch=<n>: the
+// read is answered only once the index has published at least that
+// epoch, and a server still behind responds 503 with a Retry-After
+// header — the consistency hook read replicas and the query router use
+// for read-your-writes.
 //
 // Write endpoints (mutable mode only; 404 on an immutable server):
 //
@@ -50,8 +57,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 
 	"qbs"
 	"qbs/internal/analysis"
@@ -85,6 +94,66 @@ type Server struct {
 	di       *qbs.DiIndex      // non-nil only in directed mode
 	writable bool              // write endpoints exposed (NewMutable)
 	mux      *http.ServeMux
+
+	counters map[string]*endpointCounters // per-endpoint /metrics counters
+	order    []string                     // endpoint registration order
+	repl     func() ReplicationStatus     // lag provider; nil off replicas
+}
+
+// endpointCounters tallies one endpoint for /metrics.
+type endpointCounters struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// ReplicationStatus is the lag snapshot a read replica exposes through
+// /metrics: the primary epoch it last observed, its own applied epoch,
+// and the shipped-record backlog in bytes.
+type ReplicationStatus struct {
+	PrimaryEpoch uint64
+	Epoch        uint64
+	LagBytes     int64
+}
+
+// SetReplicationStatus attaches a replication lag provider: /metrics
+// then reports lag in epochs and bytes alongside the query counters.
+func (s *Server) SetReplicationStatus(fn func() ReplicationStatus) { s.repl = fn }
+
+// maxWriteBody bounds the request body of every write endpoint. The
+// legitimate bodies are tens of bytes; anything larger is a mistake or
+// an attack, rejected with 413 before it can balloon server memory.
+const maxWriteBody = 64 << 10
+
+// statusRecorder captures the response status for the error counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers h under pattern with request/error accounting. name
+// is the /metrics key (the route path without the method).
+func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &endpointCounters{}
+		s.counters[name] = c
+		s.order = append(s.order, name)
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		c.requests.Add(1)
+		if rec.code >= 400 {
+			c.errors.Add(1)
+		}
+	})
 }
 
 // New creates a read-only server over an immutable index.
@@ -126,37 +195,84 @@ func NewDirected(index *qbs.DiIndex) *Server {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	if s.di != nil {
-		s.mux.HandleFunc("GET /spg", s.handleDiSPG)
-		s.mux.HandleFunc("GET /distance", s.handleDiDistance)
-		s.mux.HandleFunc("GET /sketch", s.handleDiSketch)
-		s.mux.HandleFunc("GET /stats", s.handleDiStats)
-		s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-			w.WriteHeader(http.StatusOK)
-			fmt.Fprintln(w, "ok")
-		})
-		return
-	}
-	s.mux.HandleFunc("GET /spg", s.handleSPG)
-	s.mux.HandleFunc("GET /distance", s.handleDistance)
-	s.mux.HandleFunc("GET /sketch", s.handleSketch)
-	s.mux.HandleFunc("GET /paths", s.handlePaths)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	s.counters = map[string]*endpointCounters{}
+	healthz := func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
+	}
+	if s.di != nil {
+		s.handle("GET /spg", "/spg", s.handleDiSPG)
+		s.handle("GET /distance", "/distance", s.handleDiDistance)
+		s.handle("GET /sketch", "/sketch", s.handleDiSketch)
+		s.handle("GET /stats", "/stats", s.handleDiStats)
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+		s.mux.HandleFunc("GET /healthz", healthz)
+		return
+	}
+	s.handle("GET /spg", "/spg", s.handleSPG)
+	s.handle("GET /distance", "/distance", s.handleDistance)
+	s.handle("GET /sketch", "/sketch", s.handleSketch)
+	s.handle("GET /paths", "/paths", s.handlePaths)
+	s.handle("GET /stats", "/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", healthz)
 	if s.dyn != nil {
-		s.mux.HandleFunc("GET /epoch", s.handleEpoch)
+		s.handle("GET /epoch", "/epoch", s.handleEpoch)
 	}
 	if s.writable {
-		s.mux.HandleFunc("POST /edges", s.handleAddEdge)
-		s.mux.HandleFunc("DELETE /edges", s.handleRemoveEdge)
+		s.handle("POST /edges", "/edges", s.handleAddEdge)
+		s.handle("DELETE /edges", "/edges", s.handleRemoveEdge)
 		// Any other method on /edges is answered explicitly with 405 +
 		// Allow rather than falling through to a 404/400.
 		s.mux.HandleFunc("/edges", s.handleEdgesMethodNotAllowed)
-		s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+		s.handle("POST /checkpoint", "/checkpoint", s.handleCheckpoint)
 	}
+}
+
+// EndpointMetrics is one endpoint's row in /metrics.
+type EndpointMetrics struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+// ReplicationMetrics is the replication section of /metrics on a read
+// replica. Lag saturates at zero: a replica momentarily ahead of the
+// tip it last observed reports 0, never an underflowed huge number.
+type ReplicationMetrics struct {
+	PrimaryEpoch uint64 `json:"primary_epoch"`
+	LagEpochs    uint64 `json:"lag_epochs"`
+	LagBytes     int64  `json:"lag_bytes"`
+}
+
+// MetricsResponse is the JSON body of GET /metrics.
+type MetricsResponse struct {
+	Endpoints   map[string]EndpointMetrics `json:"endpoints"`
+	Epoch       *uint64                    `json:"epoch,omitempty"`
+	Replication *ReplicationMetrics        `json:"replication,omitempty"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	resp := MetricsResponse{Endpoints: make(map[string]EndpointMetrics, len(s.order))}
+	for _, name := range s.order {
+		c := s.counters[name]
+		resp.Endpoints[name] = EndpointMetrics{
+			Requests: c.requests.Load(),
+			Errors:   c.errors.Load(),
+		}
+	}
+	if s.dyn != nil {
+		epoch := s.dyn.Epoch()
+		resp.Epoch = &epoch
+	}
+	if s.repl != nil {
+		st := s.repl()
+		m := &ReplicationMetrics{PrimaryEpoch: st.PrimaryEpoch, LagBytes: st.LagBytes}
+		if st.PrimaryEpoch > st.Epoch {
+			m.LagEpochs = st.PrimaryEpoch - st.Epoch
+		}
+		resp.Replication = m
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleEdgesMethodNotAllowed(w http.ResponseWriter, r *http.Request) {
@@ -210,6 +326,72 @@ func (s *Server) pair(w http.ResponseWriter, r *http.Request) (u, v qbs.V, ok bo
 	return
 }
 
+// freshEnough enforces the min_epoch read-your-writes contract on
+// dynamic servers: a read carrying min_epoch=N is only answered once
+// the index has published epoch N; a replica still behind answers 503
+// with Retry-After so clients (and the query router) can go elsewhere.
+// Epochs are monotonic, so a snapshot resolved after this check is at
+// least as fresh as the epoch observed here.
+func (s *Server) freshEnough(w http.ResponseWriter, r *http.Request) bool {
+	raw := r.URL.Query().Get("min_epoch")
+	if raw == "" || s.dyn == nil {
+		return true
+	}
+	min, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("parameter \"min_epoch\" must be a non-negative integer, got %q", raw),
+		})
+		return false
+	}
+	epoch := s.dyn.Epoch()
+	if epoch >= min {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("X-Qbs-Epoch", strconv.FormatUint(epoch, 10))
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		Error: fmt.Sprintf("index at epoch %d, behind requested min_epoch %d", epoch, min),
+	})
+	return false
+}
+
+// boundBody rejects oversized write-request bodies with 413 and caps
+// what any handler can read from the rest via http.MaxBytesReader.
+func (s *Server) boundBody(w http.ResponseWriter, r *http.Request) bool {
+	if r.ContentLength > maxWriteBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+			Error: fmt.Sprintf("request body of %d bytes exceeds the %d-byte limit", r.ContentLength, maxWriteBody),
+		})
+		return false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxWriteBody)
+	return true
+}
+
+// drainBounded is boundBody for handlers that ignore their request
+// body (DELETE /edges, POST /checkpoint): the body is read off and
+// discarded up to the limit, so a chunked upload that carries no
+// Content-Length is also caught and answered 413 — without this, a
+// bound the handler never reads would never trip.
+func (s *Server) drainBounded(w http.ResponseWriter, r *http.Request) bool {
+	if !s.boundBody(w, r) {
+		return false
+	}
+	if _, err := io.Copy(io.Discard, r.Body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("request body exceeds the %d-byte limit", maxWriteBody),
+			})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "could not read request body"})
+		return false
+	}
+	return true
+}
+
 // SPGResponse is the JSON body of /spg.
 type SPGResponse struct {
 	Source   int32      `json:"source"`
@@ -242,6 +424,9 @@ func coverageName(c qbs.QueryStats) string {
 }
 
 func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
+	if !s.freshEnough(w, r) {
+		return
+	}
 	u, v, ok := s.pair(w, r)
 	if !ok {
 		return
@@ -284,6 +469,9 @@ type DistanceResponse struct {
 }
 
 func (s *Server) handleDistance(w http.ResponseWriter, r *http.Request) {
+	if !s.freshEnough(w, r) {
+		return
+	}
 	u, v, ok := s.pair(w, r)
 	if !ok {
 		return
@@ -308,6 +496,9 @@ type SketchResponse struct {
 }
 
 func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) {
+	if !s.freshEnough(w, r) {
+		return
+	}
 	u, v, ok := s.pair(w, r)
 	if !ok {
 		return
@@ -341,6 +532,9 @@ type PathsResponse struct {
 }
 
 func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	if !s.freshEnough(w, r) {
+		return
+	}
 	u, v, ok := s.pair(w, r)
 	if !ok {
 		return
@@ -563,8 +757,20 @@ type EdgeResponse struct {
 }
 
 func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
+	if !s.boundBody(w, r) {
+		return
+	}
 	var req EdgeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.U == nil || req.V == nil {
+		// A chunked body with no Content-Length slips past boundBody's
+		// up-front check and trips MaxBytesReader mid-decode instead.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{
+				Error: fmt.Sprintf("request body exceeds the %d-byte limit", maxWriteBody),
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be {\"u\":<id>,\"v\":<id>}"})
 		return
 	}
@@ -572,6 +778,9 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	if !s.drainBounded(w, r) {
+		return
+	}
 	u, v, ok := s.pair(w, r)
 	if !ok {
 		return
@@ -607,7 +816,10 @@ type CheckpointResponse struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.drainBounded(w, r) {
+		return
+	}
 	if !s.dyn.Durable() {
 		writeJSON(w, http.StatusConflict, errorBody{
 			Error: "server has no durable store (start it with a data directory to enable checkpoints)",

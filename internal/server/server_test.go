@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -625,5 +626,160 @@ func TestDirectedServerOmitsPathsAndWrites(t *testing.T) {
 	_ = json.NewDecoder(rec.Body).Decode(&eb)
 	if rec.Code != 400 || eb.Error != `missing required parameter "u"` {
 		t.Fatalf("directed missing param: %d %q", rec.Code, eb.Error)
+	}
+}
+
+// ---------------------------------------------------------------------
+// PR 5 satellites: bounded write bodies, /metrics, min_epoch.
+
+func TestWriteBodyTooLarge(t *testing.T) {
+	s, _ := testMutableServer(t)
+	huge := strings.Repeat("x", (64<<10)+1)
+	for _, tc := range []struct{ method, path string }{
+		{"POST", "/edges"},
+		{"DELETE", "/edges?u=0&v=1"},
+		{"POST", "/checkpoint"},
+	} {
+		resp := do(t, s, tc.method, tc.path, huge, nil)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s %s with %d-byte body: status %d, want 413", tc.method, tc.path, len(huge), resp.StatusCode)
+		}
+		var body errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+			t.Fatalf("%s %s: 413 without the JSON error envelope (%v)", tc.method, tc.path, err)
+		}
+	}
+	// A body just under the limit still parses (and fails on content,
+	// not size).
+	pad := strings.Repeat(" ", 60<<10)
+	if resp := do(t, s, "POST", "/edges", pad+`{"u":1,"v":2}`, nil); resp.StatusCode != 200 {
+		t.Fatalf("under-limit body: status %d", resp.StatusCode)
+	}
+}
+
+// TestWriteBodyTooLargeChunked repeats the 413 check with bodies that
+// carry no Content-Length (the chunked-transfer shape): the up-front
+// length check cannot see them, so the bound must trip while reading.
+func TestWriteBodyTooLargeChunked(t *testing.T) {
+	s, _ := testMutableServer(t)
+	for _, tc := range []struct{ method, path string }{
+		{"POST", "/edges"},
+		{"DELETE", "/edges?u=0&v=1"},
+		{"POST", "/checkpoint"},
+	} {
+		// Wrapping the reader hides its length from httptest.NewRequest,
+		// leaving ContentLength unset as with a chunked upload. The body
+		// is oversized JSON whitespace so the decoder (POST /edges) must
+		// read through the limit rather than bail on a syntax error.
+		body := struct{ io.Reader }{strings.NewReader(strings.Repeat(" ", (64<<10)+1) + `{"u":1,"v":2}`)}
+		req := httptest.NewRequest(tc.method, tc.path, body)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s %s chunked oversized body: status %d, want 413", tc.method, tc.path, rec.Code)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, di := testMutableServer(t)
+
+	do(t, s, "GET", "/distance?u=0&v=3", "", nil)
+	do(t, s, "GET", "/distance?u=0&v=3", "", nil)
+	do(t, s, "GET", "/distance?u=bad&v=3", "", nil) // 400 → error counter
+	do(t, s, "POST", "/edges", `{"u":1,"v":2}`, nil)
+
+	var m MetricsResponse
+	if r := do(t, s, "GET", "/metrics", "", &m); r.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	d := m.Endpoints["/distance"]
+	if d.Requests != 3 || d.Errors != 1 {
+		t.Fatalf("/distance counters = %+v", d)
+	}
+	e := m.Endpoints["/edges"]
+	if e.Requests != 1 || e.Errors != 0 {
+		t.Fatalf("/edges counters = %+v", e)
+	}
+	if m.Epoch == nil || *m.Epoch != di.Epoch() {
+		t.Fatalf("metrics epoch = %v, index at %d", m.Epoch, di.Epoch())
+	}
+	if m.Replication != nil {
+		t.Fatal("non-replica server reported a replication section")
+	}
+
+	// With a lag provider attached (the replica shape), the replication
+	// section appears, epochs-lag saturating at the provider's values.
+	s.SetReplicationStatus(func() ReplicationStatus {
+		return ReplicationStatus{PrimaryEpoch: di.Epoch() + 3, Epoch: di.Epoch(), LagBytes: 75}
+	})
+	if r := do(t, s, "GET", "/metrics", "", &m); r.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	if m.Replication == nil || m.Replication.LagEpochs != 3 || m.Replication.LagBytes != 75 {
+		t.Fatalf("replication metrics = %+v", m.Replication)
+	}
+}
+
+func TestMetricsOnImmutableAndDirected(t *testing.T) {
+	s := testServer(t)
+	do(t, s, "GET", "/spg?u=0&v=3", "", nil)
+	var m MetricsResponse
+	if r := do(t, s, "GET", "/metrics", "", &m); r.StatusCode != 200 {
+		t.Fatalf("immutable /metrics status %d", r.StatusCode)
+	}
+	if m.Endpoints["/spg"].Requests != 1 {
+		t.Fatalf("immutable /spg counters = %+v", m.Endpoints["/spg"])
+	}
+	if m.Epoch != nil {
+		t.Fatal("immutable server reported an epoch")
+	}
+
+	ds := testDirectedServer(t)
+	get(t, ds, "/distance?u=0&v=3", nil)
+	var dm MetricsResponse
+	if r := get(t, ds, "/metrics", &dm); r.StatusCode != 200 {
+		t.Fatalf("directed /metrics status %d", r.StatusCode)
+	}
+	if dm.Endpoints["/distance"].Requests != 1 {
+		t.Fatalf("directed /distance counters = %+v", dm.Endpoints["/distance"])
+	}
+}
+
+func TestMinEpochGate(t *testing.T) {
+	s, di := testMutableServer(t)
+
+	// Advance to epoch 2.
+	do(t, s, "POST", "/edges", `{"u":1,"v":2}`, nil)
+	do(t, s, "DELETE", "/edges?u=1&v=2", "", nil)
+	if di.Epoch() != 2 {
+		t.Fatalf("setup epoch = %d", di.Epoch())
+	}
+
+	for _, path := range []string{"/spg", "/distance", "/sketch", "/paths"} {
+		// Satisfied and trivially-zero min_epoch answer normally.
+		for _, q := range []string{"min_epoch=0", "min_epoch=2"} {
+			if r := do(t, s, "GET", path+"?u=0&v=3&"+q, "", nil); r.StatusCode != 200 {
+				t.Fatalf("%s with %s: status %d", path, q, r.StatusCode)
+			}
+		}
+		// A future epoch gets 503 + Retry-After.
+		resp := do(t, s, "GET", path+"?u=0&v=3&min_epoch=3", "", nil)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s future min_epoch: status %d, want 503", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s: 503 without Retry-After", path)
+		}
+		// Junk is a 400, not a silent pass.
+		if r := do(t, s, "GET", path+"?u=0&v=3&min_epoch=banana", "", nil); r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s junk min_epoch: status %d, want 400", path, r.StatusCode)
+		}
+	}
+
+	// Immutable servers ignore min_epoch entirely.
+	im := testServer(t)
+	if r := do(t, im, "GET", "/spg?u=0&v=3&min_epoch=999", "", nil); r.StatusCode != 200 {
+		t.Fatalf("immutable min_epoch: status %d", r.StatusCode)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"qbs/internal/dynamic"
 	"qbs/internal/graph"
@@ -62,10 +63,14 @@ type Store struct {
 
 	ckptMu sync.Mutex // serialises checkpoints
 
-	walMu  sync.Mutex // guards the fields below (appends vs rotation)
-	w      *walWriter // nil when read-only
-	snaps  []uint64   // intact snapshot epochs on disk, ascending
-	closed bool
+	walMu        sync.Mutex // guards the fields below (appends vs rotation)
+	w            *walWriter // nil when read-only
+	snaps        []uint64   // intact snapshot epochs on disk, ascending
+	retain       uint64     // replication pruning floor; see SetWALRetain
+	lastAppended uint64     // newest epoch written to the log
+	syncedEpoch  uint64     // newest epoch known fsynced (replication serves up to here)
+	lastTailSync time.Time  // last replication-driven fsync; rate-limits ReadWAL syncs
+	closed       bool
 
 	lock *os.File // held flock for writable stores (nil if read-only / unsupported)
 }
@@ -116,7 +121,12 @@ func Create(dir string, d *dynamic.Index, opts Options) (*Store, error) {
 		unlockDataDir(lock)
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts, d: d, w: w, snaps: []uint64{ps.Epoch}, lock: lock}
+	s := &Store{
+		dir: dir, opts: opts, d: d, w: w,
+		snaps:  []uint64{ps.Epoch},
+		retain: ^uint64(0), lastAppended: ps.Epoch, syncedEpoch: ps.Epoch,
+		lock: lock,
+	}
 	d.SetLogger(s)
 	return s, nil
 }
@@ -204,7 +214,14 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 
-	s := &Store{dir: dir, opts: opts, d: d, snaps: snaps, lock: lock}
+	// Everything recovered from disk counts as durable for replication
+	// purposes: it survived to be replayed.
+	s := &Store{
+		dir: dir, opts: opts, d: d,
+		snaps:  snaps,
+		retain: ^uint64(0), lastAppended: d.Epoch(), syncedEpoch: d.Epoch(),
+		lock: lock,
+	}
 	if !opts.ReadOnly {
 		w, err := newWALWriter(walDir(dir), maxSeq+1, opts.SegmentBytes, opts.SyncEvery, prior)
 		if err != nil {
@@ -245,7 +262,14 @@ func (s *Store) logRecord(rec walRecord) error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.w.append(rec)
+	if err := s.w.append(rec); err != nil {
+		return err
+	}
+	s.lastAppended = rec.epoch
+	if s.w.unsynced == 0 { // append fsynced (SyncEvery boundary or <=1)
+		s.syncedEpoch = rec.epoch
+	}
+	return nil
 }
 
 // Checkpoint persists the current snapshot, points CURRENT at it,
@@ -298,7 +322,15 @@ func (s *Store) Checkpoint() (uint64, error) {
 	if err := s.w.rotate(); err != nil {
 		return 0, err
 	}
-	if err := s.w.prune(s.snaps[0]); err != nil {
+	s.syncedEpoch = s.lastAppended // rotation flushed the old segment
+	// Prune up to whatever both recovery and replication can spare: the
+	// oldest retained snapshot, lowered to the replication retain floor
+	// so a registered replica's next record is never deleted.
+	upto := s.snaps[0]
+	if s.retain < upto {
+		upto = s.retain
+	}
+	if err := s.w.prune(upto); err != nil {
 		return 0, err
 	}
 	return ps.Epoch, nil

@@ -1,0 +1,325 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"qbs/internal/dynamic"
+	"qbs/internal/graph"
+)
+
+// Replication read surface: the primary side of WAL shipping. A store
+// already orders every epoch advance as one fixed-size CRC-framed log
+// record; replication is then just reading those records back out —
+// ReadWAL serves any suffix of the log to a tailing replica, and
+// SetWALRetain parks the pruning floor so a checkpoint never deletes a
+// segment a registered replica still needs. See internal/replica for
+// the HTTP protocol layered on top.
+
+// WALRecord is one logged epoch advance as exposed to replication
+// consumers. Op is one of WALInsert, WALDelete, WALCompact.
+type WALRecord struct {
+	Epoch uint64
+	U, W  graph.V
+	Op    uint8
+}
+
+// WAL record operations (the on-disk op codes).
+const (
+	WALInsert  = recInsert
+	WALDelete  = recDelete
+	WALCompact = recCompact
+)
+
+// WALRecordSize is the framed size of one log record — the unit of the
+// replication wire format and of byte-lag accounting.
+const WALRecordSize = walRecordSize
+
+// decodeWALFrame validates one framed record (length, checksum, op) and
+// decodes it. It is the single framing authority shared by recovery
+// scans, the tail reader and (via internal/replica) the wire protocol.
+func decodeWALFrame(b []byte) (walRecord, bool) {
+	if binary.LittleEndian.Uint32(b[0:]) != walPayload ||
+		binary.LittleEndian.Uint32(b[4:]) != crc32.Checksum(b[8:walRecordSize], crcTable) {
+		return walRecord{}, false
+	}
+	op := b[16]
+	if op != recInsert && op != recDelete && op != recCompact {
+		return walRecord{}, false
+	}
+	return walRecord{
+		epoch: binary.LittleEndian.Uint64(b[8:]),
+		op:    op,
+		u:     graph.V(binary.LittleEndian.Uint32(b[17:])),
+		w:     graph.V(binary.LittleEndian.Uint32(b[21:])),
+	}, true
+}
+
+// EncodeWALFrame appends the wire framing of rec to dst — byte-identical
+// to the on-disk record, checksum included, so a replica can validate
+// shipped records exactly as recovery validates the log.
+func EncodeWALFrame(dst []byte, rec WALRecord) []byte {
+	var b [walRecordSize]byte
+	binary.LittleEndian.PutUint32(b[0:], walPayload)
+	binary.LittleEndian.PutUint64(b[8:], rec.Epoch)
+	b[16] = rec.Op
+	binary.LittleEndian.PutUint32(b[17:], uint32(rec.U))
+	binary.LittleEndian.PutUint32(b[21:], uint32(rec.W))
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(b[8:], crcTable))
+	return append(dst, b[:]...)
+}
+
+// DecodeWALFrame decodes one shipped frame (the inverse of
+// EncodeWALFrame), rejecting bad checksums and unknown ops.
+func DecodeWALFrame(b []byte) (WALRecord, error) {
+	if len(b) < walRecordSize {
+		return WALRecord{}, fmt.Errorf("store: short WAL frame (%d bytes)", len(b))
+	}
+	rec, ok := decodeWALFrame(b[:walRecordSize])
+	if !ok {
+		return WALRecord{}, fmt.Errorf("store: corrupt WAL frame")
+	}
+	return WALRecord{Epoch: rec.epoch, U: rec.u, W: rec.w, Op: rec.op}, nil
+}
+
+// DurableEpoch returns the newest epoch replication can currently
+// serve: everything fsynced so far. On a read-only store (no writer)
+// every on-disk record is as durable as it will get, so the index epoch
+// is returned.
+func (s *Store) DurableEpoch() uint64 {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if s.w == nil {
+		return s.d.Epoch()
+	}
+	return s.syncedEpoch
+}
+
+// NewestSnapshot returns the path and epoch of the newest intact
+// snapshot — the bootstrap image replication serves.
+func (s *Store) NewestSnapshot() (string, uint64, error) {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if len(s.snaps) == 0 {
+		return "", 0, fmt.Errorf("store: no snapshot in %s", s.dir)
+	}
+	epoch := s.snaps[len(s.snaps)-1]
+	return filepath.Join(s.dir, snapshotFileName(epoch)), epoch, nil
+}
+
+// SetWALRetain bounds checkpoint pruning: segments holding any record
+// with epoch > floor survive even when every retained snapshot covers
+// them. The replication primary parks the floor at the least advanced
+// registered replica so a tailing replica never finds its next record
+// pruned from under it. The initial floor (no registered replicas) is
+// MaxUint64 — no constraint.
+func (s *Store) SetWALRetain(floor uint64) {
+	s.walMu.Lock()
+	s.retain = floor
+	s.walMu.Unlock()
+}
+
+// tailSyncInterval rate-limits replication-driven fsyncs: a record is
+// never shipped before it is durable, but tip-chasing replicas force at
+// most one extra fsync per this interval instead of collapsing the
+// primary's SyncEvery batching into one fsync per poll per replica.
+const tailSyncInterval = 10 * time.Millisecond
+
+// ReadWAL streams log records with epoch > from, in epoch order, to fn
+// — at most max of them (max <= 0 means 65536). Only durable records
+// are served: a record is fsynced before it is ever shipped, so a
+// replica can never apply an epoch that a recovered primary lost. When
+// batched appends are pending (SyncEvery > 1), ReadWAL flushes them at
+// most once per tailSyncInterval and meanwhile serves up to the last
+// fsynced record — bounding both the extra fsync load and the extra
+// replication lag. Reading the segment files directly is safe
+// concurrently with the writer: a partially written tail record simply
+// ends the scan until the next call. Record positioning is O(log
+// segment) via binary search over the fixed-size records, so a
+// caught-up replica polling at the tip costs a few small reads per
+// poll.
+//
+// gap reports that the log could not supply the contiguous successor of
+// from (epoch from+1 was pruned or lost): the caller must re-bootstrap
+// from a snapshot instead of tailing.
+func (s *Store) ReadWAL(from uint64, max int, fn func(WALRecord) error) (n int, gap bool, err error) {
+	if max <= 0 {
+		max = 1 << 16
+	}
+	limit := ^uint64(0)
+	s.walMu.Lock()
+	if s.w != nil && !s.closed {
+		if s.syncedEpoch < s.lastAppended && time.Since(s.lastTailSync) >= tailSyncInterval {
+			if err := s.w.sync(); err != nil {
+				s.walMu.Unlock()
+				return 0, false, err
+			}
+			s.syncedEpoch = s.lastAppended
+			s.lastTailSync = time.Now()
+		}
+		limit = s.syncedEpoch
+	}
+	s.walMu.Unlock()
+	segs, err := listSegments(walDir(s.dir))
+	if err != nil {
+		return 0, false, err
+	}
+	// Segments are epoch-ordered, so the first one that can contain
+	// from+1 is the newest whose first record is at or before it;
+	// earlier segments hold only covered records. Walking back from the
+	// tail keeps a caught-up poll at O(1) opens even when retention
+	// leases have let old segments pile up.
+	start := 0
+	for i := len(segs) - 1; i >= 0; i-- {
+		first, ok := segmentFirstEpoch(segs[i])
+		if ok && first <= from+1 {
+			start = i
+			break
+		}
+	}
+	expect := from + 1
+	for _, seg := range segs[start:] {
+		if n >= max {
+			break
+		}
+		delivered, err := tailSegment(seg, from, limit, max-n, &expect, fn)
+		n += delivered
+		if err != nil {
+			return n, false, err
+		}
+	}
+	// A clean tail delivers from+1 first and consecutive epochs after
+	// it; expect trails the stream, so any jump shows up here.
+	return n, expect != from+1+uint64(n), nil
+}
+
+// segmentFirstEpoch reads the epoch of a segment's first complete valid
+// record. ok is false for empty, torn-at-birth or unreadable segments —
+// callers treat those as "scan it to be sure".
+func segmentFirstEpoch(seg segmentFile) (uint64, bool) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var b [walHeaderSize + walRecordSize]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return 0, false
+	}
+	if string(b[:4]) != walMagic ||
+		binary.LittleEndian.Uint32(b[4:]) != walVersion ||
+		binary.LittleEndian.Uint64(b[8:]) != seg.seq {
+		return 0, false
+	}
+	rec, ok := decodeWALFrame(b[walHeaderSize:])
+	if !ok {
+		return 0, false
+	}
+	return rec.epoch, true
+}
+
+// tailSegment streams the records of one segment with from < epoch <=
+// limit to fn, at most max of them (limit is the durability horizon —
+// records past it exist but are not yet fsynced). expect is the
+// contiguity cursor shared across segments: it advances by one per
+// delivered record, so the caller can detect pruned or lost epochs.
+// Invalid frames end the scan silently — they are the torn tail the
+// writer is still extending (or recovery will truncate).
+func tailSegment(seg segmentFile, from, limit uint64, max int, expect *uint64, fn func(WALRecord) error) (int, error) {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil // pruned between listing and open: records were covered
+		}
+		return 0, err
+	}
+	defer f.Close()
+
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, nil
+	}
+	if string(hdr[:4]) != walMagic ||
+		binary.LittleEndian.Uint32(hdr[4:]) != walVersion ||
+		binary.LittleEndian.Uint64(hdr[8:]) != seg.seq {
+		return 0, nil
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, err
+	}
+	count := (size - walHeaderSize) / walRecordSize
+	if count <= 0 {
+		return 0, nil
+	}
+
+	// Binary search for the first record with epoch > from. Epochs are
+	// strictly increasing within a segment; a probe that fails to
+	// validate can only be the torn tail, so the search moves left.
+	var buf [walRecordSize]byte
+	probe := func(i int64) (walRecord, bool) {
+		if _, err := f.ReadAt(buf[:], walHeaderSize+i*walRecordSize); err != nil {
+			return walRecord{}, false
+		}
+		return decodeWALFrame(buf[:])
+	}
+	lo, hi := int64(0), count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		rec, ok := probe(mid)
+		if !ok || rec.epoch > from {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+
+	n := 0
+	for i := lo; i < count && n < max; i++ {
+		rec, ok := probe(i)
+		if !ok {
+			break // torn tail
+		}
+		if rec.epoch > limit {
+			break // not yet durable; served after the next tail sync
+		}
+		if rec.epoch <= from {
+			continue
+		}
+		if err := fn(WALRecord{Epoch: rec.epoch, U: rec.u, W: rec.w, Op: rec.op}); err != nil {
+			return n, err
+		}
+		n++
+		if rec.epoch == *expect {
+			*expect++
+		}
+	}
+	return n, nil
+}
+
+// LoadSnapshot restores a dynamic index from a single snapshot file —
+// no data directory, no WAL, nothing written. This is the read-replica
+// bootstrap path: the file a primary shipped is decoded with the same
+// zero-copy arena views and validation as Open, and subsequent log
+// records are applied through the dynamic replay seam. It returns the
+// index and the epoch the snapshot captured.
+func LoadSnapshot(path string, useMMap bool, opts dynamic.Options) (*dynamic.Index, uint64, error) {
+	ar, err := openArena(path, useMMap)
+	if err != nil {
+		return nil, 0, err
+	}
+	ls, err := decodeSnapshot(ar.data)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: snapshot %s: %w", filepath.Base(path), err)
+	}
+	d, err := dynamic.Restore(ls.g, ls.landmarks, ls.dists, ls.labels, ls.sigma, ls.delta, ls.epoch, opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: restore: %w", err)
+	}
+	return d, ls.epoch, nil
+}

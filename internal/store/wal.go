@@ -258,21 +258,10 @@ func scanSegment(path string, wantSeq uint64, fn func(walRecord) error) (scanRes
 			}
 			return res, nil
 		}
-		if binary.LittleEndian.Uint32(rec[0:]) != walPayload ||
-			binary.LittleEndian.Uint32(rec[4:]) != crc32.Checksum(rec[8:], crcTable) {
+		r, ok := decodeWALFrame(rec[:])
+		if !ok {
 			res.torn = true
 			return res, nil
-		}
-		op := rec[16]
-		if op != recInsert && op != recDelete && op != recCompact {
-			res.torn = true
-			return res, nil
-		}
-		r := walRecord{
-			epoch: binary.LittleEndian.Uint64(rec[8:]),
-			op:    op,
-			u:     graph.V(binary.LittleEndian.Uint32(rec[17:])),
-			w:     graph.V(binary.LittleEndian.Uint32(rec[21:])),
 		}
 		if err := fn(r); err != nil {
 			return res, err

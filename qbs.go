@@ -532,6 +532,21 @@ func (di *DynamicIndex) Close() error {
 
 var errNotDurable = errors.New("qbs: index has no durable store (use CreateStore/OpenStore)")
 
+// Store exposes the durable store backing the index (nil when the index
+// was built with BuildDynamicIndex). It is the replication seam: the
+// primary side of internal/replica serves the store's newest snapshot
+// and write-ahead-log tail to read replicas. The store package is
+// internal, so only this module's packages can act on the result.
+func (di *DynamicIndex) Store() *store.Store { return di.st }
+
+// AdoptDynamic wraps an internally restored dynamic index in the public
+// serving surface — the read-replica shape: internal/replica bootstraps
+// an index from a shipped snapshot, keeps it fresh through the replay
+// seam, and serves it through a DynamicIndex with no durable store
+// attached. The dynamic package is internal, so only this module's
+// packages can construct the argument.
+func AdoptDynamic(d *dynamic.Index) *DynamicIndex { return &DynamicIndex{d: d} }
+
 // BiBFS answers SPG(u, v) by plain bidirectional BFS over the full graph
 // — the paper's search-based baseline, requiring no index. For repeated
 // queries prefer an Index; for one-off queries BiBFS avoids construction
