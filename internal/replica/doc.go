@@ -52,7 +52,15 @@
 // ErrWALTruncated and keeps serving its last applied epoch on the query
 // endpoints — but its /healthz and /epoch turn 503 so routers and
 // monitors take it out of rotation; restarting the replica process
-// re-bootstraps it from a fresh snapshot.
+// re-bootstraps it from a fresh snapshot. The same 503 gating applies
+// when the tail loop has been failing for any other reason (unreachable
+// primary, decode or apply errors) past a short grace window: a replica
+// that has stopped advancing must not keep passing health checks.
+//
+// The router answers GET /healthz and GET /metrics locally — its own
+// routability (at least one healthy backend) and the routing table —
+// rather than proxying them to a random backend; all other GETs fan out
+// to the replicas.
 //
 // # Retention leases
 //

@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,7 +29,10 @@ type PrimaryOptions struct {
 	// LeaseTTL expires replica retention leases that stop renewing
 	// (0 = 60s). An expired lease releases its WAL segments to pruning;
 	// a replica that outlives its lease parks on the resulting 410 and
-	// must be restarted to re-bootstrap from a fresh snapshot.
+	// must be restarted to re-bootstrap from a fresh snapshot. Keep it
+	// at several seconds or more: a bootstrapping replica renews every
+	// 2s (bootstrapKeepaliveTick), and a TTL inside that cadence can
+	// expire its lease mid-download.
 	LeaseTTL time.Duration
 	// MaxBatch caps records per /replication/wal response (0 = 65536).
 	MaxBatch int
@@ -56,6 +60,7 @@ type Primary struct {
 
 	mu     sync.Mutex
 	leases map[string]lease
+	closed bool // no new retention promises after Close
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -87,7 +92,13 @@ func NewPrimary(st *store.Store, opts PrimaryOptions) *Primary {
 // ServeHTTP implements http.Handler.
 func (p *Primary) ServeHTTP(w http.ResponseWriter, r *http.Request) { p.mux.ServeHTTP(w, r) }
 
-// Close stops the lease janitor. The handler itself keeps answering.
+// Close stops the lease janitor and releases every retention lease,
+// lifting the store's WAL pruning floor. The handler itself keeps
+// answering reads, but makes no further retention promises — with the
+// janitor gone nothing would ever expire a lease again, and a floor
+// left parked would pin WAL segments (and disk growth) forever. A
+// replica still tailing after Close may find its suffix pruned and
+// re-bootstrap, exactly as if its lease had expired.
 func (p *Primary) Close() {
 	select {
 	case <-p.stop:
@@ -95,6 +106,11 @@ func (p *Primary) Close() {
 		close(p.stop)
 	}
 	p.wg.Wait()
+	p.mu.Lock()
+	p.closed = true
+	clear(p.leases)
+	p.st.SetWALRetain(^uint64(0))
+	p.mu.Unlock()
 }
 
 // janitor expires leases on a timer: renewals already recompute the
@@ -125,6 +141,9 @@ func (p *Primary) renewLease(id string, epoch uint64) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return // the janitor is gone; a lease granted now could never expire
+	}
 	p.leases[id] = lease{epoch: epoch, seen: time.Now()}
 	p.refloorLocked()
 }
@@ -164,18 +183,55 @@ func (p *Primary) Leases() map[string]uint64 {
 }
 
 func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	path, epoch, err := p.st.NewestSnapshot()
-	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
-	// Register the lease before the body goes out: a checkpoint landing
-	// while the replica loads must keep the post-snapshot log suffix.
-	p.renewLease(r.URL.Query().Get("replica"), epoch)
-	f, err := os.Open(path)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
-		return
+	id := r.URL.Query().Get("replica")
+	var (
+		f     *os.File
+		epoch uint64
+	)
+	// Resolve the newest snapshot, register the lease at its epoch, then
+	// confirm it is *still* the newest before shipping it. A checkpoint
+	// completing between resolve and lease can delete the chosen file
+	// (KeepSnapshots overflow) or prune the post-snapshot WAL suffix the
+	// lease was meant to protect; an unchanged newest epoch on re-check
+	// proves no checkpoint landed in that window, so the lease provably
+	// covers the shipped epoch. On a retry the checkpoint's own newer
+	// snapshot is picked up instead. Once the file is open, later
+	// deletion is harmless (the fd keeps the inode).
+	for attempt := 0; ; attempt++ {
+		path, e, err := p.st.NewestSnapshot()
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		p.renewLease(id, e)
+		if _, e2, err2 := p.st.NewestSnapshot(); err2 != nil || e2 != e {
+			if attempt < 8 {
+				continue
+			}
+			if err2 != nil {
+				httpError(w, http.StatusServiceUnavailable, err2.Error())
+			} else {
+				httpError(w, http.StatusServiceUnavailable, "snapshot churn: checkpoints outpacing bootstrap; retry")
+			}
+			return
+		}
+		f, err = os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Pruned between resolve and open: the same transient
+				// churn as a failed re-check — retry, and exhaust to the
+				// retryable 503, not a server-fault 500.
+				if attempt < 8 {
+					continue
+				}
+				httpError(w, http.StatusServiceUnavailable, "snapshot churn: checkpoints outpacing bootstrap; retry")
+				return
+			}
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		epoch = e
+		break
 	}
 	defer f.Close()
 	fi, err := f.Stat()
@@ -219,7 +275,7 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 	// read before, it can only undercount lag, never invert it.
 	tip := p.st.Index().Epoch()
 	body := make([]byte, 0, 4096)
-	n, gap, err := p.st.ReadWAL(from, max, func(rec store.WALRecord) error {
+	n, limit, gap, err := p.st.ReadWAL(from, max, func(rec store.WALRecord) error {
 		body = store.EncodeWALFrame(body, rec)
 		return nil
 	})
@@ -227,14 +283,17 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// An empty read below the durable tip is also a gap: the record for
-	// from+1 was fsynced before that tip counted as durable, so if the
-	// scan cannot see it now it was pruned — without this check a
-	// write-quiet primary would keep answering 200/empty and the
-	// truncated replica would serve stale data with a healthy-looking
-	// tail loop. (The durable tip, not the published one: records past
-	// the durability horizon are legitimately withheld, not pruned.)
-	if !gap && n == 0 && p.st.DurableEpoch() > from {
+	// An empty read below the durable limit is also a gap: the record for
+	// from+1 was fsynced before the scan started, so if the scan cannot
+	// see it, it was pruned — without this check a write-quiet primary
+	// would keep answering 200/empty and the truncated replica would
+	// serve stale data with a healthy-looking tail loop. The comparison
+	// must use the limit the scan itself ran against: a fresher
+	// DurableEpoch() read here could count a record fsynced *during* the
+	// scan and 410 a perfectly caught-up replica into a permanent park.
+	// (The durable limit, not the published tip: records past the
+	// durability horizon are legitimately withheld, not pruned.)
+	if !gap && n == 0 && limit > from {
 		gap = true
 	}
 	if gap {
@@ -249,9 +308,15 @@ func (p *Primary) handleWAL(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// httpError writes the JSON error envelope the serving API uses.
+// httpError writes the JSON error envelope the serving API uses. The
+// message goes through the real JSON encoder: %q would emit Go escapes
+// (\x1b and friends, legal in Go strings, illegal in JSON) for control
+// bytes that os error strings can carry via file paths.
 func httpError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	w.Write(append(body, '\n'))
 }

@@ -60,8 +60,8 @@ func TestMultiProcessReplicationSmoke(t *testing.T) {
 	}
 	g := spec.Generate(scale)
 	ops := workload.MixedOps(g, 500, 0.4, seed)
-	queries, mutations := workload.SplitKinds(ops)
-	t.Logf("driving %d queries + %d mutations through the router", len(queries), len(mutations))
+	queries, inserts, deletes := workload.CountKinds(ops)
+	t.Logf("driving %d queries + %d mutations through the router", queries, inserts+deletes)
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	for i, op := range ops {

@@ -1,9 +1,11 @@
 package replica
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -39,7 +41,13 @@ type Options struct {
 	PollInterval time.Duration
 	// MaxBatch caps records fetched per poll (0 = 65536).
 	MaxBatch int
-	// Client issues the replication requests (0 = a 30s-timeout client).
+	// Client issues the replication requests (nil = a client with dial
+	// and response-header timeouts but no overall deadline: the snapshot
+	// bootstrap streams an arbitrarily large body, and a whole-request
+	// timeout would cut it off mid-transfer — the very case the lease
+	// keepalive exists to survive. Tail polls are separately bounded by
+	// tailPollTimeout). A custom client with an overall Timeout caps the
+	// bootstrap download at that timeout.
 	Client *http.Client
 	// RepairBudget tunes the dynamic repair path as in
 	// qbs.DynamicOptions. Compaction is always disabled on replicas:
@@ -55,13 +63,23 @@ func (o Options) withDefaults() Options {
 		o.MaxBatch = defaultMaxBatch
 	}
 	if o.Client == nil {
-		o.Client = &http.Client{Timeout: 30 * time.Second}
+		o.Client = &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ResponseHeaderTimeout: 30 * time.Second,
+		}}
 	}
 	if o.ID == "" {
 		o.ID = fmt.Sprintf("replica-%d-%d", os.Getpid(), time.Now().UnixNano())
 	}
 	return o
 }
+
+// bootstrapKeepaliveTick is how often a bootstrapping replica renews
+// its retention lease while the snapshot downloads and restores.
+// PrimaryOptions.LeaseTTL values below a few of these ticks can expire
+// the lease mid-bootstrap and 410-park the replica on its first poll.
+const bootstrapKeepaliveTick = 2 * time.Second
 
 // Replica is a live read replica: an index bootstrapped from the
 // primary's snapshot, kept fresh by a background WAL tail loop, served
@@ -74,9 +92,10 @@ type Replica struct {
 	d       *dynamic.Index
 	qd      *qbs.DynamicIndex
 
-	tip     atomic.Uint64 // primary epoch from the last poll
-	fetched atomic.Uint64 // records applied over the replica's lifetime
-	failing atomic.Pointer[error]
+	tip          atomic.Uint64 // primary epoch from the last poll
+	fetched      atomic.Uint64 // records applied over the replica's lifetime
+	failing      atomic.Pointer[error]
+	failingSince atomic.Int64 // unix nanos of the first poll failure in the current streak (0 = healthy)
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -118,7 +137,10 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 		keepWG.Add(1)
 		go func() {
 			defer keepWG.Done()
-			ticker := time.NewTicker(10 * time.Second)
+			// Renew well inside any sane LeaseTTL (the primary documents
+			// ~3× this tick as its floor). The fetch is max=1 — one tiny
+			// request per tick, only while the bootstrap is in flight.
+			ticker := time.NewTicker(bootstrapKeepaliveTick)
 			defer ticker.Stop()
 			for {
 				select {
@@ -170,6 +192,13 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 	return r, nil
 }
 
+// bootstrapStallTimeout aborts a snapshot download whose body stops
+// flowing: the transfer may legitimately take arbitrarily long (that is
+// why the default client has no overall deadline), but a stalled-open
+// connection must convert to an error — otherwise Start hangs forever
+// while the lease keepalive pins the primary's WAL retention.
+const bootstrapStallTimeout = 30 * time.Second
+
 // fetchSnapshot downloads the primary's newest snapshot into dir and
 // returns its path and epoch. onEpoch fires as soon as the epoch header
 // arrives (before the body transfers) so the caller can start its lease
@@ -177,11 +206,41 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 // replica never leaves a half-written bootstrap image for its successor
 // to trip over.
 func fetchSnapshot(client *http.Client, primary, id, dir string, onEpoch func(uint64)) (string, uint64, error) {
-	resp, err := client.Get(primary + snapshotPath + "?replica=" + url.QueryEscape(id))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		primary+snapshotPath+"?replica="+url.QueryEscape(id), nil)
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", 0, fmt.Errorf("replica: fetch snapshot: %w", err)
 	}
 	defer resp.Body.Close()
+	// Watchdog: cancel the request when a full stall interval passes
+	// with zero bytes of body progress.
+	var progress atomic.Int64
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	go func() {
+		ticker := time.NewTicker(bootstrapStallTimeout)
+		defer ticker.Stop()
+		last := int64(0)
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-ticker.C:
+				cur := progress.Load()
+				if cur == last {
+					cancel()
+					return
+				}
+				last = cur
+			}
+		}
+	}()
 	if resp.StatusCode != http.StatusOK {
 		return "", 0, fmt.Errorf("replica: fetch snapshot: primary answered %s", resp.Status)
 	}
@@ -197,9 +256,12 @@ func fetchSnapshot(client *http.Client, primary, id, dir string, onEpoch func(ui
 	if err != nil {
 		return "", 0, err
 	}
-	if _, err := io.Copy(tmp, resp.Body); err != nil {
+	if _, err := io.Copy(tmp, progressReader{resp.Body, &progress}); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		if ctx.Err() != nil {
+			err = fmt.Errorf("no body progress for %v (stalled transfer): %w", bootstrapStallTimeout, err)
+		}
 		return "", 0, fmt.Errorf("replica: fetch snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -211,6 +273,18 @@ func fetchSnapshot(client *http.Client, primary, id, dir string, onEpoch func(ui
 		return "", 0, err
 	}
 	return final, epoch, nil
+}
+
+// progressReader counts bytes through for the bootstrap stall watchdog.
+type progressReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (p progressReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.n.Add(int64(n))
+	return n, err
 }
 
 // tailLoop polls the primary's WAL until Stop. Transient fetch errors
@@ -233,15 +307,22 @@ func (r *Replica) tailLoop() {
 					return // don't let a long catch-up drain block Stop
 				default:
 				}
+				pollStart := time.Now()
 				n, err := r.pollOnce()
 				if err != nil {
 					r.failing.Store(&err)
+					// The streak starts when the failing poll *started*:
+					// a poll that hung before erroring already spent its
+					// whole duration not advancing, and that time counts
+					// against the health grace window.
+					r.failingSince.CompareAndSwap(0, pollStart.UnixNano())
 					if errors.Is(err, ErrWALTruncated) {
 						return
 					}
 					break
 				}
 				r.failing.Store(nil)
+				r.failingSince.Store(0)
 				// Drained when the primary had nothing, or we have
 				// reached the tip it reported. Comparing n against our
 				// own MaxBatch would throttle catch-up to one of the
@@ -254,13 +335,28 @@ func (r *Replica) tailLoop() {
 	}
 }
 
+// tailPollTimeout bounds one WAL fetch end to end. The configured
+// client's own timeout (default 30s) is sized for the snapshot
+// download; a tail poll moves at most MaxBatch small frames, and a
+// black-holed primary (dropping packets, not refusing) must convert to
+// a poll error quickly or the health gate's grace window never starts
+// counting — this cap bounds stale-but-healthy serving to roughly
+// tailPollTimeout + the grace window instead of the client timeout.
+const tailPollTimeout = 5 * time.Second
+
 // pollOnce fetches and applies one batch of records past the replica's
 // current epoch, returning how many arrived.
 func (r *Replica) pollOnce() (int, error) {
 	from := r.d.Epoch()
 	u := fmt.Sprintf("%s%s?from=%d&replica=%s&max=%d",
 		r.primary, walPath, from, url.QueryEscape(r.opts.ID), r.opts.MaxBatch)
-	resp, err := r.opts.Client.Get(u)
+	ctx, cancel := context.WithTimeout(context.Background(), tailPollTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.opts.Client.Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -347,26 +443,61 @@ func (r *Replica) Status() server.ReplicationStatus {
 	}
 }
 
+// unhealthyAfter is how long the tail loop may fail continuously before
+// the replica stops passing health checks: a grace window for transient
+// primary hiccups (a restart, a dropped connection) so one bad poll does
+// not flap the routing table. Worst-case detection of a stopped replica
+// is tailPollTimeout (a hanging poll must first time out) plus this
+// window.
+func (r *Replica) unhealthyAfter() time.Duration {
+	if d := 10 * r.opts.PollInterval; d > time.Second {
+		return d
+	}
+	return time.Second
+}
+
+// unhealthy reports why the replica should fail health checks: a
+// terminal park (ErrWALTruncated) immediately, or any other tail-loop
+// error that has persisted past the grace window — a replica whose
+// polls keep failing (apply divergence, decode errors, unreachable
+// primary) has stopped advancing just as surely as a parked one, and
+// must not keep answering 200 until lag-based eviction notices.
+func (r *Replica) unhealthy() (error, bool) {
+	err := r.Err()
+	if err == nil {
+		return nil, false
+	}
+	if errors.Is(err, ErrWALTruncated) {
+		return err, true
+	}
+	since := r.failingSince.Load()
+	return err, since != 0 && time.Since(time.Unix(0, since)) > r.unhealthyAfter()
+}
+
 // Handler returns the replica's HTTP read surface: the ordinary
 // read-only dynamic API (/spg, /distance, /sketch, /paths, /stats,
 // /epoch, /healthz) plus /metrics with replication lag. min_epoch
 // gating comes with the server: a read the replica cannot yet answer
 // consistently gets 503 + Retry-After.
 //
-// Once the tail loop has parked terminally (ErrWALTruncated), /healthz
-// and /epoch turn 503 so routers and monitors take the frozen replica
-// out of rotation — otherwise it would keep passing health checks and
-// serve silently stale answers until drift happened to exceed the
-// router's lag bound. The query endpoints stay up for direct debugging.
+// Once the tail loop has parked terminally (ErrWALTruncated) — or has
+// been failing for longer than the grace window for any other reason —
+// /healthz and /epoch turn 503 so routers and monitors take the frozen
+// replica out of rotation; otherwise it would keep passing health
+// checks and serve silently stale answers until drift happened to
+// exceed the router's lag bound. The query endpoints stay up for direct
+// debugging.
 func (r *Replica) Handler() http.Handler {
 	srv := server.NewDynamicReadOnly(r.qd)
 	srv.SetReplicationStatus(r.Status)
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		if (req.URL.Path == "/healthz" || req.URL.Path == "/epoch") && errors.Is(r.Err(), ErrWALTruncated) {
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable,
-				"replica parked: primary pruned past our epoch; restart to re-bootstrap")
-			return
+		if req.URL.Path == "/healthz" || req.URL.Path == "/epoch" {
+			if err, bad := r.unhealthy(); bad {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable,
+					fmt.Sprintf("replica not advancing: %v", err))
+				return
+			}
 		}
 		srv.ServeHTTP(w, req)
 	})

@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -419,7 +420,7 @@ func TestRetentionReleasesExpiredLease(t *testing.T) {
 // successor of from.
 func readGap(t *testing.T, st *store.Store, from uint64) bool {
 	t.Helper()
-	_, gap, err := st.ReadWAL(from, 1<<20, func(store.WALRecord) error { return nil })
+	_, _, gap, err := st.ReadWAL(from, 1<<20, func(store.WALRecord) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -589,5 +590,172 @@ func TestRouterPassesThrough503WhenAllBehind(t *testing.T) {
 	}
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("router 503 without Retry-After")
+	}
+}
+
+// TestCaughtUpTailNoSpurious410UnderWrites is the regression test for
+// the durability-horizon race: a caught-up replica polling at the
+// durable tip while writes land concurrently must never be told the log
+// was pruned (nothing is pruned here — no checkpoints run). The old
+// check re-read DurableEpoch() after ReadWAL's scan, so a write fsynced
+// mid-scan made an empty-but-current poll look like a gap and 410-parked
+// a healthy replica. SyncEvery=1 keeps the durable horizon moving with
+// every append, and the pollers hit the handler in-process so the
+// poll-at-tip rate is high enough to fall into the scan window.
+func TestCaughtUpTailNoSpurious410UnderWrites(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 7)
+	d, err := dynamic.New(g, g.TopDegreeVertices(8), dynamic.Options{CompactFraction: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Create(t.TempDir(), d, store.Options{SegmentBytes: 64 << 10, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	pr := NewPrimary(st, PrimaryOptions{})
+	t.Cleanup(pr.Close)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(99))
+		n := d.NumVertices()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			u, w := graph.V(rng.Intn(n)), graph.V(rng.Intn(n))
+			if u == w {
+				continue
+			}
+			if _, err := d.ApplyEdge(u, w, !d.HasEdge(u, w)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	defer func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		<-done
+	}()
+
+	var wg sync.WaitGroup
+	var spurious atomic.Int64
+	for poller := 0; poller < 4; poller++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1500; i++ {
+				from := st.DurableEpoch()
+				rec := httptest.NewRecorder()
+				pr.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("%s?from=%d", walPath, from), nil))
+				switch rec.Code {
+				case http.StatusOK:
+				case http.StatusGone:
+					spurious.Add(1)
+					return
+				default:
+					t.Errorf("wal fetch from %d: status %d", from, rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := spurious.Load(); n != 0 {
+		t.Fatalf("%d spurious 410s polling at the durable tip under concurrent writes", n)
+	}
+}
+
+// TestPersistentTailFailureFailsHealth: a replica whose tail loop keeps
+// failing for a non-410 reason (here: the primary vanished) must stop
+// passing /healthz and /epoch once the grace window elapses — otherwise
+// the router keeps routing to a replica that silently stopped advancing
+// — while the query endpoints stay up for debugging.
+func TestPersistentTailFailureFailsHealth(t *testing.T) {
+	p := newPrimaryFixture(t, 4<<10, PrimaryOptions{})
+	rep := startReplica(t, p.ts.URL, Options{})
+	p.mutate(t, 50, 41)
+	waitFor(t, 30*time.Second, "replica to converge", func() bool { return rep.Epoch() == p.d.Epoch() })
+
+	h := rep.Handler()
+	probe := func(path string) int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code
+	}
+	if c := probe("/healthz"); c != http.StatusOK {
+		t.Fatalf("healthy replica /healthz = %d, want 200", c)
+	}
+
+	p.ts.Close() // primary gone: every poll now fails with a transport error
+	waitFor(t, 30*time.Second, "tail loop to start failing", func() bool {
+		err := rep.Err()
+		return err != nil && !errors.Is(err, ErrWALTruncated)
+	})
+	waitFor(t, 30*time.Second, "persistent failure to fail health", func() bool {
+		return probe("/healthz") == http.StatusServiceUnavailable
+	})
+	if c := probe("/epoch"); c != http.StatusServiceUnavailable {
+		t.Fatalf("failing replica /epoch = %d, want 503", c)
+	}
+	if c := probe("/distance?u=0&v=5"); c != http.StatusOK {
+		t.Fatalf("failing replica /distance = %d, want 200 (debugging stays up)", c)
+	}
+}
+
+// TestPrimaryCloseReleasesRetention: Close must drop every lease and
+// lift the store's pruning floor — with the janitor stopped nothing
+// would ever expire a lease again, and a parked floor would pin WAL
+// segments (and disk growth) forever.
+func TestPrimaryCloseReleasesRetention(t *testing.T) {
+	p := newPrimaryFixture(t, 1<<10, PrimaryOptions{})
+
+	// Register a lease at epoch 0 via an ordinary WAL fetch.
+	resp, err := http.Get(p.ts.URL + walPath + "?from=0&replica=pinner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease-registering fetch: status %d", resp.StatusCode)
+	}
+	if got := p.pr.Leases(); len(got) != 1 || got["pinner"] != 0 {
+		t.Fatalf("leases after fetch: %v", got)
+	}
+
+	p.pr.Close()
+	if got := p.pr.Leases(); len(got) != 0 {
+		t.Fatalf("leases survived Close: %v", got)
+	}
+
+	// With the floor lifted, checkpoints prune past the dead lease; a
+	// post-Close fetch must not re-pin retention either.
+	resp, err = http.Get(p.ts.URL + walPath + "?from=0&replica=late-pinner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := p.pr.Leases(); len(got) != 0 {
+		t.Fatalf("closed primary granted a lease: %v", got)
+	}
+	p.mutate(t, 120, 61)
+	if _, err := p.st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	p.mutate(t, 120, 62)
+	if _, err := p.st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if !readGap(t, p.st, 0) {
+		t.Fatal("WAL still retained from epoch 0: Close left the pruning floor parked")
 	}
 }

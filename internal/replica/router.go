@@ -49,8 +49,9 @@ type backend struct {
 	epoch    atomic.Uint64
 }
 
-// Router fans reads across healthy replicas — power-of-two-choices on
-// in-flight count — and forwards every non-GET request to the primary.
+// Router fans reads (GET and HEAD) across healthy replicas —
+// power-of-two-choices on in-flight count — and forwards every other
+// request to the primary.
 // A read that fails on its chosen replica (transport error or 503, the
 // min_epoch "still behind" answer) retries on the alternate choice and
 // finally on the primary, which is always current. A background probe
@@ -172,9 +173,27 @@ func (rt *Router) probe(b *backend) (uint64, bool) {
 }
 
 // ServeHTTP implements http.Handler: writes to the primary, reads
-// across the replicas.
+// across the replicas. /healthz and /metrics are answered by the router
+// itself — a load balancer health-checking the router must observe the
+// router's ability to route, not one random backend's health, and the
+// routing table is state only the router has.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	// HEAD routes like GET: it is a read (load balancers commonly
+	// health-check with HEAD), and treating it as a write would proxy
+	// HEAD /healthz to the primary — reporting one backend's health as
+	// the router's. net/http discards response bodies for HEAD, so the
+	// local handlers need no special casing.
+	isRead := r.Method == http.MethodGet || r.Method == http.MethodHead
+	if isRead {
+		switch r.URL.Path {
+		case "/healthz":
+			rt.serveHealthz(w)
+			return
+		case "/metrics":
+			rt.serveMetrics(w)
+			return
+		}
+	} else {
 		// Writes are forwarded exactly once: a retry could double-apply.
 		if rt.forward(rt.primary, w, r, false) == fwdDone {
 			return
@@ -279,6 +298,55 @@ func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, re
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
 	return fwdDone
+}
+
+// routerBackendMetrics is one backend's row in the router's /metrics.
+type routerBackendMetrics struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Epoch    uint64 `json:"epoch"`
+	Inflight int64  `json:"inflight"`
+}
+
+// serveHealthz answers the router's own liveness: 200 while at least
+// one backend (primary included) is routable, 503 when every backend is
+// down — the signal a load balancer fronting several routers needs.
+func (rt *Router) serveHealthz(w http.ResponseWriter) {
+	healthy := 0
+	for _, b := range append([]*backend{rt.primary}, rt.replicas...) {
+		if b.healthy.Load() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "no routable backend")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"healthy_backends\":%d}\n", healthy)
+}
+
+// serveMetrics reports the routing table as JSON: each backend's URL,
+// health bit, last probed epoch, and current in-flight count.
+func (rt *Router) serveMetrics(w http.ResponseWriter) {
+	row := func(b *backend) routerBackendMetrics {
+		return routerBackendMetrics{
+			URL:      b.url,
+			Healthy:  b.healthy.Load(),
+			Epoch:    b.epoch.Load(),
+			Inflight: b.inflight.Load(),
+		}
+	}
+	resp := struct {
+		Primary  routerBackendMetrics   `json:"primary"`
+		Replicas []routerBackendMetrics `json:"replicas"`
+	}{Primary: row(rt.primary), Replicas: []routerBackendMetrics{}}
+	for _, b := range rt.replicas {
+		resp.Replicas = append(resp.Replicas, row(b))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // Backends reports the routing table — observability for tests and the

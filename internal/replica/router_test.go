@@ -1,6 +1,7 @@
 package replica
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -187,6 +188,88 @@ func TestRouterEvictsLaggingReplica(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("caught-up replica not readmitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterAnswersHealthAndMetricsLocally: /healthz and /metrics are
+// the router's own endpoints — a load balancer probing the router must
+// see the router's routability, not one random backend's health, and
+// the routing table is state only the router holds. Neither request may
+// be proxied to a backend.
+func TestRouterAnswersHealthAndMetricsLocally(t *testing.T) {
+	prim := newFakeBackend(t, "primary", 10)
+	r1 := newFakeBackend(t, "r1", 10)
+	rt := NewRouter(prim.ts.URL, []string{r1.ts.URL}, RouterOptions{
+		HealthInterval: 20 * time.Millisecond, Seed: 5,
+	})
+	defer rt.Stop()
+
+	rec := routeGet(t, rt, "/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("/healthz status %d", rec.Code)
+	}
+	if rec.Header().Get("X-Qbs-Backend") != "" {
+		t.Fatal("/healthz was proxied to a backend")
+	}
+	var hz struct {
+		Status  string `json:"status"`
+		Healthy int    `json:"healthy_backends"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil || hz.Status != "ok" || hz.Healthy != 2 {
+		t.Fatalf("/healthz body %q (err %v)", rec.Body.String(), err)
+	}
+
+	rec = routeGet(t, rt, "/metrics")
+	if rec.Code != 200 || rec.Header().Get("X-Qbs-Backend") != "" {
+		t.Fatalf("/metrics status %d, proxied=%v", rec.Code, rec.Header().Get("X-Qbs-Backend") != "")
+	}
+	var m struct {
+		Primary  routerBackendMetrics   `json:"primary"`
+		Replicas []routerBackendMetrics `json:"replicas"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Primary.URL != prim.ts.URL || !m.Primary.Healthy || m.Primary.Epoch != 10 {
+		t.Fatalf("primary row %+v", m.Primary)
+	}
+	if len(m.Replicas) != 1 || m.Replicas[0].URL != r1.ts.URL || !m.Replicas[0].Healthy {
+		t.Fatalf("replica rows %+v", m.Replicas)
+	}
+	if got := prim.reads.Load() + r1.reads.Load(); got != 0 {
+		t.Fatalf("%d local-endpoint requests reached a backend", got)
+	}
+
+	// HEAD routes like GET: /healthz answered locally (load balancers
+	// commonly probe with HEAD), and a HEAD read must not be treated as
+	// a write and forwarded to the primary.
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("HEAD", "/healthz", nil))
+	if rec.Code != 200 || rec.Header().Get("X-Qbs-Backend") != "" {
+		t.Fatalf("HEAD /healthz: status %d, proxied=%v", rec.Code, rec.Header().Get("X-Qbs-Backend") != "")
+	}
+	writesBefore := prim.writes.Load()
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest("HEAD", "/spg?u=0&v=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("HEAD read: status %d", rec.Code)
+	}
+	if prim.writes.Load() != writesBefore {
+		t.Fatal("HEAD read forwarded to the primary as a write")
+	}
+
+	// Every backend down: the router itself reports unroutable.
+	prim.failAll.Store(true)
+	r1.failAll.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if rec := routeGet(t, rt, "/healthz"); rec.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/healthz stayed 200 with every backend down")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -357,7 +357,11 @@ func (s *Store) Close() error {
 	if s.w == nil {
 		return nil
 	}
-	return s.w.close()
+	err := s.w.close()
+	if err == nil {
+		s.syncedEpoch = s.lastAppended // close flushed everything appended
+	}
+	return err
 }
 
 // writeCurrent atomically points CURRENT at a snapshot file name.

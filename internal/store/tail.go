@@ -130,6 +130,10 @@ func (s *Store) SetWALRetain(floor uint64) {
 // primary's SyncEvery batching into one fsync per poll per replica.
 const tailSyncInterval = 10 * time.Millisecond
 
+// tailChunkRecords is how many records one delivery pread covers
+// (512 × 25 B = 12.5 KiB per syscall).
+const tailChunkRecords = 512
+
 // ReadWAL streams log records with epoch > from, in epoch order, to fn
 // — at most max of them (max <= 0 means 65536). Only durable records
 // are served: a record is fsynced before it is ever shipped, so a
@@ -144,30 +148,47 @@ const tailSyncInterval = 10 * time.Millisecond
 // caught-up replica polling at the tip costs a few small reads per
 // poll.
 //
+// limit is the serving floor the scan guaranteed — the newest epoch
+// this call promises to have delivered if it was present. Callers
+// inferring pruning from an empty read must compare against this
+// returned value, not re-read DurableEpoch afterwards: the horizon can
+// advance during the scan (a concurrent write fsyncs), and a fresher
+// value would claim records the scan never looked for, turning a
+// caught-up tail into a spurious gap.
+//
 // gap reports that the log could not supply the contiguous successor of
 // from (epoch from+1 was pruned or lost): the caller must re-bootstrap
 // from a snapshot instead of tailing.
-func (s *Store) ReadWAL(from uint64, max int, fn func(WALRecord) error) (n int, gap bool, err error) {
+func (s *Store) ReadWAL(from uint64, max int, fn func(WALRecord) error) (n int, limit uint64, gap bool, err error) {
 	if max <= 0 {
 		max = 1 << 16
 	}
-	limit := ^uint64(0)
+	scanLimit := ^uint64(0)
 	s.walMu.Lock()
-	if s.w != nil && !s.closed {
-		if s.syncedEpoch < s.lastAppended && time.Since(s.lastTailSync) >= tailSyncInterval {
+	if s.w == nil {
+		// No writer: every complete on-disk record is served unbounded —
+		// read-only opens tolerate observing a consistent prefix of a
+		// live writer's log, and those appends are past this process's
+		// view. The promised floor is still only the open-time epoch:
+		// records beyond it may exist without this store knowing, so an
+		// empty read up there is "nothing visible yet", not a gap.
+		limit = s.d.Epoch()
+	} else {
+		if !s.closed && s.syncedEpoch < s.lastAppended && time.Since(s.lastTailSync) >= tailSyncInterval {
 			if err := s.w.sync(); err != nil {
 				s.walMu.Unlock()
-				return 0, false, err
+				return 0, 0, false, err
 			}
 			s.syncedEpoch = s.lastAppended
 			s.lastTailSync = time.Now()
 		}
 		limit = s.syncedEpoch
+		scanLimit = limit
 	}
 	s.walMu.Unlock()
 	segs, err := listSegments(walDir(s.dir))
 	if err != nil {
-		return 0, false, err
+		return 0, limit, false, err
 	}
 	// Segments are epoch-ordered, so the first one that can contain
 	// from+1 is the newest whose first record is at or before it;
@@ -187,15 +208,15 @@ func (s *Store) ReadWAL(from uint64, max int, fn func(WALRecord) error) (n int, 
 		if n >= max {
 			break
 		}
-		delivered, err := tailSegment(seg, from, limit, max-n, &expect, fn)
+		delivered, err := tailSegment(seg, from, scanLimit, max-n, &expect, fn)
 		n += delivered
 		if err != nil {
-			return n, false, err
+			return n, limit, false, err
 		}
 	}
 	// A clean tail delivers from+1 first and consecutive epochs after
 	// it; expect trails the stream, so any jump shows up here.
-	return n, expect != from+1+uint64(n), nil
+	return n, limit, expect != from+1+uint64(n), nil
 }
 
 // segmentFirstEpoch reads the epoch of a segment's first complete valid
@@ -279,24 +300,60 @@ func tailSegment(seg segmentFile, from, limit uint64, max int, expect *uint64, f
 		}
 	}
 
+	// Deliver in chunked sequential reads: after the binary search the
+	// records are contiguous, and one pread per 25-byte record would
+	// cost a catch-up batch ~65k syscalls; one pread per chunk serves
+	// the same batch in a handful.
 	n := 0
-	for i := lo; i < count && n < max; i++ {
-		rec, ok := probe(i)
-		if !ok {
-			break // torn tail
+	var chunk []byte // allocated on first delivery: a caught-up poll delivers nothing
+	i := lo
+scan:
+	for i < count && n < max {
+		if chunk == nil {
+			chunk = make([]byte, tailChunkRecords*walRecordSize)
 		}
-		if rec.epoch > limit {
-			break // not yet durable; served after the next tail sync
+		span := count - i
+		if span > tailChunkRecords {
+			span = tailChunkRecords
 		}
-		if rec.epoch <= from {
-			continue
+		b := chunk[:span*walRecordSize]
+		m, rerr := f.ReadAt(b, walHeaderSize+i*walRecordSize)
+		complete := int64(m / walRecordSize) // a partial trailing record is the torn tail
+		if complete == 0 {
+			// A real read error must propagate (the primary answers 500
+			// and the replica retries); swallowing it would make the
+			// segment look empty — an apparent gap, and a 410 that parks
+			// the replica permanently over a transient I/O failure.
+			if rerr != nil && rerr != io.EOF {
+				return n, rerr
+			}
+			break
 		}
-		if err := fn(WALRecord{Epoch: rec.epoch, U: rec.u, W: rec.w, Op: rec.op}); err != nil {
-			return n, err
+		for j := int64(0); j < complete && n < max; j++ {
+			rec, ok := decodeWALFrame(b[j*walRecordSize : (j+1)*walRecordSize])
+			if !ok {
+				break scan // torn tail
+			}
+			if rec.epoch > limit {
+				break scan // not yet durable; served after the next tail sync
+			}
+			if rec.epoch <= from {
+				continue
+			}
+			if err := fn(WALRecord{Epoch: rec.epoch, U: rec.u, W: rec.w, Op: rec.op}); err != nil {
+				return n, err
+			}
+			n++
+			if rec.epoch == *expect {
+				*expect++
+			}
 		}
-		n++
-		if rec.epoch == *expect {
-			*expect++
+		i += complete
+		if complete < span {
+			if rerr != nil && rerr != io.EOF {
+				return n, rerr
+			}
+			break // short read: current end of the segment
 		}
 	}
 	return n, nil

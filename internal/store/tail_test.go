@@ -10,7 +10,7 @@ import (
 func collect(t *testing.T, s *Store, from uint64, max int) ([]WALRecord, bool) {
 	t.Helper()
 	var recs []WALRecord
-	_, gap, err := s.ReadWAL(from, max, func(r WALRecord) error {
+	_, _, gap, err := s.ReadWAL(from, max, func(r WALRecord) error {
 		recs = append(recs, r)
 		return nil
 	})
@@ -151,7 +151,7 @@ func TestLoadSnapshotPlusStreamReplayMatchesLive(t *testing.T) {
 	if _, gap := collect(t, s, rd.Epoch(), 0); gap {
 		t.Fatal("gap below the newest snapshot")
 	}
-	_, _, err = s.ReadWAL(rd.Epoch(), 0, func(r WALRecord) error {
+	_, _, _, err = s.ReadWAL(rd.Epoch(), 0, func(r WALRecord) error {
 		ops = append(ops, dynamic.ReplayOp{
 			Epoch: r.Epoch, U: r.U, W: r.W,
 			Insert:  r.Op == WALInsert,
@@ -216,5 +216,63 @@ func TestWALFrameCodecRoundTrip(t *testing.T) {
 	}
 	if _, err := DecodeWALFrame(frame[:10]); err == nil {
 		t.Fatal("short frame accepted")
+	}
+}
+
+// TestReadWALReadOnlyServesLiveWriterAppends: a read-only open tolerates
+// observing a consistent prefix of a live writer's log, and its ReadWAL
+// must keep serving records the writer appends after the open — the scan
+// is unbounded past the open-time epoch. The returned limit, though,
+// stays at the open-time epoch: an empty read beyond it is "nothing
+// visible yet", never a gap.
+func TestReadWALReadOnlyServesLiveWriterAppends(t *testing.T) {
+	dir := t.TempDir()
+	g := testGraph(t)
+	d := newDynamic(t, g, 4)
+	s, err := Create(dir, d, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	applyOps(t, d, 30, 81)
+
+	ro, err := Open(dir, Options{ReadOnly: true, Dynamic: dynamic.Options{CompactFraction: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	roEpoch := ro.Index().Epoch()
+
+	// The writer moves on after the read-only open.
+	applyOps(t, d, 20, 82)
+	tip := d.Epoch()
+
+	var recs []WALRecord
+	n, limit, gap, err := ro.ReadWAL(roEpoch, 0, func(r WALRecord) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap || n != int(tip-roEpoch) {
+		t.Fatalf("read-only tail past open-time epoch: %d records (want %d), gap=%v", n, tip-roEpoch, gap)
+	}
+	for i, r := range recs {
+		if r.Epoch != roEpoch+1+uint64(i) {
+			t.Fatalf("record %d has epoch %d", i, r.Epoch)
+		}
+	}
+	if limit != roEpoch {
+		t.Fatalf("read-only limit %d, want open-time epoch %d", limit, roEpoch)
+	}
+	// An empty read at the writer's tip must not look like a gap to a
+	// caller comparing against the returned limit.
+	n, limit, gap, err = ro.ReadWAL(tip, 0, func(WALRecord) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || gap || limit > tip {
+		t.Fatalf("tip read on read-only store: n=%d gap=%v limit=%d", n, gap, limit)
 	}
 }

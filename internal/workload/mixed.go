@@ -117,20 +117,6 @@ func Mutations(g *graph.Graph, count int, seed int64) []Op {
 	return MixedOps(g, count, 1, seed)
 }
 
-// SplitKinds partitions a stream into its queries and its mutations,
-// preserving order within each — the replication bench and smoke tests
-// route the two halves to different endpoints.
-func SplitKinds(ops []Op) (queries, mutations []Op) {
-	for _, op := range ops {
-		if op.Kind == OpQuery {
-			queries = append(queries, op)
-		} else {
-			mutations = append(mutations, op)
-		}
-	}
-	return
-}
-
 // CountKinds tallies a stream by operation kind.
 func CountKinds(ops []Op) (queries, inserts, deletes int) {
 	for _, op := range ops {
