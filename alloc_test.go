@@ -13,6 +13,7 @@ import (
 	"qbs/internal/core"
 	"qbs/internal/dcore"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 	"qbs/internal/workload"
 )
 
@@ -61,6 +62,40 @@ func TestWarmQueryZeroAllocs(t *testing.T) {
 		sr.Distance(p.U, p.V)
 	}); avg != 0 {
 		t.Fatalf("warm Searcher.Distance allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestWarmInstrumentedQueryZeroAllocs pins the PR 6 observability
+// criterion: the query path with its stage timers and engine counters
+// (QueryStats out-param) plus the metric recording the serving layer
+// does per query — histogram Observe and counter Add — still allocates
+// nothing on the warm path.
+func TestWarmInstrumentedQueryZeroAllocs(t *testing.T) {
+	g, pairs := allocGraph(t)
+	cix := core.MustBuild(g, core.Options{NumLandmarks: 16})
+	sr := core.NewSearcher(cix)
+	spg := graph.NewSPG(0, 0)
+	reg := obs.NewRegistry()
+	hist := reg.Histogram("qbs_query_stage_ns", `stage="expand"`)
+	arcs := reg.Counter("qbs_query_arcs_scanned_total", "")
+
+	for r := 0; r < 3; r++ {
+		for _, p := range pairs {
+			sr.QueryInto(spg, p.U, p.V)
+		}
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		st := sr.QueryInto(spg, p.U, p.V)
+		hist.ObserveNs(st.ExpandNs)
+		arcs.Add(st.ArcsScanned)
+	}); avg != 0 {
+		t.Fatalf("instrumented warm QueryInto allocates %.2f/op, want 0", avg)
+	}
+	if sum := hist.Summary(); sum.Count == 0 {
+		t.Fatal("stage histogram recorded nothing")
 	}
 }
 

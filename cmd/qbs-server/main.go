@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -54,6 +55,7 @@ import (
 	"qbs"
 	"qbs/internal/datasets"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 	"qbs/internal/replica"
 	"qbs/internal/server"
 )
@@ -76,8 +78,22 @@ func main() {
 		routerOf  = flag.String("router", "", "run as a query router: comma-separated <primary-url>,<replica-url>... — reads fan across replicas, writes forward to the primary")
 		poll      = flag.Duration("poll", 25*time.Millisecond, "replica WAL tail poll interval (bounds replication lag)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and process-wide Prometheus metrics on this separate address (empty = disabled)")
+		slowlog   = flag.Duration("slowlog", 0, "slow-query log threshold for GET /debug/slowlog (0 = 100ms default)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+	// tune applies serving-mode knobs that live on *server.Server (the
+	// router and replica modes wrap or own their servers themselves).
+	tune := func(sv *server.Server) *server.Server {
+		if *slowlog > 0 {
+			sv.SetSlowLogThreshold(*slowlog)
+		}
+		return sv
+	}
 
 	if *primary {
 		if *dataDir == "" {
@@ -171,7 +187,7 @@ func main() {
 			fmt.Printf("directed index: built in %s (%d landmarks)\n",
 				time.Since(start).Round(time.Millisecond), len(ix.Landmarks()))
 		}
-		handler = server.NewDirected(ix)
+		handler = tune(server.NewDirected(ix))
 	case *dataDir != "" && qbs.StoreExists(*dataDir):
 		// Restart path: recover, no graph source and no rebuild needed.
 		start := time.Now()
@@ -231,13 +247,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		handler = server.New(index)
+		handler = tune(server.New(index))
 	}
 	if dyn != nil {
 		if *mutable {
-			handler = server.NewMutable(dyn)
+			handler = tune(server.NewMutable(dyn))
 		} else {
-			handler = server.NewDynamicReadOnly(dyn)
+			handler = tune(server.NewDynamicReadOnly(dyn))
 		}
 		if *primary {
 			// The replication feed rides alongside the serving API: the
@@ -252,6 +268,32 @@ func main() {
 		}
 	}
 	serve(*addr, *drain, handler, dyn)
+}
+
+// serveDebug runs the operator side-channel: pprof and a Prometheus
+// rendering of the process-wide registry (WAL/checkpoint/apply/runtime
+// series) on an address that is never exposed to query clients. No
+// write timeout: /debug/pprof/profile?seconds=N streams for N seconds.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = obs.WritePrometheus(w, obs.Default)
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("debug: pprof and process metrics on %s\n", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "qbs-server: debug server:", err)
+	}
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM, then drains

@@ -9,6 +9,7 @@ import (
 
 	"qbs/internal/core"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 	"qbs/internal/workload"
 )
 
@@ -29,6 +30,11 @@ type SnapshotDataset struct {
 
 	QueryP50Ns int64 `json:"query_p50_ns"`
 	QueryP99Ns int64 `json:"query_p99_ns"`
+
+	// LatencyHistogram summarises the same warmed query pass through
+	// the observability histogram (log-bucketed; ≤1/32 relative error),
+	// adding p95/p999/max to the exact-sort percentiles above.
+	LatencyHistogram obs.HistogramSummary `json:"latency_histogram"`
 
 	// QueryAllocsPerOp and DistanceAllocsPerOp are measured on a warm
 	// searcher answering into a reused SPG (the steady-state serving
@@ -116,14 +122,17 @@ func snapshotDataset(key string, g *graph.Graph, cfg Config) (SnapshotDataset, e
 		sr.QueryInto(spg, p.U, p.V) // warm every buffer
 	}
 	lat := make([]int64, len(pairs))
+	var hist obs.Histogram
 	for i, p := range pairs {
 		t0 := time.Now()
 		sr.QueryInto(spg, p.U, p.V)
 		lat[i] = time.Since(t0).Nanoseconds()
+		hist.ObserveNs(lat[i])
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	row.QueryP50Ns = lat[len(lat)/2]
 	row.QueryP99Ns = lat[len(lat)*99/100]
+	row.LatencyHistogram = hist.Summary()
 
 	i := 0
 	row.QueryAllocsPerOp = allocsPerRun(256, func() {

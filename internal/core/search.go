@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"qbs/internal/bfs"
 	"qbs/internal/graph"
 	"qbs/internal/traverse"
@@ -36,7 +38,9 @@ const (
 	CoverageTrivial
 )
 
-// QueryStats reports per-query internals used by the experiments.
+// QueryStats reports per-query internals used by the experiments and
+// the observability layer. It is filled as an out-param on the warm
+// path: plain fields, no allocation.
 type QueryStats struct {
 	Dist        int32 // d_G(u, v); graph.InfDist if disconnected
 	DGMinus     int32 // d_G⁻(u, v) as established by the search (InfDist if > d⊤ or unknown)
@@ -46,6 +50,16 @@ type QueryStats struct {
 	UsedReverse bool  // reverse search ran (G⁻ paths exist at distance d)
 	UsedRecover bool  // recover search ran (through-landmark paths exist at distance d)
 	Coverage    CoverageCase
+
+	// Engine counters surfaced from the traversal machinery.
+	LabelEntries     int64 // label entries of u and v scanned by the sketch
+	FrontierWords    int64 // visited-bitmap words swept by bottom-up expansion
+	PushPullSwitches int64 // top-down ↔ bottom-up direction switches
+
+	// Stage spans (monotonic-clock nanoseconds).
+	SketchNs  int64 // sketch assembly (Algorithm 3)
+	ExpandNs  int64 // sketch-guided bidirectional BFS
+	ExtractNs int64 // reverse/recover path extraction
 }
 
 // Searcher answers queries against a fixed Index. Not safe for
@@ -199,9 +213,13 @@ func (sr *Searcher) query(spg *graph.SPG, u, v graph.V, extract bool) QueryStats
 	}
 
 	// Sketching (Algorithm 3).
+	t0 := time.Now()
 	dTop, dStarU, dStarV := sr.computeSketch(u, v)
 	st.DTop = dTop
 	st.SketchPairs = len(sr.pairs)
+	st.LabelEntries = int64(len(sr.entU) + len(sr.entV))
+	t1 := time.Now()
+	st.SketchNs = t1.Sub(t0).Nanoseconds()
 
 	// Guided bidirectional search on G⁻ (skipped when an endpoint is a
 	// landmark: every u–v path then trivially "passes through" it, so the
@@ -223,10 +241,14 @@ func (sr *Searcher) query(spg *graph.SPG, u, v graph.V, extract bool) QueryStats
 			sr.bwd.ws.SetDist(r, -1)
 		}
 		meet = sr.bidirectional(dTop, dStarU, dStarV, &st)
+		st.FrontierWords = sr.fwd.exp.WordsSwept + sr.bwd.exp.WordsSwept
+		st.PushPullSwitches = sr.fwd.exp.Switches + sr.bwd.exp.Switches
 	}
 	if len(meet) > 0 {
 		st.DGMinus = sr.fwd.d + sr.bwd.d
 	}
+	t2 := time.Now()
+	st.ExpandNs = t2.Sub(t1).Nanoseconds()
 
 	dist := dTop
 	if st.DGMinus < dist {
@@ -260,6 +282,8 @@ func (sr *Searcher) query(spg *graph.SPG, u, v graph.V, extract bool) QueryStats
 			sr.recover(spg, &st)
 		}
 	}
+
+	st.ExtractNs = time.Since(t2).Nanoseconds()
 
 	switch {
 	case dTop > dist:

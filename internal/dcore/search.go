@@ -1,6 +1,8 @@
 package dcore
 
 import (
+	"time"
+
 	"qbs/internal/bfs"
 	"qbs/internal/graph"
 	"qbs/internal/traverse"
@@ -96,10 +98,21 @@ func NewSearcher(ix *Index) *Searcher {
 	return sr
 }
 
-// QueryStats reports directed per-query internals.
+// QueryStats reports directed per-query internals. Filled as an
+// out-param on the warm path: plain fields, no allocation.
 type QueryStats struct {
 	Dist int32 // d_G(u → v); graph.InfDist if unreachable
 	DTop int32 // the directed sketch bound d⊤
+
+	// Engine counters surfaced from the traversal machinery.
+	LabelEntries     int64 // label entries of u and v scanned by the sketch
+	FrontierWords    int64 // visited-bitmap words swept by bottom-up expansion
+	PushPullSwitches int64 // top-down ↔ bottom-up direction switches
+
+	// Stage spans (monotonic-clock nanoseconds).
+	SketchNs  int64
+	ExpandNs  int64
+	ExtractNs int64
 }
 
 // Query answers the directed SPG(u → v).
@@ -137,13 +150,19 @@ func (sr *Searcher) Distance(u, v graph.V) int32 {
 func (sr *Searcher) query(spg *graph.DiSPG, u, v graph.V, extract bool) QueryStats {
 	ix := sr.ix
 	g := sr.g
+	var st QueryStats
 	if u == v {
 		spg.Dist = 0
-		return QueryStats{Dist: 0, DTop: 0}
+		return st
 	}
 
+	t0 := time.Now()
 	dTop, dStarU, dStarV := sr.computeSketch(u, v)
 	defer sr.releaseSketch()
+	st.DTop = dTop
+	st.LabelEntries = int64(len(sr.entU) + len(sr.entV))
+	t1 := time.Now()
+	st.SketchNs = t1.Sub(t0).Nanoseconds()
 
 	uLand := ix.landIdx[u] >= 0
 	vLand := ix.landIdx[v] >= 0
@@ -162,18 +181,23 @@ func (sr *Searcher) query(spg *graph.DiSPG, u, v graph.V, extract bool) QuerySta
 			sr.bwd.ws.SetDist(r, -1)
 		}
 		meet = sr.bidirectional(dTop, dStarU, dStarV)
+		st.FrontierWords = sr.fwd.exp.WordsSwept + sr.bwd.exp.WordsSwept
+		st.PushPullSwitches = sr.fwd.exp.Switches + sr.bwd.exp.Switches
 		if len(meet) > 0 {
 			dGMinus = sr.fwd.d + sr.bwd.d
 		}
 	}
+	t2 := time.Now()
+	st.ExpandNs = t2.Sub(t1).Nanoseconds()
 
 	dist := dTop
 	if dGMinus < dist {
 		dist = dGMinus
 	}
 	spg.Dist = dist
+	st.Dist = dist
 	if dist == graph.InfDist {
-		return QueryStats{Dist: dist, DTop: dTop}
+		return st
 	}
 
 	if extract {
@@ -191,7 +215,8 @@ func (sr *Searcher) query(spg *graph.DiSPG, u, v graph.V, extract bool) QuerySta
 			sr.recover(spg, uLand, vLand)
 		}
 	}
-	return QueryStats{Dist: dist, DTop: dTop}
+	st.ExtractNs = time.Since(t2).Nanoseconds()
+	return st
 }
 
 func (sr *Searcher) computeSketch(u, v graph.V) (dTop, dStarU, dStarV int32) {

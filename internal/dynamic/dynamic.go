@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qbs/internal/core"
 	"qbs/internal/graph"
@@ -299,6 +300,14 @@ func (d *Index) ApplyEdge(u, w graph.V, insert bool) (Result, error) {
 		// Idempotent no-op: already present / already absent.
 		return Result{Applied: false, Epoch: s.epoch, Edges: s.overlay.NumEdges()}, nil
 	}
+	applyStart := time.Now()
+	defer func() {
+		if insert {
+			mApplyInsertNs.Observe(time.Since(applyStart))
+		} else {
+			mApplyDeleteNs.Observe(time.Since(applyStart))
+		}
+	}()
 	st, counts, err := d.applyLocked(d.rp, s.state, u, w, insert)
 	if err != nil {
 		return Result{}, err
@@ -449,6 +458,8 @@ func (d *Index) maybeCompactLocked() {
 // update that arrived meanwhile and publishes the compacted state.
 func (d *Index) compact(snap *snapshot) {
 	defer d.compactWG.Done()
+	start := time.Now()
+	defer func() { mCompactNs.Observe(time.Since(start)) }()
 	base := snap.overlay.Materialize()
 	rp := newRepairer(d.n, d.landmarks, d.landIdx, d.budget)
 	st, err := d.buildState(NewOverlay(base), rp)

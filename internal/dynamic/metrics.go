@@ -1,0 +1,14 @@
+package dynamic
+
+import (
+	"qbs/internal/obs"
+)
+
+// Update-path instrumentation on the process-wide registry: apply
+// latency per operation kind (lock hold + repair + snapshot prep) and
+// background compaction duration.
+var (
+	mApplyInsertNs = obs.Default.Histogram("qbs_dynamic_apply_ns", `op="insert"`)
+	mApplyDeleteNs = obs.Default.Histogram("qbs_dynamic_apply_ns", `op="delete"`)
+	mCompactNs     = obs.Default.Histogram("qbs_dynamic_compact_ns", "")
+)

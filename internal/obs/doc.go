@@ -1,0 +1,60 @@
+// Package obs is the telemetry layer every other package reports
+// through: atomic counters, gauges, lock-free log-bucketed latency
+// histograms, a registry with a Prometheus text encoder, per-request
+// traces, and a bounded slow-query log. It is dependency-free (stdlib
+// only) and every recording primitive is allocation-free, so the warm
+// query path stays 0 allocs/op with instrumentation enabled.
+//
+// # Metric naming
+//
+// Families follow Prometheus conventions with a qbs_ prefix:
+//
+//   - qbs_http_requests_total / qbs_http_errors_total — per-endpoint
+//     counters, labelled endpoint="/spg".
+//   - qbs_http_inflight — per-endpoint in-flight gauge.
+//   - qbs_http_request_ns — per-endpoint latency histogram.
+//   - qbs_query_stage_ns{stage=...} — per-stage query spans (parse,
+//     sketch, expand, extract, serialize).
+//   - qbs_query_*_total — engine counters aggregated from QueryStats
+//     (arcs scanned, frontier words swept, push↔pull switches, label
+//     entries scanned).
+//   - qbs_wal_*_ns, qbs_checkpoint_*, qbs_snapshot_bytes — durable
+//     store instrumentation (process-wide Default registry).
+//   - qbs_replica_*, qbs_router_* — replication-layer series.
+//   - qbs_goroutines, qbs_heap_*, qbs_gc_* — runtime gauges sampled at
+//     scrape time.
+//
+// Durations are recorded and exposed in nanoseconds (the _ns suffix)
+// rather than converted to seconds; the bench harness and JSON views
+// share the same unit.
+//
+// # Registries
+//
+// Default is the process-wide registry: engine, store, and runtime
+// series that are not tied to one listener. Servers, routers, and
+// replicas each own an additional Registry for their per-endpoint and
+// per-backend series — exact-count test isolation, and multi-server
+// processes don't cross-contaminate — and render their own registry
+// stacked with Default on scrape.
+//
+// # Exposition
+//
+// WritePrometheus renders registries in the text format (version
+// 0.0.4). Histograms render as summaries — quantile-labelled samples
+// for p50/p95/p99/p999 plus _sum and _count — with the observed
+// maximum as a companion <family>_max gauge. Every /metrics endpoint
+// serves this encoding for ?format=prometheus or an Accept header
+// preferring text/plain, and the unchanged JSON views otherwise; both
+// are renderings of the same registry. ValidateExposition is the
+// parser-level line check the CI smoke job applies to a live scrape.
+//
+// # Tracing and the slow-query log
+//
+// A request's trace ID travels in the X-Qbs-Trace-Id header
+// (TraceHeader): the router generates one (or accepts the client's),
+// forwards it unchanged on retries and failovers, and backends echo it
+// on responses. The serving middleware allocates a Trace per request;
+// handlers fill per-stage spans and engine counters from the
+// searcher's QueryStats out-param. Requests at or above the SlowLog
+// threshold land in a bounded ring served at GET /debug/slowlog.
+package obs

@@ -62,6 +62,16 @@
 // rather than proxying them to a random backend; all other GETs fan out
 // to the replicas.
 //
+// Every proxied request carries an X-Qbs-Trace-Id header: the client's
+// if it sent one, minted by the router otherwise, and held constant
+// across read retries and the primary failover — so one query is one
+// trace ID at every hop, correlating the router's routing decision with
+// the backend's per-stage spans and slow-query log entry (GET
+// /debug/slowlog on any backend). The router's own /metrics additionally
+// serves the Prometheus text exposition (?format=prometheus) with
+// per-backend pick counters and healthy/epoch/inflight gauges plus
+// retry/failover totals; see internal/obs.
+//
 // # Retention leases
 //
 // Each registered replica holds a lease (id → lowest epoch still

@@ -1,0 +1,153 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"qbs/internal/obs"
+)
+
+// TestObservabilitySmoke is the CI observability smoke: a real
+// qbs-server process scraped over Prometheus text (validated: parseable,
+// no duplicate series, no interleaved families), a 1-second CPU profile
+// pulled from the -debug-addr side channel, and a qbs-bench -json run
+// whose record must carry the query latency percentiles.
+func TestObservabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short mode")
+	}
+	bin := buildServer(t)
+	addr, dbgAddr := freeAddr(t), freeAddr(t)
+	url, dbgURL := "http://"+addr, "http://"+dbgAddr
+
+	startProc(t, bin, "-dataset", "DO", "-scale", "0.1", "-landmarks", "8",
+		"-addr", addr, "-debug-addr", dbgAddr, "-slowlog", "1ns")
+	waitHTTP(t, url+"/healthz", 60*time.Second)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(fmt.Sprintf("%s/spg?u=0&v=%d", url, 10+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("read %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Prometheus scrape on the serving mux: valid exposition with the
+	// per-endpoint and query-stage series.
+	resp, err := client.Get(url + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{"qbs_http_requests_total", "qbs_query_stage_ns", "qbs_goroutines"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+
+	// The slow log captured the queries (threshold forced to 1ns).
+	resp, err = client.Get(url + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slow struct {
+		Entries []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"entries"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&slow)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Entries) == 0 || slow.Entries[0].TraceID == "" {
+		t.Fatalf("slowlog empty or missing trace IDs: %+v", slow)
+	}
+
+	// The debug side channel serves pprof: pull a 1-second CPU profile.
+	profClient := &http.Client{Timeout: 30 * time.Second}
+	resp, err = profClient.Get(dbgURL + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(prof) == 0 {
+		t.Fatalf("pprof profile: status %d, %d bytes", resp.StatusCode, len(prof))
+	}
+
+	// qbs-bench -json: the perf record carries p50/p99 and the
+	// histogram summary.
+	benchBin := buildBinary(t, "qbs/cmd/qbs-bench")
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	cmd := exec.Command(benchBin, "-json", jsonPath, "-datasets", "DO", "-scale", "0.05", "-queries", "64")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("qbs-bench -json: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Datasets []struct {
+			QueryP50Ns int64 `json:"query_p50_ns"`
+			QueryP99Ns int64 `json:"query_p99_ns"`
+			Histogram  struct {
+				Count uint64 `json:"count"`
+				P50   int64  `json:"p50_ns"`
+				P99   int64  `json:"p99_ns"`
+			} `json:"latency_histogram"`
+		} `json:"datasets"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Datasets) != 1 {
+		t.Fatalf("%d datasets in bench record, want 1", len(snap.Datasets))
+	}
+	d := snap.Datasets[0]
+	if d.QueryP50Ns <= 0 || d.QueryP99Ns < d.QueryP50Ns {
+		t.Fatalf("bad percentiles: p50=%d p99=%d", d.QueryP50Ns, d.QueryP99Ns)
+	}
+	if d.Histogram.Count != 64 || d.Histogram.P50 <= 0 || d.Histogram.P99 < d.Histogram.P50 {
+		t.Fatalf("bad histogram summary: %+v", d.Histogram)
+	}
+}
+
+// buildBinary compiles one main package into the test temp dir.
+func buildBinary(t *testing.T, pkg string) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}

@@ -1,0 +1,166 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qbs/internal/obs"
+)
+
+// traceBackend records the X-Qbs-Trace-Id of every query that reaches
+// it and can be told to answer 503 (the retriable signal).
+type traceBackend struct {
+	mu    sync.Mutex
+	ids   []string
+	fail  atomic.Bool
+	epoch uint64
+	ts    *httptest.Server
+}
+
+func newTraceBackend(t *testing.T, epoch uint64) *traceBackend {
+	t.Helper()
+	b := &traceBackend{epoch: epoch}
+	b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/epoch" {
+			fmt.Fprintf(w, `{"epoch":%d,"edges":0}`, b.epoch)
+			return
+		}
+		b.mu.Lock()
+		b.ids = append(b.ids, r.Header.Get(obs.TraceHeader))
+		b.mu.Unlock()
+		if b.fail.Load() {
+			http.Error(w, "behind", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set(obs.TraceHeader, r.Header.Get(obs.TraceHeader))
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func (b *traceBackend) seen() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]string(nil), b.ids...)
+}
+
+// TestRouterInjectsTraceID: a read without a client trace ID reaches
+// the backend with a router-minted one, and a client-supplied ID passes
+// through verbatim.
+func TestRouterInjectsTraceID(t *testing.T) {
+	prim := newTraceBackend(t, 5)
+	r1 := newTraceBackend(t, 5)
+	rt := NewRouter(prim.ts.URL, []string{r1.ts.URL}, RouterOptions{
+		HealthInterval: time.Hour, Seed: 1,
+	})
+	defer rt.Stop()
+
+	rec := routeGet(t, rt, "/spg?u=0&v=1")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	ids := r1.seen()
+	if len(ids) != 1 || ids[0] == "" {
+		t.Fatalf("backend saw trace IDs %v, want one minted ID", ids)
+	}
+	if got := rec.Header().Get(obs.TraceHeader); got != ids[0] {
+		t.Fatalf("response trace ID %q, backend saw %q", got, ids[0])
+	}
+
+	req := httptest.NewRequest("GET", "/spg?u=0&v=1", nil)
+	req.Header.Set(obs.TraceHeader, "0123456789abcdef")
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	ids = r1.seen()
+	if last := ids[len(ids)-1]; last != "0123456789abcdef" {
+		t.Fatalf("client trace ID rewritten to %q", last)
+	}
+}
+
+// TestRouterRetriesKeepTraceID: when the chosen replicas answer 503
+// and the read fails over to the primary, every hop of the one request
+// carries the same trace ID — and the retry/failover counters advance.
+func TestRouterRetriesKeepTraceID(t *testing.T) {
+	prim := newTraceBackend(t, 5)
+	r1 := newTraceBackend(t, 5)
+	r2 := newTraceBackend(t, 5)
+	r1.fail.Store(true)
+	r2.fail.Store(true)
+	rt := NewRouter(prim.ts.URL, []string{r1.ts.URL, r2.ts.URL}, RouterOptions{
+		HealthInterval: time.Hour, Seed: 1,
+	})
+	defer rt.Stop()
+
+	rec := routeGet(t, rt, "/spg?u=0&v=1")
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var ids []string
+	for _, b := range []*traceBackend{r1, r2, prim} {
+		ids = append(ids, b.seen()...)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("expected 3 hops, saw %d (%v)", len(ids), ids)
+	}
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("trace ID changed across retries: %v", ids)
+		}
+	}
+	if rt.retries.Load() != 2 {
+		t.Fatalf("retries %d, want 2", rt.retries.Load())
+	}
+	if rt.failovers.Load() != 1 {
+		t.Fatalf("failovers %d, want 1", rt.failovers.Load())
+	}
+}
+
+// TestRouterPrometheusMetrics: the router's /metrics answers its
+// pre-existing JSON by default and a valid Prometheus exposition with
+// the routing-decision series on request; HEAD probes answer 200 with
+// no body.
+func TestRouterPrometheusMetrics(t *testing.T) {
+	prim := newTraceBackend(t, 5)
+	r1 := newTraceBackend(t, 5)
+	rt := NewRouter(prim.ts.URL, []string{r1.ts.URL}, RouterOptions{
+		HealthInterval: time.Hour, Seed: 1,
+	})
+	defer rt.Stop()
+	routeGet(t, rt, "/spg?u=0&v=1")
+
+	rec := routeGet(t, rt, "/metrics")
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+
+	rec = routeGet(t, rt, "/metrics?format=prometheus")
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("prometheus content type %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{"qbs_router_picks_total", "qbs_router_backend_healthy", "qbs_router_retries_total"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	for _, path := range []string{"/metrics", "/healthz"} {
+		req := httptest.NewRequest("HEAD", path, nil)
+		hrec := httptest.NewRecorder()
+		rt.ServeHTTP(hrec, req)
+		if hrec.Code != 200 || hrec.Body.Len() != 0 {
+			t.Fatalf("HEAD %s: status %d body %q", path, hrec.Code, hrec.Body.String())
+		}
+	}
+}

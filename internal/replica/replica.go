@@ -18,6 +18,7 @@ import (
 
 	"qbs"
 	"qbs/internal/dynamic"
+	"qbs/internal/obs"
 	"qbs/internal/server"
 	"qbs/internal/store"
 )
@@ -97,9 +98,19 @@ type Replica struct {
 	failing      atomic.Pointer[error]
 	failingSince atomic.Int64 // unix nanos of the first poll failure in the current streak (0 = healthy)
 
+	// Apply-path series on the replica's own registry, stacked onto the
+	// serving mux's Prometheus exposition by Handler().
+	reg     *obs.Registry
+	applyNs *obs.Histogram // ApplyStream latency per non-empty batch
+	applied *obs.Counter   // WAL records applied
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+// Registry returns the replica's metrics registry (apply-batch latency
+// and applied-record series).
+func (r *Replica) Registry() *obs.Registry { return r.reg }
 
 // Start bootstraps a replica of the primary at primaryURL — fetches the
 // newest snapshot, loads it with the zero-copy snapshot loader, and
@@ -184,8 +195,11 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 		ownDir:  ownDir,
 		d:       d,
 		qd:      qbs.AdoptDynamic(d),
+		reg:     obs.NewRegistry(),
 		stop:    make(chan struct{}),
 	}
+	r.applyNs = r.reg.Histogram("qbs_replica_apply_batch_ns", "")
+	r.applied = r.reg.Counter("qbs_replica_applied_records_total", "")
 	r.tip.Store(epoch)
 	r.wg.Add(1)
 	go r.tailLoop()
@@ -391,8 +405,13 @@ func (r *Replica) pollOnce() (int, error) {
 			Compact: rec.Op == store.WALCompact,
 		})
 	}
+	applyStart := time.Now()
 	if _, err := r.d.ApplyStream(ops); err != nil {
 		return len(ops), fmt.Errorf("replica: apply: %w", err)
+	}
+	if len(ops) > 0 {
+		r.applyNs.Observe(time.Since(applyStart))
+		r.applied.Add(int64(len(ops)))
 	}
 	// The primary only ships epochs past `from`, so a full apply must
 	// land exactly on the last shipped epoch. Falling short means some
@@ -490,6 +509,7 @@ func (r *Replica) unhealthy() (error, bool) {
 func (r *Replica) Handler() http.Handler {
 	srv := server.NewDynamicReadOnly(r.qd)
 	srv.SetReplicationStatus(r.Status)
+	srv.AddRegistry(r.reg)
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path == "/healthz" || req.URL.Path == "/epoch" {
 			if err, bad := r.unhealthy(); bad {

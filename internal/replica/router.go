@@ -10,6 +10,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"qbs/internal/obs"
+	"qbs/internal/server"
 )
 
 // RouterOptions tunes the read-fanning query router.
@@ -47,6 +50,7 @@ type backend struct {
 	inflight atomic.Int64
 	healthy  atomic.Bool
 	epoch    atomic.Uint64
+	picks    *obs.Counter // forward attempts routed to this backend
 }
 
 // Router fans reads (GET and HEAD) across healthy replicas —
@@ -67,8 +71,38 @@ type Router struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
+	// Routing-decision series on the router's own registry: per-backend
+	// pick counters and healthy/epoch/inflight gauges, plus totals for
+	// read retries and primary failovers.
+	reg       *obs.Registry
+	retries   *obs.Counter
+	failovers *obs.Counter
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// Registry returns the router's metrics registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// registerBackend attaches b's pick counter and state gauges to the
+// router registry under a backend="<url>" label (role disambiguates the
+// primary from a replica at the same URL in tests).
+func (rt *Router) registerBackend(b *backend, role string) {
+	lbl := `backend="` + obs.EscapeLabel(b.url) + `",role="` + role + `"`
+	b.picks = rt.reg.Counter("qbs_router_picks_total", lbl)
+	rt.reg.GaugeFunc("qbs_router_backend_healthy", lbl, func() float64 {
+		if b.healthy.Load() {
+			return 1
+		}
+		return 0
+	})
+	rt.reg.GaugeFunc("qbs_router_backend_epoch", lbl, func() float64 {
+		return float64(b.epoch.Load())
+	})
+	rt.reg.GaugeFunc("qbs_router_backend_inflight", lbl, func() float64 {
+		return float64(b.inflight.Load())
+	})
 }
 
 // NewRouter builds a router over one primary and any number of replica
@@ -83,11 +117,17 @@ func NewRouter(primaryURL string, replicaURLs []string, opts RouterOptions) *Rou
 		probeTransport: probeTransport,
 		probeClient:    &http.Client{Timeout: 2 * time.Second, Transport: probeTransport},
 		rng:            rand.New(rand.NewSource(opts.Seed)),
+		reg:            obs.NewRegistry(),
 		stop:           make(chan struct{}),
 	}
+	rt.retries = rt.reg.Counter("qbs_router_retries_total", "")
+	rt.failovers = rt.reg.Counter("qbs_router_failovers_total", "")
 	rt.primary.healthy.Store(true)
+	rt.registerBackend(rt.primary, "primary")
 	for _, u := range replicaURLs {
-		rt.replicas = append(rt.replicas, &backend{url: strings.TrimRight(u, "/")})
+		b := &backend{url: strings.TrimRight(u, "/")}
+		rt.registerBackend(b, "replica")
+		rt.replicas = append(rt.replicas, b)
 	}
 	rt.sweep()
 	rt.wg.Add(1)
@@ -185,24 +225,48 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// local handlers need no special casing.
 	isRead := r.Method == http.MethodGet || r.Method == http.MethodHead
 	if isRead {
+		if r.Method == http.MethodHead {
+			// LB probes: HEAD answers 200 with no body, mirroring the
+			// backend muxes, without rendering either local payload.
+			switch r.URL.Path {
+			case "/healthz", "/metrics":
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+		}
 		switch r.URL.Path {
 		case "/healthz":
 			rt.serveHealthz(w)
 			return
 		case "/metrics":
-			rt.serveMetrics(w)
+			rt.serveMetrics(w, r)
 			return
 		}
-	} else {
+	}
+	// Every proxied request carries a trace ID — the client's if it sent
+	// one, minted here otherwise — held constant across retries and the
+	// primary failover so one query is one ID at every hop. The backend
+	// echoes it; for router-written errors it is set explicitly below.
+	if r.Header.Get(obs.TraceHeader) == "" {
+		r.Header.Set(obs.TraceHeader, obs.NewTraceID())
+	}
+	if !isRead {
 		// Writes are forwarded exactly once: a retry could double-apply.
 		if rt.forward(rt.primary, w, r, false) == fwdDone {
 			return
 		}
+		w.Header().Set(obs.TraceHeader, r.Header.Get(obs.TraceHeader))
 		httpError(w, http.StatusBadGateway, "primary unreachable")
 		return
 	}
 	sawUnavailable := false
-	for _, b := range rt.pick() {
+	for attempt, b := range rt.pick() {
+		if attempt > 0 {
+			rt.retries.Inc()
+			if b == rt.primary {
+				rt.failovers.Inc()
+			}
+		}
 		switch rt.forward(b, w, r, true) {
 		case fwdDone:
 			return
@@ -210,6 +274,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			sawUnavailable = true
 		}
 	}
+	w.Header().Set(obs.TraceHeader, r.Header.Get(obs.TraceHeader))
 	if sawUnavailable {
 		// Every backend said 503 (min_epoch not yet published anywhere,
 		// or mid-restart): preserve the documented retriable signal
@@ -263,6 +328,7 @@ func (rt *Router) pick() []*backend {
 // nothing written); writes pass every completed response through.
 func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, retryable bool) int {
 	b.inflight.Add(1)
+	b.picks.Inc()
 	defer b.inflight.Add(-1)
 
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), r.Body)
@@ -271,6 +337,9 @@ func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, re
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
+	}
+	if tid := r.Header.Get(obs.TraceHeader); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
 	}
 	resp, err := rt.opts.Client.Do(req)
 	if err != nil {
@@ -328,8 +397,16 @@ func (rt *Router) serveHealthz(w http.ResponseWriter) {
 }
 
 // serveMetrics reports the routing table as JSON: each backend's URL,
-// health bit, last probed epoch, and current in-flight count.
-func (rt *Router) serveMetrics(w http.ResponseWriter) {
+// health bit, last probed epoch, and current in-flight count. With
+// ?format=prometheus (or a text Accept header) it renders the router
+// registry — picks/retries/failovers and backend gauges — plus the
+// process-wide series as Prometheus text instead.
+func (rt *Router) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if server.WantsPromText(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = obs.WritePrometheus(w, rt.reg, obs.Default)
+		return
+	}
 	row := func(b *backend) routerBackendMetrics {
 		return routerBackendMetrics{
 			URL:      b.url,

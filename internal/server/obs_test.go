@@ -1,0 +1,173 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"qbs/internal/obs"
+)
+
+// TestTraceIDEchoed: every response carries X-Qbs-Trace-Id — the
+// client's when it sent one, a fresh non-empty ID otherwise.
+func TestTraceIDEchoed(t *testing.T) {
+	s := testServer(t)
+
+	req := httptest.NewRequest("GET", "/spg?u=0&v=3", nil)
+	req.Header.Set(obs.TraceHeader, "deadbeefcafe0123")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if got := rec.Header().Get(obs.TraceHeader); got != "deadbeefcafe0123" {
+		t.Fatalf("client trace ID not echoed: got %q", got)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/distance?u=0&v=3", nil))
+	if got := rec.Header().Get(obs.TraceHeader); got == "" {
+		t.Fatal("no trace ID minted for a bare request")
+	}
+}
+
+// TestHeadMetricsAndHealthz: HEAD answers 200 with no body on the
+// probe endpoints, without rendering either payload.
+func TestHeadMetricsAndHealthz(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{"/metrics", "/healthz"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("HEAD", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("HEAD %s: status %d", path, rec.Code)
+		}
+		if rec.Body.Len() != 0 {
+			t.Fatalf("HEAD %s: body %q, want empty", path, rec.Body.String())
+		}
+	}
+}
+
+// TestPrometheusExposition: ?format=prometheus (and a text Accept
+// header) switch /metrics to a valid Prometheus text rendering that
+// carries the per-endpoint counters, the stage histograms, and the
+// process-wide series, with no duplicate series.
+func TestPrometheusExposition(t *testing.T) {
+	s := testServer(t)
+	for i := 0; i < 3; i++ {
+		get(t, s, "/spg?u=0&v=3", nil)
+	}
+	get(t, s, "/spg?u=0&v=99", nil) // one 400
+
+	req := httptest.NewRequest("GET", "/metrics?format=prometheus", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(rec.Body)
+	text := string(body)
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`qbs_http_requests_total{endpoint="/spg"} 4`,
+		`qbs_http_errors_total{endpoint="/spg"} 1`,
+		`qbs_query_stage_ns_count{stage="sketch"} 3`,
+		"qbs_goroutines",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Accept negotiation reaches the same rendering.
+	req = httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("Accept negotiation: content type %q", ct)
+	}
+}
+
+// TestStageAndEngineSeriesAdvance: queries move the stage histograms
+// and engine counters; error responses do not.
+func TestStageAndEngineSeriesAdvance(t *testing.T) {
+	s := testServer(t)
+	get(t, s, "/spg?u=0&v=3", nil)
+	get(t, s, "/paths?u=0&v=3", nil)
+
+	for i := obs.Stage(0); i < obs.NumStages; i++ {
+		if c := s.stage[i].Summary().Count; c != 2 {
+			t.Fatalf("stage %s: %d observations, want 2", i, c)
+		}
+	}
+	if s.engEntries.Load() == 0 {
+		t.Fatal("label-entry counter did not advance")
+	}
+
+	before := s.stage[obs.StageSketch].Summary().Count
+	get(t, s, "/spg?u=0&v=99", nil) // 400: no query ran
+	if after := s.stage[obs.StageSketch].Summary().Count; after != before {
+		t.Fatal("error response recorded a stage span")
+	}
+}
+
+// TestSlowLogEndpoint: with a zero threshold every query lands in the
+// slowlog, newest first, carrying its trace ID and engine stats; the
+// ring stays bounded under concurrent load.
+func TestSlowLogEndpoint(t *testing.T) {
+	s := testServer(t)
+	s.SetSlowLogThreshold(0)
+
+	req := httptest.NewRequest("GET", "/spg?u=0&v=3", nil)
+	req.Header.Set(obs.TraceHeader, "feedface00000001")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+
+	var body SlowLogResponse
+	get(t, s, "/debug/slowlog", &body)
+	if body.Capacity != slowLogCapacity {
+		t.Fatalf("capacity %d, want %d", body.Capacity, slowLogCapacity)
+	}
+	if len(body.Entries) != 1 {
+		t.Fatalf("%d entries, want 1", len(body.Entries))
+	}
+	e := body.Entries[0]
+	if e.TraceID != "feedface00000001" || e.Endpoint != "/spg" || e.Status != 200 {
+		t.Fatalf("entry %+v", e)
+	}
+	if !e.HasQuery || e.U != 0 || e.V != 3 || e.Dist != 2 {
+		t.Fatalf("query fields not filled: %+v", e)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest("GET", "/spg?u=0&v=3", nil))
+			}
+		}()
+	}
+	wg.Wait()
+	get(t, s, "/debug/slowlog", &body)
+	if len(body.Entries) != slowLogCapacity {
+		t.Fatalf("%d entries after overflow, want %d", len(body.Entries), slowLogCapacity)
+	}
+}
+
+// TestMetricsJSONShapeUnchanged: the default /metrics body stays JSON
+// (the pre-observability shape) — Prometheus is strictly opt-in.
+func TestMetricsJSONShapeUnchanged(t *testing.T) {
+	s := testServer(t)
+	resp := get(t, s, "/metrics", nil)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+}

@@ -60,10 +60,12 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"sync/atomic"
+	"strings"
+	"time"
 
 	"qbs"
 	"qbs/internal/analysis"
+	"qbs/internal/obs"
 )
 
 // backend is the query surface shared by the immutable and mutable
@@ -95,16 +97,48 @@ type Server struct {
 	writable bool              // write endpoints exposed (NewMutable)
 	mux      *http.ServeMux
 
-	counters map[string]*endpointCounters // per-endpoint /metrics counters
-	order    []string                     // endpoint registration order
-	repl     func() ReplicationStatus     // lag provider; nil off replicas
+	// One registry backs every /metrics rendering: the JSON body reads
+	// the same counters the Prometheus encoder walks. The server's own
+	// registry keeps per-endpoint series isolated per instance; extra
+	// registries (a replica's apply/lag series) and the process-wide
+	// obs.Default stack onto the text exposition.
+	reg     *obs.Registry
+	extra   []*obs.Registry
+	slowlog *obs.SlowLog
+	eps     map[string]*endpointView // registry-backed per-endpoint views
+	order   []string                 // endpoint registration order
+	repl    func() ReplicationStatus // lag provider; nil off replicas
+
+	// Query-path instrumentation: per-stage span histograms and engine
+	// counters aggregated from the searcher's QueryStats out-param.
+	stage      [obs.NumStages]*obs.Histogram
+	engArcs    *obs.Counter
+	engWords   *obs.Counter
+	engSwitch  *obs.Counter
+	engEntries *obs.Counter
 }
 
-// endpointCounters tallies one endpoint for /metrics.
-type endpointCounters struct {
-	requests atomic.Uint64
-	errors   atomic.Uint64
+// endpointView holds one endpoint's registry-backed series.
+type endpointView struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	inflight *obs.Gauge
+	latency  *obs.Histogram
 }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// AddRegistry stacks an additional registry onto the server's
+// Prometheus exposition — how a replica's apply/lag series appear on
+// the mux that serves its queries.
+func (s *Server) AddRegistry(r *obs.Registry) { s.extra = append(s.extra, r) }
+
+// SlowLog returns the server's slow-query log.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slowlog }
+
+// SetSlowLogThreshold adjusts the slow-query recording threshold.
+func (s *Server) SetSlowLogThreshold(d time.Duration) { s.slowlog.SetThreshold(d) }
 
 // ReplicationStatus is the lag snapshot a read replica exposes through
 // /metrics: the primary epoch it last observed, its own applied epoch,
@@ -116,8 +150,24 @@ type ReplicationStatus struct {
 }
 
 // SetReplicationStatus attaches a replication lag provider: /metrics
-// then reports lag in epochs and bytes alongside the query counters.
-func (s *Server) SetReplicationStatus(fn func() ReplicationStatus) { s.repl = fn }
+// then reports lag in epochs and bytes alongside the query counters,
+// in both the JSON body and the Prometheus exposition.
+func (s *Server) SetReplicationStatus(fn func() ReplicationStatus) {
+	s.repl = fn
+	s.reg.GaugeFunc("qbs_replica_primary_epoch", "", func() float64 {
+		return float64(fn().PrimaryEpoch)
+	})
+	s.reg.GaugeFunc("qbs_replica_lag_epochs", "", func() float64 {
+		st := fn()
+		if st.PrimaryEpoch > st.Epoch {
+			return float64(st.PrimaryEpoch - st.Epoch)
+		}
+		return 0
+	})
+	s.reg.GaugeFunc("qbs_replica_lag_bytes", "", func() float64 {
+		return float64(fn().LagBytes)
+	})
+}
 
 // maxWriteBody bounds the request body of every write endpoint. The
 // legitimate bodies are tens of bytes; anything larger is a mistake or
@@ -137,22 +187,58 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// handle registers h under pattern with request/error accounting. name
-// is the /metrics key (the route path without the method).
+// Slow-query log defaults; tune with SetSlowLogThreshold.
+const (
+	slowLogCapacity  = 128
+	slowLogThreshold = 100 * time.Millisecond
+)
+
+// handle registers h under pattern behind the one instrumentation
+// middleware: request/error counters, in-flight gauge, latency
+// histogram, trace propagation (X-Qbs-Trace-Id accepted or minted,
+// echoed on the response), per-stage span recording, and the
+// slow-query log. name is the /metrics key (the route path without the
+// method).
 func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
-	c, ok := s.counters[name]
+	ep, ok := s.eps[name]
 	if !ok {
-		c = &endpointCounters{}
-		s.counters[name] = c
+		lbl := `endpoint="` + obs.EscapeLabel(name) + `"`
+		ep = &endpointView{
+			requests: s.reg.Counter("qbs_http_requests_total", lbl),
+			errors:   s.reg.Counter("qbs_http_errors_total", lbl),
+			inflight: s.reg.Gauge("qbs_http_inflight", lbl),
+			latency:  s.reg.Histogram("qbs_http_request_ns", lbl),
+		}
+		s.eps[name] = ep
 		s.order = append(s.order, name)
 	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w}
-		h(rec, r)
-		c.requests.Add(1)
-		if rec.code >= 400 {
-			c.errors.Add(1)
+		start := time.Now()
+		tr := &obs.Trace{ID: r.Header.Get(obs.TraceHeader)}
+		if tr.ID == "" {
+			tr.ID = obs.NewTraceID()
 		}
+		w.Header().Set(obs.TraceHeader, tr.ID)
+		ep.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r.WithContext(obs.NewContext(r.Context(), tr)))
+		dur := time.Since(start)
+		ep.inflight.Add(-1)
+		ep.requests.Inc()
+		if rec.code >= 400 {
+			ep.errors.Inc()
+		}
+		ep.latency.Observe(dur)
+		if tr.HasQuery {
+			for i := obs.Stage(0); i < obs.NumStages; i++ {
+				s.stage[i].ObserveNs(tr.StageNs[i])
+			}
+		}
+		status := rec.code
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.slowlog.Fill(tr, name, status, dur, time.Now())
 	})
 }
 
@@ -195,18 +281,40 @@ func NewDirected(index *qbs.DiIndex) *Server {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.counters = map[string]*endpointCounters{}
+	s.reg = obs.NewRegistry()
+	s.slowlog = obs.NewSlowLog(slowLogCapacity, slowLogThreshold)
+	s.eps = map[string]*endpointView{}
+	for i := obs.Stage(0); i < obs.NumStages; i++ {
+		s.stage[i] = s.reg.Histogram("qbs_query_stage_ns", `stage="`+i.String()+`"`)
+	}
+	s.engArcs = s.reg.Counter("qbs_query_arcs_scanned_total", "")
+	s.engWords = s.reg.Counter("qbs_query_frontier_words_total", "")
+	s.engSwitch = s.reg.Counter("qbs_query_push_pull_switches_total", "")
+	s.engEntries = s.reg.Counter("qbs_query_label_entries_total", "")
+	if s.dyn != nil {
+		dyn := s.dyn
+		s.reg.GaugeFunc("qbs_epoch", "", func() float64 { return float64(dyn.Epoch()) })
+	}
 	healthz := func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	}
+	// LB probes: HEAD answers 200 with no body rather than falling
+	// through to 405. (The GET patterns below would match HEAD too, but
+	// their bodies would be computed just to be discarded.)
+	headOK := func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}
+	s.mux.HandleFunc("HEAD /metrics", headOK)
+	s.mux.HandleFunc("HEAD /healthz", headOK)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", healthz)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	if s.di != nil {
 		s.handle("GET /spg", "/spg", s.handleDiSPG)
 		s.handle("GET /distance", "/distance", s.handleDiDistance)
 		s.handle("GET /sketch", "/sketch", s.handleDiSketch)
 		s.handle("GET /stats", "/stats", s.handleDiStats)
-		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-		s.mux.HandleFunc("GET /healthz", healthz)
 		return
 	}
 	s.handle("GET /spg", "/spg", s.handleSPG)
@@ -214,8 +322,6 @@ func (s *Server) routes() {
 	s.handle("GET /sketch", "/sketch", s.handleSketch)
 	s.handle("GET /paths", "/paths", s.handlePaths)
 	s.handle("GET /stats", "/stats", s.handleStats)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", healthz)
 	if s.dyn != nil {
 		s.handle("GET /epoch", "/epoch", s.handleEpoch)
 	}
@@ -251,13 +357,33 @@ type MetricsResponse struct {
 	Replication *ReplicationMetrics        `json:"replication,omitempty"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// WantsPromText reports whether a /metrics request asked for the
+// Prometheus text exposition: ?format=prometheus, or an Accept header
+// preferring a text format over the default JSON body.
+func WantsPromText(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	acc := r.Header.Get("Accept")
+	return strings.Contains(acc, "text/plain") || strings.Contains(acc, "openmetrics")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if WantsPromText(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		regs := make([]*obs.Registry, 0, len(s.extra)+2)
+		regs = append(regs, s.reg)
+		regs = append(regs, s.extra...)
+		regs = append(regs, obs.Default)
+		_ = obs.WritePrometheus(w, regs...)
+		return
+	}
 	resp := MetricsResponse{Endpoints: make(map[string]EndpointMetrics, len(s.order))}
 	for _, name := range s.order {
-		c := s.counters[name]
+		ep := s.eps[name]
 		resp.Endpoints[name] = EndpointMetrics{
-			Requests: c.requests.Load(),
-			Errors:   c.errors.Load(),
+			Requests: ep.requests.Load(),
+			Errors:   ep.errors.Load(),
 		}
 	}
 	if s.dyn != nil {
@@ -273,6 +399,75 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		resp.Replication = m
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// SlowLogResponse is the JSON body of GET /debug/slowlog.
+type SlowLogResponse struct {
+	ThresholdNs int64           `json:"threshold_ns"`
+	Capacity    int             `json:"capacity"`
+	Entries     []obs.SlowEntry `json:"entries"`
+}
+
+func (s *Server) handleSlowLog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, SlowLogResponse{
+		ThresholdNs: int64(s.slowlog.Threshold()),
+		Capacity:    s.slowlog.Cap(),
+		Entries:     s.slowlog.Entries(),
+	})
+}
+
+// recordQuery folds one query's stats into the engine counters and the
+// request trace (stage spans land in the stage histograms when the
+// middleware finishes the request).
+func (s *Server) recordQuery(r *http.Request, u, v qbs.V, st qbs.QueryStats) {
+	s.engArcs.Add(st.ArcsScanned)
+	s.engWords.Add(st.FrontierWords)
+	s.engSwitch.Add(st.PushPullSwitches)
+	s.engEntries.Add(st.LabelEntries)
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.HasQuery = true
+		tr.U, tr.V = int64(u), int64(v)
+		tr.Dist = st.Dist
+		tr.ArcsScanned = st.ArcsScanned
+		tr.FrontierWords = st.FrontierWords
+		tr.PushPullSwitches = st.PushPullSwitches
+		tr.LabelEntries = st.LabelEntries
+		tr.SetStage(obs.StageSketch, st.SketchNs)
+		tr.SetStage(obs.StageExpand, st.ExpandNs)
+		tr.SetStage(obs.StageExtract, st.ExtractNs)
+	}
+}
+
+// recordDiQuery is recordQuery for the directed searcher's stats.
+func (s *Server) recordDiQuery(r *http.Request, u, v qbs.V, st qbs.DiQueryStats) {
+	s.engWords.Add(st.FrontierWords)
+	s.engSwitch.Add(st.PushPullSwitches)
+	s.engEntries.Add(st.LabelEntries)
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		tr.HasQuery = true
+		tr.U, tr.V = int64(u), int64(v)
+		tr.Dist = st.Dist
+		tr.FrontierWords = st.FrontierWords
+		tr.PushPullSwitches = st.PushPullSwitches
+		tr.LabelEntries = st.LabelEntries
+		tr.SetStage(obs.StageSketch, st.SketchNs)
+		tr.SetStage(obs.StageExpand, st.ExpandNs)
+		tr.SetStage(obs.StageExtract, st.ExtractNs)
+	}
+}
+
+// markParse closes the parse span: from handler entry through argument
+// validation.
+func markParse(r *http.Request, start time.Time) {
+	obs.FromContext(r.Context()).SetStage(obs.StageParse, time.Since(start).Nanoseconds())
+}
+
+// writeJSONTraced is writeJSON with the serialization span recorded
+// onto the request trace.
+func writeJSONTraced(w http.ResponseWriter, r *http.Request, status int, body any) {
+	start := time.Now()
+	writeJSON(w, status, body)
+	obs.FromContext(r.Context()).SetStage(obs.StageSerialize, time.Since(start).Nanoseconds())
 }
 
 func (s *Server) handleEdgesMethodNotAllowed(w http.ResponseWriter, r *http.Request) {
@@ -424,6 +619,7 @@ func coverageName(c qbs.QueryStats) string {
 }
 
 func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
+	pStart := time.Now()
 	if !s.freshEnough(w, r) {
 		return
 	}
@@ -431,7 +627,9 @@ func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	markParse(r, pStart)
 	spg, st := s.b.QueryWithStats(u, v)
+	s.recordQuery(r, u, v, st)
 	resp := SPGResponse{
 		Source:      u,
 		Target:      v,
@@ -457,7 +655,7 @@ func (s *Server) handleSPG(w http.ResponseWriter, r *http.Request) {
 			resp.NumPaths = 1
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONTraced(w, r, http.StatusOK, resp)
 }
 
 // DistanceResponse is the JSON body of /distance.
@@ -532,6 +730,7 @@ type PathsResponse struct {
 }
 
 func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	pStart := time.Now()
 	if !s.freshEnough(w, r) {
 		return
 	}
@@ -548,6 +747,7 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	markParse(r, pStart)
 	resp := PathsResponse{Source: u, Target: v}
 	if u == v {
 		// The trivial pair: distance 0 and the one-vertex path [u],
@@ -559,7 +759,8 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	spg := s.b.Query(u, v)
+	spg, st := s.b.QueryWithStats(u, v)
+	s.recordQuery(r, u, v, st)
 	if spg.Dist != qbs.InfDist {
 		d := spg.Dist
 		resp.Distance = &d
@@ -572,7 +773,7 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 			resp.Truncated = resp.NumPaths > int64(len(resp.Paths))
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONTraced(w, r, http.StatusOK, resp)
 }
 
 // DynamicStatsResponse is the dynamic-maintenance section of /stats
@@ -659,11 +860,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // oriented From→To in the Edges field; paths are counted over the
 // directed DAG the arcs already form.
 func (s *Server) handleDiSPG(w http.ResponseWriter, r *http.Request) {
+	pStart := time.Now()
 	u, v, ok := s.pair(w, r)
 	if !ok {
 		return
 	}
+	markParse(r, pStart)
 	spg, st := s.di.QueryWithStats(u, v)
+	s.recordDiQuery(r, u, v, st)
 	resp := SPGResponse{Source: u, Target: v, Directed: true, Coverage: "directed"}
 	if spg.Dist == qbs.InfDist {
 		resp.Disconnected = true
@@ -681,7 +885,7 @@ func (s *Server) handleDiSPG(w http.ResponseWriter, r *http.Request) {
 		resp.NumPaths, resp.NumPathsSaturated = analysis.CountDiPaths(spg,
 			func(x qbs.V) int32 { return s.di.Distance(u, x) })
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONTraced(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleDiDistance(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,19 @@
+package store
+
+import (
+	"qbs/internal/obs"
+)
+
+// Durable-store instrumentation, registered on the process-wide
+// registry: WAL append and fsync latency distributions, checkpoint
+// duration, and the size of the last written snapshot. The series
+// aggregate across every Store in the process (stores live in
+// throwaway directories, so a per-directory label would be noise).
+var (
+	mWALAppendNs  = obs.Default.Histogram("qbs_wal_append_ns", "")
+	mWALFsyncNs   = obs.Default.Histogram("qbs_wal_fsync_ns", "")
+	mWALRecords   = obs.Default.Counter("qbs_wal_records_total", "")
+	mCheckpoints  = obs.Default.Counter("qbs_checkpoints_total", "")
+	mCheckpointNs = obs.Default.Gauge("qbs_checkpoint_last_ns", "")
+	mSnapshotSize = obs.Default.Gauge("qbs_snapshot_bytes", "")
+)

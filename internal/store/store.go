@@ -293,6 +293,7 @@ func (s *Store) Checkpoint() (uint64, error) {
 	lastSnap := s.snaps[len(s.snaps)-1]
 	s.walMu.Unlock()
 
+	start := time.Now()
 	ps := s.d.Persistent()
 	if ps.Epoch == lastSnap {
 		return ps.Epoch, nil // nothing new to persist
@@ -301,9 +302,16 @@ func (s *Store) Checkpoint() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if fi, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+		mSnapshotSize.Set(fi.Size())
+	}
 	if err := writeCurrent(s.dir, name); err != nil {
 		return 0, err
 	}
+	defer func() {
+		mCheckpointNs.Set(time.Since(start).Nanoseconds())
+		mCheckpoints.Inc()
+	}()
 
 	s.walMu.Lock()
 	defer s.walMu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"qbs/internal/graph"
 )
@@ -114,13 +115,17 @@ func (w *walWriter) openSegment() error {
 	return syncDir(w.dir)
 }
 
-// append frames, writes and (per policy) fsyncs one record.
+// append frames, writes and (per policy) fsyncs one record. The write
+// and the fsync are timed into separate histograms: append latency is
+// what every logged update pays, fsync latency only the SyncEvery
+// boundaries.
 func (w *walWriter) append(rec walRecord) error {
 	if w.size+walRecordSize > w.segBytes && w.cur.hasRecords {
 		if err := w.rotate(); err != nil {
 			return err
 		}
 	}
+	start := time.Now()
 	b := w.buf[:]
 	binary.LittleEndian.PutUint32(b[0:], walPayload)
 	binary.LittleEndian.PutUint64(b[8:], rec.epoch)
@@ -131,12 +136,14 @@ func (w *walWriter) append(rec walRecord) error {
 	if _, err := w.f.Write(b); err != nil {
 		return err
 	}
+	mWALAppendNs.Observe(time.Since(start))
+	mWALRecords.Inc()
 	w.size += walRecordSize
 	w.cur.lastEpoch = rec.epoch
 	w.cur.hasRecords = true
 	w.unsynced++
 	if w.syncEvery <= 1 || w.unsynced >= w.syncEvery {
-		if err := w.f.Sync(); err != nil {
+		if err := w.fsync(); err != nil {
 			return err
 		}
 		w.unsynced = 0
@@ -150,7 +157,14 @@ func (w *walWriter) sync() error {
 		return nil
 	}
 	w.unsynced = 0
-	return w.f.Sync()
+	return w.fsync()
+}
+
+func (w *walWriter) fsync() error {
+	start := time.Now()
+	err := w.f.Sync()
+	mWALFsyncNs.Observe(time.Since(start))
+	return err
 }
 
 // rotate closes the current segment and opens the next one.

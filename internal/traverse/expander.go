@@ -41,6 +41,12 @@ type Expander struct {
 	// |frontier|·Beta < |V|.
 	Beta int64
 
+	// Per-traversal counters, reset by Begin/BeginDirected and read by
+	// the searchers into their QueryStats out-param (plain fields: the
+	// expander is single-owner, so no atomics on the hot path).
+	Switches   int64 // top-down ↔ bottom-up direction switches
+	WordsSwept int64 // visited-bitmap words scanned by bottom-up levels
+
 	n        int
 	g        graph.Adjacency // push adjacency: frontier → next level
 	pull     graph.Adjacency // reverse adjacency for bottom-up parent probes
@@ -87,6 +93,8 @@ func (e *Expander) BeginDirected(push, pull graph.Adjacency, deg []int32) {
 	e.deg = deg
 	e.totalArc = int64(push.NumArcs())
 	e.bottomUp = false
+	e.Switches = 0
+	e.WordsSwept = 0
 }
 
 // syncBitmap rebuilds the visited bitmap from the workspace stamps.
@@ -109,11 +117,13 @@ func (e *Expander) Expand(ws *Workspace, frontier []graph.V, d int32, dst []grap
 	case e.Alpha < 0:
 		if !e.bottomUp {
 			e.bottomUp = true
+			e.Switches++
 			e.syncBitmap(ws)
 		}
 	case e.bottomUp:
 		if int64(len(frontier))*e.Beta < int64(e.n) {
 			e.bottomUp = false
+			e.Switches++
 		}
 	case e.Alpha > 0 && int64(len(frontier))*e.Beta >= int64(e.n):
 		// Dense enough to be worth pricing out: compare the arcs a
@@ -130,6 +140,7 @@ func (e *Expander) Expand(ws *Workspace, frontier []graph.V, d int32, dst []grap
 		}
 		if mf*e.Alpha > e.totalArc {
 			e.bottomUp = true
+			e.Switches++
 			e.syncBitmap(ws)
 		}
 	}
@@ -166,6 +177,7 @@ func (e *Expander) expandBottomUp(ws *Workspace, d int32, dst []graph.V) ([]grap
 	g := e.pull
 	var arcs int64
 	nw := len(e.words)
+	e.WordsSwept += int64(nw)
 	for w := 0; w < nw; w++ {
 		unv := ^e.words[w]
 		if w == nw-1 && e.n&63 != 0 {

@@ -25,6 +25,12 @@ type MultiBFS struct {
 	Alpha int64
 	Beta  int64
 
+	// Per-run counters, reset by Run/RunDirected (plain fields; the
+	// engine is single-owner). WordsSwept counts visited words probed by
+	// bottom-up levels — one per vertex scanned.
+	Switches   int64
+	WordsSwept int64
+
 	n       int
 	curL    []uint64 // bit i: v is on source i's QL frontier at this level
 	curN    []uint64 // bit i: v is on source i's QN frontier at this level
@@ -97,6 +103,8 @@ func (mb *MultiBFS) RunDirected(push, pull graph.Adjacency, deg []int32, landIdx
 	clear(mb.nextL)
 	clear(mb.nextN)
 	clear(mb.visited)
+	mb.Switches = 0
+	mb.WordsSwept = 0
 
 	degree := func(v graph.V) int64 {
 		if deg != nil {
@@ -131,10 +139,14 @@ func (mb *MultiBFS) RunDirected(push, pull graph.Adjacency, deg []int32, landIdx
 
 		switch {
 		case mb.Alpha < 0:
-			bottomUp = true
+			if !bottomUp {
+				bottomUp = true
+				mb.Switches++
+			}
 		case bottomUp:
 			if int64(len(frontier))*mb.Beta < int64(n) {
 				bottomUp = false
+				mb.Switches++
 			}
 		case mb.Alpha > 0 && int64(len(frontier))*mb.Beta >= int64(n):
 			// Dense enough to price out (sparse levels skip the degree
@@ -147,11 +159,13 @@ func (mb *MultiBFS) RunDirected(push, pull graph.Adjacency, deg []int32, landIdx
 			}
 			if mf*mb.Alpha > totalArc {
 				bottomUp = true
+				mb.Switches++
 			}
 		}
 
 		nf := mb.next[:0]
 		if bottomUp {
+			mb.WordsSwept += int64(n)
 			// Bottom-up: scan vertices some source has not reached and pull
 			// frontier bits from their neighbours. Settling immediately is
 			// safe — it writes only v's own visited/next words, while the
