@@ -5,6 +5,7 @@
 //
 //	qbs-bench -exp table2 -scale 0.2 -queries 1000
 //	qbs-bench -exp all -datasets DO,DB,YT -out results.md
+//	qbs-bench -exp scaling -scale 1.0 -procs 8 -json BENCH_PR7.json
 //
 // Experiments: table1, table2, table3, fig7, fig8, fig9, fig10, fig11,
 // dynamic (incremental updates vs rebuild), loadvsbuild (durable-store
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|directed|replication|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|directed|replication|scaling|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = DESIGN.md sizes)")
 		queries   = flag.Int("queries", 1000, "number of sampled query pairs per dataset")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R| for single-point experiments")
@@ -40,8 +42,12 @@ func main() {
 		pplBudget = flag.Duration("ppl-budget", 60*time.Second, "PPL/ParentPPL construction time budget (DNF beyond)")
 		outPath   = flag.String("out", "", "write markdown to this file as well as stdout")
 		jsonPath  = flag.String("json", "", "write a perf snapshot (build time, query p50/p99, allocs/op) to this JSON file and exit; see README \"Performance\"")
+		procs     = flag.Int("procs", 0, "set GOMAXPROCS for the run (0 = leave at the Go default); recorded in snapshot JSON")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -112,6 +118,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "replication snapshot written to %s in %s\n",
 			*jsonPath, time.Since(t0).Round(time.Millisecond))
+		return
+	}
+	if *exp == "scaling" {
+		// Scaling mode: the traverse pool width sweep (1/2/4/8 workers
+		// across build, full-graph sweep, guided query and dynamic column
+		// rebuild, with bit-identical verification at every width). With
+		// -json it emits the BENCH_PR7.json record.
+		if len(cfg.Datasets) == 0 {
+			cfg.Datasets = []string{"YT", "OR", "FR"}
+		}
+		t0 := time.Now()
+		h := bench.New(cfg)
+		if *jsonPath != "" {
+			if err := h.ScalingJSON(*jsonPath, nil); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "scaling snapshot written to %s in %s\n",
+				*jsonPath, time.Since(t0).Round(time.Millisecond))
+		} else if _, err := h.Scaling(nil); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(os.Stderr, "scaling done in %s\n", time.Since(t0).Round(time.Millisecond))
+		}
 		return
 	}
 	if *jsonPath != "" {

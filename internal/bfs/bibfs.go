@@ -66,6 +66,14 @@ func NewBidirectional(g graph.Adjacency) *Bidirectional {
 	return b
 }
 
+// SetParallelism runs both directions' level expansions on p traverse
+// pool workers when a level clears the size threshold; results are
+// bit-identical at every setting. 0 (the default) stays sequential.
+func (b *Bidirectional) SetParallelism(p int) {
+	b.fwdExp.Parallelism = p
+	b.bwdExp.Parallelism = p
+}
+
 // Query computes SPG(u, v) and work counters.
 func (b *Bidirectional) Query(u, v graph.V) (*graph.SPG, SearchStats) {
 	var stats SearchStats

@@ -1,87 +1,17 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"qbs/internal/graph"
+	"qbs/internal/traverse"
 )
 
-// batchChunk is the number of queries a batch worker claims at a time.
-// Each chunk's results live in one SPG slab, so steady-state batches
-// allocate once per chunk instead of once per query, and consecutive
-// results stay cache-adjacent for the caller.
-const batchChunk = 32
-
 // QueryBatchInto answers n queries concurrently into out (len n) with
-// up to parallelism workers (0 = GOMAXPROCS, capped at n). pairAt
-// yields the i-th query pair; acquire/release manage per-worker
-// searchers (typically a pool). It is the shared engine behind the
-// static and dynamic QueryBatch entry points.
-//
-// A query that panics (e.g. an out-of-range vertex id) does not bring
-// the batch down: its slot is left nil, the worker discards its
-// possibly-corrupt searcher instead of releasing it and continues with
-// a fresh one, and all remaining results are returned.
+// up to parallelism workers (0 = GOMAXPROCS). pairAt yields the i-th
+// query pair; acquire/release manage per-worker searchers (typically a
+// pool). It is the shared engine behind the static and dynamic
+// QueryBatch entry points; chunking, worker capping and panic isolation
+// live in traverse.QueryBatch, shared with the directed dcore copy.
 func QueryBatchInto(out []*graph.SPG, parallelism int, pairAt func(int) (graph.V, graph.V), acquire func() *Searcher, release func(*Searcher)) {
-	n := len(out)
-	if n == 0 {
-		return
-	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	// Cap at the chunk count: a surplus worker would acquire a searcher
-	// (possibly constructing one) only to find no chunk left.
-	if chunks := (n + batchChunk - 1) / batchChunk; parallelism > chunks {
-		parallelism = chunks
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sr := acquire()
-			defer func() {
-				if sr != nil {
-					release(sr)
-				}
-			}()
-			for {
-				start := int(next.Add(batchChunk)) - batchChunk
-				if start >= n {
-					return
-				}
-				end := min(start+batchChunk, n)
-				arena := make([]graph.SPG, end-start)
-				for i := start; i < end; i++ {
-					if sr == nil {
-						sr = acquire()
-					}
-					u, v := pairAt(i)
-					spg := &arena[i-start]
-					if runQueryInto(sr, spg, u, v) {
-						out[i] = spg
-					} else {
-						sr = nil // searcher state is suspect after a panic
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-}
-
-// runQueryInto answers one batch query, converting a panic into a false
-// return so a poisoned query cannot deadlock or kill the whole batch.
-func runQueryInto(sr *Searcher, dst *graph.SPG, u, v graph.V) (ok bool) {
-	defer func() {
-		if recover() != nil {
-			ok = false
-		}
-	}()
-	sr.QueryInto(dst, u, v)
-	return true
+	traverse.QueryBatch(out, parallelism, pairAt, acquire, release,
+		func(sr *Searcher, dst *graph.SPG, u, v graph.V) { sr.QueryInto(dst, u, v) })
 }

@@ -48,8 +48,12 @@ type Options struct {
 	// Landmarks overrides selection with an explicit set (used by tests
 	// and the landmark-strategy ablation). Ignored when nil.
 	Landmarks []graph.V
-	// Parallelism is the number of labelling BFS workers. 0 means
+	// Parallelism is the total labelling worker budget. 0 means
 	// GOMAXPROCS (the paper's QbS-P); 1 reproduces sequential QbS.
+	// Workers first spread across 64-landmark batches; any budget left
+	// over (always, at the paper's |R| = 20) runs *inside* each sweep as
+	// traverse pool workers parallelising the frontier itself. Labels,
+	// σ and Δ are bit-identical at every setting.
 	Parallelism int
 	// Seed feeds randomized strategies (Random landmark selection).
 	Seed int64

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"qbs/internal/graph"
 	"qbs/internal/traverse"
@@ -128,16 +129,28 @@ func (ix *Index) landmarkBFS(ri int, ws *labelWorkspace) ([]metaEdge, bool) {
 // batch's label columns and returning its meta-edges plus the number of
 // label entries written (each entry is written exactly once, so counting
 // here replaces a full O(n·|R|) matrix scan).
+//
+// When the engine runs its intra-sweep worker pool the settle callback
+// is invoked concurrently; label writes are naturally disjoint (each
+// settle owns its vertex), so only the shared meta-edge list (a rare,
+// landmark-only event) takes a mutex, and the per-settle entry count
+// goes through an atomic.
 func (ix *Index) batchBFS(eng *traverse.MultiBFS, base int, roots []graph.V) ([]metaEdge, int64, error) {
 	cols := ix.labels[base : base+len(roots)]
 	var metas []metaEdge
 	var entries int64
+	var entriesA atomic.Int64
+	var mu sync.Mutex
+	par := eng.Parallelism > 1
 	err := eng.Run(ix.a, ix.degs, ix.landIdx, roots, MaxLabelDist,
 		func(v graph.V, depth int32, newL, _ uint64) {
 			if newL == 0 {
 				return
 			}
 			if rj := ix.landIdx[v]; rj >= 0 {
+				if par {
+					mu.Lock()
+				}
 				for w := newL; w != 0; w &= w - 1 {
 					a, b := base+bits.TrailingZeros64(w), int(rj)
 					if a > b {
@@ -145,8 +158,15 @@ func (ix *Index) batchBFS(eng *traverse.MultiBFS, base int, roots []graph.V) ([]
 					}
 					metas = append(metas, metaEdge{a: a, b: b, weight: depth})
 				}
+				if par {
+					mu.Unlock()
+				}
 			} else {
-				entries += int64(bits.OnesCount64(newL))
+				if par {
+					entriesA.Add(int64(bits.OnesCount64(newL)))
+				} else {
+					entries += int64(bits.OnesCount64(newL))
+				}
 				d8 := uint8(depth)
 				for w := newL; w != 0; w &= w - 1 {
 					cols[bits.TrailingZeros64(w)][v] = d8
@@ -156,12 +176,14 @@ func (ix *Index) batchBFS(eng *traverse.MultiBFS, base int, roots []graph.V) ([]
 	if err != nil {
 		return nil, 0, ErrDiameterTooLarge
 	}
-	return metas, entries, nil
+	return metas, entries + entriesA.Load(), nil
 }
 
 // buildLabelling runs Algorithm 2 from every landmark in bit-parallel
-// batches of 64, with batches distributed over the given number of
-// parallel workers, then merges the per-batch meta-edges.
+// batches of 64, with batches distributed over outer workers and any
+// worker budget left over (the common case: the paper's |R| = 20 is a
+// single batch) spent inside each sweep as engine pool workers, then
+// merges the per-batch meta-edges.
 func (ix *Index) buildLabelling(parallelism int) error {
 	n := ix.a.NumVertices()
 	R := ix.numLand
@@ -188,11 +210,17 @@ func (ix *Index) buildLabelling(parallelism int) error {
 	perBatchEntries := make([]int64, batches)
 	var firstErr error
 
-	if parallelism > batches {
-		parallelism = batches
+	outer := parallelism
+	if outer > batches {
+		outer = batches
 	}
-	if parallelism <= 1 {
+	inner := 1
+	if outer > 0 {
+		inner = parallelism / outer
+	}
+	if outer <= 1 {
 		eng := traverse.NewMultiBFS(n)
+		eng.Parallelism = inner
 		for b := 0; b < batches; b++ {
 			base := b * traverse.MaxSources
 			end := min(base+traverse.MaxSources, R)
@@ -207,11 +235,12 @@ func (ix *Index) buildLabelling(parallelism int) error {
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		work := make(chan int)
-		for w := 0; w < parallelism; w++ {
+		for w := 0; w < outer; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				eng := traverse.NewMultiBFS(n)
+				eng.Parallelism = inner
 				for b := range work {
 					base := b * traverse.MaxSources
 					end := min(base+traverse.MaxSources, R)

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"qbs/internal/graph"
+)
+
+// serializeIndex fingerprints an index as its on-disk bytes: landmarks,
+// σ and the full label matrix. Δ and the meta table derive
+// deterministically from those, so byte equality here is result
+// equality.
+func serializeIndex(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelBuildBitIdentical builds over graphs large enough that
+// the intra-sweep traverse pool actually engages (n and BFS frontier
+// sizes past the pool thresholds) and requires the serialized index to
+// be byte-identical at every worker count, including a landmark set
+// spanning multiple 64-wide batches where the budget splits into
+// outer (per-batch) × inner (in-sweep) workers.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-vertex builds")
+	}
+	for _, tc := range []struct {
+		n, m, R int
+		seed    int64
+	}{
+		{12000, 48000, 20, 1}, // one batch: all budget goes intra-sweep
+		{9000, 27000, 70, 2},  // two batches: outer × inner split
+	} {
+		g := randomTestGraph(t, tc.n, tc.m, tc.seed)
+		var base []byte
+		for _, par := range []int{1, 2, 4, 8} {
+			ix, err := Build(g, Options{NumLandmarks: tc.R, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := serializeIndex(t, ix)
+			if par == 1 {
+				base = got
+				continue
+			}
+			if !bytes.Equal(base, got) {
+				t.Fatalf("n=%d R=%d: parallelism=%d produced a different index than sequential",
+					tc.n, tc.R, par)
+			}
+		}
+	}
+}
+
+// TestParallelBuildQueriesMatch cross-checks the serving path: a
+// searcher over a parallel-built index with parallel expansion enabled
+// must answer every query exactly like the fully sequential stack.
+func TestParallelBuildQueriesMatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-vertex builds")
+	}
+	g := randomTestGraph(t, 8000, 32000, 7)
+	seqIx, err := Build(g, Options{NumLandmarks: 16, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parIx, err := Build(g, Options{NumLandmarks: 16, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSearcher(seqIx)
+	par := NewSearcher(parIx)
+	par.SetParallelism(4)
+	rng := rand.New(rand.NewSource(99))
+	a, b := graph.NewSPG(0, 0), graph.NewSPG(0, 0)
+	for i := 0; i < 300; i++ {
+		u := graph.V(rng.Intn(g.NumVertices()))
+		v := graph.V(rng.Intn(g.NumVertices()))
+		seq.QueryInto(a, u, v)
+		par.QueryInto(b, u, v)
+		if !a.Equal(b) {
+			t.Fatalf("query (%d,%d): parallel SPG differs from sequential", u, v)
+		}
+	}
+}

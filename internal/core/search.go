@@ -55,6 +55,9 @@ type QueryStats struct {
 	LabelEntries     int64 // label entries of u and v scanned by the sketch
 	FrontierWords    int64 // visited-bitmap words swept by bottom-up expansion
 	PushPullSwitches int64 // top-down ↔ bottom-up direction switches
+	ParallelLevels   int64 // expansion levels run on the worker pool
+	ParallelChunks   int64 // frontier chunks claimed by pool workers
+	ParallelSteals   int64 // chunks claimed outside a worker's static share
 
 	// Stage spans (monotonic-clock nanoseconds).
 	SketchNs  int64 // sketch assembly (Algorithm 3)
@@ -144,6 +147,17 @@ func NewSearcher(ix *Index) *Searcher {
 		sr.sideSigmaV[i] = -1
 	}
 	return sr
+}
+
+// SetParallelism runs this searcher's guided expansions on p traverse
+// pool workers when a level is large enough to pay for the fan-out
+// (see traverse.Expander.Parallelism). Query results are bit-identical
+// at every setting; the default 0 keeps expansion sequential, which is
+// the right call for servers answering many queries concurrently —
+// intra-query parallelism only helps latency when cores are idle.
+func (sr *Searcher) SetParallelism(p int) {
+	sr.fwd.exp.Parallelism = p
+	sr.bwd.exp.Parallelism = p
 }
 
 // Rebind points the searcher at another index over the same vertex set
@@ -243,6 +257,9 @@ func (sr *Searcher) query(spg *graph.SPG, u, v graph.V, extract bool) QueryStats
 		meet = sr.bidirectional(dTop, dStarU, dStarV, &st)
 		st.FrontierWords = sr.fwd.exp.WordsSwept + sr.bwd.exp.WordsSwept
 		st.PushPullSwitches = sr.fwd.exp.Switches + sr.bwd.exp.Switches
+		st.ParallelLevels = sr.fwd.exp.ParallelLevels + sr.bwd.exp.ParallelLevels
+		st.ParallelChunks = sr.fwd.exp.ParallelChunks + sr.bwd.exp.ParallelChunks
+		st.ParallelSteals = sr.fwd.exp.ParallelSteals + sr.bwd.exp.ParallelSteals
 	}
 	if len(meet) > 0 {
 		st.DGMinus = sr.fwd.d + sr.bwd.d

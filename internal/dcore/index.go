@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qbs/internal/graph"
@@ -61,7 +62,10 @@ type Options struct {
 	NumLandmarks int
 	// Landmarks overrides selection (default: top total-degree).
 	Landmarks []graph.V
-	// Parallelism bounds labelling workers (0 = GOMAXPROCS).
+	// Parallelism is the total labelling worker budget (0 = GOMAXPROCS).
+	// Workers spread across 64-landmark batches first; leftover budget
+	// runs inside each sweep as traverse pool workers. Labels, σ and Δ
+	// are bit-identical at every setting.
 	Parallelism int
 	// Scalar selects the scalar per-landmark reference labelling instead
 	// of the bit-parallel engine. The results are bit-identical; the
@@ -256,8 +260,14 @@ func (ix *Index) batchBFS(eng *traverse.MultiBFS, base int, roots []graph.V, for
 	if !forward {
 		push, pull, deg, labels = g.InView(), g.OutView(), ix.degsIn, ix.labelTo
 	}
+	// With the engine's intra-sweep pool on, this settle callback runs
+	// concurrently: label-row writes are per-vertex disjoint, the rare
+	// meta-arc appends take a mutex, entry counts go through an atomic.
 	var metas []metaArc
 	var entries int64
+	var entriesA atomic.Int64
+	var mu sync.Mutex
+	par := eng.Parallelism > 1
 	err := eng.RunDirected(push, pull, deg, ix.landIdx, roots, MaxLabelDist,
 		func(v graph.V, depth int32, newL, _ uint64) {
 			if newL == 0 {
@@ -265,12 +275,22 @@ func (ix *Index) batchBFS(eng *traverse.MultiBFS, base int, roots []graph.V, for
 			}
 			if rj := ix.landIdx[v]; rj >= 0 {
 				if forward {
+					if par {
+						mu.Lock()
+					}
 					for w := newL; w != 0; w &= w - 1 {
 						metas = append(metas, metaArc{a: base + bits.TrailingZeros64(w), b: int(rj), weight: depth})
 					}
+					if par {
+						mu.Unlock()
+					}
 				}
 			} else {
-				entries += int64(bits.OnesCount64(newL))
+				if par {
+					entriesA.Add(int64(bits.OnesCount64(newL)))
+				} else {
+					entries += int64(bits.OnesCount64(newL))
+				}
 				d8 := uint8(depth)
 				row := labels[int(v)*R : int(v)*R+R]
 				for w := newL; w != 0; w &= w - 1 {
@@ -281,7 +301,7 @@ func (ix *Index) batchBFS(eng *traverse.MultiBFS, base int, roots []graph.V, for
 	if err != nil {
 		return nil, 0, ErrDiameterTooLarge
 	}
-	return metas, entries, nil
+	return metas, entries + entriesA.Load(), nil
 }
 
 // buildLabelling runs both directed labellings from every landmark in
@@ -318,11 +338,19 @@ func (ix *Index) buildLabelling(parallelism int) error {
 		return nil
 	}
 
-	if parallelism > batches {
-		parallelism = batches
+	// Workers spread across batches first; leftover budget (always, at
+	// the paper's |R| = 20 single batch) parallelises each sweep itself.
+	outer := parallelism
+	if outer > batches {
+		outer = batches
 	}
-	if parallelism <= 1 {
+	inner := 1
+	if outer > 0 {
+		inner = parallelism / outer
+	}
+	if outer <= 1 {
 		eng := traverse.NewMultiBFS(n)
+		eng.Parallelism = inner
 		for b := 0; b < batches; b++ {
 			if err := runBatch(eng, b); err != nil {
 				return err
@@ -332,11 +360,12 @@ func (ix *Index) buildLabelling(parallelism int) error {
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		work := make(chan int)
-		for w := 0; w < parallelism; w++ {
+		for w := 0; w < outer; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				eng := traverse.NewMultiBFS(n)
+				eng.Parallelism = inner
 				for b := range work {
 					if err := runBatch(eng, b); err != nil {
 						mu.Lock()

@@ -1,0 +1,66 @@
+package dcore
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"qbs/internal/graph"
+)
+
+// TestParallelBuildBitIdentical is the directed counterpart of the core
+// package's test: on digraphs big enough for the intra-sweep pool to
+// engage, every worker count must reproduce the sequential labelling —
+// both label directions, σ, the APSP table and the meta-arc list —
+// exactly, including across the outer × inner budget split when the
+// landmark set spans multiple 64-wide batches.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-vertex builds")
+	}
+	for _, tc := range []struct {
+		n, m, R int
+		seed    int64
+	}{
+		{10000, 50000, 16, 1}, // one batch per direction
+		{7000, 28000, 70, 2},  // two batches: outer × inner split
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		b := graph.NewDiBuilder(tc.n)
+		for v := 1; v < tc.n; v++ {
+			b.AddArc(graph.V(rng.Intn(v)), graph.V(v)) // reachable spine
+		}
+		for i := 0; i < tc.m; i++ {
+			u, v := rng.Intn(tc.n), rng.Intn(tc.n)
+			if u != v {
+				b.AddArc(graph.V(u), graph.V(v))
+			}
+		}
+		g := b.MustBuild()
+
+		var base *Index
+		for _, par := range []int{1, 2, 4, 8} {
+			ix, err := Build(g, Options{NumLandmarks: tc.R, Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par == 1 {
+				base = ix
+				continue
+			}
+			if !reflect.DeepEqual(ix.labelFrom, base.labelFrom) ||
+				!reflect.DeepEqual(ix.labelTo, base.labelTo) {
+				t.Fatalf("n=%d R=%d par=%d: labels differ from sequential", tc.n, tc.R, par)
+			}
+			if !reflect.DeepEqual(ix.sigma, base.sigma) {
+				t.Fatalf("n=%d R=%d par=%d: sigma differs from sequential", tc.n, tc.R, par)
+			}
+			if !reflect.DeepEqual(ix.distM, base.distM) {
+				t.Fatalf("n=%d R=%d par=%d: meta APSP differs from sequential", tc.n, tc.R, par)
+			}
+			if len(ix.meta) != len(base.meta) {
+				t.Fatalf("n=%d R=%d par=%d: meta arc count differs", tc.n, tc.R, par)
+			}
+		}
+	}
+}

@@ -98,6 +98,16 @@ func NewSearcher(ix *Index) *Searcher {
 	return sr
 }
 
+// SetParallelism runs this searcher's guided expansions on p traverse
+// pool workers when a level is large enough to pay for the fan-out;
+// query results are bit-identical at every setting. 0 (the default)
+// stays sequential — the right call for servers answering many queries
+// concurrently.
+func (sr *Searcher) SetParallelism(p int) {
+	sr.fwd.exp.Parallelism = p
+	sr.bwd.exp.Parallelism = p
+}
+
 // QueryStats reports directed per-query internals. Filled as an
 // out-param on the warm path: plain fields, no allocation.
 type QueryStats struct {
@@ -108,6 +118,9 @@ type QueryStats struct {
 	LabelEntries     int64 // label entries of u and v scanned by the sketch
 	FrontierWords    int64 // visited-bitmap words swept by bottom-up expansion
 	PushPullSwitches int64 // top-down ↔ bottom-up direction switches
+	ParallelLevels   int64 // expansion levels run on the worker pool
+	ParallelChunks   int64 // frontier chunks claimed by pool workers
+	ParallelSteals   int64 // chunks claimed outside a worker's static share
 
 	// Stage spans (monotonic-clock nanoseconds).
 	SketchNs  int64
@@ -183,6 +196,9 @@ func (sr *Searcher) query(spg *graph.DiSPG, u, v graph.V, extract bool) QuerySta
 		meet = sr.bidirectional(dTop, dStarU, dStarV)
 		st.FrontierWords = sr.fwd.exp.WordsSwept + sr.bwd.exp.WordsSwept
 		st.PushPullSwitches = sr.fwd.exp.Switches + sr.bwd.exp.Switches
+		st.ParallelLevels = sr.fwd.exp.ParallelLevels + sr.bwd.exp.ParallelLevels
+		st.ParallelChunks = sr.fwd.exp.ParallelChunks + sr.bwd.exp.ParallelChunks
+		st.ParallelSteals = sr.fwd.exp.ParallelSteals + sr.bwd.exp.ParallelSteals
 		if len(meet) > 0 {
 			dGMinus = sr.fwd.d + sr.bwd.d
 		}

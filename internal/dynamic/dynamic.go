@@ -3,6 +3,7 @@ package dynamic
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,12 @@ type Options struct {
 	// auto-compaction disabled callers should invoke Compact themselves
 	// once writes slow down.
 	CompactFraction float64
+	// Parallelism is the traverse pool width for the heavy BFS sweeps —
+	// the initial build, compaction rebuilds and budget-blown full
+	// column re-BFSes. 0 means GOMAXPROCS, 1 is sequential. Labels, σ
+	// and Δ are bit-identical at every setting; incremental repairs are
+	// unaffected (their affected sets are far below the pool threshold).
+	Parallelism int
 }
 
 // Stats reports dynamic-index activity counters.
@@ -82,6 +89,7 @@ type Index struct {
 	landmarks []graph.V
 	landIdx   []int16
 	budget    int
+	par       int // traverse pool width for full sweeps (resolved, >= 1)
 	compactAt int // overridden-vertex threshold; 0 disables
 
 	cur atomic.Pointer[snapshot]
@@ -154,6 +162,10 @@ func newShell(n int, landmarks []graph.V, opts Options) (*Index, error) {
 			budget = 64
 		}
 	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	compactAt := 0
 	if opts.CompactFraction >= 0 {
 		f := opts.CompactFraction
@@ -174,8 +186,9 @@ func newShell(n int, landmarks []graph.V, opts Options) (*Index, error) {
 		landmarks: landmarks,
 		landIdx:   landIdx,
 		budget:    budget,
+		par:       par,
 		compactAt: compactAt,
-		rp:        newRepairer(n, landmarks, landIdx, budget),
+		rp:        newRepairer(n, landmarks, landIdx, budget, par),
 	}
 	return d, nil
 }
@@ -193,6 +206,13 @@ func (d *Index) buildState(ov *Overlay, rp *repairer) (state, error) {
 	for r := 0; r < R; r++ {
 		cols[r] = newColumn(d.n)
 	}
+	// With a parallel engine the settle callback runs from pool workers.
+	// Per-vertex column writes are disjoint (each vertex settles exactly
+	// once per batch) but the symmetric σ writes can collide when two
+	// landmarks settle each other's columns in the same level; σ events
+	// are rare, so a mutex there costs nothing.
+	par := rp.eng.Parallelism > 1
+	var sigMu sync.Mutex
 	for base := 0; base < R; base += traverse.MaxSources {
 		end := min(base+traverse.MaxSources, R)
 		roots := d.landmarks[base:end]
@@ -207,10 +227,16 @@ func (d *Index) buildState(ov *Overlay, rp *repairer) (state, error) {
 				}
 				d8 := uint8(depth)
 				if rj := d.landIdx[v]; rj >= 0 {
+					if par {
+						sigMu.Lock()
+					}
 					for w := newL; w != 0; w &= w - 1 {
 						a, b := base+bits.TrailingZeros64(w), int(rj)
 						sigma[a*R+b] = d8
 						sigma[b*R+a] = d8
+					}
+					if par {
+						sigMu.Unlock()
 					}
 				} else {
 					for w := newL; w != 0; w &= w - 1 {
@@ -461,7 +487,7 @@ func (d *Index) compact(snap *snapshot) {
 	start := time.Now()
 	defer func() { mCompactNs.Observe(time.Since(start)) }()
 	base := snap.overlay.Materialize()
-	rp := newRepairer(d.n, d.landmarks, d.landIdx, d.budget)
+	rp := newRepairer(d.n, d.landmarks, d.landIdx, d.budget, d.par)
 	st, err := d.buildState(NewOverlay(base), rp)
 
 	d.mu.Lock()
@@ -509,7 +535,7 @@ func (d *Index) Compact() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := d.cur.Load()
-	rp := newRepairer(d.n, d.landmarks, d.landIdx, d.budget)
+	rp := newRepairer(d.n, d.landmarks, d.landIdx, d.budget, d.par)
 	st, err := d.buildState(NewOverlay(s.overlay.Materialize()), rp)
 	if err != nil {
 		return err

@@ -110,7 +110,9 @@ type repairer struct {
 	sigmaChanged bool
 }
 
-func newRepairer(n int, landmarks []graph.V, landIdx []int16, budget int) *repairer {
+func newRepairer(n int, landmarks []graph.V, landIdx []int16, budget, parallelism int) *repairer {
+	eng := traverse.NewMultiBFS(n)
+	eng.Parallelism = parallelism
 	return &repairer{
 		n:         n,
 		R:         len(landmarks),
@@ -122,7 +124,7 @@ func newRepairer(n int, landmarks []graph.V, landIdx []int16, budget int) *repai
 		aff:       make([]uint32, n),
 		fin:       make([]uint32, n),
 		tent:      make([]int32, n),
-		eng:       traverse.NewMultiBFS(n),
+		eng:       eng,
 		newDist:   make([]int32, n),
 		newLab:    make([]uint8, n),
 	}

@@ -112,10 +112,13 @@ type Server struct {
 	// Query-path instrumentation: per-stage span histograms and engine
 	// counters aggregated from the searcher's QueryStats out-param.
 	stage      [obs.NumStages]*obs.Histogram
-	engArcs    *obs.Counter
-	engWords   *obs.Counter
-	engSwitch  *obs.Counter
-	engEntries *obs.Counter
+	engArcs      *obs.Counter
+	engWords     *obs.Counter
+	engSwitch    *obs.Counter
+	engEntries   *obs.Counter
+	engParLevels *obs.Counter
+	engParChunks *obs.Counter
+	engParSteals *obs.Counter
 }
 
 // endpointView holds one endpoint's registry-backed series.
@@ -291,6 +294,9 @@ func (s *Server) routes() {
 	s.engWords = s.reg.Counter("qbs_query_frontier_words_total", "")
 	s.engSwitch = s.reg.Counter("qbs_query_push_pull_switches_total", "")
 	s.engEntries = s.reg.Counter("qbs_query_label_entries_total", "")
+	s.engParLevels = s.reg.Counter("qbs_query_parallel_levels_total", "")
+	s.engParChunks = s.reg.Counter("qbs_query_parallel_chunks_total", "")
+	s.engParSteals = s.reg.Counter("qbs_query_parallel_steals_total", "")
 	if s.dyn != nil {
 		dyn := s.dyn
 		s.reg.GaugeFunc("qbs_epoch", "", func() float64 { return float64(dyn.Epoch()) })
@@ -424,6 +430,9 @@ func (s *Server) recordQuery(r *http.Request, u, v qbs.V, st qbs.QueryStats) {
 	s.engWords.Add(st.FrontierWords)
 	s.engSwitch.Add(st.PushPullSwitches)
 	s.engEntries.Add(st.LabelEntries)
+	s.engParLevels.Add(st.ParallelLevels)
+	s.engParChunks.Add(st.ParallelChunks)
+	s.engParSteals.Add(st.ParallelSteals)
 	if tr := obs.FromContext(r.Context()); tr != nil {
 		tr.HasQuery = true
 		tr.U, tr.V = int64(u), int64(v)
@@ -443,6 +452,9 @@ func (s *Server) recordDiQuery(r *http.Request, u, v qbs.V, st qbs.DiQueryStats)
 	s.engWords.Add(st.FrontierWords)
 	s.engSwitch.Add(st.PushPullSwitches)
 	s.engEntries.Add(st.LabelEntries)
+	s.engParLevels.Add(st.ParallelLevels)
+	s.engParChunks.Add(st.ParallelChunks)
+	s.engParSteals.Add(st.ParallelSteals)
 	if tr := obs.FromContext(r.Context()); tr != nil {
 		tr.HasQuery = true
 		tr.U, tr.V = int64(u), int64(v)

@@ -64,4 +64,52 @@
 // bit-identical to running the scalar QL/QN BFS per source, in any
 // frontier order — which also lets MultiBFS reuse the same α/β
 // direction switch for its dense levels.
+//
+// # Parallel execution model
+//
+// Both kernels optionally run each level on a pool of goroutines
+// (Expander.Parallelism, MultiBFS.Parallelism; 0 or 1 keeps the exact
+// sequential code path). The design is Ligra-style level-synchronous
+// work sharing:
+//
+//   - Top-down levels partition the frontier into fixed-size chunks.
+//     Workers start on a statically assigned share (cheap locality when
+//     the level is balanced) and then claim leftover chunks off a
+//     shared atomic cursor, so a worker stuck on a hub vertex doesn't
+//     stall the level (claims outside the static share are counted as
+//     steals). Vertex discovery is arbitrated with a compare-and-swap
+//     per vertex — in the Expander directly on the workspace's epoch
+//     stamp, in MultiBFS on a per-vertex generation stamp plus CAS-OR
+//     accumulation into the nextL/nextN words — so exactly one worker
+//     wins each vertex and then writes its distance (or settles its
+//     label bits) without further synchronization.
+//   - Bottom-up levels split the vertex range into word-aligned chunks
+//     (multiples of 64 so visited-bitmap words have a single owner).
+//     Each worker probes only its own range, reading the frontier
+//     through an immutable snapshot — the current-level words in
+//     MultiBFS, a frozen frontier bitmap in the Expander — so all
+//     cross-worker reads are of data that cannot change during the
+//     level, and all writes land in the worker's own range.
+//
+// A level only moves to the pool past a size threshold (a few thousand
+// frontier vertices or unvisited words); below it the sequential loop
+// is both faster and exactly the single-core code shape.
+//
+// Determinism: the α/β direction decision is taken on the coordinating
+// goroutine from the previous level's aggregate counts, which are
+// summed deterministically from per-worker counters — so the
+// push/pull schedule, and hence Switches and WordsSwept, are identical
+// to the sequential run. Within a level, parallel execution only
+// permutes the order in which a level's vertices are discovered and
+// settled; the *set* of vertices, their distances and their settle
+// payloads are order-independent (a vertex's level is fixed by the BFS,
+// and settle writes are per-vertex). Every consumer is insensitive to
+// within-level order, so labels, σ, Δ and query SPGs are bit-identical
+// at every worker count — the property suite and the scaling harness
+// both enforce this.
+//
+// Engines are single-traversal objects: one Run/Expand stream per
+// engine at a time (concurrent use is detected and rejected), with all
+// pool fan-out kept internal. Callers that want concurrency across
+// queries keep using one engine per goroutine, exactly as before.
 package traverse

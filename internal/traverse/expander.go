@@ -2,6 +2,7 @@ package traverse
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"qbs/internal/graph"
 )
@@ -41,11 +42,27 @@ type Expander struct {
 	// |frontier|·Beta < |V|.
 	Beta int64
 
+	// Parallelism > 1 expands large levels on that many pool workers
+	// (see doc.go "Parallel execution model"); the discovered level
+	// sets, distances and arc counts stay bit-identical to the
+	// sequential kernel. <= 1 keeps the exact sequential code path.
+	Parallelism int
+	// ParallelThreshold overrides the minimum level size (frontier
+	// vertices top-down, total vertices bottom-up) that engages the
+	// pool; 0 means the package defaults. Tests force 1.
+	ParallelThreshold int
+
 	// Per-traversal counters, reset by Begin/BeginDirected and read by
 	// the searchers into their QueryStats out-param (plain fields: the
 	// expander is single-owner, so no atomics on the hot path).
-	Switches   int64 // top-down ↔ bottom-up direction switches
-	WordsSwept int64 // visited-bitmap words scanned by bottom-up levels
+	// ParallelLevels counts levels the pool executed, ParallelChunks the
+	// work chunks claimed, ParallelSteals the chunks claimed outside a
+	// worker's static share.
+	Switches       int64 // top-down ↔ bottom-up direction switches
+	WordsSwept     int64 // visited-bitmap words scanned by bottom-up levels
+	ParallelLevels int64
+	ParallelChunks int64
+	ParallelSteals int64
 
 	n        int
 	g        graph.Adjacency // push adjacency: frontier → next level
@@ -56,6 +73,9 @@ type Expander struct {
 
 	words  []uint64 // visited bitmap, valid only while bottomUp
 	bmUsed bool     // words is dirty and needs clearing on Begin
+
+	par     expParState // pool buffers, allocated on first parallel level
+	running atomic.Bool // guards against concurrent Expand misuse
 }
 
 // NewExpander creates an expander for graphs with n vertices.
@@ -95,6 +115,9 @@ func (e *Expander) BeginDirected(push, pull graph.Adjacency, deg []int32) {
 	e.bottomUp = false
 	e.Switches = 0
 	e.WordsSwept = 0
+	e.ParallelLevels = 0
+	e.ParallelChunks = 0
+	e.ParallelSteals = 0
 }
 
 // syncBitmap rebuilds the visited bitmap from the workspace stamps.
@@ -113,6 +136,10 @@ func (e *Expander) syncBitmap(ws *Workspace) {
 // d in ws; unseen neighbours get depth d+1, are appended to dst and
 // returned. The second result counts adjacency entries examined.
 func (e *Expander) Expand(ws *Workspace, frontier []graph.V, d int32, dst []graph.V) ([]graph.V, int64) {
+	if !e.running.CompareAndSwap(false, true) {
+		panic("traverse: Expander used concurrently (one expander per goroutine)")
+	}
+	defer e.running.Store(false)
 	switch {
 	case e.Alpha < 0:
 		if !e.bottomUp {
@@ -145,7 +172,13 @@ func (e *Expander) Expand(ws *Workspace, frontier []graph.V, d int32, dst []grap
 		}
 	}
 	if e.bottomUp {
+		if workers := parallelWorkers(e.Parallelism, e.ParallelThreshold, minParVertices, e.n); workers > 1 {
+			return e.expandBottomUpParallel(ws, frontier, d, dst, workers)
+		}
 		return e.expandBottomUp(ws, d, dst)
+	}
+	if workers := parallelWorkers(e.Parallelism, e.ParallelThreshold, minParFrontier, len(frontier)); workers > 1 {
+		return e.expandTopDownParallel(ws, frontier, d, dst, workers)
 	}
 	return e.expandTopDown(ws, frontier, d, dst)
 }

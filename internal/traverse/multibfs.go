@@ -3,6 +3,7 @@ package traverse
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"qbs/internal/graph"
 )
@@ -10,6 +11,11 @@ import (
 // ErrTooDeep reports that a MultiBFS level exceeded the caller's depth
 // limit while some source still had a non-empty frontier.
 var ErrTooDeep = errors.New("traverse: BFS depth exceeds limit")
+
+// ErrConcurrentRun reports that Run/RunDirected was entered while a
+// previous call on the same engine was still in flight. An engine (and
+// its settle state) is single-owner; create one per goroutine.
+var ErrConcurrentRun = errors.New("traverse: MultiBFS used concurrently (one engine per goroutine)")
 
 // MaxSources is the number of sources one MultiBFS sweep carries: one
 // bit per source in a uint64 word.
@@ -25,11 +31,27 @@ type MultiBFS struct {
 	Alpha int64
 	Beta  int64
 
+	// Parallelism > 1 runs large levels on that many pool workers (see
+	// doc.go "Parallel execution model"). Settle callbacks are then
+	// invoked concurrently and must be safe for that; every settle
+	// payload stays bit-identical to the sequential kernel. <= 1 keeps
+	// the exact sequential code path.
+	Parallelism int
+	// ParallelThreshold overrides the minimum level size (frontier
+	// vertices top-down, total vertices bottom-up) that engages the
+	// pool; 0 means the package defaults. Tests force 1.
+	ParallelThreshold int
+
 	// Per-run counters, reset by Run/RunDirected (plain fields; the
 	// engine is single-owner). WordsSwept counts visited words probed by
-	// bottom-up levels — one per vertex scanned.
-	Switches   int64
-	WordsSwept int64
+	// bottom-up levels — one per vertex scanned. ParallelLevels counts
+	// levels the pool executed, ParallelChunks the work chunks claimed,
+	// ParallelSteals the chunks claimed outside a worker's static share.
+	Switches       int64
+	WordsSwept     int64
+	ParallelLevels int64
+	ParallelChunks int64
+	ParallelSteals int64
 
 	n       int
 	curL    []uint64 // bit i: v is on source i's QL frontier at this level
@@ -41,6 +63,9 @@ type MultiBFS struct {
 	frontier []graph.V // vertices with curL|curN != 0, each once
 	next     []graph.V
 	touched  []graph.V // top-down: vertices with pending next-level bits
+
+	par     mbParState  // pool buffers, allocated on first parallel level
+	running atomic.Bool // guards against concurrent Run misuse
 }
 
 // NewMultiBFS creates an engine for graphs with n vertices.
@@ -84,6 +109,10 @@ func (mb *MultiBFS) Run(g graph.Adjacency, deg []int32, landIdx []int16, roots [
 // over its OutView, and vice versa). For an undirected graph the two
 // coincide, which is what Run passes.
 func (mb *MultiBFS) RunDirected(push, pull graph.Adjacency, deg []int32, landIdx []int16, roots []graph.V, maxDepth int32, settle func(v graph.V, depth int32, newL, newN uint64)) error {
+	if !mb.running.CompareAndSwap(false, true) {
+		return ErrConcurrentRun
+	}
+	defer mb.running.Store(false)
 	n := push.NumVertices()
 	if n != mb.n {
 		return fmt.Errorf("traverse: engine sized for %d vertices, graph has %d", mb.n, n)
@@ -105,6 +134,9 @@ func (mb *MultiBFS) RunDirected(push, pull graph.Adjacency, deg []int32, landIdx
 	clear(mb.visited)
 	mb.Switches = 0
 	mb.WordsSwept = 0
+	mb.ParallelLevels = 0
+	mb.ParallelChunks = 0
+	mb.ParallelSteals = 0
 
 	degree := func(v graph.V) int64 {
 		if deg != nil {
@@ -166,32 +198,38 @@ func (mb *MultiBFS) RunDirected(push, pull graph.Adjacency, deg []int32, landIdx
 		nf := mb.next[:0]
 		if bottomUp {
 			mb.WordsSwept += int64(n)
-			// Bottom-up: scan vertices some source has not reached and pull
-			// frontier bits from their neighbours. Settling immediately is
-			// safe — it writes only v's own visited/next words, while the
-			// scan reads neighbours' cur words, which this level never
-			// mutates.
-			for v := graph.V(0); int(v) < n; v++ {
-				vis := mb.visited[v]
-				if vis == full {
-					continue
-				}
-				var aL, aN uint64
-				for _, u := range pull.Neighbors(v) {
-					aL |= mb.curL[u]
-					aN |= mb.curN[u]
-					if aL|vis == full {
-						// Every source is already visited or arriving via QL;
-						// later neighbours cannot change any bit's QL-priority
-						// classification, so stop probing.
-						break
+			if workers := parallelWorkers(mb.Parallelism, mb.ParallelThreshold, minParVertices, n); workers > 1 {
+				nf = mb.bottomUpParallel(pull, landIdx, settle, depth, full, workers, nf)
+			} else {
+				// Bottom-up: scan vertices some source has not reached and pull
+				// frontier bits from their neighbours. Settling immediately is
+				// safe — it writes only v's own visited/next words, while the
+				// scan reads neighbours' cur words, which this level never
+				// mutates.
+				for v := graph.V(0); int(v) < n; v++ {
+					vis := mb.visited[v]
+					if vis == full {
+						continue
 					}
+					var aL, aN uint64
+					for _, u := range pull.Neighbors(v) {
+						aL |= mb.curL[u]
+						aN |= mb.curN[u]
+						if aL|vis == full {
+							// Every source is already visited or arriving via QL;
+							// later neighbours cannot change any bit's QL-priority
+							// classification, so stop probing.
+							break
+						}
+					}
+					if (aL|aN)&^vis == 0 {
+						continue
+					}
+					nf = mb.settleVertex(v, depth, aL, aN, landIdx, settle, nf)
 				}
-				if (aL|aN)&^vis == 0 {
-					continue
-				}
-				nf = mb.settleVertex(v, depth, aL, aN, landIdx, settle, nf)
 			}
+		} else if workers := parallelWorkers(mb.Parallelism, mb.ParallelThreshold, minParFrontier, len(frontier)); workers > 1 {
+			nf = mb.topDownParallel(push, landIdx, settle, frontier, depth, workers, nf)
 		} else {
 			// Top-down: accumulate frontier bits into the next-level words,
 			// then settle every touched vertex. nextL/nextN double as the

@@ -1,0 +1,337 @@
+// Property tests for the parallel level kernels: with Parallelism > 1
+// both engines must produce results bit-identical to the sequential
+// kernels — same distances, same settle payloads per (vertex, depth),
+// same arc/word counters — on random graphs, disconnected graphs and
+// the regular structures, in every direction mode. CI runs these under
+// -race with GOMAXPROCS=4, which is what actually checks the claiming
+// protocol: the assertions alone would pass even with torn writes.
+package traverse_test
+
+import (
+	"sync"
+	"testing"
+
+	"qbs/internal/bfs"
+	"qbs/internal/graph"
+	"qbs/internal/traverse"
+)
+
+// settleKey identifies one settle event; settleVal carries its payload.
+type settleKey struct {
+	v     graph.V
+	depth int32
+}
+
+// collectMulti runs MultiBFS with the given parallelism and returns the
+// settle stream as a set keyed by (vertex, depth). The callback locks:
+// with workers > 1 it is invoked concurrently by contract.
+func collectMulti(t *testing.T, g *graph.Graph, landIdx []int16, roots []graph.V, alpha int64, workers int) (map[settleKey][2]uint64, *traverse.MultiBFS) {
+	t.Helper()
+	mb := traverse.NewMultiBFS(g.NumVertices())
+	mb.Alpha = alpha
+	mb.Parallelism = workers
+	mb.ParallelThreshold = 1 // engage the pool on every level, however tiny
+	out := map[settleKey][2]uint64{}
+	var mu sync.Mutex
+	err := mb.Run(g, nil, landIdx, roots, 1<<30, func(v graph.V, depth int32, newL, newN uint64) {
+		mu.Lock()
+		if _, dup := out[settleKey{v, depth}]; dup {
+			t.Errorf("vertex %d settled twice at depth %d", v, depth)
+		}
+		out[settleKey{v, depth}] = [2]uint64{newL, newN}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("MultiBFS workers=%d: %v", workers, err)
+	}
+	return out, mb
+}
+
+func TestMultiBFSParallelMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		g     *graph.Graph
+		roots int
+	}{
+		{"sparse-disconnected", randomGraph(80, 50, 41), 7},
+		{"mid", randomGraph(300, 2000, 42), 20},
+		{"full-width", randomGraph(500, 4000, 43), 64},
+		{"isolated-heavy", randomGraph(400, 150, 44), 16},
+		{"star", graph.Star(257), 5},
+		{"path", graph.Path(90), 3},
+	} {
+		g := tc.g
+		n := g.NumVertices()
+		roots := make([]graph.V, 0, tc.roots)
+		for i := 0; len(roots) < tc.roots && i < n; i++ {
+			roots = append(roots, graph.V((i*13)%n))
+			for j := 0; j < len(roots)-1; j++ {
+				if roots[j] == roots[len(roots)-1] {
+					roots = roots[:len(roots)-1]
+					break
+				}
+			}
+		}
+		// Mark every third root's vertex a landmark so the QL/QN
+		// absorption rule is exercised, not just plain BFS.
+		landIdx := make([]int16, n)
+		for i := range landIdx {
+			landIdx[i] = -1
+		}
+		for i := 0; i < len(roots); i += 3 {
+			landIdx[roots[i]] = int16(i)
+		}
+		for _, alpha := range []int64{traverse.DefaultAlpha, 0, -1, 1} {
+			want, _ := collectMulti(t, g, landIdx, roots, alpha, 1)
+			for _, workers := range []int{2, 3, 8} {
+				got, mb := collectMulti(t, g, landIdx, roots, alpha, workers)
+				if len(got) != len(want) {
+					t.Fatalf("%s alpha=%d workers=%d: %d settle events, want %d",
+						tc.name, alpha, workers, len(got), len(want))
+				}
+				for k, w := range want {
+					if got[k] != w {
+						t.Fatalf("%s alpha=%d workers=%d: settle %v = %v, want %v",
+							tc.name, alpha, workers, k, got[k], w)
+					}
+				}
+				if mb.ParallelLevels == 0 && len(want) > 0 {
+					t.Fatalf("%s alpha=%d workers=%d: pool never engaged", tc.name, alpha, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiBFSParallelCountersAndSwitchParity(t *testing.T) {
+	g := randomGraph(600, 6000, 51)
+	roots := []graph.V{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	landIdx := make([]int16, g.NumVertices())
+	for i := range landIdx {
+		landIdx[i] = -1
+	}
+	_, seq := collectMulti(t, g, landIdx, roots, traverse.DefaultAlpha, 1)
+	_, par := collectMulti(t, g, landIdx, roots, traverse.DefaultAlpha, 4)
+	if par.Switches != seq.Switches || par.WordsSwept != seq.WordsSwept {
+		t.Fatalf("parallel run changed the switch trajectory: switches %d→%d, words %d→%d",
+			seq.Switches, par.Switches, seq.WordsSwept, par.WordsSwept)
+	}
+	if par.ParallelLevels == 0 || par.ParallelChunks < par.ParallelLevels {
+		t.Fatalf("implausible pool counters: levels=%d chunks=%d", par.ParallelLevels, par.ParallelChunks)
+	}
+	if seq.ParallelLevels != 0 || seq.ParallelChunks != 0 || seq.ParallelSteals != 0 {
+		t.Fatalf("sequential run reported pool activity: %+v", seq)
+	}
+}
+
+func TestMultiBFSParallelReuseAndDepthLimit(t *testing.T) {
+	// Engine reuse across >64-source workloads (two consecutive 64-wide
+	// batches on one engine) and after ErrTooDeep, with the pool on.
+	g := randomGraph(400, 2600, 61)
+	n := g.NumVertices()
+	mb := traverse.NewMultiBFS(n)
+	mb.Parallelism = 4
+	mb.ParallelThreshold = 1
+	var mu sync.Mutex
+	for batch := 0; batch < 2; batch++ {
+		roots := make([]graph.V, 0, 64)
+		for i := 0; len(roots) < 64; i++ {
+			v := graph.V((batch*64 + i) % n)
+			dup := false
+			for _, r := range roots {
+				if r == v {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				roots = append(roots, v)
+			}
+		}
+		dist := make([][]int32, len(roots))
+		for i := range dist {
+			dist[i] = make([]int32, n)
+			for v := range dist[i] {
+				dist[i][v] = traverse.Infinity
+			}
+			dist[i][roots[i]] = 0
+		}
+		err := mb.Run(g, nil, nil, roots, 1<<30, func(v graph.V, depth int32, newL, newN uint64) {
+			mu.Lock()
+			for w := newL | newN; w != 0; w &= w - 1 {
+				dist[trailing(w)][v] = depth
+			}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		for i, r := range roots {
+			want := bfs.Distances(g, r)
+			for v := 0; v < n; v++ {
+				if dist[i][v] != want[v] {
+					t.Fatalf("batch %d root %d: dist[%d] = %d, want %d", batch, r, v, dist[i][v], want[v])
+				}
+			}
+		}
+	}
+	// Depth-limited parallel run must error and leave the engine clean.
+	pg := graph.Path(400)
+	pmb := traverse.NewMultiBFS(400)
+	pmb.Parallelism = 4
+	pmb.ParallelThreshold = 1
+	if err := pmb.Run(pg, nil, nil, []graph.V{0}, 10, func(graph.V, int32, uint64, uint64) {}); err != traverse.ErrTooDeep {
+		t.Fatalf("depth-limited parallel run: %v, want ErrTooDeep", err)
+	}
+	got := make([]int32, 400)
+	err := pmb.Run(pg, nil, nil, []graph.V{0}, 1<<30, func(v graph.V, depth int32, _, _ uint64) {
+		mu.Lock()
+		got[v] = depth
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("reuse after ErrTooDeep: %v", err)
+	}
+	for v := 1; v < 400; v++ {
+		if got[v] != int32(v) {
+			t.Fatalf("after error: dist[%d] = %d", v, got[v])
+		}
+	}
+}
+
+// expanderParallelBFS mirrors expanderBFS with a pooled expander,
+// returning distances plus total arcs and the expander for counters.
+func expanderParallelBFS(g *graph.Graph, src graph.V, alpha int64, workers int) ([]int32, int64, *traverse.Expander) {
+	n := g.NumVertices()
+	e := traverse.NewExpander(n)
+	e.Alpha = alpha
+	e.Parallelism = workers
+	e.ParallelThreshold = 1
+	ws := traverse.NewWorkspace(n)
+	ws.Reset()
+	ws.SetDist(src, 0)
+	e.Begin(g, nil)
+	return finishExpand(e, ws, []graph.V{src}, 0, 0, n)
+}
+
+func finishExpand(e *traverse.Expander, ws *traverse.Workspace, frontier []graph.V, d int32, arcs int64, n int) ([]int32, int64, *traverse.Expander) {
+	for len(frontier) > 0 {
+		var a int64
+		frontier, a = e.Expand(ws, frontier, d, frontier[:0:0])
+		arcs += a
+		d++
+	}
+	dist := make([]int32, n)
+	for v := 0; v < n; v++ {
+		dist[v] = ws.Dist(graph.V(v))
+	}
+	return dist, arcs, e
+}
+
+func TestExpanderParallelMatchesSequential(t *testing.T) {
+	cases := []*graph.Graph{
+		randomGraph(50, 30, 71),    // sparse, disconnected
+		randomGraph(300, 2400, 72), // dense-ish
+		randomGraph(400, 150, 73),  // many isolated vertices
+		graph.Star(129),
+		graph.Path(64),
+		graph.Complete(65),
+	}
+	for gi, g := range cases {
+		n := g.NumVertices()
+		for _, src := range []graph.V{0, graph.V(n / 2), graph.V(n - 1)} {
+			for _, alpha := range []int64{traverse.DefaultAlpha, 0, -1, 1} {
+				wantDist, wantArcs, wantExp := expanderParallelBFS(g, src, alpha, 1)
+				for _, workers := range []int{2, 8} {
+					gotDist, gotArcs, gotExp := expanderParallelBFS(g, src, alpha, workers)
+					for v := 0; v < n; v++ {
+						if gotDist[v] != wantDist[v] {
+							t.Fatalf("graph %d src %d alpha=%d workers=%d: dist[%d] = %d, want %d",
+								gi, src, alpha, workers, v, gotDist[v], wantDist[v])
+						}
+					}
+					if gotArcs != wantArcs {
+						t.Fatalf("graph %d src %d alpha=%d workers=%d: arcs %d, want %d",
+							gi, src, alpha, workers, gotArcs, wantArcs)
+					}
+					if gotExp.Switches != wantExp.Switches || gotExp.WordsSwept != wantExp.WordsSwept {
+						t.Fatalf("graph %d src %d alpha=%d workers=%d: switch trajectory diverged", gi, src, alpha, workers)
+					}
+					if gotExp.ParallelLevels == 0 && n > 1 && wantDist[src] == 0 {
+						t.Fatalf("graph %d src %d alpha=%d workers=%d: pool never engaged", gi, src, alpha, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// blockingAdj wraps an adjacency; the first Neighbors call signals
+// entered and parks on release, pinning a traversal mid-level so the
+// concurrent-use guards can be hit deterministically.
+type blockingAdj struct {
+	graph.Adjacency
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingAdj) Neighbors(v graph.V) []graph.V {
+	b.once.Do(func() {
+		close(b.entered)
+		<-b.release
+	})
+	return b.Adjacency.Neighbors(v)
+}
+
+func TestMultiBFSConcurrentRunRejected(t *testing.T) {
+	g := randomGraph(60, 200, 81)
+	adj := &blockingAdj{Adjacency: g, entered: make(chan struct{}), release: make(chan struct{})}
+	mb := traverse.NewMultiBFS(g.NumVertices())
+	done := make(chan error, 1)
+	go func() {
+		done <- mb.Run(adj, nil, nil, []graph.V{0}, 1<<30, func(graph.V, int32, uint64, uint64) {})
+	}()
+	<-adj.entered
+	if err := mb.Run(g, nil, nil, []graph.V{1}, 1<<30, func(graph.V, int32, uint64, uint64) {}); err != traverse.ErrConcurrentRun {
+		t.Fatalf("concurrent Run: %v, want ErrConcurrentRun", err)
+	}
+	close(adj.release)
+	if err := <-done; err != nil {
+		t.Fatalf("pinned run failed: %v", err)
+	}
+	// And the engine works again once the first run drained.
+	if err := mb.Run(g, nil, nil, []graph.V{1}, 1<<30, func(graph.V, int32, uint64, uint64) {}); err != nil {
+		t.Fatalf("run after concurrent rejection: %v", err)
+	}
+}
+
+func TestExpanderConcurrentExpandPanics(t *testing.T) {
+	g := randomGraph(60, 200, 82)
+	n := g.NumVertices()
+	adj := &blockingAdj{Adjacency: g, entered: make(chan struct{}), release: make(chan struct{})}
+	e := traverse.NewExpander(n)
+	ws := traverse.NewWorkspace(n)
+	ws.Reset()
+	ws.SetDist(0, 0)
+	e.Begin(adj, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.Expand(ws, []graph.V{0}, 0, nil)
+	}()
+	<-adj.entered
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("concurrent Expand did not panic")
+			}
+		}()
+		ws2 := traverse.NewWorkspace(n)
+		ws2.Reset()
+		ws2.SetDist(1, 0)
+		e.Expand(ws2, []graph.V{1}, 0, nil)
+	}()
+	close(adj.release)
+	<-done
+}

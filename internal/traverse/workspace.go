@@ -2,6 +2,7 @@ package traverse
 
 import (
 	"math"
+	"sync/atomic"
 
 	"qbs/internal/graph"
 )
@@ -56,3 +57,22 @@ func (ws *Workspace) SetDist(v graph.V, d int32) {
 
 // Seen reports whether v has been assigned a distance this epoch.
 func (ws *Workspace) Seen(v graph.V) bool { return ws.stamp[v] == ws.epoch }
+
+// tryClaim atomically claims v in the current epoch, returning true for
+// exactly one caller per epoch; the winner alone then writes dist[v],
+// so losers and post-barrier readers never observe a torn distance.
+// Used by the parallel top-down expansion, where pool workers race to
+// discover the same neighbour; the sequential paths keep the plain
+// Seen/SetDist pair.
+func (ws *Workspace) tryClaim(v graph.V, d int32) bool {
+	for {
+		s := atomic.LoadUint32(&ws.stamp[v])
+		if s == ws.epoch {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&ws.stamp[v], s, ws.epoch) {
+			ws.dist[v] = d
+			return true
+		}
+	}
+}

@@ -272,8 +272,9 @@ var ErrDiameterTooLarge = core.ErrDiameterTooLarge
 // DynamicOptions configures BuildDynamicIndex.
 type DynamicOptions struct {
 	// Index carries the landmark selection settings (NumLandmarks,
-	// Strategy, Landmarks, Seed). Parallelism is ignored: dynamic
-	// construction is sequential per landmark.
+	// Strategy, Landmarks, Seed) plus Parallelism, which sets the
+	// traverse pool width for the initial build, compaction rebuilds and
+	// budget-blown column re-BFSes (incremental repairs stay sequential).
 	Index Options
 	// RepairBudget caps the affected-vertex set of a deletion repair
 	// before falling back to a full single-landmark re-BFS (0 = auto).
@@ -311,6 +312,7 @@ func BuildDynamicIndex(g *Graph, opts DynamicOptions) (*DynamicIndex, error) {
 	d, err := dynamic.New(g, selectLandmarks(g, opts.Index), dynamic.Options{
 		RepairBudget:    opts.RepairBudget,
 		CompactFraction: opts.CompactFraction,
+		Parallelism:     opts.Index.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -456,6 +458,7 @@ func (o StoreOptions) storeOptions() store.Options {
 		Dynamic: dynamic.Options{
 			RepairBudget:    o.RepairBudget,
 			CompactFraction: o.CompactFraction,
+			Parallelism:     o.Index.Parallelism,
 		},
 		SyncEvery:    o.SyncEvery,
 		SegmentBytes: o.SegmentBytes,
@@ -473,6 +476,7 @@ func CreateStore(dir string, g *Graph, opts StoreOptions) (*DynamicIndex, error)
 	d, err := dynamic.New(g, selectLandmarks(g, opts.Index), dynamic.Options{
 		RepairBudget:    opts.RepairBudget,
 		CompactFraction: opts.CompactFraction,
+		Parallelism:     opts.Index.Parallelism,
 	})
 	if err != nil {
 		return nil, err
