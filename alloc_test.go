@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"testing"
+	"time"
 
 	"qbs"
 	"qbs/internal/core"
@@ -96,6 +97,50 @@ func TestWarmInstrumentedQueryZeroAllocs(t *testing.T) {
 	}
 	if sum := hist.Summary(); sum.Count == 0 {
 		t.Fatal("stage histogram recorded nothing")
+	}
+}
+
+// TestWarmTracedQueryZeroAllocs pins the PR 8 tracing criterion: a warm
+// query wrapped in the full span protocol the serving middleware uses —
+// Begin, a stage child span with attrs, root status attr, Finish — still
+// allocates nothing when the tracer's tail sampling drops the trace
+// (not slow, not errored, not force-sampled). Span buffers recycle
+// through the tracer freelist and the trace ID is never minted for a
+// dropped trace, so the steady-state traced path is free.
+func TestWarmTracedQueryZeroAllocs(t *testing.T) {
+	g, pairs := allocGraph(t)
+	cix := core.MustBuild(g, core.Options{NumLandmarks: 16})
+	sr := core.NewSearcher(cix)
+	spg := graph.NewSPG(0, 0)
+	tr := obs.NewTracer(64)
+	tr.SetSlowThreshold(time.Hour) // nothing below an hour is "slow"
+
+	for r := 0; r < 3; r++ {
+		for _, p := range pairs {
+			tb := tr.Begin("/spg", "", 0, false)
+			sr.QueryInto(spg, p.U, p.V)
+			tr.Finish(tb)
+		}
+	}
+	i := 0
+	kept := false
+	if avg := testing.AllocsPerRun(len(pairs)*2, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		tb := tr.Begin("/spg", "", 0, false)
+		sp := tb.StartSpan("stage:expand")
+		st := sr.QueryInto(spg, p.U, p.V)
+		sp.SetInt("arcs", st.ArcsScanned)
+		sp.End()
+		tb.Root().SetInt("status", 200)
+		if _, k := tr.Finish(tb); k {
+			kept = true
+		}
+	}); avg != 0 {
+		t.Fatalf("traced warm QueryInto allocates %.2f/op, want 0", avg)
+	}
+	if kept {
+		t.Fatal("head-sample-dropped trace was retained; the measurement did not cover the drop path")
 	}
 }
 

@@ -8,7 +8,8 @@
 //	qbs-bench -exp scaling -scale 1.0 -procs 8 -json BENCH_PR7.json
 //
 // Experiments: table1, table2, table3, fig7, fig8, fig9, fig10, fig11,
-// dynamic (incremental updates vs rebuild), loadvsbuild (durable-store
+// dynamic (incremental updates vs rebuild), traceoverhead (span-protocol
+// cost on a warm query: drop path vs retain path), loadvsbuild (durable-store
 // restart cost: snapshot open + WAL replay vs cold build; with -json it
 // emits the BENCH_PR3.json record), directed (bit-parallel directed
 // engine vs the scalar reference and Di-Bi-BFS; with -json it emits the
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|loadvsbuild|directed|replication|scaling|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1|table2|table3|fig7|fig8|fig9|fig10|fig11|dynamic|traceoverhead|loadvsbuild|directed|replication|scaling|ablation-traversal|ablation-parallel|ablation-landmarks|all)")
 		scale     = flag.Float64("scale", 0.25, "dataset scale factor (1.0 = DESIGN.md sizes)")
 		queries   = flag.Int("queries", 1000, "number of sampled query pairs per dataset")
 		landmarks = flag.Int("landmarks", 20, "number of landmarks |R| for single-point experiments")
@@ -189,6 +190,7 @@ func main() {
 	run("fig10", func() error { _, err := h.Fig10(nil); return err })
 	run("fig11", func() error { _, err := h.Fig11(nil); return err })
 	run("dynamic", func() error { _, err := h.DynamicUpdates(nil); return err })
+	run("traceoverhead", func() error { _, err := h.TraceOverhead(); return err })
 	run("loadvsbuild", func() error { _, err := h.LoadVsBuild(); return err })
 	run("directed", func() error { _, err := h.DirectedTable(); return err })
 	if *exp == "replication" {

@@ -18,9 +18,11 @@
 //	qbs-server -replica-of http://primary:8080 -addr :8082
 //	qbs-server -router http://primary:8080,http://r1:8081,http://r2:8082 -addr :8090
 //
-// Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz, and in
-// -mutable mode POST /edges, DELETE /edges, /epoch, POST /checkpoint —
-// see internal/server for the JSON schemas.
+// Endpoints: /spg, /distance, /sketch, /paths, /stats, /healthz,
+// /debug/slowlog, /debug/traces[/{id}], and in -mutable mode POST
+// /edges, DELETE /edges, /epoch, POST /checkpoint — see internal/server
+// for the JSON schemas. -slowlog and -trace-sample tune which traces
+// the span store retains (README "Distributed tracing").
 //
 // With -directed the server fronts a directed index: the edge list is
 // read as arcs, /spg answers SPG(u → v), and -data persists/recovers a
@@ -80,8 +82,22 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and process-wide Prometheus metrics on this separate address (empty = disabled)")
 		slowlog   = flag.Duration("slowlog", 0, "slow-query log threshold for GET /debug/slowlog (0 = 100ms default)")
+		traceSamp = flag.Int("trace-sample", 0, "head-sample 1 in N traces into /debug/traces on top of the always-retained slow/errored/force-sampled ones (0 = tail-only)")
 	)
 	flag.Parse()
+
+	// Tracing policy is process-wide: the serving middleware, the router,
+	// and the background roots (WAL fsync, checkpoint, compaction, replica
+	// apply) all record into obs.DefaultTracer.
+	if *traceSamp > 0 {
+		obs.DefaultTracer.SetHeadEvery(*traceSamp)
+	}
+	if *slowlog > 0 {
+		// Keep the tracer's "slow traces always survive" bar aligned with
+		// the slowlog threshold, so every slowlog entry's trace link
+		// resolves in every serving mode.
+		obs.DefaultTracer.SetSlowThreshold(*slowlog)
+	}
 
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)

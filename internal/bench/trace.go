@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qbs/internal/core"
+	"qbs/internal/graph"
+	"qbs/internal/obs"
+	"qbs/internal/workload"
+)
+
+// TraceOverheadRow is one measured serving mode of the span tracer.
+type TraceOverheadRow struct {
+	Mode     string  // untraced | traced-dropped | traced-kept
+	NsPerOp  float64 // warm QueryInto latency including the span protocol
+	AllocsOp float64 // heap allocations per op
+}
+
+// TraceOverhead quantifies what the distributed-tracing span protocol
+// costs a warm query on the first configured dataset: the bare engine,
+// the drop path (head sampling off, nothing slow — the steady state,
+// which must stay at 0 allocs/op), and the keep path (every trace
+// retained and snapshotted into the ring — the worst case a -slowlog 0
+// misconfiguration could pin a server at).
+func (h *Harness) TraceOverhead() ([]TraceOverheadRow, error) {
+	key := h.sortedKeys()[0]
+	g, err := h.Graph(key)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.Build(g, core.Options{NumLandmarks: h.cfg.NumLandmarks})
+	if err != nil {
+		return nil, err
+	}
+	sr := core.NewSearcher(ix)
+	spg := graph.NewSPG(0, 0)
+	pairs := workload.SamplePairs(g, h.cfg.NumQueries, h.cfg.Seed)
+	for _, p := range pairs {
+		sr.QueryInto(spg, p.U, p.V) // warm the searcher buffers
+	}
+
+	measure := func(mode string, op func(i int)) TraceOverheadRow {
+		allocs := testing.AllocsPerRun(len(pairs), func() {
+			// AllocsPerRun adds its own iteration; reuse pair 0.
+			op(0)
+		})
+		start := time.Now()
+		for i := range pairs {
+			op(i)
+		}
+		elapsed := time.Since(start)
+		return TraceOverheadRow{
+			Mode:     mode,
+			NsPerOp:  float64(elapsed.Nanoseconds()) / float64(len(pairs)),
+			AllocsOp: allocs,
+		}
+	}
+
+	rows := []TraceOverheadRow{
+		measure("untraced", func(i int) {
+			p := pairs[i]
+			sr.QueryInto(spg, p.U, p.V)
+		}),
+	}
+
+	traced := func(tr *obs.Tracer) func(int) {
+		return func(i int) {
+			p := pairs[i]
+			tb := tr.Begin("/spg", "", 0, false)
+			sp := tb.StartSpan("stage:expand")
+			st := sr.QueryInto(spg, p.U, p.V)
+			sp.SetInt("arcs", st.ArcsScanned)
+			sp.End()
+			tb.Root().SetInt("status", 200)
+			tr.Finish(tb)
+		}
+	}
+
+	drop := obs.NewTracer(64)
+	drop.SetSlowThreshold(time.Hour) // nothing qualifies: pure drop path
+	rows = append(rows, measure("traced-dropped", traced(drop)))
+
+	keep := obs.NewTracer(64)
+	keep.SetSlowThreshold(0) // everything retained: snapshot every trace
+	rows = append(rows, measure("traced-kept", traced(keep)))
+
+	t := &table{
+		title:  fmt.Sprintf("Span tracing overhead (%s, warm QueryInto, %d pairs)", key, len(pairs)),
+		header: []string{"mode", "ns/op", "allocs/op", "overhead"},
+	}
+	base := rows[0].NsPerOp
+	for _, r := range rows {
+		overhead := "—"
+		if r.Mode != "untraced" && base > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", (r.NsPerOp-base)/base*100)
+		}
+		t.add(r.Mode, fmt.Sprintf("%.0f", r.NsPerOp), fmt.Sprintf("%.2f", r.AllocsOp), overhead)
+	}
+	t.render(h.cfg.Out)
+	return rows, nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"qbs/internal/core"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 	"qbs/internal/traverse"
 )
 
@@ -313,6 +314,14 @@ func (d *Index) RemoveEdge(u, w graph.V) (bool, error) {
 // ApplyEdge is AddEdge/RemoveEdge with the published epoch and edge
 // count in the result (for callers that echo them back to clients).
 func (d *Index) ApplyEdge(u, w graph.V, insert bool) (Result, error) {
+	return d.ApplyEdgeTraced(u, w, insert, nil)
+}
+
+// ApplyEdgeTraced is ApplyEdge with the caller's span buffer: the WAL
+// append and any budget-blown column re-BFSes become child spans of the
+// request, making the expensive parts of a write visible in its trace.
+// tb may be nil (every recording call is nil-safe).
+func (d *Index) ApplyEdgeTraced(u, w graph.V, insert bool, tb *obs.TraceBuf) (Result, error) {
 	if u < 0 || int(u) >= d.n || w < 0 || int(w) >= d.n {
 		return Result{}, fmt.Errorf("dynamic: edge {%d,%d} out of range [0,%d)", u, w, d.n)
 	}
@@ -334,7 +343,7 @@ func (d *Index) ApplyEdge(u, w graph.V, insert bool) (Result, error) {
 			mApplyDeleteNs.Observe(time.Since(applyStart))
 		}
 	}()
-	st, counts, err := d.applyLocked(d.rp, s.state, u, w, insert)
+	st, counts, err := d.applyLocked(d.rp, s.state, u, w, insert, tb)
 	if err != nil {
 		return Result{}, err
 	}
@@ -349,7 +358,14 @@ func (d *Index) ApplyEdge(u, w graph.V, insert bool) (Result, error) {
 	// nothing can fail between logging and publication: a logged epoch is
 	// always published, keeping the log free of orphan records.
 	if d.logger != nil {
-		if err := d.logger.LogUpdate(snap.epoch, u, w, insert); err != nil {
+		sp := tb.StartSpan("wal.append")
+		sp.SetInt("epoch", int64(snap.epoch))
+		err := d.logger.LogUpdate(snap.epoch, u, w, insert)
+		if err != nil {
+			sp.Fail()
+		}
+		sp.End()
+		if err != nil {
 			return Result{}, fmt.Errorf("dynamic: update not logged: %w", err)
 		}
 	}
@@ -384,8 +400,11 @@ type applyCounts struct {
 
 // applyLocked runs one update against st and returns the successor
 // state, touching only copies of the parts that change. st itself is
-// never mutated, so the caller's snapshot stays valid on error.
-func (d *Index) applyLocked(rp *repairer, st state, u, w graph.V, insert bool) (state, applyCounts, error) {
+// never mutated, so the caller's snapshot stays valid on error. tb, when
+// non-nil, receives a child span for every column whose repair blew the
+// budget and fell back to a full re-BFS — the dominant cost of a bad
+// delete, and otherwise invisible in a request trace.
+func (d *Index) applyLocked(rp *repairer, st state, u, w graph.V, insert bool, tb *obs.TraceBuf) (state, applyCounts, error) {
 	var counts applyCounts
 	var ov *Overlay
 	if insert {
@@ -409,12 +428,20 @@ func (d *Index) applyLocked(rp *repairer, st state, u, w graph.V, insert bool) (
 		}
 		cc := c.clone()
 		cols[r] = cc
+		var colStart time.Time
+		if tb != nil {
+			colStart = time.Now()
+		}
 		rebuilt, err := rp.repairColumn(cc, r, u, w, insert)
 		if err != nil {
 			return state{}, counts, err
 		}
 		if rebuilt {
 			counts.rebuilt++
+			if tb != nil {
+				sp := tb.AddSpan("dynamic.column_rebfs", colStart, time.Since(colStart))
+				sp.SetInt("landmark", int64(r))
+			}
 		} else {
 			counts.repaired++
 		}
@@ -485,7 +512,14 @@ func (d *Index) maybeCompactLocked() {
 func (d *Index) compact(snap *snapshot) {
 	defer d.compactWG.Done()
 	start := time.Now()
-	defer func() { mCompactNs.Observe(time.Since(start)) }()
+	// Compactions run off any request path; they get their own root
+	// trace so a write-lock stall can still be explained after the fact.
+	ctb := obs.DefaultTracer.Begin("dynamic.compact", "", 0, false)
+	ctb.Root().SetInt("from_epoch", int64(snap.epoch))
+	defer func() {
+		mCompactNs.Observe(time.Since(start))
+		obs.DefaultTracer.Finish(ctb)
+	}()
 	base := snap.overlay.Materialize()
 	rp := newRepairer(d.n, d.landmarks, d.landIdx, d.budget, d.par)
 	st, err := d.buildState(NewOverlay(base), rp)
@@ -501,7 +535,7 @@ func (d *Index) compact(snap *snapshot) {
 		// repair cannot fail; bail out conservatively if it ever does.
 		// Maintenance counters are discarded: these updates were already
 		// counted when applied live.
-		st, _, err = d.applyLocked(rp, st, up.u, up.w, up.insert)
+		st, _, err = d.applyLocked(rp, st, up.u, up.w, up.insert, nil)
 		if err != nil {
 			d.pending = d.pending[:0]
 			return

@@ -139,7 +139,7 @@ func (d *Index) ReplayEdge(u, w graph.V, insert bool, epoch uint64) error {
 	if s.overlay.HasEdge(u, w) == insert {
 		return fmt.Errorf("dynamic: replayed update {%d,%d} insert=%v is a no-op (log and snapshot diverged)", u, w, insert)
 	}
-	st, counts, err := d.applyLocked(d.rp, s.state, u, w, insert)
+	st, counts, err := d.applyLocked(d.rp, s.state, u, w, insert, nil)
 	if err != nil {
 		return err
 	}

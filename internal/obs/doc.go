@@ -56,5 +56,36 @@
 // on responses. The serving middleware allocates a Trace per request;
 // handlers fill per-stage spans and engine counters from the
 // searcher's QueryStats out-param. Requests at or above the SlowLog
-// threshold land in a bounded ring served at GET /debug/slowlog.
+// threshold land in a bounded ring served at GET /debug/slowlog, each
+// entry linking to its retained span tree under /debug/traces/{id}.
+//
+// # Span model & sampling
+//
+// A Tracer records hierarchical spans — name, parent, wall-clock start,
+// duration, up to four key/value attrs, an error bit — into a TraceBuf:
+// a fixed inline array of 32 spans recycled through a small freelist,
+// so recording allocates nothing. One TraceBuf is one trace on one
+// process; it is single-goroutine by construction (the serving
+// middleware owns it for the request's lifetime, writers record under
+// their own serialization).
+//
+// Retention is tail-based: the keep/drop decision happens at Finish,
+// when the outcome is known. A trace survives into the SpanStore ring
+// when it was slow (root duration at or past the tracer's slow
+// threshold — the same knob as the slowlog), errored (any span failed,
+// or the trace was marked), force-sampled (the W3C traceparent sampled
+// flag arrived set), or head-sampled (1 in N requests when
+// SetHeadEvery is on; off by default). Everything else is dropped
+// before a trace ID is ever minted, which is what keeps the warm
+// instrumented path at 0 allocs/op.
+//
+// Cross-process context travels in the W3C traceparent header
+// (00-<trace-id>-<parent-span-id>-<flags>), sent alongside
+// X-Qbs-Trace-Id: each hop begins its local root span under the
+// upstream parent span ID, so the per-tier trees fetched from
+// /debug/traces/{id} merge into one tree (MergeStored; the router does
+// this on demand). Retained traces also surface as OpenMetrics
+// exemplars on the latency histograms and retry counters — the
+// "# {trace_id=...}" suffix links a dashboard's worst bucket straight
+// to a stored trace.
 package obs

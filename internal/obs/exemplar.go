@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// OpenMetrics-style exemplars: a recent sample value annotated with the
+// trace that produced it, rendered after the sample as
+//
+//	name{labels} value # {trace_id="<id>"} <exemplar value>
+//
+// Exemplars are attached only for traces the tracer retained, so the
+// unsampled hot path never touches them and a dashboard's p99 spike
+// links straight to a stored span tree at /debug/traces/{id}.
+
+// Exemplar is one trace-annotated sample.
+type Exemplar struct {
+	Value   int64
+	TraceID string
+	UnixNs  int64
+}
+
+// histExOctaves is one exemplar slot per histogram octave group, so a
+// slow outlier and the common case keep separate representatives.
+const histExOctaves = histBuckets / histSub
+
+func exSlotOf(v int64) int { return bucketOf(v) >> histSubBits }
+
+// exemplars holds the per-octave slots out-of-line so Histogram's hot
+// fields stay compact; allocated lazily on first SetExemplar.
+type exemplars struct {
+	slot [histExOctaves]atomic.Pointer[Exemplar]
+}
+
+// SetExemplar attaches a trace-annotated sample to the octave bucket
+// holding v. Freshest wins. Call only for retained traces: the value
+// and the Exemplar itself allocate.
+func (h *Histogram) SetExemplar(v int64, traceID string) {
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	ex := h.ex.Load()
+	if ex == nil {
+		ex = new(exemplars)
+		if !h.ex.CompareAndSwap(nil, ex) {
+			ex = h.ex.Load()
+		}
+	}
+	ex.slot[exSlotOf(v)].Store(&Exemplar{Value: v, TraceID: traceID, UnixNs: time.Now().UnixNano()})
+}
+
+// ExemplarNear returns the exemplar whose octave is closest to v,
+// preferring the octave holding v, then lower, then higher. Nil when no
+// exemplar has been attached.
+func (h *Histogram) ExemplarNear(v int64) *Exemplar {
+	ex := h.ex.Load()
+	if ex == nil {
+		return nil
+	}
+	if v < 0 {
+		v = 0
+	}
+	at := exSlotOf(v)
+	for i := at; i >= 0; i-- {
+		if e := ex.slot[i].Load(); e != nil {
+			return e
+		}
+	}
+	for i := at + 1; i < histExOctaves; i++ {
+		if e := ex.slot[i].Load(); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// SetExemplar attaches the trace that produced a recent increment.
+func (c *Counter) SetExemplar(traceID string) {
+	if traceID == "" {
+		return
+	}
+	c.ex.Store(&Exemplar{Value: 1, TraceID: traceID, UnixNs: time.Now().UnixNano()})
+}
+
+// Exemplar returns the counter's exemplar, or nil.
+func (c *Counter) Exemplar() *Exemplar { return c.ex.Load() }
+
+// render appends the exposition suffix (" # {trace_id=...} v"), or
+// nothing for a nil exemplar.
+func (e *Exemplar) render() string {
+	if e == nil {
+		return ""
+	}
+	return " # {trace_id=\"" + EscapeLabel(e.TraceID) + "\"} " + strconv.FormatInt(e.Value, 10)
+}

@@ -48,6 +48,7 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Int64
 	max     atomic.Int64
+	ex      atomic.Pointer[exemplars]
 	buckets [histBuckets]atomic.Uint64
 }
 

@@ -7,7 +7,8 @@ import (
 
 // Counter is a monotonically increasing atomic counter.
 type Counter struct {
-	v atomic.Uint64
+	v  atomic.Uint64
+	ex atomic.Pointer[Exemplar]
 }
 
 // Inc adds one.

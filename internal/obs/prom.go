@@ -71,15 +71,16 @@ func WritePrometheus(w io.Writer, regs ...*Registry) error {
 			}
 			switch m.kind {
 			case kindCounter:
-				writeSample(bw, fam, m.labels, strconv.FormatUint(m.c.Load(), 10))
+				writeSample(bw, fam, m.labels, strconv.FormatUint(m.c.Load(), 10)+m.c.Exemplar().render())
 			case kindGauge:
 				writeSample(bw, fam, m.labels, strconv.FormatInt(m.g.Load(), 10))
 			case kindGaugeFunc:
 				writeSample(bw, fam, m.labels, strconv.FormatFloat(m.fn(), 'g', -1, 64))
 			case kindHistogram:
 				for _, hq := range histQuantiles {
+					v := m.h.Quantile(hq.q)
 					writeSample(bw, fam, joinLabels(m.labels, `quantile="`+hq.label+`"`),
-						strconv.FormatInt(m.h.Quantile(hq.q), 10))
+						strconv.FormatInt(v, 10)+m.h.ExemplarNear(v).render())
 				}
 				writeSample(bw, fam+"_sum", m.labels, strconv.FormatInt(m.h.Sum(), 10))
 				writeSample(bw, fam+"_count", m.labels, strconv.FormatUint(m.h.Count(), 10))
@@ -154,7 +155,14 @@ func ValidateExposition(b []byte) error {
 			}
 			continue
 		}
-		name, labels, value, ok := splitSample(line)
+		sample := line
+		if k := strings.LastIndex(sample, " # {"); k >= 0 {
+			if err := validateExemplar(sample[k+3:]); err != nil {
+				return fmt.Errorf("line %d: %v in %q", lineNo, err, line)
+			}
+			sample = sample[:k]
+		}
+		name, labels, value, ok := splitSample(sample)
 		if !ok {
 			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
 		}
@@ -174,6 +182,30 @@ func ValidateExposition(b []byte) error {
 			closed[lastFam] = true
 		}
 		lastFam = fam
+	}
+	return nil
+}
+
+// validateExemplar checks an OpenMetrics-style exemplar suffix of the
+// form `{label="value",...} <value>`.
+func validateExemplar(s string) error {
+	if len(s) == 0 || s[0] != '{' {
+		return fmt.Errorf("malformed exemplar %q", s)
+	}
+	j := strings.IndexByte(s, '}')
+	if j < 0 {
+		return fmt.Errorf("unterminated exemplar labels %q", s)
+	}
+	labels := s[1:j]
+	if labels == "" || !strings.Contains(labels, `="`) {
+		return fmt.Errorf("malformed exemplar labels %q", labels)
+	}
+	f := strings.Fields(s[j+1:])
+	if len(f) < 1 || len(f) > 2 {
+		return fmt.Errorf("malformed exemplar value %q", s[j+1:])
+	}
+	if _, err := strconv.ParseFloat(f[0], 64); err != nil {
+		return fmt.Errorf("bad exemplar value %q", f[0])
 	}
 	return nil
 }

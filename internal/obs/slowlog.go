@@ -28,9 +28,13 @@ type SlowStages struct {
 	SerializeNs int64 `json:"serialize_ns"`
 }
 
-// SlowEntry is one slow-query log record.
+// SlowEntry is one slow-query log record. Trace links to the request's
+// stored span tree (/debug/traces/{id}): a slow entry always clears the
+// tracer's tail-sampling bar, so the link resolves while the trace is
+// still in the ring.
 type SlowEntry struct {
 	TraceID    string     `json:"trace_id"`
+	Trace      string     `json:"trace,omitempty"`
 	Endpoint   string     `json:"endpoint"`
 	Status     int        `json:"status"`
 	UnixMs     int64      `json:"unix_ms"`
@@ -92,6 +96,7 @@ func (l *SlowLog) Fill(tr *Trace, endpoint string, status int, dur time.Duration
 	}
 	l.Record(SlowEntry{
 		TraceID:    tr.ID,
+		Trace:      "/debug/traces/" + tr.ID,
 		Endpoint:   endpoint,
 		Status:     status,
 		UnixMs:     now.UnixMilli(),

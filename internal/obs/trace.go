@@ -62,6 +62,10 @@ type Trace struct {
 	HasQuery bool
 	U, V     int64
 	Dist     int32
+	// Spans is the request's span buffer when span tracing is active;
+	// nil-safe to record into (see TraceBuf). Handlers use it to hang
+	// child spans (WAL append, column re-BFS) under the request root.
+	Spans *TraceBuf
 	// Engine counters for the slow-query log.
 	ArcsScanned      int64
 	FrontierWords    int64

@@ -72,6 +72,31 @@
 // per-backend pick counters and healthy/epoch/inflight gauges plus
 // retry/failover totals; see internal/obs.
 //
+// # Traceparent hop semantics
+//
+// Alongside X-Qbs-Trace-Id, every hop speaks the W3C traceparent
+// header (00-<trace-id>-<parent-span-id>-<flags>). Inbound, the router
+// adopts the client's trace ID and records its root span under the
+// client's span ID; the sampled flag (01) force-retains the trace at
+// every tier regardless of latency. Outbound, the router opens one
+// child span per forward attempt — carrying the backend URL, the
+// attempt ordinal, and the response status — and sends a traceparent
+// naming *that attempt span* as the parent, so the backend's server
+// root attaches under the exact attempt that reached it. After a
+// failover the retained tree therefore shows which replica failed and
+// which backend finally answered, span by span. The replica's apply
+// loop records its own root spans (replica.apply, with wal.fetch and
+// apply.batch children) for each non-empty batch it applies — those are
+// process-local roots, not children of any request.
+//
+// GET /debug/traces lists each tier's retained traces; GET
+// /debug/traces/{id} on the router assembles the full cross-process
+// tree by merging its own spans with each backend's view of the same
+// trace ID (backends that dropped the trace contribute nothing). The
+// router's retry counter and latency histogram carry OpenMetrics
+// exemplars naming retained trace IDs, linking alert series to stored
+// trees; see internal/obs and README "Distributed tracing".
+//
 // # Retention leases
 //
 // Each registered replica holds a lease (id → lowest epoch still

@@ -362,6 +362,7 @@ const tailPollTimeout = 5 * time.Second
 // current epoch, returning how many arrived.
 func (r *Replica) pollOnce() (int, error) {
 	from := r.d.Epoch()
+	fetchStart := time.Now()
 	u := fmt.Sprintf("%s%s?from=%d&replica=%s&max=%d",
 		r.primary, walPath, from, url.QueryEscape(r.opts.ID), r.opts.MaxBatch)
 	ctx, cancel := context.WithTimeout(context.Background(), tailPollTimeout)
@@ -405,12 +406,29 @@ func (r *Replica) pollOnce() (int, error) {
 			Compact: rec.Op == store.WALCompact,
 		})
 	}
+	// Non-empty batches get a root trace: the tail fetch and the apply
+	// are its child spans, so a lagging replica's slow batches show up
+	// in /debug/traces with the hop (fetch vs apply) attributed. Empty
+	// polls are not traced — a 5s long-poll wait is not a slow apply.
+	var tb *obs.TraceBuf
+	if len(ops) > 0 {
+		tb = obs.DefaultTracer.Begin("replica.apply", "", 0, false)
+		root := tb.Root()
+		root.SetStr("replica", r.opts.ID)
+		root.SetInt("records", int64(len(ops)))
+		root.SetInt("from_epoch", int64(from))
+		tb.AddSpan("wal.fetch", fetchStart, time.Since(fetchStart))
+	}
 	applyStart := time.Now()
 	if _, err := r.d.ApplyStream(ops); err != nil {
+		tb.MarkError()
+		obs.DefaultTracer.Finish(tb)
 		return len(ops), fmt.Errorf("replica: apply: %w", err)
 	}
+	applyDur := time.Since(applyStart)
 	if len(ops) > 0 {
-		r.applyNs.Observe(time.Since(applyStart))
+		tb.AddSpan("apply.batch", applyStart, applyDur)
+		r.applyNs.Observe(applyDur)
 		r.applied.Add(int64(len(ops)))
 	}
 	// The primary only ships epochs past `from`, so a full apply must
@@ -420,8 +438,13 @@ func (r *Replica) pollOnce() (int, error) {
 	// serving index) and is now diverging; fail loudly instead of
 	// serving corrupt answers with zero reported lag.
 	if len(ops) > 0 && r.d.Epoch() != ops[len(ops)-1].Epoch {
+		tb.MarkError()
+		obs.DefaultTracer.Finish(tb)
 		return len(ops), fmt.Errorf("replica: index at epoch %d after applying through %d — local writes bypassed the tail loop; restart the replica",
 			r.d.Epoch(), ops[len(ops)-1].Epoch)
+	}
+	if id, kept := obs.DefaultTracer.Finish(tb); kept {
+		r.applyNs.SetExemplar(int64(applyDur), id)
 	}
 	r.fetched.Add(uint64(len(ops)))
 	return len(ops), nil

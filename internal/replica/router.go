@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -73,13 +74,27 @@ type Router struct {
 
 	// Routing-decision series on the router's own registry: per-backend
 	// pick counters and healthy/epoch/inflight gauges, plus totals for
-	// read retries and primary failovers.
+	// read retries and primary failovers and the proxied-request latency
+	// histogram (with exemplars linking to retained traces).
 	reg       *obs.Registry
 	retries   *obs.Counter
 	failovers *obs.Counter
+	latency   *obs.Histogram
+	tracer    *obs.Tracer
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// Tracer returns the router's span tracer.
+func (rt *Router) Tracer() *obs.Tracer { return rt.tracer }
+
+// SetTracer replaces the span tracer (obs.DefaultTracer by default) so
+// tests and multi-router processes keep span stores isolated.
+func (rt *Router) SetTracer(t *obs.Tracer) {
+	if t != nil {
+		rt.tracer = t
+	}
 }
 
 // Registry returns the router's metrics registry.
@@ -122,6 +137,8 @@ func NewRouter(primaryURL string, replicaURLs []string, opts RouterOptions) *Rou
 	}
 	rt.retries = rt.reg.Counter("qbs_router_retries_total", "")
 	rt.failovers = rt.reg.Counter("qbs_router_failovers_total", "")
+	rt.latency = rt.reg.Histogram("qbs_router_request_ns", "")
+	rt.tracer = obs.DefaultTracer
 	rt.primary.healthy.Store(true)
 	rt.registerBackend(rt.primary, "primary")
 	for _, u := range replicaURLs {
@@ -234,28 +251,58 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		switch r.URL.Path {
-		case "/healthz":
+		switch {
+		case r.URL.Path == "/healthz":
 			rt.serveHealthz(w)
 			return
-		case "/metrics":
+		case r.URL.Path == "/metrics":
 			rt.serveMetrics(w, r)
+			return
+		case r.URL.Path == "/debug/traces":
+			rt.serveTraces(w, r)
+			return
+		case strings.HasPrefix(r.URL.Path, "/debug/traces/"):
+			rt.serveTraceByID(w, r, strings.TrimPrefix(r.URL.Path, "/debug/traces/"))
 			return
 		}
 	}
 	// Every proxied request carries a trace ID — the client's if it sent
-	// one, minted here otherwise — held constant across retries and the
-	// primary failover so one query is one ID at every hop. The backend
-	// echoes it; for router-written errors it is set explicitly below.
-	if r.Header.Get(obs.TraceHeader) == "" {
-		r.Header.Set(obs.TraceHeader, obs.NewTraceID())
+	// one (via either trace header), minted here otherwise — held
+	// constant across retries and the primary failover so one query is
+	// one ID at every hop. The backend echoes it; for router-written
+	// errors it is set explicitly below.
+	traceID := r.Header.Get(obs.TraceHeader)
+	var remoteParent uint64
+	forced := false
+	if id, parent, sampled, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		traceID, remoteParent, forced = id, parent, sampled
 	}
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	r.Header.Set(obs.TraceHeader, traceID)
+	// The router's root span is the top of the cross-process tree; each
+	// forward attempt hangs a child under it, and the traceparent sent
+	// downstream names that attempt span as the backend root's parent.
+	tb := rt.tracer.Begin("router", traceID, remoteParent, forced)
+	root := tb.Root()
+	root.SetStr("method", r.Method)
+	root.SetStr("path", r.URL.Path)
+	start := time.Now()
+	defer func() {
+		dur := time.Since(start)
+		rt.latency.Observe(dur)
+		if id, kept := rt.tracer.Finish(tb); kept {
+			rt.latency.SetExemplar(int64(dur), id)
+		}
+	}()
 	if !isRead {
 		// Writes are forwarded exactly once: a retry could double-apply.
-		if rt.forward(rt.primary, w, r, false) == fwdDone {
+		if rt.forward(rt.primary, w, r, false, tb, 0) == fwdDone {
 			return
 		}
-		w.Header().Set(obs.TraceHeader, r.Header.Get(obs.TraceHeader))
+		tb.MarkError()
+		w.Header().Set(obs.TraceHeader, traceID)
 		httpError(w, http.StatusBadGateway, "primary unreachable")
 		return
 	}
@@ -263,18 +310,22 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	for attempt, b := range rt.pick() {
 		if attempt > 0 {
 			rt.retries.Inc()
+			// The retry exemplar links the counter a dashboard alerts on
+			// to a retained trace showing which attempt failed and where.
+			rt.retries.SetExemplar(traceID)
 			if b == rt.primary {
 				rt.failovers.Inc()
 			}
 		}
-		switch rt.forward(b, w, r, true) {
+		switch rt.forward(b, w, r, true, tb, attempt) {
 		case fwdDone:
 			return
 		case fwdUnavailable:
 			sawUnavailable = true
 		}
 	}
-	w.Header().Set(obs.TraceHeader, r.Header.Get(obs.TraceHeader))
+	tb.MarkError()
+	w.Header().Set(obs.TraceHeader, traceID)
 	if sawUnavailable {
 		// Every backend said 503 (min_epoch not yet published anywhere,
 		// or mid-restart): preserve the documented retriable signal
@@ -325,24 +376,40 @@ func (rt *Router) pick() []*backend {
 
 // forward proxies one request to b. retryable (reads) treats transport
 // errors and 503 as "try the next backend" (fwdFailed/fwdUnavailable,
-// nothing written); writes pass every completed response through.
-func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, retryable bool) int {
+// nothing written); writes pass every completed response through. Each
+// call records a per-attempt child span carrying the backend URL and
+// attempt ordinal — the record of *which* backend a failover left —
+// and propagates traceparent naming that span as the downstream parent.
+func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, retryable bool, tb *obs.TraceBuf, attempt int) int {
 	b.inflight.Add(1)
 	b.picks.Inc()
 	defer b.inflight.Add(-1)
 
+	sp := tb.StartSpan("router.attempt")
+	sp.SetStr("backend", b.url)
+	sp.SetInt("attempt", int64(attempt))
+	defer sp.End()
+
 	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), r.Body)
 	if err != nil {
+		sp.Fail()
 		return fwdFailed
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
-	if tid := r.Header.Get(obs.TraceHeader); tid != "" {
+	tid := r.Header.Get(obs.TraceHeader)
+	if tid != "" {
 		req.Header.Set(obs.TraceHeader, tid)
+		var parent uint64
+		if sp != nil {
+			parent = sp.ID
+		}
+		req.Header.Set(obs.TraceparentHeader, obs.FormatTraceparent(tid, parent, tb.Sampled()))
 	}
 	resp, err := rt.opts.Client.Do(req)
 	if err != nil {
+		sp.Fail()
 		// Only a failure of the backend counts against it: a client that
 		// hung up cancels r.Context(), and evicting a healthy replica
 		// for that would let impatient clients drain the read pool.
@@ -352,6 +419,10 @@ func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, re
 		return fwdFailed
 	}
 	defer resp.Body.Close()
+	sp.SetInt("status", int64(resp.StatusCode))
+	if resp.StatusCode >= http.StatusInternalServerError {
+		sp.Fail()
+	}
 	if retryable && resp.StatusCode == http.StatusServiceUnavailable {
 		// A replica refusing min_epoch (or mid-bootstrap): drain and let
 		// the caller try a fresher backend.
@@ -424,6 +495,95 @@ func (rt *Router) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// serveTraces lists the router's own retained traces (summaries, newest
+// first), honouring the same ?n=/?min_ms=/?error= filters as the
+// backend servers' /debug/traces.
+func (rt *Router) serveTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 1024 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("parameter \"n\" must be an integer in [1,1024], got %q", raw))
+			return
+		}
+		limit = n
+	}
+	var minDur time.Duration
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("parameter \"min_ms\" must be a non-negative number, got %q", raw))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	errOnly := q.Get("error") == "1" || q.Get("error") == "true"
+	stored := rt.tracer.Store().Recent(limit, minDur, errOnly)
+	summaries := make([]obs.TraceSummary, len(stored))
+	for i, st := range stored {
+		summaries[i] = st.Summary()
+	}
+	resp := struct {
+		Count  int                `json:"count"`
+		Traces []obs.TraceSummary `json:"traces"`
+	}{Count: len(stored), Traces: summaries}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// serveTraceByID assembles the full cross-process span tree for one
+// trace: the router's locally retained spans merged with whatever each
+// backend retained under the same ID (fetched over its own
+// /debug/traces/{id}, deduplicated by span ID). Backends that dropped
+// the trace — or are down — simply contribute nothing; the tree is the
+// union of what survived tail sampling at every tier.
+func (rt *Router) serveTraceByID(w http.ResponseWriter, r *http.Request, id string) {
+	if id == "" || strings.ContainsAny(id, "/?#") {
+		httpError(w, http.StatusBadRequest, "malformed trace id")
+		return
+	}
+	merged := rt.tracer.Store().Get(id)
+	for _, b := range append([]*backend{rt.primary}, rt.replicas...) {
+		if st := rt.fetchTrace(r, b.url, id); st != nil {
+			merged = obs.MergeStored(merged, st)
+		}
+	}
+	if merged == nil {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("trace %q not found on the router or any backend", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(merged)
+}
+
+// fetchTrace pulls one backend's view of a trace; nil when the backend
+// is unreachable or never retained it.
+func (rt *Router) fetchTrace(r *http.Request, base, id string) *obs.StoredTrace {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, base+"/debug/traces/"+id, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	var st obs.StoredTrace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return nil
+	}
+	if st.TraceID != id {
+		return nil
+	}
+	return &st
 }
 
 // Backends reports the routing table — observability for tests and the

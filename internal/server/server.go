@@ -105,13 +105,14 @@ type Server struct {
 	reg     *obs.Registry
 	extra   []*obs.Registry
 	slowlog *obs.SlowLog
+	tracer  *obs.Tracer              // span recording + tail sampling
 	eps     map[string]*endpointView // registry-backed per-endpoint views
 	order   []string                 // endpoint registration order
 	repl    func() ReplicationStatus // lag provider; nil off replicas
 
 	// Query-path instrumentation: per-stage span histograms and engine
 	// counters aggregated from the searcher's QueryStats out-param.
-	stage      [obs.NumStages]*obs.Histogram
+	stage        [obs.NumStages]*obs.Histogram
 	engArcs      *obs.Counter
 	engWords     *obs.Counter
 	engSwitch    *obs.Counter
@@ -140,8 +141,25 @@ func (s *Server) AddRegistry(r *obs.Registry) { s.extra = append(s.extra, r) }
 // SlowLog returns the server's slow-query log.
 func (s *Server) SlowLog() *obs.SlowLog { return s.slowlog }
 
-// SetSlowLogThreshold adjusts the slow-query recording threshold.
-func (s *Server) SetSlowLogThreshold(d time.Duration) { s.slowlog.SetThreshold(d) }
+// SetSlowLogThreshold adjusts the slow-query recording threshold. The
+// tracer's tail-sampling bar follows it: a request slow enough to be
+// slow-logged is always slow enough for its span tree to be retained,
+// so the log's trace links resolve.
+func (s *Server) SetSlowLogThreshold(d time.Duration) {
+	s.slowlog.SetThreshold(d)
+	s.tracer.SetSlowThreshold(d)
+}
+
+// Tracer returns the server's span tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// SetTracer replaces the span tracer (obs.DefaultTracer by default) —
+// how tests and multi-server processes keep span stores isolated.
+func (s *Server) SetTracer(t *obs.Tracer) {
+	if t != nil {
+		s.tracer = t
+	}
+}
 
 // ReplicationStatus is the lag snapshot a read replica exposes through
 // /metrics: the primary epoch it last observed, its own applied epoch,
@@ -196,12 +214,18 @@ const (
 	slowLogThreshold = 100 * time.Millisecond
 )
 
+// stageSpanNames are the materialized span names for the engine's stage
+// breakdown, precomputed so the warm path never concatenates strings.
+var stageSpanNames = [obs.NumStages]string{
+	"stage:parse", "stage:sketch", "stage:expand", "stage:extract", "stage:serialize",
+}
+
 // handle registers h under pattern behind the one instrumentation
 // middleware: request/error counters, in-flight gauge, latency
-// histogram, trace propagation (X-Qbs-Trace-Id accepted or minted,
-// echoed on the response), per-stage span recording, and the
-// slow-query log. name is the /metrics key (the route path without the
-// method).
+// histogram, trace propagation (X-Qbs-Trace-Id and W3C traceparent
+// accepted or minted, the ID echoed on the response), span recording
+// with tail sampling, and the slow-query log. name is the /metrics key
+// (the route path without the method).
 func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 	ep, ok := s.eps[name]
 	if !ok {
@@ -218,10 +242,19 @@ func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		tr := &obs.Trace{ID: r.Header.Get(obs.TraceHeader)}
+		var remoteParent uint64
+		forced := false
+		if id, parent, sampled, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			tr.ID = id
+			remoteParent = parent
+			forced = sampled
+		}
 		if tr.ID == "" {
 			tr.ID = obs.NewTraceID()
 		}
 		w.Header().Set(obs.TraceHeader, tr.ID)
+		tb := s.tracer.Begin(name, tr.ID, remoteParent, forced)
+		tr.Spans = tb
 		ep.inflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w}
 		h(rec, r.WithContext(obs.NewContext(r.Context(), tr)))
@@ -232,14 +265,39 @@ func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 			ep.errors.Inc()
 		}
 		ep.latency.Observe(dur)
-		if tr.HasQuery {
-			for i := obs.Stage(0); i < obs.NumStages; i++ {
-				s.stage[i].ObserveNs(tr.StageNs[i])
-			}
-		}
 		status := rec.code
 		if status == 0 {
 			status = http.StatusOK
+		}
+		if tr.HasQuery {
+			// The engine reports stage durations through QueryStats; the
+			// middleware owns the span buffer, so the breakdown is
+			// materialized as child spans laid end to end from the
+			// request start.
+			at := start
+			for i := obs.Stage(0); i < obs.NumStages; i++ {
+				s.stage[i].ObserveNs(tr.StageNs[i])
+				if ns := tr.StageNs[i]; ns > 0 {
+					tb.AddSpan(stageSpanNames[i], at, time.Duration(ns))
+					at = at.Add(time.Duration(ns))
+				}
+			}
+		}
+		root := tb.Root()
+		root.SetInt("status", int64(status))
+		if status >= 500 {
+			root.Fail()
+		}
+		if id, kept := s.tracer.Finish(tb); kept {
+			// Retained traces become the exemplars dashboards link from.
+			ep.latency.SetExemplar(int64(dur), id)
+			if tr.HasQuery {
+				for i := obs.Stage(0); i < obs.NumStages; i++ {
+					if ns := tr.StageNs[i]; ns > 0 {
+						s.stage[i].SetExemplar(ns, id)
+					}
+				}
+			}
 		}
 		s.slowlog.Fill(tr, name, status, dur, time.Now())
 	})
@@ -286,6 +344,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.reg = obs.NewRegistry()
 	s.slowlog = obs.NewSlowLog(slowLogCapacity, slowLogThreshold)
+	s.tracer = obs.DefaultTracer
 	s.eps = map[string]*endpointView{}
 	for i := obs.Stage(0); i < obs.NumStages; i++ {
 		s.stage[i] = s.reg.Histogram("qbs_query_stage_ns", `stage="`+i.String()+`"`)
@@ -316,6 +375,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", healthz)
 	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	if s.di != nil {
 		s.handle("GET /spg", "/spg", s.handleDiSPG)
 		s.handle("GET /distance", "/distance", s.handleDiDistance)
@@ -414,11 +475,24 @@ type SlowLogResponse struct {
 	Entries     []obs.SlowEntry `json:"entries"`
 }
 
-func (s *Server) handleSlowLog(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	entries := s.slowlog.Entries()
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > 1024 {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("parameter \"n\" must be an integer in [1,1024], got %q", raw),
+			})
+			return
+		}
+		if n < len(entries) {
+			entries = entries[:n]
+		}
+	}
 	writeJSON(w, http.StatusOK, SlowLogResponse{
 		ThresholdNs: int64(s.slowlog.Threshold()),
 		Capacity:    s.slowlog.Cap(),
-		Entries:     s.slowlog.Entries(),
+		Entries:     entries,
 	})
 }
 
@@ -990,7 +1064,7 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be {\"u\":<id>,\"v\":<id>}"})
 		return
 	}
-	s.applyEdge(w, qbs.V(*req.U), qbs.V(*req.V), true)
+	s.applyEdge(w, r, qbs.V(*req.U), qbs.V(*req.V), true)
 }
 
 func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
@@ -1001,17 +1075,17 @@ func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.applyEdge(w, u, v, false)
+	s.applyEdge(w, r, u, v, false)
 }
 
-func (s *Server) applyEdge(w http.ResponseWriter, u, v qbs.V, insert bool) {
+func (s *Server) applyEdge(w http.ResponseWriter, r *http.Request, u, v qbs.V, insert bool) {
 	if u < 0 || int(u) >= s.b.NumVertices() || v < 0 || int(v) >= s.b.NumVertices() || u == v {
 		writeJSON(w, http.StatusBadRequest, errorBody{
 			Error: fmt.Sprintf("edge {%d,%d} invalid: endpoints must be distinct ids in [0,%d)", u, v, s.b.NumVertices()),
 		})
 		return
 	}
-	res, err := s.dyn.ApplyEdge(u, v, insert)
+	res, err := s.dyn.ApplyEdgeCtx(r.Context(), u, v, insert)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, qbs.ErrDiameterTooLarge) {
@@ -1042,11 +1116,15 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	sp := traceSpans(r).StartSpan("checkpoint")
 	epoch, err := s.dyn.Checkpoint()
 	if err != nil {
+		sp.Fail()
+		sp.End()
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		return
 	}
+	sp.End()
 	writeJSON(w, http.StatusOK, CheckpointResponse{Epoch: epoch})
 }
 

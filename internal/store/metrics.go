@@ -1,6 +1,10 @@
 package store
 
 import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
 	"qbs/internal/obs"
 )
 
@@ -17,3 +21,20 @@ var (
 	mCheckpointNs = obs.Default.Gauge("qbs_checkpoint_last_ns", "")
 	mSnapshotSize = obs.Default.Gauge("qbs_snapshot_bytes", "")
 )
+
+// qbs_build_info is the standard build-identity gauge (constant 1, all
+// information in the labels): the Go toolchain, the module version when
+// built from a tagged checkout, and the on-disk format versions this
+// binary reads and writes. It lives in the store package because store
+// owns the format version constants and is linked into every binary
+// that exposes a mux (server, router, replica).
+func init() {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	labels := fmt.Sprintf(
+		`go_version=%q,module_version=%q,snapshot_format="%d",dynamic_snapshot_format="%d",wal_format="%d"`,
+		runtime.Version(), version, snapVersion, diSnapVersion, walVersion)
+	obs.Default.Gauge("qbs_build_info", labels).Set(1)
+}

@@ -11,6 +11,7 @@ import (
 
 	"qbs/internal/dynamic"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 )
 
 // Options tunes the durable store.
@@ -150,13 +151,22 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	// Recovery is a root span: it runs before any request can arrive, and
+	// a slow restore (large snapshot, long replay tail) is exactly the
+	// kind of invisible stall the trace store exists to expose.
+	tb := obs.DefaultTracer.Begin("store.recover", "", 0, false)
 	fail := func(err error) (*Store, error) {
+		tb.MarkError()
+		obs.DefaultTracer.Finish(tb)
 		unlockDataDir(lock)
 		return nil, err
 	}
 
+	loadSp := tb.StartSpan("snapshot.load")
 	ls, snaps, damaged, err := loadNewestSnapshot(dir, opts.MMap)
 	if err != nil {
+		loadSp.Fail()
+		loadSp.End()
 		return fail(err)
 	}
 	if !opts.ReadOnly {
@@ -170,11 +180,19 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	d, err := dynamic.Restore(ls.g, ls.landmarks, ls.dists, ls.labels, ls.sigma, ls.delta, ls.epoch, opts.Dynamic)
 	if err != nil {
+		loadSp.Fail()
+		loadSp.End()
 		return fail(fmt.Errorf("store: restore: %w", err))
 	}
+	loadSp.SetInt("epoch", int64(ls.epoch))
+	loadSp.End()
 
+	replaySp := tb.StartSpan("wal.replay")
+	replayed := 0
 	segs, err := listSegments(walDir(dir))
 	if err != nil {
+		replaySp.Fail()
+		replaySp.End()
 		return fail(err)
 	}
 	var prior []segmentInfo
@@ -185,15 +203,20 @@ func Open(dir string, opts Options) (*Store, error) {
 			if rec.epoch <= ls.epoch {
 				return nil // already folded into the snapshot
 			}
+			replayed++
 			if rec.op == recCompact {
 				return d.ReplayEpoch(rec.epoch)
 			}
 			return d.ReplayEdge(rec.u, rec.w, rec.op == recInsert, rec.epoch)
 		})
 		if err != nil {
+			replaySp.Fail()
+			replaySp.End()
 			return fail(fmt.Errorf("store: replay %s: %w", filepath.Base(seg.path), err))
 		}
 		if res.torn && !last {
+			replaySp.Fail()
+			replaySp.End()
 			return fail(fmt.Errorf("store: segment %s is corrupt mid-log (valid segments follow)", filepath.Base(seg.path)))
 		}
 		if res.torn && !opts.ReadOnly {
@@ -213,6 +236,9 @@ func Open(dir string, opts Options) (*Store, error) {
 			prior = append(prior, segmentInfo{seq: seg.seq, lastEpoch: res.lastEpoch, hasRecords: res.records > 0})
 		}
 	}
+	replaySp.SetInt("segments", int64(len(segs)))
+	replaySp.SetInt("records", int64(replayed))
+	replaySp.End()
 
 	// Everything recovered from disk counts as durable for replication
 	// purposes: it survived to be replayed.
@@ -230,6 +256,8 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.w = w
 		d.SetLogger(s)
 	}
+	tb.Root().SetInt("epoch", int64(d.Epoch()))
+	obs.DefaultTracer.Finish(tb)
 	return s, nil
 }
 
@@ -282,6 +310,18 @@ func (s *Store) Checkpoint() (uint64, error) {
 	if s.opts.ReadOnly {
 		return 0, ErrReadOnly
 	}
+	tb := obs.DefaultTracer.Begin("store.checkpoint", "", 0, false)
+	epoch, err := s.checkpoint(tb)
+	if err != nil {
+		tb.MarkError()
+	} else {
+		tb.Root().SetInt("epoch", int64(epoch))
+	}
+	obs.DefaultTracer.Finish(tb)
+	return epoch, err
+}
+
+func (s *Store) checkpoint(tb *obs.TraceBuf) (uint64, error) {
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 
@@ -298,13 +338,18 @@ func (s *Store) Checkpoint() (uint64, error) {
 	if ps.Epoch == lastSnap {
 		return ps.Epoch, nil // nothing new to persist
 	}
+	writeSp := tb.StartSpan("snapshot.write")
 	name, err := writeSnapshotFile(s.dir, ps)
 	if err != nil {
+		writeSp.Fail()
+		writeSp.End()
 		return 0, err
 	}
 	if fi, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
 		mSnapshotSize.Set(fi.Size())
+		writeSp.SetInt("bytes", fi.Size())
 	}
+	writeSp.End()
 	if err := writeCurrent(s.dir, name); err != nil {
 		return 0, err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"qbs/internal/dynamic"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 )
 
 // Replication read surface: the primary side of WAL shipping. A store
@@ -366,17 +367,26 @@ scan:
 // records are applied through the dynamic replay seam. It returns the
 // index and the epoch the snapshot captured.
 func LoadSnapshot(path string, useMMap bool, opts dynamic.Options) (*dynamic.Index, uint64, error) {
+	tb := obs.DefaultTracer.Begin("store.snapshot_load", "", 0, false)
+	fail := func(err error) (*dynamic.Index, uint64, error) {
+		tb.MarkError()
+		obs.DefaultTracer.Finish(tb)
+		return nil, 0, err
+	}
 	ar, err := openArena(path, useMMap)
 	if err != nil {
-		return nil, 0, err
+		return fail(err)
 	}
 	ls, err := decodeSnapshot(ar.data)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: snapshot %s: %w", filepath.Base(path), err)
+		return fail(fmt.Errorf("store: snapshot %s: %w", filepath.Base(path), err))
 	}
 	d, err := dynamic.Restore(ls.g, ls.landmarks, ls.dists, ls.labels, ls.sigma, ls.delta, ls.epoch, opts)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: restore: %w", err)
+		return fail(fmt.Errorf("store: restore: %w", err))
 	}
+	tb.Root().SetInt("epoch", int64(ls.epoch))
+	tb.Root().SetInt("bytes", int64(len(ar.data)))
+	obs.DefaultTracer.Finish(tb)
 	return d, ls.epoch, nil
 }

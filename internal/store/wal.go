@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 )
 
 // Write-ahead log: CRC-framed, epoch-stamped records in rotating
@@ -143,10 +144,11 @@ func (w *walWriter) append(rec walRecord) error {
 	w.cur.hasRecords = true
 	w.unsynced++
 	if w.syncEvery <= 1 || w.unsynced >= w.syncEvery {
-		if err := w.fsync(); err != nil {
+		n := w.unsynced
+		w.unsynced = 0
+		if err := w.fsync(n); err != nil {
 			return err
 		}
-		w.unsynced = 0
 	}
 	return nil
 }
@@ -156,14 +158,25 @@ func (w *walWriter) sync() error {
 	if w.unsynced == 0 {
 		return nil
 	}
+	n := w.unsynced
 	w.unsynced = 0
-	return w.fsync()
+	return w.fsync(n)
 }
 
-func (w *walWriter) fsync() error {
+// fsync durably flushes records batched appends. Each flush is a root
+// span so slow fsync batches (the classic durability stall) show up in
+// the trace store with the batch size attached; fast flushes are
+// head-sample-dropped without allocating.
+func (w *walWriter) fsync(records int) error {
+	tb := obs.DefaultTracer.Begin("wal.fsync", "", 0, false)
+	tb.Root().SetInt("records", int64(records))
 	start := time.Now()
 	err := w.f.Sync()
 	mWALFsyncNs.Observe(time.Since(start))
+	if err != nil {
+		tb.MarkError()
+	}
+	obs.DefaultTracer.Finish(tb)
 	return err
 }
 

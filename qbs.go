@@ -31,6 +31,7 @@
 package qbs
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -38,6 +39,7 @@ import (
 	"qbs/internal/core"
 	"qbs/internal/dynamic"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 	"qbs/internal/store"
 )
 
@@ -347,6 +349,18 @@ func (di *DynamicIndex) AddEdge(u, v V) (bool, error) { return di.d.AddEdge(u, v
 // clients.
 func (di *DynamicIndex) ApplyEdge(u, v V, insert bool) (UpdateResult, error) {
 	return di.d.ApplyEdge(u, v, insert)
+}
+
+// ApplyEdgeCtx is ApplyEdge wired into the request's trace: when ctx
+// carries an obs.Trace with an active span buffer, the WAL append and
+// any budget-blown column re-BFSes are recorded as child spans of the
+// request. Behaviour is otherwise identical to ApplyEdge.
+func (di *DynamicIndex) ApplyEdgeCtx(ctx context.Context, u, v V, insert bool) (UpdateResult, error) {
+	var tb *obs.TraceBuf
+	if tr := obs.FromContext(ctx); tr != nil {
+		tb = tr.Spans
+	}
+	return di.d.ApplyEdgeTraced(u, v, insert, tb)
 }
 
 // RemoveEdge deletes the undirected edge {u, v} and incrementally
