@@ -1,0 +1,72 @@
+// qbs-vet runs the project-invariant static-analysis suite from
+// internal/lint over the module: zeroalloc, atomicfield, loggedpublish,
+// hotpath and syncerr in analyzer mode, or the compiler-backed escape
+// gate with -escape. Any finding exits nonzero, so CI can gate on it.
+//
+// Usage:
+//
+//	go run ./cmd/qbs-vet ./...           # all analyzers, test files included
+//	go run ./cmd/qbs-vet -escape ./...   # escape-analysis allocation gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qbs/internal/lint"
+)
+
+func main() {
+	escape := flag.Bool("escape", false, "run the escape-analysis allocation gate instead of the analyzers")
+	tests := flag.Bool("tests", true, "include _test.go files in analyzer mode")
+	dir := flag.String("dir", "", "module directory to analyze (default: current directory)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *escape {
+		os.Exit(runEscape(*dir, patterns))
+	}
+	os.Exit(runAnalyzers(*dir, *tests, patterns))
+}
+
+func runAnalyzers(dir string, tests bool, patterns []string) int {
+	prog, err := lint.Load(lint.LoadConfig{Dir: dir, Tests: tests}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbs-vet:", err)
+		return 2
+	}
+	ds := lint.RunAll(prog)
+	for _, d := range ds {
+		fmt.Printf("%s: [%s] %s\n", prog.Rel(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(ds) > 0 {
+		fmt.Fprintf(os.Stderr, "qbs-vet: %d finding(s)\n", len(ds))
+		return 1
+	}
+	fmt.Printf("qbs-vet: ok (%d packages, %d analyzers)\n", len(prog.Packages), len(lint.All))
+	return 0
+}
+
+func runEscape(dir string, patterns []string) int {
+	ds, checked, err := lint.EscapeGate(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbs-vet:", err)
+		return 2
+	}
+	for _, d := range ds {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(ds) > 0 {
+		fmt.Fprintf(os.Stderr, "qbs-vet: escape gate failed: %d heap allocation(s) in //qbs:zeroalloc functions\n", len(ds))
+		return 1
+	}
+	fmt.Printf("qbs-vet: escape gate ok — %d annotated function(s) allocation-free:\n", len(checked))
+	for _, name := range checked {
+		fmt.Printf("  %s\n", name)
+	}
+	return 0
+}

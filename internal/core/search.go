@@ -194,6 +194,8 @@ func (sr *Searcher) Query(u, v graph.V) *graph.SPG {
 // QueryInto answers SPG(u, v) into a caller-owned result, resetting it
 // first. Reusing one SPG across queries makes the warm query path
 // allocation-free (the edge buffer is recycled at its high-water mark).
+//
+//qbs:zeroalloc
 func (sr *Searcher) QueryInto(spg *graph.SPG, u, v graph.V) QueryStats {
 	spg.Reset(u, v)
 	return sr.query(spg, u, v, true)

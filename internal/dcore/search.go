@@ -148,6 +148,8 @@ func (sr *Searcher) QueryWithStats(u, v graph.V) (*graph.DiSPG, QueryStats) {
 // first. Reusing one DiSPG across queries keeps the warm query path free
 // of heap allocations (the arc buffer is recycled at its high-water
 // mark).
+//
+//qbs:zeroalloc
 func (sr *Searcher) QueryInto(spg *graph.DiSPG, u, v graph.V) {
 	spg.Reset(u, v)
 	sr.query(spg, u, v, true)

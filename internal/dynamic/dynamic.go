@@ -110,6 +110,8 @@ type Index struct {
 }
 
 // searcher draws a pooled searcher bound to the given snapshot.
+//
+//qbs:allow zeroalloc pool refill and epoch rebind are the sanctioned cold path; steady-state serving reuses an already-bound searcher
 func (d *Index) searcher(s *snapshot) *core.Searcher {
 	if sr, ok := d.pool.Get().(*core.Searcher); ok && sr.Rebind(s.index) {
 		return sr
@@ -133,6 +135,7 @@ func New(g *graph.Graph, landmarks []graph.V, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	//qbs:allow loggedpublish bootstrap publish at epoch 0; no logger is attached yet
 	d.cur.Store(snap)
 	return d, nil
 }
@@ -277,6 +280,8 @@ func (d *Index) newSnapshot(st state, epoch uint64) (*snapshot, error) {
 // fallible step happens in newSnapshot beforehand — which is what lets
 // writers log to the WAL between preparation and publication without
 // ever leaving a logged epoch unpublished.
+//
+//qbs:publish
 func (d *Index) commitLocked(snap *snapshot) {
 	d.cur.Store(snap)
 	d.stats.Epoch = snap.epoch

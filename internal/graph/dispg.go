@@ -24,6 +24,8 @@ func NewDiSPG(u, v V) *DiSPG {
 // Reset re-initialises the DiSPG for a new pair (u, v), keeping the arc
 // buffer's capacity. Query paths reuse one DiSPG across many queries to
 // stay allocation-free once the buffer has grown to its working size.
+//
+//qbs:zeroalloc
 func (s *DiSPG) Reset(u, v V) {
 	s.Source, s.Target = u, v
 	s.Dist = InfDist

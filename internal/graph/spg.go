@@ -34,6 +34,8 @@ func NewSPG(u, v V) *SPG {
 // Reset re-initialises the SPG for a new pair (u, v), keeping the edge
 // buffer's capacity. Query paths reuse one SPG across many queries to
 // stay allocation-free once the buffer has grown to its working size.
+//
+//qbs:zeroalloc
 func (s *SPG) Reset(u, v V) {
 	s.Source, s.Target = u, v
 	s.Dist = InfDist

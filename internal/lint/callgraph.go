@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The zeroalloc analyzer follows static calls from annotated functions
+// into their module-local callees. The graph is deliberately simple:
+// direct calls and concrete-method calls resolve; calls through
+// interface values or function-typed variables do not (the runtime
+// target is unknown statically). That soundness gap is documented in
+// doc.go — the warm paths pin their dynamic calls behind small concrete
+// types precisely so this resolution works.
+
+var calleeCache = map[*FuncInfo][]*FuncInfo{}
+
+// Callees returns the module functions fi statically calls.
+func (p *Program) Callees(fi *FuncInfo) []*FuncInfo {
+	if cs, ok := calleeCache[fi]; ok {
+		return cs
+	}
+	ix := p.Annots()
+	var out []*FuncInfo
+	seen := map[*FuncInfo]bool{}
+	if fi.Decl.Body != nil {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(fi.Pkg, call)
+			if obj == nil {
+				return true
+			}
+			key := p.funcKey(obj)
+			if key == "" {
+				return true
+			}
+			if callee := ix.funcByKey[key]; callee != nil && !seen[callee] {
+				seen[callee] = true
+				out = append(out, callee)
+			}
+			return true
+		})
+	}
+	calleeCache[fi] = out
+	return out
+}
+
+// calleeObject resolves a call expression to the called object, or nil
+// when the target is dynamic (interface method, func-typed value) or a
+// conversion.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			// Interface methods resolve to the interface's method
+			// object, whose position is not a module FuncDecl; the
+			// funcKey lookup filters them out naturally. Concrete
+			// methods resolve to their declaration.
+			return sel.Obj()
+		}
+		// Package-qualified call: other.Fn().
+		if obj := pkg.Info.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}

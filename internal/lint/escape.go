@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape gate is the compiler-backed sibling of the zeroalloc
+// analyzer: instead of pattern-matching allocating constructs, it asks
+// the gc escape analysis directly. `go build -gcflags=<mod>/...=-m`
+// emits one diagnostic per escape decision; any "escapes to heap" or
+// "moved to heap" inside the line range of a //qbs:zeroalloc function
+// fails the gate. The build cache replays -m diagnostics on cached
+// builds, so the gate is cheap to run repeatedly.
+//
+// "leaking param" diagnostics are deliberately not failures: a
+// parameter that flows into a longer-lived structure (the sync.Pool
+// Put on the searcher recycle path) does not allocate per call; the
+// allocation, if any, happens at the caller and is caught there.
+
+// escapeRange is one annotated function's source span.
+type escapeRange struct {
+	File      string // absolute path
+	Start, End int
+	Name      string
+}
+
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// EscapeGate loads the module at dir, collects every //qbs:zeroalloc
+// function, rebuilds the packages that contain them with -gcflags=-m
+// and returns a diagnostic per escape inside an annotated span.
+func EscapeGate(dir string, patterns ...string) ([]Diagnostic, []string, error) {
+	prog, err := Load(LoadConfig{Dir: dir}, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranges, pkgSet := annotatedRanges(prog)
+	if len(ranges) == 0 {
+		return nil, nil, fmt.Errorf("lint: no //qbs:zeroalloc functions found under %s", strings.Join(patterns, " "))
+	}
+	var pkgs []string
+	for bp := range pkgSet {
+		pkgs = append(pkgs, bp)
+	}
+	sort.Strings(pkgs)
+
+	out, err := runEscapeBuild(dir, prog.ModPath, pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var checked []string
+	for _, r := range ranges {
+		checked = append(checked, r.Name)
+	}
+	sort.Strings(checked)
+	return ParseEscapeOutput(out, ranges), checked, nil
+}
+
+// annotatedRanges maps //qbs:zeroalloc functions to file line spans and
+// collects the packages that declare them.
+func annotatedRanges(prog *Program) ([]escapeRange, map[string]bool) {
+	var ranges []escapeRange
+	pkgs := map[string]bool{}
+	for _, fi := range prog.Annots().funcList {
+		if !fi.ZeroAlloc {
+			continue
+		}
+		start := prog.Fset.Position(fi.Decl.Pos())
+		end := prog.Fset.Position(fi.Decl.End())
+		ranges = append(ranges, escapeRange{File: start.Filename, Start: start.Line, End: end.Line, Name: fi.Name})
+		pkgs[fi.Pkg.BasePath] = true
+	}
+	return ranges, pkgs
+}
+
+// runEscapeBuild compiles pkgs with escape diagnostics enabled and
+// returns the compiler's stderr.
+func runEscapeBuild(dir, modPath string, pkgs []string) (string, error) {
+	args := []string{"build", "-gcflags=" + modPath + "/...=-m"}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, stderr.String())
+	}
+	return stderr.String(), nil
+}
+
+// ParseEscapeOutput scans -gcflags=-m output for heap allocations
+// inside the annotated spans. Exported separately so the parser is
+// testable on canned compiler output without running a build.
+func ParseEscapeOutput(out string, ranges []escapeRange) []Diagnostic {
+	var ds []Diagnostic
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLineRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, r := range ranges {
+			if lineNo < r.Start || lineNo > r.End || !sameFile(file, r.File) {
+				continue
+			}
+			d := Diagnostic{Analyzer: "escape", Message: fmt.Sprintf("%s: %s", r.Name, msg)}
+			d.Pos.Filename = file
+			d.Pos.Line = lineNo
+			d.Pos.Column = col
+			ds = append(ds, d)
+			break
+		}
+	}
+	return SortDiagnostics(ds)
+}
+
+// sameFile matches the compiler's (often relative) path against the
+// loader's absolute path by component suffix.
+func sameFile(diag, abs string) bool {
+	if diag == abs {
+		return true
+	}
+	return strings.HasSuffix(abs, "/"+strings.TrimPrefix(diag, "./"))
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseEscapeOutput checks the -gcflags=-m parser on canned
+// compiler output: heap escapes inside annotated spans fail, leaking
+// params and non-escapes never do, and escapes outside every annotated
+// span are someone else's business.
+func TestParseEscapeOutput(t *testing.T) {
+	ranges := []escapeRange{
+		{File: "/repo/internal/core/search.go", Start: 195, End: 210, Name: "(*core.Searcher).QueryInto"},
+		{File: "/repo/internal/graph/spg.go", Start: 35, End: 45, Name: "(*graph.SPG).Reset"},
+	}
+	out := strings.Join([]string{
+		"# qbs/internal/core",
+		"internal/core/search.go:200:11: new(int32) escapes to heap",
+		"internal/core/search.go:198:2: leaking param: spg to result",
+		"internal/core/search.go:205:9: make([]int, 4) does not escape",
+		"internal/core/search.go:300:5: moved to heap: buf",
+		"internal/graph/spg.go:40:3: moved to heap: scratch",
+		"internal/graph/other.go:40:3: &lit{} escapes to heap",
+		"not a diagnostic line",
+	}, "\n")
+
+	ds := ParseEscapeOutput(out, ranges)
+	if len(ds) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(ds), ds)
+	}
+	if ds[0].Pos.Line != 200 || !strings.Contains(ds[0].Message, "QueryInto: new(int32) escapes to heap") {
+		t.Errorf("unexpected first diagnostic: %+v", ds[0])
+	}
+	if ds[1].Pos.Line != 40 || !strings.Contains(ds[1].Message, "Reset: moved to heap: scratch") {
+		t.Errorf("unexpected second diagnostic: %+v", ds[1])
+	}
+}
+
+// TestEscapeGateEndToEnd drives the real gate against two throwaway
+// modules: a clean annotated function passes, and seeding a heap
+// allocation into it fails — the acceptance check for the CI job.
+func TestEscapeGateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a module with the toolchain")
+	}
+	write := func(t *testing.T, dir, name, content string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const gomod = "module seed\n\ngo 1.22\n"
+	const clean = `package seed
+
+// Sum is warm and allocation-free.
+//
+//qbs:zeroalloc
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`
+	const seeded = `package seed
+
+var sink *int
+
+// Sum is annotated but leaks a heap allocation.
+//
+//qbs:zeroalloc
+func Sum(xs []int) int {
+	total := new(int)
+	sink = total
+	for _, x := range xs {
+		*total += x
+	}
+	return *total
+}
+`
+
+	t.Run("clean", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, "go.mod", gomod)
+		write(t, dir, "seed.go", clean)
+		ds, checked, err := EscapeGate(dir, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds) != 0 {
+			t.Fatalf("clean module failed the gate: %+v", ds)
+		}
+		if len(checked) != 1 || checked[0] != "seed.Sum" {
+			t.Fatalf("checked = %v, want [seed.Sum]", checked)
+		}
+	})
+
+	t.Run("seeded", func(t *testing.T) {
+		dir := t.TempDir()
+		write(t, dir, "go.mod", gomod)
+		write(t, dir, "seed.go", seeded)
+		ds, _, err := EscapeGate(dir, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds) == 0 {
+			t.Fatal("seeded heap allocation passed the gate")
+		}
+		if !strings.Contains(ds[0].Message, "escapes to heap") {
+			t.Errorf("unexpected diagnostic: %+v", ds[0])
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The fixture harness is a small analysistest: each testdata/<name>
+// directory is a self-contained module whose sources carry
+//
+//	// want <analyzer> "substring"
+//
+// comments on the offending line (repeatable within one comment), or
+//
+//	// want:-1 <analyzer> "substring"
+//
+// with a relative line offset when the finding lands on a line that
+// cannot hold a trailing comment (e.g. inside a directive comment
+// group). The harness runs the full suite and requires an exact
+// bidirectional match: every want fires, nothing else does.
+
+var wantRE = regexp.MustCompile(`want(:[+-]\d+)? (\w+) "([^"]+)"`)
+
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+	matched  bool
+}
+
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	prog, err := Load(LoadConfig{Dir: filepath.Join("testdata", name), Tests: true}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := RunAll(prog)
+
+	var wants []*expectation
+	seen := map[string]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						pos := prog.Fset.Position(c.Pos())
+						line := pos.Line
+						if m[1] != "" {
+							off, _ := strconv.Atoi(m[1][1:])
+							line += off
+						}
+						key := fmt.Sprintf("%s:%d:%s:%s", pos.Filename, line, m[2], m[3])
+						if seen[key] {
+							continue
+						}
+						seen[key] = true
+						wants = append(wants, &expectation{pos.Filename, line, m[2], m[3], false})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", name)
+	}
+
+	for _, d := range ds {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				w.analyzer == d.Analyzer && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s: [%s] %s", prog.Rel(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d: [%s] containing %q",
+				filepath.Base(w.file), w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+func TestZeroAllocFixture(t *testing.T)     { runFixture(t, "zeroalloc") }
+func TestAtomicFieldFixture(t *testing.T)   { runFixture(t, "atomicfield") }
+func TestLoggedPublishFixture(t *testing.T) { runFixture(t, "loggedpublish") }
+func TestHotPathFixture(t *testing.T)       { runFixture(t, "hotpath") }
+func TestSyncErrFixture(t *testing.T)       { runFixture(t, "syncerr") }
+func TestDirectiveFixture(t *testing.T)     { runFixture(t, "directive") }

@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestVetCleanAtHead is the suite run over the real module, test files
+// included — the same invocation as the CI static-analysis job. Any
+// finding is a regression: either new code broke an invariant, or an
+// analyzer change introduced a false positive; both block.
+func TestVetCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	prog, err := Load(LoadConfig{Dir: "../..", Tests: true}, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := RunAll(prog)
+	for _, d := range ds {
+		t.Errorf("%s: [%s] %s", prog.Rel(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(prog.Packages) < 20 {
+		t.Errorf("suspiciously few packages loaded: %d", len(prog.Packages))
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HotPath bans latency hazards inside //qbs:hotpath regions — the
+// traverse kernel sweeps and other per-vertex/per-edge inner loops.
+// Unlike zeroalloc (an allocation budget), hotpath is about anything
+// that costs unpredictable time per iteration: time.Now (vDSO call per
+// vertex), fmt (allocation + reflection), package reflect, and map
+// iteration (randomized order, cache-hostile). The rule is
+// region-local: annotate the innermost kernel functions, not their
+// orchestrators — Run/RunDirected legitimately call fmt.Errorf on cold
+// error paths.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid time.Now, fmt, reflection and map iteration in //qbs:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(p *Program) []Diagnostic {
+	var ds []Diagnostic
+	for _, fi := range p.Annots().funcList {
+		if !fi.HotPath || fi.Decl.Body == nil {
+			continue
+		}
+		pkg := fi.Pkg
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := typeOf(pkg, n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						ds = p.report(ds, "hotpath", n, fmt.Sprintf(
+							"%s: map iteration in a hotpath region (randomized order, cache-hostile)", fi.Name))
+					}
+				}
+			case *ast.CallExpr:
+				se, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[se.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "fmt":
+					ds = p.report(ds, "hotpath", n, fmt.Sprintf(
+						"%s: fmt.%s in a hotpath region", fi.Name, se.Sel.Name))
+				case "reflect":
+					ds = p.report(ds, "hotpath", n, fmt.Sprintf(
+						"%s: reflect.%s in a hotpath region", fi.Name, se.Sel.Name))
+				case "time":
+					if se.Sel.Name == "Now" {
+						ds = p.report(ds, "hotpath", n, fmt.Sprintf(
+							"%s: time.Now in a hotpath region (hoist the clock read out of the sweep)", fi.Name))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ds
+}

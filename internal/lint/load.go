@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package loading without golang.org/x/tools: `go list -deps -export
+// -json` enumerates the build-tag-resolved file sets and the export
+// data of every dependency, module packages are type-checked from
+// source in dependency order, and standard-library imports are
+// satisfied from the compiler's export data via go/importer. The
+// result is one consistent *types.Package universe, so analyzers can
+// compare objects across packages.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	ForTest    string // set on test variants ("pkg [pkg.test]" shapes)
+	Export     string // export data file (dependencies, with -export)
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Package is one type-checked module package (analysis unit).
+type Package struct {
+	// Path is the import path as listed; test variants keep the
+	// "pkg [pkg.test]" decoration.
+	Path string
+	// BasePath is the undecorated import path (ForTest for variants).
+	BasePath string
+	Pkg      *types.Package
+	Info     *types.Info
+	Files    []*ast.File
+}
+
+// Program is a loaded module: every package to analyze plus the shared
+// position and type universes.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // dependency order
+	ModPath  string     // module path ("qbs")
+	ModDir   string     // module root directory
+
+	annots *annotIndex // lazily built directive index
+}
+
+// LoadConfig tunes Load.
+type LoadConfig struct {
+	// Dir is the working directory for go list (any directory inside
+	// the module); empty means the current directory.
+	Dir string
+	// Tests includes _test.go files: test variants and external _test
+	// packages become analysis units of their own.
+	Tests bool
+}
+
+// Load lists patterns (e.g. "./...") with the go command and
+// type-checks every module package from source. Standard-library
+// dependencies are imported from compiler export data, so the load
+// works offline and without any third-party tooling.
+func Load(cfg LoadConfig, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-deps", "-export", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	// Cgo off: the pure-Go file sets are what go/types can check, and
+	// the module itself is cgo-free.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %s", strings.Join(patterns, " "))
+	}
+
+	modDirCmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	modDirCmd.Dir = cfg.Dir
+	modDirOut, err := modDirCmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving module root: %v", err)
+	}
+
+	return typeCheck(pkgs, strings.TrimSpace(string(modDirOut)))
+}
+
+// typeCheck builds the Program from listed packages: module packages
+// from source (dependency order is the listing order — go list emits
+// dependencies first), everything else from export data.
+func typeCheck(pkgs []*listPkg, modDir string) (*Program, error) {
+	fset := token.NewFileSet()
+	byPath := make(map[string]*listPkg, len(pkgs))
+	for _, lp := range pkgs {
+		byPath[lp.ImportPath] = lp
+	}
+
+	// Export-data importer for non-module dependencies. The gc importer
+	// caches internally, so shared stdlib packages resolve to one
+	// *types.Package across the whole program.
+	exp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		lp := byPath[path]
+		if lp == nil || lp.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(lp.Export)
+	})
+
+	checked := make(map[string]*Package) // decorated import path → checked module package
+	prog := &Program{Fset: fset, ModDir: modDir}
+
+	var load func(lp *listPkg) (*types.Package, error)
+	resolve := func(from *listPkg, path string) (*types.Package, error) {
+		if m, ok := from.ImportMap[path]; ok {
+			path = m
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		dep := byPath[path]
+		if dep == nil {
+			return nil, fmt.Errorf("lint: %s imports %q: not in the listing", from.ImportPath, path)
+		}
+		if inModule(dep) {
+			if p := checked[path]; p != nil {
+				return p.Pkg, nil
+			}
+			return load(dep)
+		}
+		return exp.Import(path)
+	}
+	load = func(lp *listPkg) (*types.Package, error) {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s uses cgo; not supported", lp.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				return resolve(lp, path)
+			}),
+		}
+		tp, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+		}
+		p := &Package{Path: lp.ImportPath, BasePath: basePath(lp), Pkg: tp, Info: info, Files: files}
+		checked[lp.ImportPath] = p
+		prog.Packages = append(prog.Packages, p)
+		if prog.ModPath == "" && lp.Module != nil {
+			prog.ModPath = lp.Module.Path
+		}
+		return tp, nil
+	}
+
+	for _, lp := range pkgs {
+		if !inModule(lp) || checked[lp.ImportPath] != nil {
+			continue
+		}
+		if _, err := load(lp); err != nil {
+			return nil, err
+		}
+	}
+	if len(prog.Packages) == 0 {
+		return nil, fmt.Errorf("lint: no module packages in the listing")
+	}
+	return prog, nil
+}
+
+// inModule reports whether lp is a package to analyze: part of the
+// main module and not a synthetic generated test-main.
+func inModule(lp *listPkg) bool {
+	if lp.Standard || lp.Module == nil {
+		return false
+	}
+	if strings.HasSuffix(lp.ImportPath, ".test") && lp.Name == "main" {
+		return false // generated _testmain.go package; its file may not exist
+	}
+	return true
+}
+
+// basePath strips the test-variant decoration.
+func basePath(lp *listPkg) string {
+	if lp.ForTest != "" {
+		// External test packages ("qbs_test [qbs.test]") keep their
+		// _test-suffixed path; in-package variants resolve to ForTest.
+		if i := strings.IndexByte(lp.ImportPath, ' '); i >= 0 {
+			p := lp.ImportPath[:i]
+			if p == lp.ForTest+"_test" {
+				return p
+			}
+		}
+		return lp.ForTest
+	}
+	return lp.ImportPath
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// SortDiagnostics orders diagnostics by position then analyzer, and
+// drops exact duplicates (base packages and their test variants share
+// files, so both report the same finding).
+func SortDiagnostics(ds []Diagnostic) []Diagnostic {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LoggedPublish enforces the PR 3 durability ordering inside
+// internal/dynamic and internal/store: an epoch publish — a call to a
+// //qbs:publish helper, a Store/Swap on an atomic.Pointer/atomic.Value
+// field, or sync/atomic.StorePointer — must be preceded in the same
+// function by the corresponding UpdateLogger append (LogUpdate or
+// LogCompaction). Readers that crash-recover replay the log; a publish
+// the log never saw is an epoch that recovery silently loses.
+//
+// "Preceded" is lexical source order within the function body — an
+// approximation of dominance that matches how the commit paths are
+// written (the log call may sit inside an `if logger != nil` guard; a
+// nil logger means an explicitly log-less configuration). Bootstrap and
+// replay functions, where the record is already durable or no log
+// exists yet, carry //qbs:allow loggedpublish <reason>.
+var LoggedPublish = &Analyzer{
+	Name: "loggedpublish",
+	Doc:  "epoch publishes in internal/dynamic and internal/store must be preceded by the UpdateLogger append",
+	Run:  runLoggedPublish,
+}
+
+var loggedPublishScope = []string{"/internal/dynamic", "/internal/store"}
+
+func runLoggedPublish(p *Program) []Diagnostic {
+	ix := p.Annots()
+	var ds []Diagnostic
+	for _, fi := range ix.funcList {
+		if fi.Decl.Body == nil || fi.Publish {
+			continue // publish helpers are the seam, not the obligation
+		}
+		if !inScope(fi.Pkg.BasePath, loggedPublishScope) {
+			continue
+		}
+		ds = append(ds, p.checkLoggedPublish(fi)...)
+	}
+	return ds
+}
+
+func inScope(basePath string, scope []string) bool {
+	for _, s := range scope {
+		if strings.HasSuffix(basePath, s) || strings.Contains(basePath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Program) checkLoggedPublish(fi *FuncInfo) []Diagnostic {
+	pkg := fi.Pkg
+	var ds []Diagnostic
+	logged := token.NoPos
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isLoggerAppend(pkg, call) {
+			if logged == token.NoPos || call.Pos() < logged {
+				logged = call.Pos()
+			}
+			return true
+		}
+		if what := publishKind(p, pkg, call); what != "" {
+			if logged == token.NoPos || call.Pos() < logged {
+				ds = p.report(ds, "loggedpublish", call, fmt.Sprintf(
+					"%s: %s publishes an epoch without a preceding UpdateLogger append (log before publish; //qbs:allow loggedpublish <reason> for bootstrap/replay paths)",
+					fi.Name, what))
+			}
+		}
+		return true
+	})
+	return ds
+}
+
+// isLoggerAppend matches calls to LogUpdate/LogCompaction — the
+// UpdateLogger seam methods (interface or concrete implementation).
+func isLoggerAppend(pkg *Package, call *ast.CallExpr) bool {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return se.Sel.Name == "LogUpdate" || se.Sel.Name == "LogCompaction"
+}
+
+// publishKind classifies call as an epoch publish, returning a short
+// description, or "".
+func publishKind(p *Program, pkg *Package, call *ast.CallExpr) string {
+	// A call to a //qbs:publish-annotated module function.
+	if obj := calleeObject(pkg, call); obj != nil {
+		if fi := p.Annots().funcByKey[p.funcKey(obj)]; fi != nil && fi.Publish {
+			return fi.Name
+		}
+	}
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// sync/atomic.StorePointer(&x.f, p).
+	if isSyncAtomicCall(pkg, call) && se.Sel.Name == "StorePointer" {
+		return "atomic.StorePointer"
+	}
+	// (atomic.Pointer[T]).Store / Swap / CompareAndSwap, atomic.Value.Store.
+	switch se.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return ""
+	}
+	sel, ok := pkg.Info.Selections[se]
+	if !ok || sel.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := sel.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Pointer", "Value":
+		return fmt.Sprintf("atomic.%s.%s", named.Obj().Name(), se.Sel.Name)
+	}
+	return ""
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// SyncErr is a scoped errcheck: inside internal/store and
+// internal/replica — the two packages whose job is durability — a
+// discarded error from Close, Sync or Flush is a silent data-loss bug.
+// fsync failures in particular surface exactly once (the kernel clears
+// the dirty flag), so a dropped Sync error is unrecoverable.
+//
+// Only bare expression statements are flagged. `_ = f.Close()` is an
+// explicit acknowledgment (used on error paths where a best-effort
+// close follows a failure already being returned) and defers of a
+// plain Close keep their usual cleanup meaning.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc:  "Close/Sync/Flush errors must not be silently discarded in internal/store and internal/replica",
+	Run:  runSyncErr,
+}
+
+var syncErrScope = []string{"/internal/store", "/internal/replica"}
+
+func runSyncErr(p *Program) []Diagnostic {
+	var ds []Diagnostic
+	for _, fi := range p.Annots().funcList {
+		if fi.Decl.Body == nil || !inScope(fi.Pkg.BasePath, syncErrScope) {
+			continue
+		}
+		pkg := fi.Pkg
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := discardedSyncErr(pkg, call); name != "" {
+				ds = p.report(ds, "syncerr", stmt, fmt.Sprintf(
+					"%s: %s error is discarded; check it, or write `_ = %s` to acknowledge a best-effort cleanup",
+					fi.Name, name, types.ExprString(call)))
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// discardedSyncErr reports the method name when call is a
+// Close/Sync/Flush returning an error that the statement drops.
+func discardedSyncErr(pkg *Package, call *ast.CallExpr) string {
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch se.Sel.Name {
+	case "Close", "Sync", "Flush":
+	default:
+		return ""
+	}
+	sig, ok := typeOf(pkg, call.Fun).(*types.Signature)
+	if !ok {
+		return ""
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return ""
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return ""
+	}
+	return se.Sel.Name
+}

@@ -1,0 +1,42 @@
+// Package af exercises the atomicfield analyzer: mixed plain/atomic
+// access, helper propagation, and suppression.
+package af
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64 // accessed atomically AND plainly: findings
+	misses uint64 // atomic-only: clean
+	plain  uint64 // plain-only: clean
+	claims uint32 // atomic via the orHelper indirection
+}
+
+func (c *counters) RecordAtomic() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.misses, 1)
+	orHelper(&c.claims, 1)
+}
+
+func (c *counters) RecordPlain() {
+	c.hits++    // want atomicfield "field hits is accessed with sync/atomic"
+	c.plain++   // plain-only field: fine
+	c.claims |= 2 // want atomicfield "field claims is accessed with sync/atomic"
+}
+
+// Snapshot reads under an external barrier; the allow suppresses it.
+//
+//qbs:allow atomicfield fixture: reader runs after all writers joined
+func (c *counters) Snapshot() uint64 {
+	return c.hits
+}
+
+// orHelper is the one-level propagation case: its pointer parameter
+// feeds a sync/atomic CAS loop, so passing &c.claims marks the field.
+func orHelper(p *uint32, bits uint32) {
+	for {
+		old := atomic.LoadUint32(p)
+		if atomic.CompareAndSwapUint32(p, old, old|bits) {
+			return
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package dd exercises directive validation: typos and malformed
+// allows must surface instead of silently disabling a check.
+package dd
+
+//qbs:zeralloc is a typo and must be reported.
+// want:-1 directive "unknown qbs directive"
+
+func misplaced() {
+	//qbs:zeroalloc
+	// want:-1 directive "must be in a function's doc comment"
+	_ = 0
+}
+
+// incomplete has an allow with no reason.
+//
+//qbs:allow zeroalloc
+// want:-1 directive "needs an analyzer name and a reason"
+func incomplete() {}

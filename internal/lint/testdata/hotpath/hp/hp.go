@@ -1,0 +1,32 @@
+// Package hp exercises the hotpath analyzer: banned constructs inside
+// //qbs:hotpath regions, and the same constructs unflagged outside.
+package hp
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// Sweep is a hotpath region: every hazard inside fires.
+//
+//qbs:hotpath
+func Sweep(dist map[int]int32, out []int32) int64 {
+	start := time.Now() // want hotpath "time.Now in a hotpath region"
+	for v, d := range dist { // want hotpath "map iteration in a hotpath region"
+		out[v] = d
+	}
+	fmt.Println(len(out)) // want hotpath "fmt.Println in a hotpath region"
+	_ = reflect.TypeOf(out) // want hotpath "reflect.TypeOf in a hotpath region"
+	return int64(time.Since(start))
+}
+
+// Orchestrator is not annotated: the cold-path fmt.Errorf is fine.
+func Orchestrator(n int) error {
+	if n < 0 {
+		return fmt.Errorf("hp: bad n %d", n)
+	}
+	t := time.Now()
+	_ = t
+	return nil
+}

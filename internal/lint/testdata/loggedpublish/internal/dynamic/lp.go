@@ -1,0 +1,56 @@
+// Package dynamic (fixture) exercises the loggedpublish analyzer: the
+// log-before-publish ordering, the //qbs:publish helper rule, and the
+// bootstrap suppression.
+package dynamic
+
+import "sync/atomic"
+
+type snapshot struct{ epoch uint64 }
+
+type logger interface {
+	LogUpdate(epoch uint64)
+}
+
+type index struct {
+	cur atomic.Pointer[snapshot]
+	log logger
+}
+
+// commit is the designated publish helper.
+//
+//qbs:publish
+func (ix *index) commit(s *snapshot) {
+	ix.cur.Store(s)
+}
+
+// GoodApply logs before publishing: clean.
+func (ix *index) GoodApply(s *snapshot) {
+	if ix.log != nil {
+		ix.log.LogUpdate(s.epoch)
+	}
+	ix.commit(s)
+}
+
+// BadApply publishes without logging.
+func (ix *index) BadApply(s *snapshot) {
+	ix.commit(s) // want loggedpublish "publishes an epoch without a preceding UpdateLogger append"
+}
+
+// BadDirect stores the pointer directly, skipping even the helper.
+func (ix *index) BadDirect(s *snapshot) {
+	ix.cur.Store(s) // want loggedpublish "publishes an epoch without a preceding UpdateLogger append"
+}
+
+// Bootstrap publishes the initial snapshot before any log exists.
+//
+//qbs:allow loggedpublish fixture: epoch-zero bootstrap has nothing to log
+func (ix *index) Bootstrap(s *snapshot) {
+	ix.cur.Store(s)
+}
+
+// LateLog logs only after the publish: the ordering is wrong even
+// though a log call exists in the function.
+func (ix *index) LateLog(s *snapshot) {
+	ix.commit(s) // want loggedpublish "publishes an epoch without a preceding UpdateLogger append"
+	ix.log.LogUpdate(s.epoch)
+}

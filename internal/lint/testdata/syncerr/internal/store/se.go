@@ -1,0 +1,49 @@
+// Package store (fixture) exercises the syncerr analyzer: discarded
+// Close/Sync/Flush errors in a durability package.
+package store
+
+import "os"
+
+// WriteRecord shows the firing and non-firing forms side by side.
+func WriteRecord(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // acknowledged best-effort cleanup: clean
+		return err
+	}
+	f.Sync()  // want syncerr "Sync error is discarded"
+	f.Close() // want syncerr "Close error is discarded"
+	return nil
+}
+
+// WriteRecordChecked is the corrected form: clean.
+func WriteRecordChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// deferredClose keeps its usual cleanup meaning: clean.
+func deferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}

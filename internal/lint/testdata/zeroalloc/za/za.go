@@ -1,0 +1,63 @@
+// Package za exercises the zeroalloc analyzer: firing constructs,
+// sanctioned idioms, the transitive-callee rule and suppression.
+package za
+
+import "fmt"
+
+type buf struct {
+	data  []int
+	scratch []int
+}
+
+// Warm is annotated: every allocating construct inside fires.
+//
+//qbs:zeroalloc
+func Warm(b *buf, name string, n int) string {
+	s := make([]int, n)       // want zeroalloc "make allocates"
+	_ = s
+	b.data = append(b.data, n) // self-append: sanctioned
+	b.scratch = append(b.scratch[:0], n) // recycle refill: sanctioned
+	other := append([]int{}, n) // want zeroalloc "slice literal allocates" want zeroalloc "append into a fresh destination"
+	_ = other
+	fmt.Println(name) // want zeroalloc "fmt.Println allocates"
+	cb := func() {}   // want zeroalloc "function literal may allocate"
+	cb()
+	defer func() { b.data = b.data[:0] }() // deferred literal: sanctioned
+	return name + "!" // want zeroalloc "string concatenation allocates"
+}
+
+// WarmCaller is annotated and clean itself; the finding lands in its
+// module-local callee.
+//
+//qbs:zeroalloc
+func WarmCaller(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	tmp := make([]int, n) // want zeroalloc "make allocates"
+	return len(tmp)
+}
+
+// Boxing passes a non-pointer value in an interface parameter.
+//
+//qbs:zeroalloc
+func Boxing(v int64) {
+	consume(v) // want zeroalloc "interface boxing"
+}
+
+func consume(any interface{}) { _ = any }
+
+// Allowed demonstrates function-level suppression.
+//
+//qbs:zeroalloc
+//qbs:allow zeroalloc fixture: documented exception
+func Allowed(n int) []int {
+	return make([]int, n)
+}
+
+// Cold is not annotated and not called from an annotated function, so
+// it may allocate freely.
+func Cold(n int) []int {
+	return make([]int, n)
+}

@@ -59,6 +59,8 @@ func NewHistogram() *Histogram { return &Histogram{} }
 func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
 
 // ObserveNs records one value; negative values clamp to zero.
+//
+//qbs:zeroalloc
 func (h *Histogram) ObserveNs(v int64) {
 	if v < 0 {
 		v = 0

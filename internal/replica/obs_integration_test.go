@@ -84,7 +84,7 @@ func TestObservabilityAcrossTiers(t *testing.T) {
 			t.Fatal(err)
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("write %d: status %d", i, resp.StatusCode)
 		}
@@ -93,7 +93,7 @@ func TestObservabilityAcrossTiers(t *testing.T) {
 			t.Fatal(err)
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("read %d: status %d", i, resp.StatusCode)
 		}

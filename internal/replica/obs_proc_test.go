@@ -40,7 +40,7 @@ func TestObservabilitySmoke(t *testing.T) {
 			t.Fatal(err)
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("read %d: status %d", i, resp.StatusCode)
 		}
@@ -53,7 +53,7 @@ func TestObservabilitySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/metrics: status %d", resp.StatusCode)
 	}
@@ -77,7 +77,7 @@ func TestObservabilitySmoke(t *testing.T) {
 		} `json:"entries"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&slow)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestObservabilitySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || len(prof) == 0 {
 		t.Fatalf("pprof profile: status %d, %d bytes", resp.StatusCode, len(prof))
 	}

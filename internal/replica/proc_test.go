@@ -81,7 +81,7 @@ func TestMultiProcessReplicationSmoke(t *testing.T) {
 			t.Fatalf("op %d: %v", i, err)
 		}
 		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("op %d (kind %d): status %d: %s", i, op.Kind, resp.StatusCode, body)
 		}
@@ -186,7 +186,7 @@ func freeAddr(t *testing.T) string {
 		t.Fatal(err)
 	}
 	addr := l.Addr().String()
-	l.Close()
+	_ = l.Close()
 	return addr
 }
 
@@ -198,7 +198,7 @@ func waitHTTP(t *testing.T, url string, timeout time.Duration) {
 		resp, err := client.Get(url)
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			_ = resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				return
 			}

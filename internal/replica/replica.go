@@ -162,7 +162,7 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 						primaryURL, walPath, epoch, url.QueryEscape(opts.ID)))
 					if err == nil {
 						io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
+						_ = resp.Body.Close()
 					}
 				}
 			}
@@ -271,7 +271,7 @@ func fetchSnapshot(client *http.Client, primary, id, dir string, onEpoch func(ui
 		return "", 0, err
 	}
 	if _, err := io.Copy(tmp, progressReader{resp.Body, &progress}); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		os.Remove(tmp.Name())
 		if ctx.Err() != nil {
 			err = fmt.Errorf("no body progress for %v (stalled transfer): %w", bootstrapStallTimeout, err)

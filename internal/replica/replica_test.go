@@ -46,7 +46,7 @@ func newPrimaryFixture(t *testing.T, segBytes int64, popts PrimaryOptions) *prim
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { st.Close() })
+	t.Cleanup(func() { _ = st.Close() })
 	pr := NewPrimary(st, popts)
 	t.Cleanup(pr.Close)
 	mux := http.NewServeMux()
@@ -469,7 +469,7 @@ func TestWALFetchGoneWhenWriteQuiet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { st.Close() })
+	t.Cleanup(func() { _ = st.Close() })
 	pr := NewPrimary(st, PrimaryOptions{})
 	t.Cleanup(pr.Close)
 	ts := httptest.NewServer(pr)
@@ -499,7 +499,7 @@ func TestWALFetchGoneWhenWriteQuiet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusGone {
 		t.Fatalf("write-quiet truncated fetch: status %d, want 410", resp.StatusCode)
 	}
@@ -508,7 +508,7 @@ func TestWALFetchGoneWhenWriteQuiet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("tip fetch: status %d, want 200", resp.StatusCode)
 	}
@@ -612,7 +612,7 @@ func TestCaughtUpTailNoSpurious410UnderWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { st.Close() })
+	t.Cleanup(func() { _ = st.Close() })
 	pr := NewPrimary(st, PrimaryOptions{})
 	t.Cleanup(pr.Close)
 
@@ -724,7 +724,7 @@ func TestPrimaryCloseReleasesRetention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("lease-registering fetch: status %d", resp.StatusCode)
 	}
@@ -743,7 +743,7 @@ func TestPrimaryCloseReleasesRetention(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if got := p.pr.Leases(); len(got) != 0 {
 		t.Fatalf("closed primary granted a lease: %v", got)
 	}

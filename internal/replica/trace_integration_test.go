@@ -146,7 +146,7 @@ func TestTraceTreeAcrossTiersWithFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("routed read: status %d", resp.StatusCode)
 	}
@@ -279,7 +279,7 @@ func TestTraceCapturesWALAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("routed write: status %d", resp.StatusCode)
 	}

@@ -72,7 +72,7 @@ func CreateDi(dir string, ps dcore.PersistentState) error {
 		return err
 	}
 	cleanup := func() {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 	}
 	if err := encodeDiSnapshot(f, ps); err != nil {

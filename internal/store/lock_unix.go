@@ -20,7 +20,7 @@ func lockDataDir(dir string) (*os.File, error) {
 		return nil, err
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("store: %s is locked by another writer: %w", dir, err)
 	}
 	return f, nil
@@ -31,5 +31,5 @@ func unlockDataDir(f *os.File) {
 		return
 	}
 	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
-	f.Close()
+	_ = f.Close()
 }

@@ -118,7 +118,7 @@ func writeSnapshotFile(dir string, ps dynamic.PersistentState) (string, error) {
 		return "", err
 	}
 	cleanup := func() {
-		f.Close()
+		_ = f.Close()
 		os.Remove(tmp)
 	}
 	if err := encodeSnapshot(f, ps); err != nil {
@@ -483,6 +483,7 @@ func parallelErr(k int, fn func(i int) error) error {
 					return
 				}
 				if err := fn(i); err != nil {
+					//qbs:allow loggedpublish first-error capture, not an epoch publish
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}

@@ -49,7 +49,7 @@ func TestOpenBeatsRebuild(t *testing.T) {
 		if got := s2.Index().NumEdges(); got != g.NumEdges() {
 			t.Fatalf("recovered %d edges, want %d", got, g.NumEdges())
 		}
-		s2.Close()
+		_ = s2.Close()
 	}
 
 	ratio := float64(build) / float64(open)

@@ -524,7 +524,7 @@ func TestWritableOpenExcluded(t *testing.T) {
 	if err != nil {
 		t.Fatalf("read-only open of a live store: %v", err)
 	}
-	ro.Close()
+	_ = ro.Close()
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -532,7 +532,7 @@ func TestWritableOpenExcluded(t *testing.T) {
 	if err != nil {
 		t.Fatalf("writable open after close: %v", err)
 	}
-	s2.Close()
+	_ = s2.Close()
 }
 
 // TestDamagedSnapshotRetired: after a fallback recovery, the corrupt
@@ -620,7 +620,7 @@ func TestCreateRefusesExisting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Close()
+	_ = s.Close()
 	if _, err := Create(dir, newDynamic(t, g, 4), Options{}); err == nil {
 		t.Fatal("second Create on the same dir succeeded")
 	}

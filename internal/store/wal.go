@@ -103,11 +103,11 @@ func (w *walWriter) openSegment() error {
 	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
 	binary.LittleEndian.PutUint64(hdr[8:], w.seq)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	w.f = f
@@ -212,7 +212,9 @@ func (w *walWriter) prune(upto uint64) error {
 // close flushes and closes the current segment.
 func (w *walWriter) close() error {
 	if err := w.sync(); err != nil {
-		w.f.Close()
+		// The sync failure is the primary error; the close is
+		// best-effort teardown of a segment we can no longer trust.
+		_ = w.f.Close()
 		return err
 	}
 	return w.f.Close()

@@ -122,6 +122,9 @@ func (e *Expander) BeginDirected(push, pull graph.Adjacency, deg []int32) {
 
 // syncBitmap rebuilds the visited bitmap from the workspace stamps.
 // Runs once per dense phase, charged against that phase's Ω(|V|) level.
+//
+//qbs:zeroalloc
+//qbs:hotpath
 func (e *Expander) syncBitmap(ws *Workspace) {
 	clear(e.words)
 	e.bmUsed = true
@@ -135,6 +138,8 @@ func (e *Expander) syncBitmap(ws *Workspace) {
 // Expand grows the BFS by one level: every vertex in frontier has depth
 // d in ws; unseen neighbours get depth d+1, are appended to dst and
 // returned. The second result counts adjacency entries examined.
+//
+//qbs:hotpath
 func (e *Expander) Expand(ws *Workspace, frontier []graph.V, d int32, dst []graph.V) ([]graph.V, int64) {
 	if !e.running.CompareAndSwap(false, true) {
 		panic("traverse: Expander used concurrently (one expander per goroutine)")
@@ -183,6 +188,10 @@ func (e *Expander) Expand(ws *Workspace, frontier []graph.V, d int32, dst []grap
 	return e.expandTopDown(ws, frontier, d, dst)
 }
 
+// expandTopDown is the sequential push sweep over the frontier.
+//
+//qbs:zeroalloc
+//qbs:hotpath
 func (e *Expander) expandTopDown(ws *Workspace, frontier []graph.V, d int32, dst []graph.V) ([]graph.V, int64) {
 	g := e.g
 	var arcs int64
@@ -206,6 +215,9 @@ func (e *Expander) expandTopDown(ws *Workspace, frontier []graph.V, d int32, dst
 // accelerator, not ground truth — a stale bit (stamped in ws after the
 // last sync, e.g. during an interleaved top-down phase) is re-checked
 // against ws.Seen and marked lazily.
+//
+//qbs:zeroalloc
+//qbs:hotpath
 func (e *Expander) expandBottomUp(ws *Workspace, d int32, dst []graph.V) ([]graph.V, int64) {
 	g := e.pull
 	var arcs int64

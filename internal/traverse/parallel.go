@@ -143,6 +143,9 @@ type mbParState struct {
 	nf         [][]graph.V // per-worker next-frontier buffers
 }
 
+// ensure sizes the pooled buffers for n vertices and workers workers.
+//
+//qbs:allow atomicfield runs before the level's workers start; the claim CAS is confined to the sweep
 func (p *mbParState) ensure(n, workers int) {
 	if p.touchStamp == nil {
 		p.touchStamp = make([]uint32, n)
@@ -157,6 +160,8 @@ func (p *mbParState) ensure(n, workers int) {
 
 // nextGen starts a fresh claim generation, clearing the stamp array on
 // the (rare) wrap so a stale stamp can never alias the new generation.
+//
+//qbs:allow atomicfield runs between levels; the claim CAS is confined to the sweep
 func (p *mbParState) nextGen() uint32 {
 	p.touchGen++
 	if p.touchGen == 0 {
@@ -176,6 +181,9 @@ func (p *mbParState) nextGen() uint32 {
 // next-frontier lists are concatenated. The accumulated words, and
 // hence every settle(v, depth, newL, newN) payload, are identical to
 // the sequential kernel's; only frontier order differs.
+//
+//qbs:hotpath
+//qbs:allow atomicfield the settle phase reads accumulator words after the sweep barrier, one worker per claimed vertex
 func (mb *MultiBFS) topDownParallel(push graph.Adjacency, landIdx []int16, settle func(graph.V, int32, uint64, uint64), frontier []graph.V, depth int32, workers int, nf []graph.V) []graph.V {
 	mb.par.ensure(mb.n, workers)
 	gen := mb.par.nextGen()
@@ -294,6 +302,8 @@ func (p *expParState) ensure(workers int) {
 // (Workspace.tryClaim), whose single winner writes the distance and
 // appends the vertex to its own buffer. The discovered set and the
 // arc count are those of the sequential kernel; only order differs.
+//
+//qbs:allow zeroalloc above-threshold parallel levels trade goroutine and closure allocations for wall-clock; pooled serving searchers expand sequentially
 func (e *Expander) expandTopDownParallel(ws *Workspace, frontier []graph.V, d int32, dst []graph.V, workers int) ([]graph.V, int64) {
 	e.par.ensure(workers)
 	g := e.g
@@ -336,6 +346,8 @@ func (e *Expander) expandTopDownParallel(ws *Workspace, frontier []graph.V, d in
 // into a read-only frontier bitmap first; each worker then writes only
 // its own range's stamps, distances and bitmap words. Requires what the
 // searchers already guarantee: frontier is exactly the depth-d set.
+//
+//qbs:allow zeroalloc above-threshold parallel levels trade goroutine and closure allocations for wall-clock; pooled serving searchers expand sequentially
 func (e *Expander) expandBottomUpParallel(ws *Workspace, frontier []graph.V, d int32, dst []graph.V, workers int) ([]graph.V, int64) {
 	e.par.ensure(workers)
 	g := e.pull

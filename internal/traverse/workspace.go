@@ -31,6 +31,9 @@ func NewWorkspace(n int) *Workspace {
 }
 
 // Reset invalidates all distances in O(1).
+//
+//qbs:zeroalloc
+//qbs:allow atomicfield single-writer between sweeps; parallel claimers only run inside a level, barrier-separated from the epoch bump
 func (ws *Workspace) Reset() {
 	ws.epoch++
 	if ws.epoch == 0 { // wrapped: do the rare full clear
@@ -42,6 +45,9 @@ func (ws *Workspace) Reset() {
 }
 
 // Dist returns the distance of v in the current epoch, or Infinity.
+//
+//qbs:zeroalloc
+//qbs:allow atomicfield read outside parallel levels, or of the caller's own claimed vertex after the level barrier
 func (ws *Workspace) Dist(v graph.V) int32 {
 	if ws.stamp[v] == ws.epoch {
 		return ws.dist[v]
@@ -50,12 +56,18 @@ func (ws *Workspace) Dist(v graph.V) int32 {
 }
 
 // SetDist stamps v with distance d in the current epoch.
+//
+//qbs:zeroalloc
+//qbs:allow atomicfield sequential expansion only; the parallel path claims via tryClaim's CAS instead
 func (ws *Workspace) SetDist(v graph.V, d int32) {
 	ws.stamp[v] = ws.epoch
 	ws.dist[v] = d
 }
 
 // Seen reports whether v has been assigned a distance this epoch.
+//
+//qbs:zeroalloc
+//qbs:allow atomicfield read outside parallel levels, or of the caller's own claimed vertex after the level barrier
 func (ws *Workspace) Seen(v graph.V) bool { return ws.stamp[v] == ws.epoch }
 
 // tryClaim atomically claims v in the current epoch, returning true for

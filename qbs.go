@@ -175,6 +175,8 @@ func (ix *Index) Query(u, v V) *SPG {
 // query path free of heap allocations (the result buffer is recycled at
 // its high-water mark); serving loops that answer-and-encode should
 // prefer it over Query.
+//
+//qbs:zeroalloc
 func (ix *Index) QueryInto(dst *SPG, u, v V) *SPG {
 	sr := ix.pool.Get().(*core.Searcher)
 	defer ix.pool.Put(sr)
@@ -373,6 +375,8 @@ func (di *DynamicIndex) Query(u, v V) *SPG { return di.d.Query(u, v) }
 
 // QueryInto answers SPG(u, v) against the current snapshot into a
 // caller-owned result; see Index.QueryInto for the reuse contract.
+//
+//qbs:zeroalloc
 func (di *DynamicIndex) QueryInto(dst *SPG, u, v V) *SPG { return di.d.QueryInto(dst, u, v) }
 
 // QueryWithStats answers SPG(u, v) with query internals.
