@@ -30,6 +30,7 @@ import (
 
 	"qbs/internal/bench"
 	"qbs/internal/datasets"
+	"qbs/internal/obs"
 )
 
 func main() {
@@ -216,6 +217,8 @@ func withDatasets(c bench.Config, ds []string) bench.Config {
 }
 
 func fatal(err error) {
+	obs.DefaultJournal.Def("process", "error", obs.LevelError).
+		Emit(obs.Str("stage", "fatal"), obs.Str("error", err.Error()))
 	fmt.Fprintln(os.Stderr, "qbs-bench:", err)
 	os.Exit(1)
 }

@@ -83,12 +83,15 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and process-wide Prometheus metrics on this separate address (empty = disabled)")
 		slowlog   = flag.Duration("slowlog", 0, "slow-query log threshold for GET /debug/slowlog (0 = 100ms default)")
 		traceSamp = flag.Int("trace-sample", 0, "head-sample 1 in N traces into /debug/traces on top of the always-retained slow/errored/force-sampled ones (0 = tail-only)")
+		logLevel  = flag.String("log-level", "info", "minimum event level admitted to the journal at GET /debug/logs (debug|info|warn|error)")
+		profEvery = flag.Duration("profile-every", 0, "flight-recorder capture cadence for GET /debug/profiles (0 = disabled; triggers still auto-capture while running)")
 	)
 	flag.Parse()
 
-	// Tracing policy is process-wide: the serving middleware, the router,
-	// and the background roots (WAL fsync, checkpoint, compaction, replica
-	// apply) all record into obs.DefaultTracer.
+	// Tracing and journalling policy is process-wide: the serving
+	// middleware, the router, and the background roots (WAL fsync,
+	// checkpoint, compaction, replica apply) all record into
+	// obs.DefaultTracer and obs.DefaultJournal, whatever the mode.
 	if *traceSamp > 0 {
 		obs.DefaultTracer.SetHeadEvery(*traceSamp)
 	}
@@ -97,6 +100,21 @@ func main() {
 		// the slowlog threshold, so every slowlog entry's trace link
 		// resolves in every serving mode.
 		obs.DefaultTracer.SetSlowThreshold(*slowlog)
+	}
+	lvl, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		fatal(fmt.Errorf("-log-level must be debug, info, warn or error; got %q", *logLevel))
+	}
+	obs.DefaultJournal.SetMinLevel(lvl)
+	if *profEvery > 0 {
+		// The process-wide recorder samples on the cadence and
+		// auto-captures (debounced) on an error-event spike; serving modes
+		// add their SLO fast-burn triggers below.
+		obs.DefaultFlightRecorder.AddTrigger("error_event_spike", func() bool {
+			return obs.DefaultJournal.ErrorsInLast(10*time.Second) >= 5
+		})
+		obs.DefaultFlightRecorder.Start(*profEvery)
+		defer obs.DefaultFlightRecorder.Stop()
 	}
 
 	if *debugAddr != "" {
@@ -107,6 +125,9 @@ func main() {
 	tune := func(sv *server.Server) *server.Server {
 		if *slowlog > 0 {
 			sv.SetSlowLogThreshold(*slowlog)
+		}
+		if *profEvery > 0 {
+			obs.DefaultFlightRecorder.AddTrigger("slo_fast_burn", sv.SLOs().FastBurn)
 		}
 		return sv
 	}
@@ -138,7 +159,13 @@ func main() {
 		}
 		rt := replica.NewRouter(parts[0], parts[1:], replica.RouterOptions{})
 		defer rt.Stop()
+		if *profEvery > 0 {
+			// Share the process recorder so the router's fast-burn and
+			// error-spike triggers ride the running sampler.
+			rt.SetFlightRecorder(obs.DefaultFlightRecorder)
+		}
 		fmt.Printf("router: %s\n", rt.Backends())
+		lifecycle("router", "backends", rt.Backends())
 		serve(*addr, *drain, rt, nil)
 		return
 	}
@@ -151,6 +178,7 @@ func main() {
 			Dir:          *dataDir,
 			MMap:         true,
 			PollInterval: *poll,
+			SlowLog:      *slowlog,
 		})
 		if err != nil {
 			fatal(err)
@@ -301,14 +329,19 @@ func serveDebug(addr string) {
 		w.Header().Set("Content-Type", obs.PromContentType)
 		_ = obs.WritePrometheus(w, obs.Default)
 	})
+	mux.Handle("/debug/logs", obs.DefaultJournal)
+	mux.Handle("/debug/profiles", obs.DefaultFlightRecorder)
+	mux.Handle("/debug/profiles/", obs.DefaultFlightRecorder)
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Printf("debug: pprof and process metrics on %s\n", addr)
+	lifecycle("debug", "addr", addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "qbs-server: debug server:", err)
+		evProcErr.Emit(obs.Str("stage", "debug_server"), obs.Str("error", err.Error()))
 	}
 }
 
@@ -330,6 +363,7 @@ func serve(addr string, drain time.Duration, handler http.Handler, dyn *qbs.Dyna
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("serving on %s\n", addr)
+		lifecycle("serve", "addr", addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -341,15 +375,18 @@ func serve(addr string, drain time.Duration, handler http.Handler, dyn *qbs.Dyna
 	case <-ctx.Done():
 		stop()
 		fmt.Println("shutting down...")
+		lifecycle("shutdown", "addr", addr)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "qbs-server: drain incomplete:", err)
+			evProcErr.Emit(obs.Str("stage", "drain"), obs.Str("error", err.Error()))
 		}
 		if dyn != nil {
 			dyn.WaitCompaction()
 			if err := dyn.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "qbs-server: store close:", err)
+				evProcErr.Emit(obs.Str("stage", "store_close"), obs.Str("error", err.Error()))
 			}
 		}
 		fmt.Println("bye")
@@ -420,7 +457,20 @@ func loadGraph(path, bin, dataset string, scale float64) (*qbs.Graph, error) {
 	}
 }
 
+// Process-lifecycle events mirror the stdout/stderr prints into the
+// journal, so a /debug/logs scrape (serving mux or -debug-addr) tells
+// the same startup/shutdown story the console did.
+var (
+	evLifecycle = obs.DefaultJournal.Def("process", "lifecycle", obs.LevelInfo)
+	evProcErr   = obs.DefaultJournal.Def("process", "error", obs.LevelError)
+)
+
+func lifecycle(stage, key, val string) {
+	evLifecycle.Emit(obs.Str("stage", stage), obs.Str(key, val))
+}
+
 func fatal(err error) {
+	evProcErr.Emit(obs.Str("stage", "fatal"), obs.Str("error", err.Error()))
 	fmt.Fprintln(os.Stderr, "qbs-server:", err)
 	os.Exit(1)
 }

@@ -35,6 +35,7 @@ import (
 	"qbs"
 	"qbs/internal/datasets"
 	"qbs/internal/graph"
+	"qbs/internal/obs"
 )
 
 type queryList []string
@@ -320,6 +321,8 @@ func loadGraph(path, bin, dataset string, scale float64) (*qbs.Graph, error) {
 }
 
 func fatal(err error) {
+	obs.DefaultJournal.Def("process", "error", obs.LevelError).
+		Emit(obs.Str("stage", "fatal"), obs.Str("error", err.Error()))
 	fmt.Fprintln(os.Stderr, "qbs:", err)
 	os.Exit(1)
 }

@@ -443,6 +443,7 @@ func (d *Index) applyLocked(rp *repairer, st state, u, w graph.V, insert bool, t
 		}
 		if rebuilt {
 			counts.rebuilt++
+			evColumnRebfs.Emit(obs.Int("landmark", int64(r)))
 			if tb != nil {
 				sp := tb.AddSpan("dynamic.column_rebfs", colStart, time.Since(colStart))
 				sp.SetInt("landmark", int64(r))
@@ -521,6 +522,7 @@ func (d *Index) compact(snap *snapshot) {
 	// trace so a write-lock stall can still be explained after the fact.
 	ctb := obs.DefaultTracer.Begin("dynamic.compact", "", 0, false)
 	ctb.Root().SetInt("from_epoch", int64(snap.epoch))
+	evCompactStart.Emit(obs.Int("from_epoch", int64(snap.epoch)), obs.Int("overridden", int64(snap.overlay.Overridden())))
 	defer func() {
 		mCompactNs.Observe(time.Since(start))
 		obs.DefaultTracer.Finish(ctb)
@@ -533,6 +535,7 @@ func (d *Index) compact(snap *snapshot) {
 	defer d.mu.Unlock()
 	d.rebuilding = false
 	if err != nil {
+		evCompactFailed.Emit(obs.Str("stage", "rebuild"), obs.Str("error", err.Error()))
 		return // state unmaintainable only if it already was; keep serving
 	}
 	for _, up := range d.pending {
@@ -543,12 +546,14 @@ func (d *Index) compact(snap *snapshot) {
 		st, _, err = d.applyLocked(rp, st, up.u, up.w, up.insert, nil)
 		if err != nil {
 			d.pending = d.pending[:0]
+			evCompactFailed.Emit(obs.Str("stage", "replay"), obs.Str("error", err.Error()))
 			return
 		}
 	}
 	d.pending = d.pending[:0]
 	snap, snapErr := d.newSnapshot(st, d.cur.Load().epoch+1)
 	if snapErr != nil {
+		evCompactFailed.Emit(obs.Str("stage", "snapshot"), obs.Str("error", snapErr.Error()))
 		return
 	}
 	if d.logger != nil {
@@ -557,11 +562,13 @@ func (d *Index) compact(snap *snapshot) {
 		// unavailable, skip publishing — the pre-compaction state keeps
 		// serving and drift will trigger another attempt.
 		if err := d.logger.LogCompaction(snap.epoch); err != nil {
+			evCompactFailed.Emit(obs.Str("stage", "log"), obs.Str("error", err.Error()))
 			return
 		}
 	}
 	d.commitLocked(snap)
 	d.stats.Compactions++
+	evCompactDone.Emit(obs.Int("epoch", int64(snap.epoch)), obs.Int("ms", time.Since(start).Milliseconds()))
 }
 
 // WaitCompaction blocks until any in-flight compaction has finished

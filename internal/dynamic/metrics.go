@@ -12,3 +12,14 @@ var (
 	mApplyDeleteNs = obs.Default.Histogram("qbs_dynamic_apply_ns", `op="delete"`)
 	mCompactNs     = obs.Default.Histogram("qbs_dynamic_compact_ns", "")
 )
+
+// Structured events: compaction lifecycle (the background transition
+// that used to be invisible when it failed — the index keeps serving
+// from the overlay) and budget-blown column re-BFS, which is the
+// index-quality signal behind a latency regression.
+var (
+	evCompactStart  = obs.DefaultJournal.Def("dynamic", "compact_start", obs.LevelInfo)
+	evCompactDone   = obs.DefaultJournal.Def("dynamic", "compact_done", obs.LevelInfo)
+	evCompactFailed = obs.DefaultJournal.Def("dynamic", "compact_failed", obs.LevelError)
+	evColumnRebfs   = obs.DefaultJournal.Def("dynamic", "column_rebfs", obs.LevelDebug)
+)

@@ -88,4 +88,62 @@
 // exemplars on the latency histograms and retry counters — the
 // "# {trace_id=...}" suffix links a dashboard's worst bucket straight
 // to a stored trace.
+//
+// # Event journal
+//
+// The Journal is the structured, leveled event record for the paths a
+// metric can count but not explain: WAL fsync failures, checkpoint and
+// compaction outcomes, replica tail errors and parks, router evictions
+// and failovers, process lifecycle. A component declares each
+// (component, event) pair once with Def (or DefRate for an explicit
+// token-bucket rate limit — repeating failure paths default to a few
+// admitted records per second so a retry loop cannot wash out the ring)
+// and holds the returned *EventDef; Emit and EmitTrace then publish
+// into a bounded lock-free ring. Emits below the journal's minimum
+// level, and emits suppressed by the rate limiter, take an
+// allocation-free drop path — the same zero-alloc discipline as the
+// metrics primitives, gated in CI. Admitted events increment
+// qbs_events_total{component,level}; error-level admits also feed a
+// 10-second spike window (ErrorsInLast) that the flight recorder can
+// trigger on. The ring serves GET /debug/logs (?n=, ?min_level=,
+// ?component=) with events newest-first, each carrying its trace ID
+// when the emit was request-scoped — the joint key into /debug/traces.
+//
+// # SLOs and burn rates
+//
+// An SLO pairs an availability target with a latency bound: a recorded
+// request is bad when its status is a 5xx or its duration exceeds the
+// bound. Record is allocation-free (epoch-stamped 10s buckets, six
+// hours of history). BurnRate(window) is the classic SRE ratio —
+// observed bad fraction over the error budget (1 - target) — exposed
+// as qbs_slo_burn_rate{slo,window} gauges over 5m/30m/1h/6h and as
+// GET /debug/slo JSON. FastBurn trips at a 5m burn rate of 14.4 (the
+// "2% of a 30-day budget in one hour" page-now threshold), and is one
+// of the flight recorder's auto-capture triggers. Servers install
+// read- and write-availability objectives by default; the router keeps
+// its own routed-read SLO recording the status the client actually saw
+// after retries and failover.
+//
+// # Flight recorder
+//
+// The FlightRecorder is continuous profiling for the moment after an
+// incident: a background sampler that captures goroutine, heap (with
+// allocation delta), mutex, and CPU profiles into a bounded ring —
+// every interval when started, and immediately when a registered
+// trigger (SLO fast burn, error-event spike) fires, debounced by
+// MinAutoGap. GET /debug/profiles lists retained captures with their
+// trigger attribution; GET /debug/profiles/{id} returns the raw pprof
+// bytes (X-Qbs-Profile-Kind names the profile type), so the profile of
+// the bad five minutes is still there after the process recovered.
+//
+// # Fleet view
+//
+// The router aggregates its backends' own telemetry: on a fixed
+// cadence it scrapes each backend's /metrics exposition (ParseSamples
+// reads qbs_epoch, qbs_http_inflight, qbs_events_total) and /debug/slo,
+// merges the result into qbs_fleet_backend_* gauges, and serves it as
+// GET /debug/fleet. Anomaly flags mark backends that are unreachable,
+// fast-burning, or stalled — epoch frozen across consecutive sweeps
+// while the primary's advances, the stale-but-serving failure mode a
+// liveness probe cannot see.
 package obs

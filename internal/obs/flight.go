@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Continuous-profiling flight recorder: a background sampler that
+// captures pprof profiles into a bounded in-memory ring, so the
+// profile of an incident exists before anyone goes looking. Captures
+// happen on a fixed cadence and — debounced — whenever a registered
+// trigger fires (SLO fast burn, error-level event spike). Each capture
+// takes goroutine, heap (with an allocation delta since the previous
+// capture) and mutex profiles, plus a short CPU profile when no other
+// CPU profile is running (pprof allows one per process; losing that
+// race is expected when an operator is live-profiling, and is not an
+// error).
+
+// Profile is one captured pprof snapshot.
+type Profile struct {
+	ID      uint64
+	Kind    string // "cpu", "heap", "goroutine", "mutex"
+	Trigger string // "interval", "manual", or a trigger name
+	UnixNs  int64
+	Bytes   []byte
+	// HeapDelta is the growth of cumulative allocation (bytes) since
+	// the recorder's previous capture round; only set on heap profiles.
+	HeapDelta int64
+}
+
+// ProfileInfo is the /debug/profiles list entry.
+type ProfileInfo struct {
+	ID        uint64 `json:"id"`
+	Kind      string `json:"kind"`
+	Trigger   string `json:"trigger"`
+	UnixNs    int64  `json:"unix_ns"`
+	SizeBytes int    `json:"size_bytes"`
+	HeapDelta int64  `json:"heap_delta_bytes,omitempty"`
+}
+
+type flightTrigger struct {
+	name string
+	fn   func() bool
+}
+
+// FlightRecorder owns the profile ring and the sampling goroutine.
+type FlightRecorder struct {
+	mu        sync.Mutex
+	seq       uint64
+	ring      []*Profile
+	pos       int
+	triggers  []flightTrigger
+	lastAuto  time.Time
+	prevAlloc uint64
+	running   bool
+	stop      chan struct{}
+	wg        sync.WaitGroup
+
+	// CPUDuration bounds each CPU capture (default 250ms). MinAutoGap
+	// debounces trigger-driven captures (default 30s). Both must be set
+	// before Start.
+	CPUDuration time.Duration
+	MinAutoGap  time.Duration
+}
+
+// NewFlightRecorder creates a recorder retaining up to capacity
+// profiles.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &FlightRecorder{
+		ring:        make([]*Profile, capacity),
+		CPUDuration: 250 * time.Millisecond,
+		MinAutoGap:  30 * time.Second,
+	}
+}
+
+// DefaultFlightRecorder is the process-wide recorder; qbs-server
+// starts it when -profile-every is set.
+var DefaultFlightRecorder = NewFlightRecorder(64)
+
+// AddTrigger registers a named auto-capture condition, polled once a
+// second while the recorder runs.
+func (f *FlightRecorder) AddTrigger(name string, fn func() bool) {
+	f.mu.Lock()
+	f.triggers = append(f.triggers, flightTrigger{name, fn})
+	f.mu.Unlock()
+}
+
+// Start launches the sampler: a capture round every interval, plus a
+// one-second trigger poll. No-op if already running.
+func (f *FlightRecorder) Start(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	f.mu.Lock()
+	if f.running {
+		f.mu.Unlock()
+		return
+	}
+	f.running = true
+	f.stop = make(chan struct{})
+	f.mu.Unlock()
+	f.wg.Add(1)
+	go f.run(interval)
+}
+
+// Stop halts the sampler and waits for any in-flight capture.
+func (f *FlightRecorder) Stop() {
+	f.mu.Lock()
+	if !f.running {
+		f.mu.Unlock()
+		return
+	}
+	f.running = false
+	close(f.stop)
+	f.mu.Unlock()
+	f.wg.Wait()
+}
+
+func (f *FlightRecorder) run(interval time.Duration) {
+	defer f.wg.Done()
+	capTick := time.NewTicker(interval)
+	trigTick := time.NewTicker(time.Second)
+	defer capTick.Stop()
+	defer trigTick.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-capTick.C:
+			f.CaptureNow("interval")
+		case <-trigTick.C:
+			f.pollTriggers()
+		}
+	}
+}
+
+func (f *FlightRecorder) pollTriggers() {
+	f.mu.Lock()
+	triggers := append([]flightTrigger(nil), f.triggers...)
+	last := f.lastAuto
+	gap := f.MinAutoGap
+	f.mu.Unlock()
+	if time.Since(last) < gap {
+		return
+	}
+	for _, t := range triggers {
+		if t.fn() {
+			f.mu.Lock()
+			f.lastAuto = time.Now()
+			f.mu.Unlock()
+			f.CaptureNow(t.name)
+			return
+		}
+	}
+}
+
+// CaptureNow runs one capture round attributed to trigger and returns
+// the captured profiles' list entries.
+func (f *FlightRecorder) CaptureNow(trigger string) []ProfileInfo {
+	if f == nil {
+		return nil
+	}
+	now := time.Now().UnixNano()
+	var out []ProfileInfo
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	f.mu.Lock()
+	var heapDelta int64
+	if f.prevAlloc > 0 {
+		heapDelta = int64(ms.TotalAlloc - f.prevAlloc)
+	}
+	f.prevAlloc = ms.TotalAlloc
+	f.mu.Unlock()
+
+	for _, kind := range []string{"goroutine", "heap", "mutex"} {
+		p := pprof.Lookup(kind)
+		if p == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := p.WriteTo(&buf, 0); err != nil {
+			continue
+		}
+		prof := &Profile{Kind: kind, Trigger: trigger, UnixNs: now, Bytes: buf.Bytes()}
+		if kind == "heap" {
+			prof.HeapDelta = heapDelta
+		}
+		out = append(out, f.store(prof))
+	}
+
+	// CPU last: it blocks for CPUDuration, and may be unavailable when
+	// an operator's /debug/pprof/profile request holds the profiler.
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err == nil {
+		time.Sleep(f.CPUDuration)
+		pprof.StopCPUProfile()
+		out = append(out, f.store(&Profile{Kind: "cpu", Trigger: trigger, UnixNs: now, Bytes: cpu.Bytes()}))
+	}
+	return out
+}
+
+func (f *FlightRecorder) store(p *Profile) ProfileInfo {
+	f.mu.Lock()
+	f.seq++
+	p.ID = f.seq
+	f.ring[f.pos] = p
+	f.pos = (f.pos + 1) % len(f.ring)
+	f.mu.Unlock()
+	return p.Info()
+}
+
+// Info renders the list entry for one profile.
+func (p *Profile) Info() ProfileInfo {
+	return ProfileInfo{
+		ID:        p.ID,
+		Kind:      p.Kind,
+		Trigger:   p.Trigger,
+		UnixNs:    p.UnixNs,
+		SizeBytes: len(p.Bytes),
+		HeapDelta: p.HeapDelta,
+	}
+}
+
+// Profiles lists retained profiles, newest first.
+func (f *FlightRecorder) Profiles() []ProfileInfo {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.ring)
+	out := make([]ProfileInfo, 0, n)
+	for k := 1; k <= n; k++ {
+		p := f.ring[(f.pos+n-k)%n]
+		if p != nil {
+			out = append(out, p.Info())
+		}
+	}
+	return out
+}
+
+// Get returns the retained profile with the given ID, or nil.
+func (f *FlightRecorder) Get(id uint64) *Profile {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, p := range f.ring {
+		if p != nil && p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// ServeHTTP serves GET /debug/profiles (JSON list) and
+// GET /debug/profiles/{id} (raw pprof bytes). It keys off the path
+// suffix after "profiles", so it can be mounted at any prefix.
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	if i := strings.LastIndex(path, "/profiles/"); i >= 0 {
+		idStr := path[i+len("/profiles/"):]
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			http.Error(w, "bad profile id "+strconv.Quote(idStr), http.StatusBadRequest)
+			return
+		}
+		p := f.Get(id)
+		if p == nil {
+			http.Error(w, "profile not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Qbs-Profile-Kind", p.Kind)
+		_, _ = w.Write(p.Bytes)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}{f.Profiles()})
+}

@@ -179,3 +179,89 @@ func TestObserveNegativeClamps(t *testing.T) {
 		t.Fatalf("negative observation not clamped: count=%d sum=%d", h.Count(), h.Sum())
 	}
 }
+
+// TestHistogramMergeConcurrentWithObserve drives Merge from one
+// goroutine while both source and destination keep observing — run
+// under -race in CI, and checked for conservation afterwards.
+func TestHistogramMergeConcurrentWithObserve(t *testing.T) {
+	src := NewHistogram()
+	dst := NewHistogram()
+	const perSide = 5000
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			src.ObserveNs(int64(i % 1000))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			dst.ObserveNs(int64(i % 1000))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			dst.Merge(src)
+		}
+	}()
+	wg.Wait()
+	// A final quiescent merge must be exact: dst holds its own
+	// observations plus 51 merges' worth of whatever src held at each
+	// merge — at least its own perSide plus one full copy of src.
+	dst.Merge(src)
+	if dst.Count() < 2*perSide {
+		t.Fatalf("count = %d, want >= %d", dst.Count(), 2*perSide)
+	}
+	if dst.Max() != 999 {
+		t.Fatalf("max = %d, want 999", dst.Max())
+	}
+	dst.Merge(nil) // nil-safe
+}
+
+// TestQuantileMonotone is the property test: for any sample, Quantile
+// must be non-decreasing in q.
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram()
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Mix exact-range values, heavy tail and zeros.
+			switch rng.Intn(3) {
+			case 0:
+				h.ObserveNs(int64(rng.Intn(64)))
+			case 1:
+				h.ObserveNs(rng.Int63n(1 << 40))
+			default:
+				h.ObserveNs(0)
+			}
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: Quantile(%.2f) = %d < Quantile(prev) = %d", trial, q, v, prev)
+			}
+			prev = v
+		}
+		if h.Quantile(1) != h.Max() {
+			t.Fatalf("trial %d: Quantile(1) = %d, Max = %d", trial, h.Quantile(1), h.Max())
+		}
+	}
+}
+
+// TestEmptyHistogramSummary pins down the empty-histogram contract:
+// every field is zero, no garbage values.
+func TestEmptyHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	s := h.Summary()
+	if s != (HistogramSummary{}) {
+		t.Fatalf("empty summary = %+v, want all zeros", s)
+	}
+	if h.Quantile(0.5) != 0 || h.Quantile(0) != 0 || h.Quantile(1) != 0 {
+		t.Fatal("empty quantiles must be 0")
+	}
+}

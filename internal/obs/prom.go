@@ -250,6 +250,72 @@ func splitSample(line string) (name, labels, value string, ok bool) {
 	return name, labels, f[0], true
 }
 
+// Sample is one parsed exposition sample: the family name, the raw
+// label list (without braces, as registered), and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// ParseSamples parses a text-format scrape into its samples, skipping
+// comments, exemplar suffixes and malformed lines. It is the read side
+// of WritePrometheus, used by the router's fleet scraper.
+func ParseSamples(b []byte) []Sample {
+	var out []Sample
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if k := strings.LastIndex(line, " # {"); k >= 0 {
+			line = line[:k]
+		}
+		name, labels, value, ok := splitSample(line)
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: v})
+	}
+	return out
+}
+
+// Label extracts one label's value from a Sample's raw label list.
+func (s Sample) Label(key string) (string, bool) {
+	rest := s.Labels
+	for rest != "" {
+		eq := strings.Index(rest, `="`)
+		if eq < 0 {
+			return "", false
+		}
+		k := rest[:eq]
+		rest = rest[eq+2:]
+		end := strings.IndexByte(rest, '"')
+		// Registered label values are pre-escaped; values containing
+		// escaped quotes are not produced by EscapeLabel consumers'
+		// keys, so a plain scan suffices here.
+		for end > 0 && rest[end-1] == '\\' {
+			next := strings.IndexByte(rest[end+1:], '"')
+			if next < 0 {
+				return "", false
+			}
+			end += 1 + next
+		}
+		if end < 0 {
+			return "", false
+		}
+		if k == key {
+			return strings.NewReplacer(`\\`, `\`, `\n`, "\n", `\"`, `"`).Replace(rest[:end]), true
+		}
+		rest = rest[end+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return "", false
+}
+
 func validMetricName(s string) bool {
 	for i, c := range s {
 		switch {

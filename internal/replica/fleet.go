@@ -1,0 +1,269 @@
+package replica
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"qbs/internal/obs"
+)
+
+// Fleet view: the router already probes every backend for health; the
+// fleet scraper goes one layer deeper on a slower cadence, pulling each
+// backend's /metrics exposition and /debug/slo so one endpoint answers
+// "which box is the problem" — per-backend epoch, error-event volume,
+// burn rates, and anomaly flags — without an operator visiting N muxes.
+
+// fleetStallScrapes is how many consecutive scrapes a backend's epoch
+// may sit frozen — while the primary's advances — before the backend is
+// flagged stalled. One scrape of tolerance absorbs sampling skew
+// between the primary's scrape and the replica's.
+const fleetStallScrapes = 2
+
+// FleetBackend is one backend's row in /debug/fleet.
+type FleetBackend struct {
+	URL       string `json:"url"`
+	Role      string `json:"role"`
+	Reachable bool   `json:"reachable"`
+	Healthy   bool   `json:"healthy"` // the router's routing bit
+	// Epoch is the backend's own qbs_epoch sample — what the backend
+	// says it serves, as opposed to the probe-loop epoch the router
+	// routes on.
+	Epoch       uint64        `json:"epoch"`
+	Inflight    float64       `json:"inflight"`
+	ErrorEvents float64       `json:"error_events_total"`
+	FastBurn    bool          `json:"fast_burn"`
+	SLOs        []obs.SLOView `json:"slos,omitempty"`
+	Anomalies   []string      `json:"anomalies,omitempty"`
+}
+
+// fleetState is the double-buffered scrape result plus the stall
+// bookkeeping that spans scrapes.
+type fleetState struct {
+	mu        sync.Mutex
+	rows      map[*backend]*FleetBackend
+	scrapedAt int64 // unix nanos of the last completed sweep
+
+	lastEpoch  map[*backend]uint64
+	frozenFor  map[*backend]int // consecutive scrapes with a frozen epoch
+	lastTip    uint64           // primary epoch at the previous scrape
+	anomalyCnt int
+}
+
+func newFleetState() *fleetState {
+	return &fleetState{
+		rows:      map[*backend]*FleetBackend{},
+		lastEpoch: map[*backend]uint64{},
+		frozenFor: map[*backend]int{},
+	}
+}
+
+// row returns the last scraped row for b (zero-valued before the first
+// sweep finishes).
+func (fs *fleetState) row(b *backend) FleetBackend {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if r := fs.rows[b]; r != nil {
+		return *r
+	}
+	return FleetBackend{URL: b.url, Role: b.role}
+}
+
+// fleetLoop re-scrapes the fleet on the configured cadence.
+func (rt *Router) fleetLoop() {
+	defer rt.wg.Done()
+	ticker := time.NewTicker(rt.opts.FleetInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			rt.scrapeFleet()
+		}
+	}
+}
+
+// scrapeFleet pulls every backend's exposition and SLO state and
+// recomputes the anomaly flags.
+func (rt *Router) scrapeFleet() {
+	type scraped struct {
+		b   *backend
+		row *FleetBackend
+	}
+	backends := append([]*backend{rt.primary}, rt.replicas...)
+	results := make([]scraped, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			results[i] = scraped{b, rt.scrapeBackend(b)}
+		}(i, b)
+	}
+	wg.Wait()
+
+	fs := rt.fleet
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	tip := results[0].row.Epoch // primary scraped first
+	tipAdvanced := tip > fs.lastTip
+	anomalies := 0
+	for _, res := range results {
+		row := res.row
+		row.Healthy = res.b.healthy.Load()
+		if !row.Reachable {
+			row.Anomalies = append(row.Anomalies, "unreachable")
+		} else if res.b != rt.primary {
+			// Stall detection: the backend answers its mux but its epoch
+			// is frozen while the primary's advances — the replica serves
+			// stale answers with a working HTTP surface, the failure mode
+			// health probes alone cannot see quickly.
+			if row.Epoch == fs.lastEpoch[res.b] && tipAdvanced {
+				fs.frozenFor[res.b]++
+			} else if row.Epoch != fs.lastEpoch[res.b] {
+				fs.frozenFor[res.b] = 0
+			}
+			if fs.frozenFor[res.b] >= fleetStallScrapes && row.Epoch < tip {
+				row.Anomalies = append(row.Anomalies, "stalled")
+			}
+			fs.lastEpoch[res.b] = row.Epoch
+		}
+		if row.FastBurn {
+			row.Anomalies = append(row.Anomalies, "slo_fast_burn")
+		}
+		anomalies += len(row.Anomalies)
+		fs.rows[res.b] = row
+	}
+	fs.lastTip = tip
+	fs.anomalyCnt = anomalies
+	fs.scrapedAt = time.Now().UnixNano()
+}
+
+// scrapeBackend fetches one backend's /metrics (Prometheus text) and
+// /debug/slo. Partial answers degrade gracefully: a backend without the
+// SLO endpoint still contributes its metric samples.
+func (rt *Router) scrapeBackend(b *backend) *FleetBackend {
+	row := &FleetBackend{URL: b.url, Role: b.role}
+	body, ok := rt.fleetGet(b.url + "/metrics?format=prometheus")
+	if !ok {
+		return row
+	}
+	row.Reachable = true
+	for _, s := range obs.ParseSamples(body) {
+		switch s.Name {
+		case "qbs_epoch":
+			row.Epoch = uint64(s.Value)
+		case "qbs_http_inflight":
+			row.Inflight += s.Value
+		case "qbs_events_total":
+			if lvl, ok := s.Label("level"); ok && lvl == "error" {
+				row.ErrorEvents += s.Value
+			}
+		}
+	}
+	if body, ok := rt.fleetGet(b.url + "/debug/slo"); ok {
+		var resp struct {
+			SLOs []obs.SLOView `json:"slos"`
+		}
+		if json.Unmarshal(body, &resp) == nil {
+			row.SLOs = resp.SLOs
+			for _, v := range resp.SLOs {
+				row.FastBurn = row.FastBurn || v.FastBurn
+			}
+		}
+	}
+	return row
+}
+
+func (rt *Router) fleetGet(url string) ([]byte, bool) {
+	resp, err := rt.probeClient.Get(url)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<22))
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+// registerFleetSeries exposes b's scraped state as qbs_fleet_* gauges
+// on the router registry (distinct from qbs_router_backend_*, which is
+// the probe loop's routing view).
+func (rt *Router) registerFleetSeries(b *backend) {
+	lbl := `backend="` + obs.EscapeLabel(b.url) + `",role="` + b.role + `"`
+	bool01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	rt.reg.GaugeFunc("qbs_fleet_backend_up", lbl, func() float64 {
+		return bool01(rt.fleet.row(b).Reachable)
+	})
+	rt.reg.GaugeFunc("qbs_fleet_backend_epoch", lbl, func() float64 {
+		return float64(rt.fleet.row(b).Epoch)
+	})
+	rt.reg.GaugeFunc("qbs_fleet_backend_error_events", lbl, func() float64 {
+		return rt.fleet.row(b).ErrorEvents
+	})
+	rt.reg.GaugeFunc("qbs_fleet_backend_anomalous", lbl, func() float64 {
+		return bool01(len(rt.fleet.row(b).Anomalies) > 0)
+	})
+}
+
+// ScrapeFleetNow forces one synchronous fleet sweep — tests and the
+// first /debug/fleet hit after startup use it instead of waiting a
+// cadence.
+func (rt *Router) ScrapeFleetNow() { rt.scrapeFleet() }
+
+// FleetAnomalies returns every currently flagged (backend URL, anomaly)
+// pair, for tests and the qbs-server log line.
+func (rt *Router) FleetAnomalies() map[string][]string {
+	out := map[string][]string{}
+	fs := rt.fleet
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for b, row := range fs.rows {
+		if len(row.Anomalies) > 0 {
+			out[b.url] = append([]string(nil), row.Anomalies...)
+		}
+	}
+	return out
+}
+
+// serveFleet renders /debug/fleet: one row per backend plus the sweep
+// timestamp. A sweep is forced when none has completed yet.
+func (rt *Router) serveFleet(w http.ResponseWriter, _ *http.Request) {
+	fs := rt.fleet
+	fs.mu.Lock()
+	stale := fs.scrapedAt == 0
+	fs.mu.Unlock()
+	if stale {
+		rt.scrapeFleet()
+	}
+	fs.mu.Lock()
+	resp := struct {
+		ScrapedUnixNs int64          `json:"scraped_unix_ns"`
+		AnomalyCount  int            `json:"anomaly_count"`
+		Backends      []FleetBackend `json:"backends"`
+	}{ScrapedUnixNs: fs.scrapedAt, AnomalyCount: fs.anomalyCnt}
+	for _, b := range append([]*backend{rt.primary}, rt.replicas...) {
+		if row := fs.rows[b]; row != nil {
+			resp.Backends = append(resp.Backends, *row)
+		} else {
+			resp.Backends = append(resp.Backends, FleetBackend{URL: b.url, Role: b.role})
+		}
+	}
+	fs.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -30,7 +30,8 @@ func TestObservabilitySmoke(t *testing.T) {
 	url, dbgURL := "http://"+addr, "http://"+dbgAddr
 
 	startProc(t, bin, "-dataset", "DO", "-scale", "0.1", "-landmarks", "8",
-		"-addr", addr, "-debug-addr", dbgAddr, "-slowlog", "1ns")
+		"-addr", addr, "-debug-addr", dbgAddr, "-slowlog", "1ns",
+		"-log-level", "debug", "-profile-every", "1s")
 	waitHTTP(t, url+"/healthz", 60*time.Second)
 
 	client := &http.Client{Timeout: 10 * time.Second}
@@ -86,15 +87,125 @@ func TestObservabilitySmoke(t *testing.T) {
 	}
 
 	// The debug side channel serves pprof: pull a 1-second CPU profile.
+	// Go has one CPU profiler per process, so the fetch answers 500
+	// whenever the flight recorder's own capture holds it — retry, as an
+	// operator would.
 	profClient := &http.Client{Timeout: 30 * time.Second}
-	resp, err = profClient.Get(dbgURL + "/debug/pprof/profile?seconds=1")
+	pprofDeadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err = profClient.Get(dbgURL + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && len(prof) > 0 {
+			break
+		}
+		if time.Now().After(pprofDeadline) {
+			t.Fatalf("pprof profile: status %d, %d bytes", resp.StatusCode, len(prof))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// The event journal rides on the serving mux: -log-level debug means
+	// process lifecycle (and any debug-level engine records) are
+	// admitted, and every event names its component and level.
+	resp, err = client.Get(url + "/debug/logs?n=50")
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof, _ := io.ReadAll(resp.Body)
+	var logs struct {
+		MinLevel string `json:"journal_min_level"`
+		Events   []struct {
+			Component string `json:"component"`
+			Event     string `json:"event"`
+			Level     string `json:"level"`
+		} `json:"events"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&logs)
 	_ = resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || len(prof) == 0 {
-		t.Fatalf("pprof profile: status %d, %d bytes", resp.StatusCode, len(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logs.MinLevel != "debug" {
+		t.Fatalf("journal min level %q, want debug (-log-level)", logs.MinLevel)
+	}
+	lifecycle := false
+	for _, ev := range logs.Events {
+		if ev.Component == "" || ev.Event == "" || ev.Level == "" {
+			t.Fatalf("malformed journal event: %+v", ev)
+		}
+		lifecycle = lifecycle || (ev.Component == "process" && ev.Event == "lifecycle")
+	}
+	if !lifecycle {
+		t.Fatalf("journal holds no process lifecycle event: %+v", logs.Events)
+	}
+
+	// The default SLOs are live and burn-rate windows render.
+	resp, err = client.Get(url + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slos struct {
+		SLOs []obs.SLOView `json:"slos"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&slos)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos.SLOs) == 0 || len(slos.SLOs[0].Windows) == 0 {
+		t.Fatalf("/debug/slo empty or missing burn windows: %+v", slos)
+	}
+
+	// -profile-every has the flight recorder sampling: wait for a
+	// capture, then pull its raw pprof bytes by ID.
+	var profs struct {
+		Profiles []struct {
+			ID   uint64 `json:"id"`
+			Kind string `json:"kind"`
+		} `json:"profiles"`
+	}
+	profDeadline := time.Now().Add(15 * time.Second)
+	for len(profs.Profiles) == 0 {
+		if time.Now().After(profDeadline) {
+			t.Fatal("flight recorder captured nothing with -profile-every 100ms")
+		}
+		time.Sleep(100 * time.Millisecond)
+		resp, err = client.Get(url + "/debug/profiles")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&profs)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := profs.Profiles[0]
+	resp, err = client.Get(fmt.Sprintf("%s/debug/profiles/%d", url, p.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawProf, _ := io.ReadAll(resp.Body)
+	kind := resp.Header.Get("X-Qbs-Profile-Kind")
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(rawProf) == 0 || kind != p.Kind {
+		t.Fatalf("profile %d: status %d, %d bytes, kind %q (want %q)",
+			p.ID, resp.StatusCode, len(rawProf), kind, p.Kind)
+	}
+
+	// The journal also renders on the -debug-addr side channel.
+	resp, err = client.Get(dbgURL + "/debug/logs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	code := resp.StatusCode
+	_ = resp.Body.Close()
+	if code != http.StatusOK {
+		t.Fatalf("debug side-channel /debug/logs: status %d", code)
 	}
 
 	// qbs-bench -json: the perf record carries p50/p99 and the

@@ -10,8 +10,14 @@ import (
 	"sync"
 	"time"
 
+	"qbs/internal/obs"
 	"qbs/internal/store"
 )
+
+// evLeaseExpired records a replica retention lease lapsing: the next
+// poll from that replica can land on a pruned suffix and 410-park it,
+// so the expiry is the first cause in that incident chain.
+var evLeaseExpired = obs.DefaultJournal.Def("primary", "lease_expired", obs.LevelWarn)
 
 // Wire protocol constants shared by both ends.
 const (
@@ -158,6 +164,7 @@ func (p *Primary) refloorLocked() {
 	for rid, l := range p.leases {
 		if now.Sub(l.seen) > p.opts.LeaseTTL {
 			delete(p.leases, rid)
+			evLeaseExpired.Emit(obs.Str("replica", rid), obs.Int("epoch", int64(l.epoch)))
 			continue
 		}
 		if l.epoch < floor {

@@ -54,6 +54,12 @@ type Options struct {
 	// qbs.DynamicOptions. Compaction is always disabled on replicas:
 	// epochs are primary-owned.
 	RepairBudget int
+	// Journal receives the replica's structured events (bootstrap,
+	// tail errors, terminal parks); nil = obs.DefaultJournal.
+	Journal *obs.Journal
+	// SlowLog sets the serving mux's slow-query log threshold
+	// (0 = the server's 100ms default), mirroring qbs-server -slowlog.
+	SlowLog time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +78,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ID == "" {
 		o.ID = fmt.Sprintf("replica-%d-%d", os.Getpid(), time.Now().UnixNano())
+	}
+	if o.Journal == nil {
+		o.Journal = obs.DefaultJournal
 	}
 	return o
 }
@@ -104,9 +113,21 @@ type Replica struct {
 	applyNs *obs.Histogram // ApplyStream latency per non-empty batch
 	applied *obs.Counter   // WAL records applied
 
+	// Structured events: the tail loop's failure and recovery
+	// transitions, which previously only surfaced as a health-check
+	// flip with the error string lost.
+	journal       *obs.Journal
+	evBootstrap   *obs.EventDef
+	evTailError   *obs.EventDef
+	evTailRecover *obs.EventDef
+	evParked      *obs.EventDef
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+// Journal returns the journal the replica's events land in.
+func (r *Replica) Journal() *obs.Journal { return r.journal }
 
 // Registry returns the replica's metrics registry (apply-batch latency
 // and applied-record series).
@@ -200,7 +221,15 @@ func Start(primaryURL string, opts Options) (*Replica, error) {
 	}
 	r.applyNs = r.reg.Histogram("qbs_replica_apply_batch_ns", "")
 	r.applied = r.reg.Counter("qbs_replica_applied_records_total", "")
+	r.journal = opts.Journal
+	r.evBootstrap = r.journal.Def("replica", "bootstrap", obs.LevelInfo)
+	// Tail errors repeat every poll tick while the primary is down;
+	// rate-limit so a long outage keeps room in the ring for other tiers.
+	r.evTailError = r.journal.DefRate("replica", "tail_error", obs.LevelError, 2, 4)
+	r.evTailRecover = r.journal.Def("replica", "tail_recovered", obs.LevelInfo)
+	r.evParked = r.journal.Def("replica", "wal_truncated", obs.LevelError)
 	r.tip.Store(epoch)
+	r.evBootstrap.Emit(obs.Str("replica", opts.ID), obs.Int("epoch", int64(epoch)))
 	r.wg.Add(1)
 	go r.tailLoop()
 	return r, nil
@@ -331,9 +360,14 @@ func (r *Replica) tailLoop() {
 					// against the health grace window.
 					r.failingSince.CompareAndSwap(0, pollStart.UnixNano())
 					if errors.Is(err, ErrWALTruncated) {
+						r.evParked.Emit(obs.Str("replica", r.opts.ID), obs.Int("epoch", int64(r.d.Epoch())))
 						return
 					}
+					r.evTailError.Emit(obs.Str("replica", r.opts.ID), obs.Str("error", err.Error()))
 					break
+				}
+				if r.failingSince.Load() != 0 {
+					r.evTailRecover.Emit(obs.Str("replica", r.opts.ID), obs.Int("epoch", int64(r.d.Epoch())))
 				}
 				r.failing.Store(nil)
 				r.failingSince.Store(0)
@@ -533,6 +567,10 @@ func (r *Replica) Handler() http.Handler {
 	srv := server.NewDynamicReadOnly(r.qd)
 	srv.SetReplicationStatus(r.Status)
 	srv.AddRegistry(r.reg)
+	srv.SetJournal(r.journal)
+	if r.opts.SlowLog > 0 {
+		srv.SetSlowLogThreshold(r.opts.SlowLog)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path == "/healthz" || req.URL.Path == "/epoch" {
 			if err, bad := r.unhealthy(); bad {

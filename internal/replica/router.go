@@ -27,6 +27,14 @@ type RouterOptions struct {
 	Client *http.Client
 	// Seed makes backend picks deterministic for tests (0 = time-based).
 	Seed int64
+	// Journal receives the router's structured events — backend
+	// evictions, readmissions, primary failovers (nil = obs.DefaultJournal).
+	Journal *obs.Journal
+	// FleetInterval is the fleet-view scrape cadence: how often the
+	// router pulls each backend's /metrics and /debug/slo for
+	// /debug/fleet (0 = 2s, negative disables the background sweeps;
+	// /debug/fleet then scrapes on demand).
+	FleetInterval time.Duration
 }
 
 func (o RouterOptions) withDefaults() RouterOptions {
@@ -42,12 +50,19 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	if o.Seed == 0 {
 		o.Seed = time.Now().UnixNano()
 	}
+	if o.Journal == nil {
+		o.Journal = obs.DefaultJournal
+	}
+	if o.FleetInterval == 0 {
+		o.FleetInterval = 2 * time.Second
+	}
 	return o
 }
 
 // backend is one routed-to server with its balancing state.
 type backend struct {
 	url      string
+	role     string // "primary" or "replica"
 	inflight atomic.Int64
 	healthy  atomic.Bool
 	epoch    atomic.Uint64
@@ -82,8 +97,69 @@ type Router struct {
 	latency   *obs.Histogram
 	tracer    *obs.Tracer
 
+	// Health & diagnostics control plane: routing-state transitions go
+	// to the journal, routed reads feed an availability SLO, the flight
+	// recorder auto-captures on fast burn or error spikes, and the fleet
+	// scraper aggregates every backend's view under /debug/fleet.
+	journal      *obs.Journal
+	evEvicted    *obs.EventDef
+	evReadmitted *obs.EventDef
+	evFailover   *obs.EventDef
+	slos         *obs.SLOSet
+	sloRead      *obs.SLO
+	flight       *obs.FlightRecorder
+	ownFlight    bool // Stop() only stops a recorder the router created
+	fleet        *fleetState
+
 	stop chan struct{}
 	wg   sync.WaitGroup
+}
+
+// Journal returns the journal the router's events land in.
+func (rt *Router) Journal() *obs.Journal { return rt.journal }
+
+// SLOs returns the router's SLO set (the routed-read availability SLO).
+func (rt *Router) SLOs() *obs.SLOSet { return rt.slos }
+
+// FlightRecorder returns the router's profile flight recorder.
+func (rt *Router) FlightRecorder() *obs.FlightRecorder { return rt.flight }
+
+// SetFlightRecorder replaces the router's flight recorder (e.g. with
+// the process-wide obs.DefaultFlightRecorder) and registers the
+// router's auto-capture triggers on it. The caller owns its lifecycle.
+func (rt *Router) SetFlightRecorder(f *obs.FlightRecorder) {
+	if f == nil {
+		return
+	}
+	rt.flight = f
+	rt.ownFlight = false
+	rt.registerFlightTriggers(f)
+}
+
+// errorSpikeEvents is the error-level journal volume (over the last
+// 10s) that trips the flight recorder's error_event_spike trigger.
+const errorSpikeEvents = 5
+
+func (rt *Router) registerFlightTriggers(f *obs.FlightRecorder) {
+	f.AddTrigger("slo_fast_burn", func() bool { return rt.slos.FastBurn() })
+	f.AddTrigger("error_event_spike", func() bool {
+		return rt.journal.ErrorsInLast(10*time.Second) >= errorSpikeEvents
+	})
+}
+
+// setHealthy flips b's routing bit and journals the transition; the
+// trace ID (set on request-path evictions) ties the eviction to the
+// request whose failure triggered it.
+func (rt *Router) setHealthy(b *backend, healthy bool, reason, traceID string) {
+	if b.healthy.Swap(healthy) == healthy {
+		return
+	}
+	if healthy {
+		rt.evReadmitted.Emit(obs.Str("backend", b.url), obs.Str("role", b.role))
+	} else {
+		rt.evEvicted.EmitTrace(traceID,
+			obs.Str("backend", b.url), obs.Str("role", b.role), obs.Str("reason", reason))
+	}
 }
 
 // Tracer returns the router's span tracer.
@@ -104,6 +180,7 @@ func (rt *Router) Registry() *obs.Registry { return rt.reg }
 // router registry under a backend="<url>" label (role disambiguates the
 // primary from a replica at the same URL in tests).
 func (rt *Router) registerBackend(b *backend, role string) {
+	b.role = role
 	lbl := `backend="` + obs.EscapeLabel(b.url) + `",role="` + role + `"`
 	b.picks = rt.reg.Counter("qbs_router_picks_total", lbl)
 	rt.reg.GaugeFunc("qbs_router_backend_healthy", lbl, func() float64 {
@@ -118,6 +195,7 @@ func (rt *Router) registerBackend(b *backend, role string) {
 	rt.reg.GaugeFunc("qbs_router_backend_inflight", lbl, func() float64 {
 		return float64(b.inflight.Load())
 	})
+	rt.registerFleetSeries(b)
 }
 
 // NewRouter builds a router over one primary and any number of replica
@@ -139,6 +217,16 @@ func NewRouter(primaryURL string, replicaURLs []string, opts RouterOptions) *Rou
 	rt.failovers = rt.reg.Counter("qbs_router_failovers_total", "")
 	rt.latency = rt.reg.Histogram("qbs_router_request_ns", "")
 	rt.tracer = obs.DefaultTracer
+	rt.journal = opts.Journal
+	rt.evEvicted = rt.journal.Def("router", "backend_evicted", obs.LevelWarn)
+	rt.evReadmitted = rt.journal.Def("router", "backend_readmitted", obs.LevelInfo)
+	rt.evFailover = rt.journal.Def("router", "primary_failover", obs.LevelError)
+	rt.slos = obs.NewSLOSet(rt.reg)
+	rt.sloRead = rt.slos.Add(obs.NewSLO("routed-read-availability", "read", 0.999, 500*time.Millisecond))
+	rt.flight = obs.NewFlightRecorder(16)
+	rt.ownFlight = true
+	rt.registerFlightTriggers(rt.flight)
+	rt.fleet = newFleetState()
 	rt.primary.healthy.Store(true)
 	rt.registerBackend(rt.primary, "primary")
 	for _, u := range replicaURLs {
@@ -149,6 +237,10 @@ func NewRouter(primaryURL string, replicaURLs []string, opts RouterOptions) *Rou
 	rt.sweep()
 	rt.wg.Add(1)
 	go rt.healthLoop()
+	if opts.FleetInterval > 0 {
+		rt.wg.Add(1)
+		go rt.fleetLoop()
+	}
 	return rt
 }
 
@@ -161,6 +253,9 @@ func (rt *Router) Stop() {
 		close(rt.stop)
 	}
 	rt.wg.Wait()
+	if rt.ownFlight {
+		rt.flight.Stop()
+	}
 	rt.probeTransport.CloseIdleConnections()
 }
 
@@ -189,11 +284,15 @@ func (rt *Router) sweep() {
 		defer wg.Done()
 		e, ok := rt.probe(b)
 		if !ok {
-			b.healthy.Store(false)
+			rt.setHealthy(b, false, "probe_failed", "")
 			return
 		}
 		b.epoch.Store(e)
-		b.healthy.Store(!lagGated || tip <= e || tip-e <= rt.opts.MaxLagEpochs)
+		if !lagGated || tip <= e || tip-e <= rt.opts.MaxLagEpochs {
+			rt.setHealthy(b, true, "", "")
+		} else {
+			rt.setHealthy(b, false, "lagging", "")
+		}
 	}
 	wg.Add(1)
 	probeOne(rt.primary, false, 0)
@@ -264,6 +363,18 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case strings.HasPrefix(r.URL.Path, "/debug/traces/"):
 			rt.serveTraceByID(w, r, strings.TrimPrefix(r.URL.Path, "/debug/traces/"))
 			return
+		case r.URL.Path == "/debug/logs":
+			rt.journal.ServeHTTP(w, r)
+			return
+		case r.URL.Path == "/debug/slo":
+			rt.slos.ServeHTTP(w, r)
+			return
+		case r.URL.Path == "/debug/profiles" || strings.HasPrefix(r.URL.Path, "/debug/profiles/"):
+			rt.flight.ServeHTTP(w, r)
+			return
+		case r.URL.Path == "/debug/fleet":
+			rt.serveFleet(w, r)
+			return
 		}
 	}
 	// Every proxied request carries a trace ID — the client's if it sent
@@ -288,10 +399,17 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	root := tb.Root()
 	root.SetStr("method", r.Method)
 	root.SetStr("path", r.URL.Path)
+	// Routed reads feed the availability SLO with the status the client
+	// actually saw (200 until a handler says otherwise).
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	w = sw
 	start := time.Now()
 	defer func() {
 		dur := time.Since(start)
 		rt.latency.Observe(dur)
+		if isRead {
+			rt.sloRead.Record(int64(dur), sw.status)
+		}
 		if id, kept := rt.tracer.Finish(tb); kept {
 			rt.latency.SetExemplar(int64(dur), id)
 		}
@@ -315,6 +433,10 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			rt.retries.SetExemplar(traceID)
 			if b == rt.primary {
 				rt.failovers.Inc()
+				// Request-scoped: the event shares the request's trace ID
+				// with whatever error the failed replica journalled.
+				rt.evFailover.EmitTrace(traceID,
+					obs.Str("path", r.URL.Path), obs.Int("attempt", int64(attempt)))
 			}
 		}
 		switch rt.forward(b, w, r, true, tb, attempt) {
@@ -335,6 +457,18 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	httpError(w, http.StatusBadGateway, "no backend could answer")
+}
+
+// statusWriter captures the status code written downstream so the
+// router's SLO records what the client saw.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
 }
 
 // forward outcomes.
@@ -414,7 +548,9 @@ func (rt *Router) forward(b *backend, w http.ResponseWriter, r *http.Request, re
 		// hung up cancels r.Context(), and evicting a healthy replica
 		// for that would let impatient clients drain the read pool.
 		if retryable && r.Context().Err() == nil {
-			b.healthy.Store(false) // next sweep readmits it if it recovers
+			// Next sweep readmits it if it recovers; the eviction event
+			// carries the request's trace ID.
+			rt.setHealthy(b, false, "transport_error", tid)
 		}
 		return fwdFailed
 	}

@@ -106,6 +106,10 @@ type Server struct {
 	extra   []*obs.Registry
 	slowlog *obs.SlowLog
 	tracer  *obs.Tracer              // span recording + tail sampling
+	journal *obs.Journal             // structured event journal (/debug/logs)
+	slos    *obs.SLOSet              // per-endpoint objectives (/debug/slo)
+	flight  *obs.FlightRecorder      // profile ring (/debug/profiles)
+	evErr   *obs.EventDef            // http request_error events (5xx)
 	eps     map[string]*endpointView // registry-backed per-endpoint views
 	order   []string                 // endpoint registration order
 	repl    func() ReplicationStatus // lag provider; nil off replicas
@@ -122,12 +126,15 @@ type Server struct {
 	engParSteals *obs.Counter
 }
 
-// endpointView holds one endpoint's registry-backed series.
+// endpointView holds one endpoint's registry-backed series plus the
+// objective scoring it (nil when none is declared). slo is bound at
+// setup time, before the server starts serving.
 type endpointView struct {
 	requests *obs.Counter
 	errors   *obs.Counter
 	inflight *obs.Gauge
 	latency  *obs.Histogram
+	slo      *obs.SLO
 }
 
 // Registry returns the server's metrics registry.
@@ -158,6 +165,44 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 func (s *Server) SetTracer(t *obs.Tracer) {
 	if t != nil {
 		s.tracer = t
+	}
+}
+
+// Journal returns the server's event journal.
+func (s *Server) Journal() *obs.Journal { return s.journal }
+
+// SetJournal replaces the event journal (obs.DefaultJournal by
+// default) — how tests and multi-tier processes keep each tier's
+// events attributable. Call before serving.
+func (s *Server) SetJournal(j *obs.Journal) {
+	if j != nil {
+		s.journal = j
+		s.evErr = j.Def("http", "request_error", obs.LevelError)
+	}
+}
+
+// SLOs returns the server's objective set. Objectives added through
+// AddSLO before serving are scored by the request middleware.
+func (s *Server) SLOs() *obs.SLOSet { return s.slos }
+
+// AddSLO declares an objective and binds it to the endpoint it scores.
+// Call before serving; the middleware reads the binding without a lock.
+func (s *Server) AddSLO(slo *obs.SLO) *obs.SLO {
+	s.slos.Add(slo)
+	if ep, ok := s.eps[slo.Endpoint]; ok {
+		ep.slo = slo
+	}
+	return slo
+}
+
+// FlightRecorder returns the server's profile ring.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// SetFlightRecorder replaces the flight recorder
+// (obs.DefaultFlightRecorder by default). Call before serving.
+func (s *Server) SetFlightRecorder(f *obs.FlightRecorder) {
+	if f != nil {
+		s.flight = f
 	}
 }
 
@@ -269,6 +314,13 @@ func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 		if status == 0 {
 			status = http.StatusOK
 		}
+		ep.slo.Record(int64(dur), status)
+		if status >= 500 {
+			// 5xx responses journal an error-level event carrying the
+			// request's trace ID, so /debug/logs lines join the
+			// /debug/traces tree of the same incident.
+			s.evErr.EmitTrace(tr.ID, obs.Str("endpoint", name), obs.Int("status", int64(status)))
+		}
 		if tr.HasQuery {
 			// The engine reports stage durations through QueryStats; the
 			// middleware owns the span buffer, so the breakdown is
@@ -345,6 +397,10 @@ func (s *Server) routes() {
 	s.reg = obs.NewRegistry()
 	s.slowlog = obs.NewSlowLog(slowLogCapacity, slowLogThreshold)
 	s.tracer = obs.DefaultTracer
+	s.journal = obs.DefaultJournal
+	s.evErr = s.journal.Def("http", "request_error", obs.LevelError)
+	s.slos = obs.NewSLOSet(s.reg)
+	s.flight = obs.DefaultFlightRecorder
 	s.eps = map[string]*endpointView{}
 	for i := obs.Stage(0); i < obs.NumStages; i++ {
 		s.stage[i] = s.reg.Histogram("qbs_query_stage_ns", `stage="`+i.String()+`"`)
@@ -377,11 +433,23 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	s.mux.HandleFunc("GET /debug/logs", func(w http.ResponseWriter, r *http.Request) {
+		s.journal.ServeHTTP(w, r)
+	})
+	s.mux.HandleFunc("GET /debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		s.slos.ServeHTTP(w, r)
+	})
+	profiles := func(w http.ResponseWriter, r *http.Request) {
+		s.flight.ServeHTTP(w, r)
+	}
+	s.mux.HandleFunc("GET /debug/profiles", profiles)
+	s.mux.HandleFunc("GET /debug/profiles/{id}", profiles)
 	if s.di != nil {
 		s.handle("GET /spg", "/spg", s.handleDiSPG)
 		s.handle("GET /distance", "/distance", s.handleDiDistance)
 		s.handle("GET /sketch", "/sketch", s.handleDiSketch)
 		s.handle("GET /stats", "/stats", s.handleDiStats)
+		s.defaultSLOs()
 		return
 	}
 	s.handle("GET /spg", "/spg", s.handleSPG)
@@ -399,6 +467,19 @@ func (s *Server) routes() {
 		// Allow rather than falling through to a 404/400.
 		s.mux.HandleFunc("/edges", s.handleEdgesMethodNotAllowed)
 		s.handle("POST /checkpoint", "/checkpoint", s.handleCheckpoint)
+	}
+	s.defaultSLOs()
+}
+
+// Default objectives, declared for every server so /debug/slo and the
+// qbs_slo_burn_rate series answer out of the box: reads must be 99.9%
+// available and answer within 250ms; writes 99.9% available.
+const defaultReadSLOLatency = 250 * time.Millisecond
+
+func (s *Server) defaultSLOs() {
+	s.AddSLO(obs.NewSLO("read-availability", "/spg", 0.999, defaultReadSLOLatency))
+	if s.writable {
+		s.AddSLO(obs.NewSLO("write-availability", "/edges", 0.999, 0))
 	}
 }
 

@@ -22,6 +22,18 @@ var (
 	mSnapshotSize = obs.Default.Gauge("qbs_snapshot_bytes", "")
 )
 
+// Structured events on the process journal: durability faults and
+// lifecycle transitions that previously vanished into returned errors.
+// fsync errors carry a tight rate limit — a dying disk fails every
+// batch and must not wash the journal.
+var (
+	evFsyncError      = obs.DefaultJournal.DefRate("store", "fsync_error", obs.LevelError, 2, 4)
+	evCheckpoint      = obs.DefaultJournal.Def("store", "checkpoint", obs.LevelInfo)
+	evCheckpointError = obs.DefaultJournal.Def("store", "checkpoint_error", obs.LevelError)
+	evSnapshotRetired = obs.DefaultJournal.Def("store", "snapshot_retired", obs.LevelWarn)
+	evSnapshotPruned  = obs.DefaultJournal.Def("store", "snapshot_pruned", obs.LevelDebug)
+)
+
 // qbs_build_info is the standard build-identity gauge (constant 1, all
 // information in the labels): the Go toolchain, the module version when
 // built from a tagged checkout, and the on-disk format versions this

@@ -176,6 +176,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		// WAL prefix) in favour of garbage.
 		for _, name := range damaged {
 			_ = os.Remove(filepath.Join(dir, name))
+			evSnapshotRetired.Emit(obs.Str("file", name), obs.Str("reason", "damaged"))
 		}
 	}
 	d, err := dynamic.Restore(ls.g, ls.landmarks, ls.dists, ls.labels, ls.sigma, ls.delta, ls.epoch, opts.Dynamic)
@@ -314,8 +315,10 @@ func (s *Store) Checkpoint() (uint64, error) {
 	epoch, err := s.checkpoint(tb)
 	if err != nil {
 		tb.MarkError()
+		evCheckpointError.Emit(obs.Str("error", err.Error()))
 	} else {
 		tb.Root().SetInt("epoch", int64(epoch))
+		evCheckpoint.Emit(obs.Int("epoch", int64(epoch)))
 	}
 	obs.DefaultTracer.Finish(tb)
 	return epoch, err
@@ -371,6 +374,7 @@ func (s *Store) checkpoint(tb *obs.TraceBuf) (uint64, error) {
 		if err := os.Remove(filepath.Join(s.dir, snapshotFileName(old))); err != nil && !os.IsNotExist(err) {
 			return 0, err
 		}
+		evSnapshotPruned.Emit(obs.Int("epoch", int64(old)))
 	}
 	if err := s.w.rotate(); err != nil {
 		return 0, err

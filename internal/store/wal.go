@@ -175,6 +175,7 @@ func (w *walWriter) fsync(records int) error {
 	mWALFsyncNs.Observe(time.Since(start))
 	if err != nil {
 		tb.MarkError()
+		evFsyncError.Emit(obs.Int("records", int64(records)), obs.Str("error", err.Error()))
 	}
 	obs.DefaultTracer.Finish(tb)
 	return err

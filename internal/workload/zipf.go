@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"math/rand"
+
+	"qbs/internal/graph"
+)
+
+// Zipfian query pairs: production read traffic is rarely uniform — a
+// few hot vertices (celebrities, hub pages) dominate, and a router or
+// cache behaves very differently under that skew than under the uniform
+// pairs of the paper's §6.1 setup. ZipfPairs samples both endpoints
+// from a Zipf distribution over the vertex IDs, so low-numbered
+// vertices are hot and the tail is long.
+
+// ZipfPairs generates count query pairs over a graph with n vertices,
+// endpoint IDs Zipf-distributed with exponent s > 1 (larger = more
+// skewed; 1.1 is a mild, web-like skew). Self-pairs are re-rolled so
+// every pair exercises a real traversal. Deterministic in
+// (n, count, s, seed).
+func ZipfPairs(n, count int, s float64, seed int64) []Pair {
+	if n < 2 || count <= 0 {
+		return nil
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	pairs := make([]Pair, 0, count)
+	for len(pairs) < count {
+		u, v := graph.V(z.Uint64()), graph.V(z.Uint64())
+		if u == v {
+			continue
+		}
+		pairs = append(pairs, Pair{U: u, V: v})
+	}
+	return pairs
+}

@@ -1,0 +1,60 @@
+package workload
+
+import "testing"
+
+func TestZipfPairsSkew(t *testing.T) {
+	const n, count = 10000, 20000
+	pairs := ZipfPairs(n, count, 1.2, 7)
+	if len(pairs) != count {
+		t.Fatalf("len = %d, want %d", len(pairs), count)
+	}
+	// Skew sanity: the hottest 1% of the ID space must absorb far more
+	// than its uniform share of endpoints, and the tail must still be
+	// touched (it is a distribution, not a constant).
+	hot, tail := 0, 0
+	for _, p := range pairs {
+		for _, v := range []int{int(p.U), int(p.V)} {
+			if v < 0 || v >= n {
+				t.Fatalf("endpoint %d out of range [0,%d)", v, n)
+			}
+			if v < n/100 {
+				hot++
+			}
+			if v > n/2 {
+				tail++
+			}
+		}
+		if p.U == p.V {
+			t.Fatalf("degenerate pair %v", p)
+		}
+	}
+	total := 2 * count
+	if frac := float64(hot) / float64(total); frac < 0.10 {
+		t.Fatalf("hottest 1%% of IDs got %.1f%% of endpoints; want >=10%% under Zipf skew", 100*frac)
+	}
+	if tail == 0 {
+		t.Fatal("upper half of the ID space never sampled; distribution degenerate")
+	}
+
+	// Deterministic in the seed, different across seeds.
+	again := ZipfPairs(n, count, 1.2, 7)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatalf("pair %d differs between identical runs", i)
+		}
+	}
+	other := ZipfPairs(n, count, 1.2, 8)
+	same := 0
+	for i := range pairs {
+		if pairs[i] == other[i] {
+			same++
+		}
+	}
+	if same == count {
+		t.Fatal("seed has no effect")
+	}
+
+	if got := ZipfPairs(1, 10, 1.2, 1); got != nil {
+		t.Fatalf("n=1 should yield nil, got %v", got)
+	}
+}
